@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the MiniDB substrate: B+-tree operation
+//! cost (with and without trace recording) and database load time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tls_minidb::{BTree, Env, PageAlloc, Tpcc, TpccConfig};
+
+fn tree_with(n: u64, recording: bool) -> (Env, PageAlloc, BTree) {
+    let mut env = Env::new();
+    let alloc = PageAlloc::new(&mut env, 1);
+    let tree = BTree::create(&mut env, &alloc, 64, 2);
+    for k in 0..n {
+        tree.insert(&mut env, &alloc, k * 2, &[7u8; 64]);
+    }
+    if recording {
+        env.rec.start("bench", false);
+    }
+    (env, alloc, tree)
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(20);
+    for recording in [false, true] {
+        let label = if recording { "recorded" } else { "raw" };
+        g.bench_function(format!("get_100k_{label}"), |b| {
+            let (mut env, _alloc, tree) = tree_with(100_000, recording);
+            let mut buf = [0u8; 64];
+            let mut k = 1u64;
+            b.iter(|| {
+                k = (k * 2862933555777941757 + 3037000493) % 200_000;
+                tree.get(&mut env, k, &mut buf)
+            })
+        });
+        g.bench_function(format!("insert_ascending_{label}"), |b| {
+            b.iter_batched(
+                || tree_with(10_000, recording),
+                |(mut env, alloc, tree)| {
+                    for k in 0..1000u64 {
+                        tree.insert(&mut env, &alloc, 1_000_000 + k, &[3u8; 64]);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpcc_load");
+    g.sample_size(10);
+    g.bench_function("populate_test_scale", |b| {
+        b.iter(|| Tpcc::new(TpccConfig::test()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_btree, bench_load);
+criterion_main!(benches);

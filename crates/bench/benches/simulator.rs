@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the simulator itself: how fast the
+//! timing model runs (host-time per simulated work), per Figure-5
+//! experiment. These measure the *reproduction's* performance; the
+//! paper's results come from the `table2`/`figure5`/`figure6` binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tls_core::experiment::{run_experiment, BenchmarkPrograms, ExperimentKind};
+use tls_core::{CmpConfig, CmpSimulator, SpacingPolicy};
+use tls_minidb::{Tpcc, TpccConfig, Transaction};
+use tls_trace::{Addr, OpSink, Pc, ProgramBuilder, TraceProgram};
+
+fn machine() -> CmpConfig {
+    let mut c = CmpConfig::paper_default();
+    c.subthreads.spacing = SpacingPolicy::EvenDivision;
+    c.max_cycles = 500_000_000;
+    c
+}
+
+fn tpcc_programs(txn: Transaction) -> BenchmarkPrograms {
+    let (plain, tls) = Tpcc::record_pair(&TpccConfig::test(), txn, 1);
+    BenchmarkPrograms { plain, tls }
+}
+
+/// A dependence-free compute program: the simulator's fast path.
+fn synthetic(epochs: usize, ops: usize) -> TraceProgram {
+    let mut b = ProgramBuilder::new("synthetic");
+    b.begin_parallel();
+    for e in 0..epochs {
+        b.begin_epoch();
+        for i in 0..ops {
+            let pc = Pc::new(e as u16, (i % 64) as u16);
+            match i % 5 {
+                0 => b.load(pc, Addr(0x1_0000 + e as u64 * 4096 + (i as u64 % 64) * 8), 8),
+                1 => b.branch(pc, i % 3 == 0),
+                _ => b.int_alu(pc),
+            }
+        }
+        b.end_epoch();
+    }
+    b.end_parallel();
+    b.finish()
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let progs = tpcc_programs(Transaction::NewOrder);
+    let mut g = c.benchmark_group("figure5_new_order");
+    g.sample_size(10);
+    for kind in ExperimentKind::ALL {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| run_experiment(kind, &machine(), &progs))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let program = synthetic(8, 20_000);
+    let ops = program.total_ops() as u64;
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(ops));
+    g.bench_function("dependence_free_160k_ops", |b| {
+        b.iter(|| CmpSimulator::new(machine()).run(&program))
+    });
+    g.finish();
+}
+
+fn bench_violation_churn(c: &mut Criterion) {
+    // Every epoch RMWs one shared location mid-thread: constant rewinds.
+    let program = tls_core::synthetic::shared_dependences(
+        8,
+        4000,
+        &[tls_core::synthetic::Dependence::new(0.5, 0.5)],
+    );
+    let mut g = c.benchmark_group("violation_churn");
+    g.sample_size(20);
+    g.bench_function("shared_counter_8_epochs", |bch| {
+        bch.iter_batched(
+            || program.clone(),
+            |p| CmpSimulator::new(machine()).run(&p),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_trace_recording(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_recording");
+    g.sample_size(10);
+    g.bench_function("record_new_order", |b| {
+        b.iter_batched(
+            || Tpcc::new(TpccConfig::test()),
+            |mut t| t.record(Transaction::NewOrder, 1),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_experiments,
+    bench_simulator_throughput,
+    bench_violation_churn,
+    bench_trace_recording
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates **Table 1**: the simulation parameters.
+//!
+//! Usage: `cargo run -p tls-bench --bin table1 [--json DIR]`
+
+use tls_bench::{json_dir, paper_machine};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = paper_machine();
+    println!("Table 1. Simulation parameters.");
+    println!("================================");
+    println!("Pipeline parameters");
+    println!("  Issue width                {}", cfg.cpu.issue_width);
+    println!(
+        "  Functional units           {} Int, {} FP, {} Mem, {} Branch",
+        cfg.cpu.int_ports, cfg.cpu.fp_ports, cfg.cpu.mem_ports, cfg.cpu.branch_ports
+    );
+    println!("  Reorder buffer size        {}", cfg.cpu.rob_entries);
+    println!("  Integer multiply           {} cycles", tls_trace::latency::INT_MUL);
+    println!("  Integer divide             {} cycles", tls_trace::latency::INT_DIV);
+    println!("  All other integer          {} cycle", tls_trace::latency::INT);
+    println!("  FP divide                  {} cycles", tls_trace::latency::FP_DIV);
+    println!("  FP square root             {} cycles", tls_trace::latency::FP_SQRT);
+    println!("  All other FP               {} cycles", tls_trace::latency::FP);
+    println!(
+        "  Branch prediction          GShare ({} KB, {} history bits)",
+        cfg.cpu.gshare_bytes / 1024,
+        cfg.cpu.gshare_history_bits
+    );
+    println!("Memory parameters");
+    println!("  Cache line size            {} B", cfg.l1.line_bytes);
+    println!(
+        "  Instruction/data cache     {} KB, {}-way set-assoc",
+        cfg.l1.size_bytes / 1024,
+        cfg.l1.ways
+    );
+    println!(
+        "  Unified secondary cache    {} MB, {}-way set-assoc, {} banks",
+        cfg.l2.size_bytes / (1024 * 1024),
+        cfg.l2.ways,
+        cfg.mem.l2_banks
+    );
+    println!("  Speculative victim cache   {} entries", cfg.victim_entries);
+    println!(
+        "  Miss handlers              {} for data, {} for insts",
+        cfg.mem.data_mshrs, cfg.mem.inst_mshrs
+    );
+    println!(
+        "  Crossbar interconnect      {} B per cycle per bank",
+        cfg.l1.line_bytes as u64 / cfg.mem.bank_service_cycles
+    );
+    println!("  Min. miss latency to L2    {} cycles", cfg.mem.l2_min_latency);
+    println!("  Min. miss latency to mem   {} cycles", cfg.mem.mem_min_latency);
+    println!("  Main memory bandwidth      1 access per {} cycles", cfg.mem.mem_issue_interval);
+    println!("TLS parameters");
+    println!("  CPUs                       {}", cfg.cpus);
+    println!("  Sub-thread contexts        {}", cfg.subthreads.contexts);
+    println!("  Sub-thread spacing         {:?}", cfg.subthreads.spacing);
+    println!("  Context exhaustion         {:?}", cfg.subthreads.exhaustion);
+    println!("  Secondary violations       {:?}", cfg.secondary);
+    println!("  L2 speculative bits/line   {}", cfg.spec_bits_per_line());
+    tls_bench::write_json(&json_dir(&args), "table1", &cfg);
+}

@@ -1,0 +1,185 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! Each binary in `src/bin/` regenerates one artifact:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1 — simulation parameters |
+//! | `table2` | Table 2 — benchmark statistics |
+//! | `figure5` | Figure 5 — execution-time breakdown, 7 benchmarks × 5 experiments |
+//! | `figure6` | Figure 6 — sub-thread count × size sweep |
+//! | `figure2` | Figure 1/2 — the sub-thread rewind/tuning microbenchmark |
+//! | `ablations` | §2.1/§2.2 design ablations (victim cache, start table, spacing) |
+//! | `tuning_curve` | §3.2 — profiler-guided iterative optimization |
+//! | `scalability` | extension — CPU-count scaling (2/4/8) |
+//! | `spec_contrast` | §1 context — SPEC-like vs database-like regimes |
+//! | `probe` | development probe (all experiments for one benchmark) |
+//!
+//! Pass `--scale test` for a fast run or `--scale paper` (default) for the
+//! full-size workload; `--json DIR` additionally writes machine-readable
+//! results.
+
+#![forbid(unsafe_code)]
+
+use tls_core::experiment::BenchmarkPrograms;
+use tls_core::{CmpConfig, SimReport};
+use tls_minidb::{Tpcc, TpccConfig, Transaction};
+
+/// How many transaction instances each benchmark records, per the
+/// transaction's size (small transactions record more instances so runs
+/// are not dominated by a single parameter draw).
+pub fn instances(txn: Transaction, scale: Scale) -> usize {
+    let base = match txn {
+        Transaction::NewOrder => 4,
+        Transaction::NewOrder150 => 1,
+        Transaction::Delivery => 1,
+        Transaction::DeliveryOuter => 1,
+        Transaction::StockLevel => 2,
+        Transaction::Payment => 6,
+        Transaction::OrderStatus => 6,
+    };
+    match scale {
+        Scale::Paper => base,
+        Scale::Test => base,
+    }
+}
+
+/// Workload scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full single-warehouse TPC-C (the paper's configuration).
+    Paper,
+    /// Milliseconds-fast scaled-down population.
+    Test,
+}
+
+impl Scale {
+    /// The matching TPC-C configuration.
+    pub fn tpcc(self) -> TpccConfig {
+        match self {
+            Scale::Paper => TpccConfig::paper(),
+            Scale::Test => TpccConfig::test(),
+        }
+    }
+
+    /// Parses `--scale` arguments.
+    pub fn parse(args: &[String]) -> Scale {
+        match args.iter().position(|a| a == "--scale") {
+            Some(i) => match args.get(i + 1).map(String::as_str) {
+                Some("test") => Scale::Test,
+                Some("paper") | None => Scale::Paper,
+                Some(other) => panic!("unknown scale '{other}' (use: paper, test)"),
+            },
+            None => Scale::Paper,
+        }
+    }
+}
+
+/// Records the (plain, TLS) program pair for one benchmark.
+pub fn record_benchmark(cfg: &TpccConfig, txn: Transaction, count: usize) -> BenchmarkPrograms {
+    let (plain, tls) = Tpcc::record_pair(cfg, txn, count);
+    BenchmarkPrograms { plain, tls }
+}
+
+/// The optional `--json DIR` output directory.
+pub fn json_dir(args: &[String]) -> Option<std::path::PathBuf> {
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+}
+
+/// Writes `value` as pretty JSON under `dir/name.json` when requested.
+pub fn write_json<T: serde::Serialize>(dir: &Option<std::path::PathBuf>, name: &str, value: &T) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// One row of a breakdown table, normalized to a reference cycle count.
+pub fn breakdown_row(report: &SimReport, reference: u64) -> String {
+    let stack = report.normalized_stack(reference);
+    let total: f64 = stack.iter().map(|(_, v)| v).sum();
+    let cells: Vec<String> =
+        stack.iter().map(|(n, v)| format!("{}={:5.3}", initials(n), v)).collect();
+    format!("{} | total={:5.3}", cells.join(" "), total)
+}
+
+/// Renders a normalized breakdown as an ASCII stacked bar, 50 characters
+/// per 1.0 of normalized time: `I` idle, `F` failed, `L` latch, `S` sync,
+/// `M` cache miss, `B` busy — the Figure 5 bars in terminal form.
+pub fn render_stack(stack: &[(&'static str, f64)]) -> String {
+    const CHARS_PER_UNIT: f64 = 50.0;
+    let mut bar = String::new();
+    let mut carry = 0.0;
+    for (name, value) in stack {
+        let glyph = match *name {
+            "Idle" => 'I',
+            "Failed" => 'F',
+            "Latch Stall" => 'L',
+            "Sync" => 'S',
+            "Cache Miss" => 'M',
+            "Busy" => 'B',
+            other => panic!("unknown category {other}"),
+        };
+        // Carry fractional cells so the bar length tracks the total.
+        let exact = value * CHARS_PER_UNIT + carry;
+        let cells = exact.floor() as usize;
+        carry = exact - cells as f64;
+        bar.extend(std::iter::repeat_n(glyph, cells));
+    }
+    bar
+}
+
+fn initials(name: &str) -> &'static str {
+    match name {
+        "Idle" => "idle",
+        "Failed" => "fail",
+        "Latch Stall" => "ltch",
+        "Sync" => "sync",
+        "Cache Miss" => "miss",
+        "Busy" => "busy",
+        other => panic!("unknown category {other}"),
+    }
+}
+
+/// The paper's 4-CPU machine (Table 1 + baseline sub-threads).
+pub fn paper_machine() -> CmpConfig {
+    let mut cfg = CmpConfig::paper_default();
+    // Safety valve: no benchmark should exceed this.
+    cfg.max_cycles = 4_000_000_000;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses() {
+        let args = vec!["--scale".to_string(), "test".to_string()];
+        assert_eq!(Scale::parse(&args), Scale::Test);
+        assert_eq!(Scale::parse(&[]), Scale::Paper);
+    }
+
+    #[test]
+    fn render_stack_length_tracks_total() {
+        let stack = vec![("Idle", 0.5), ("Busy", 0.5)];
+        let bar = render_stack(&stack);
+        assert_eq!(bar.len(), 50);
+        assert!(bar.starts_with('I') && bar.ends_with('B'));
+        let half = vec![("Busy", 0.25)];
+        assert_eq!(render_stack(&half).len(), 12);
+    }
+
+    #[test]
+    fn record_benchmark_produces_both_traces() {
+        let progs = record_benchmark(&TpccConfig::test(), Transaction::NewOrder, 1);
+        assert_eq!(progs.plain.stats().epochs, 0);
+        assert!(progs.tls.stats().epochs >= 5);
+    }
+}

@@ -1,0 +1,41 @@
+//! Memory-hierarchy building blocks for the sub-thread TLS simulator.
+//!
+//! The paper (Colohan et al., ISCA 2006) extends a *conventional* CMP cache
+//! hierarchy — private write-through L1s, a crossbar, and a shared,
+//! multi-banked L2 with a small victim cache — with speculative state. This
+//! crate provides the conventional half:
+//!
+//! * [`CacheParams`] / geometry math (line, set index, tag extraction);
+//! * [`SetAssoc`] — a generic set-associative tag array with true-LRU
+//!   replacement, reused by the L1s and by the multi-versioned L2 in
+//!   `tls-core` (where a "way" may hold one *version* of a line);
+//! * [`L1Data`] — the private write-through L1 data cache, with the
+//!   per-line speculative marks the paper's L1 keeps (speculatively
+//!   loaded/modified flags, flash-invalidated on violations);
+//! * [`VictimBuffer`] — the fully-associative speculative victim cache that
+//!   catches speculative L2 lines evicted by conflict misses;
+//! * [`BankArray`], [`MemBus`], [`MshrFile`] — timing models for L2 bank
+//!   contention, main-memory bandwidth, and outstanding-miss limits;
+//! * [`CacheStats`] — hit/miss/eviction accounting.
+//!
+//! The TLS-specific parts (speculative load/modified bits per sub-thread
+//! context, violation detection, version combination and commit) live in
+//! `tls-core`, mirroring how the paper presents them as extensions to
+//! ordinary cache hardware.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod l1;
+mod params;
+mod setassoc;
+mod stats;
+mod timing;
+mod victim;
+
+pub use l1::{L1Data, L1ReadOutcome, L1WriteOutcome};
+pub use params::{CacheParams, MemParams};
+pub use setassoc::{Inserted, SetAssoc};
+pub use stats::CacheStats;
+pub use timing::{BankArray, MemBus, MshrFile};
+pub use victim::VictimBuffer;

@@ -1,0 +1,179 @@
+//! Cache and memory-system parameters (Table 1 of the paper) and the
+//! associated address geometry math.
+
+use serde::{Deserialize, Serialize};
+use tls_trace::Addr;
+
+/// Geometry of one set-associative cache.
+///
+/// ```
+/// use tls_cache::CacheParams;
+/// use tls_trace::Addr;
+///
+/// let l1 = CacheParams::paper_l1(); // 32 KB, 4-way, 32 B lines
+/// assert_eq!(l1.sets(), 256);
+/// assert_eq!(l1.line_addr(Addr(0x1234)), Addr(0x1220));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheParams {
+    /// Creates cache parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_bytes` and the resulting set count are nonzero
+    /// powers of two and `ways >= 1`.
+    pub fn new(size_bytes: u64, ways: u32, line_bytes: u32) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways >= 1, "associativity must be at least 1");
+        let p = CacheParams { size_bytes, ways, line_bytes };
+        let sets = p.sets();
+        assert!(sets >= 1 && sets.is_power_of_two(), "set count {sets} must be a power of two");
+        p
+    }
+
+    /// The paper's L1 data/instruction cache: 32 KB, 4-way, 32-byte lines.
+    pub fn paper_l1() -> Self {
+        CacheParams::new(32 * 1024, 4, 32)
+    }
+
+    /// The paper's unified L2: 2 MB, 4-way, 32-byte lines.
+    pub fn paper_l2() -> Self {
+        CacheParams::new(2 * 1024 * 1024, 4, 32)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * self.line_bytes as u64)
+    }
+
+    /// log2(line size).
+    pub fn line_shift(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
+
+    /// The line-aligned address containing `addr`.
+    pub fn line_addr(&self, addr: Addr) -> Addr {
+        addr.align_down(self.line_shift())
+    }
+
+    /// The set index for a (line or byte) address.
+    pub fn set_index(&self, addr: Addr) -> usize {
+        ((addr.0 >> self.line_shift()) & (self.sets() - 1)) as usize
+    }
+
+    /// Words (8-byte units) per line — the granularity of the paper's
+    /// speculative-modified tracking.
+    pub fn words_per_line(&self) -> u32 {
+        (self.line_bytes / 8).max(1)
+    }
+
+    /// The word index within its line of a byte address.
+    pub fn word_in_line(&self, addr: Addr) -> u32 {
+        ((addr.0 >> 3) & (self.words_per_line() as u64 - 1)) as u32
+    }
+}
+
+/// Timing parameters of the shared L2, crossbar and main memory
+/// (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemParams {
+    /// Minimum load-to-use latency for an L1 miss that hits in the L2
+    /// (Table 1: "Minimum Miss Latency to Secondary Cache": 10 cycles).
+    pub l2_min_latency: u64,
+    /// Minimum L1-miss latency to local memory (Table 1: 75 cycles).
+    pub mem_min_latency: u64,
+    /// Main-memory bandwidth: one new access may begin per this many
+    /// cycles (Table 1: "1 access per 20 cycles").
+    pub mem_issue_interval: u64,
+    /// Number of independent L2 banks, line-interleaved (Table 1: 4).
+    pub l2_banks: usize,
+    /// Cycles one bank is busy per access: line size / crossbar width
+    /// (32 B / 8 B per cycle = 4).
+    pub bank_service_cycles: u64,
+    /// Outstanding data-miss limit per CPU (Table 1 miss handlers: 128).
+    pub data_mshrs: usize,
+    /// Outstanding instruction-miss limit per CPU (Table 1: 2).
+    pub inst_mshrs: usize,
+}
+
+impl MemParams {
+    /// The paper's Table 1 configuration.
+    pub fn paper_default() -> Self {
+        MemParams {
+            l2_min_latency: 10,
+            mem_min_latency: 75,
+            mem_issue_interval: 20,
+            l2_banks: 4,
+            bank_service_cycles: 4,
+            data_mshrs: 128,
+            inst_mshrs: 2,
+        }
+    }
+}
+
+impl Default for MemParams {
+    fn default() -> Self {
+        MemParams::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l1_geometry() {
+        let p = CacheParams::paper_l1();
+        assert_eq!(p.sets(), 256);
+        assert_eq!(p.line_shift(), 5);
+        assert_eq!(p.words_per_line(), 4);
+    }
+
+    #[test]
+    fn paper_l2_geometry() {
+        let p = CacheParams::paper_l2();
+        assert_eq!(p.sets(), 16384);
+    }
+
+    #[test]
+    fn set_index_wraps() {
+        let p = CacheParams::paper_l1();
+        let a = Addr(0);
+        let b = Addr(256 * 32); // exactly one full stride of sets
+        assert_eq!(p.set_index(a), p.set_index(b));
+        assert_ne!(p.set_index(a), p.set_index(Addr(32)));
+    }
+
+    #[test]
+    fn word_in_line() {
+        let p = CacheParams::paper_l1();
+        assert_eq!(p.word_in_line(Addr(0)), 0);
+        assert_eq!(p.word_in_line(Addr(8)), 1);
+        assert_eq!(p.word_in_line(Addr(25)), 3);
+        assert_eq!(p.word_in_line(Addr(32)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = CacheParams::new(1024, 2, 24);
+    }
+
+    #[test]
+    fn mem_params_default_matches_paper() {
+        let m = MemParams::default();
+        assert_eq!(m.l2_min_latency, 10);
+        assert_eq!(m.mem_min_latency, 75);
+        assert_eq!(m.mem_issue_interval, 20);
+        assert_eq!(m.l2_banks, 4);
+    }
+}

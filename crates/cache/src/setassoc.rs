@@ -1,0 +1,261 @@
+//! A generic set-associative array with true-LRU replacement.
+//!
+//! The same structure backs the private L1s (key = line address) and the
+//! multi-versioned shared L2 in `tls-core`, where the key is a *(line
+//! address, version owner)* pair so that several speculative versions of
+//! one line occupy several ways of the same set — exactly the paper's
+//! "multiple versions of each cache line [managed] by using the different
+//! ways of each associative set".
+
+use std::fmt::Debug;
+
+/// One resident entry: key, payload, and recency stamp.
+#[derive(Debug, Clone)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    stamp: u64,
+}
+
+/// Result of inserting into a set that may already be full.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inserted<K, V> {
+    /// There was a free way; nothing was displaced.
+    Placed,
+    /// The LRU entry (subject to the eviction filter) was displaced.
+    Evicted(K, V),
+    /// Every resident entry was protected by the eviction filter; the new
+    /// entry was **not** inserted. The caller decides what to do (the
+    /// TLS L2 treats this as a speculative-overflow stall/violation).
+    SetFull,
+}
+
+/// A set-associative array of `K → V` with true-LRU replacement.
+///
+/// Not a timing model: time enters only through the monotonically
+/// increasing use counter used for LRU ordering.
+#[derive(Debug, Clone)]
+pub struct SetAssoc<K, V> {
+    sets: Vec<Vec<Entry<K, V>>>,
+    ways: usize,
+    tick: u64,
+}
+
+impl<K: Copy + Eq + Debug, V> SetAssoc<K, V> {
+    /// An empty array with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache must have at least one set and way");
+        SetAssoc { sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(), ways, tick: 0 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Ways per set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `key` in `set`, refreshing its recency on hit.
+    pub fn probe(&mut self, set: usize, key: K) -> Option<&mut V> {
+        let stamp = self.bump();
+        let entry = self.sets[set].iter_mut().find(|e| e.key == key)?;
+        entry.stamp = stamp;
+        Some(&mut entry.value)
+    }
+
+    /// Looks up `key` without updating recency (for monitoring / asserts).
+    pub fn peek(&self, set: usize, key: K) -> Option<&V> {
+        self.sets[set].iter().find(|e| e.key == key).map(|e| &e.value)
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry for
+    /// which `may_evict` returns true if the set is full.
+    ///
+    /// If the set is full and *no* entry may be evicted, returns
+    /// [`Inserted::SetFull`] and does not insert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is already resident — update via
+    /// [`probe`](SetAssoc::probe) instead; duplicate keys would corrupt
+    /// LRU state.
+    pub fn insert_with(
+        &mut self,
+        set: usize,
+        key: K,
+        value: V,
+        mut may_evict: impl FnMut(&K, &V) -> bool,
+    ) -> Inserted<K, V> {
+        assert!(
+            self.sets[set].iter().all(|e| e.key != key),
+            "duplicate insert of key {key:?} into set {set}"
+        );
+        let stamp = self.bump();
+        if self.sets[set].len() < self.ways {
+            self.sets[set].push(Entry { key, value, stamp });
+            return Inserted::Placed;
+        }
+        let victim = self.sets[set]
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| may_evict(&e.key, &e.value))
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                let old = std::mem::replace(&mut self.sets[set][i], Entry { key, value, stamp });
+                Inserted::Evicted(old.key, old.value)
+            }
+            None => Inserted::SetFull,
+        }
+    }
+
+    /// Inserts with unconditional LRU eviction.
+    pub fn insert(&mut self, set: usize, key: K, value: V) -> Inserted<K, V> {
+        self.insert_with(set, key, value, |_, _| true)
+    }
+
+    /// Removes and returns the entry for `key`, if resident.
+    pub fn remove(&mut self, set: usize, key: K) -> Option<V> {
+        let i = self.sets[set].iter().position(|e| e.key == key)?;
+        Some(self.sets[set].swap_remove(i).value)
+    }
+
+    /// Drops every entry for which the predicate returns false.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, &mut V) -> bool) {
+        for set in &mut self.sets {
+            set.retain_mut(|e| keep(&e.key, &mut e.value));
+        }
+    }
+
+    /// Iterates over all resident `(set, key, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &K, &V)> + '_ {
+        self.sets.iter().enumerate().flat_map(|(s, v)| v.iter().map(move |e| (s, &e.key, &e.value)))
+    }
+
+    /// Mutable iteration over all resident entries of one set.
+    pub fn set_iter_mut(&mut self, set: usize) -> impl Iterator<Item = (&K, &mut V)> + '_ {
+        self.sets[set].iter_mut().map(|e| (&e.key, &mut e.value))
+    }
+
+    /// Number of resident entries across all sets.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// True if nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of resident entries in one set.
+    pub fn set_len(&self, set: usize) -> usize {
+        self.sets[set].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_free_ways_before_evicting() {
+        let mut c: SetAssoc<u64, u32> = SetAssoc::new(1, 2);
+        assert_eq!(c.insert(0, 1, 10), Inserted::Placed);
+        assert_eq!(c.insert(0, 2, 20), Inserted::Placed);
+        assert_eq!(c.insert(0, 3, 30), Inserted::Evicted(1, 10));
+    }
+
+    #[test]
+    fn probe_refreshes_lru() {
+        let mut c: SetAssoc<u64, u32> = SetAssoc::new(1, 2);
+        c.insert(0, 1, 10);
+        c.insert(0, 2, 20);
+        assert_eq!(c.probe(0, 1), Some(&mut 10)); // 1 is now MRU
+        assert_eq!(c.insert(0, 3, 30), Inserted::Evicted(2, 20));
+    }
+
+    #[test]
+    fn peek_does_not_refresh_lru() {
+        let mut c: SetAssoc<u64, u32> = SetAssoc::new(1, 2);
+        c.insert(0, 1, 10);
+        c.insert(0, 2, 20);
+        assert_eq!(c.peek(0, 1), Some(&10));
+        assert_eq!(c.insert(0, 3, 30), Inserted::Evicted(1, 10));
+    }
+
+    #[test]
+    fn eviction_filter_protects_entries() {
+        let mut c: SetAssoc<u64, bool> = SetAssoc::new(1, 2);
+        c.insert(0, 1, true); // protected
+        c.insert(0, 2, false);
+        // Only unprotected entries may be evicted.
+        assert_eq!(c.insert_with(0, 3, false, |_, v| !*v), Inserted::Evicted(2, false));
+        // Now 1 (protected) and 3 (protected after update) fill the set.
+        *c.probe(0, 3).unwrap() = true;
+        assert_eq!(c.insert_with(0, 4, false, |_, v| !*v), Inserted::SetFull);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_retain() {
+        let mut c: SetAssoc<u64, u32> = SetAssoc::new(2, 2);
+        c.insert(0, 1, 10);
+        c.insert(1, 2, 20);
+        c.insert(1, 3, 30);
+        assert_eq!(c.remove(1, 2), Some(20));
+        assert_eq!(c.remove(1, 2), None);
+        c.retain(|_, v| *v > 10);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(1, 3), Some(&30));
+    }
+
+    #[test]
+    fn same_key_different_sets_coexist() {
+        let mut c: SetAssoc<u64, u32> = SetAssoc::new(2, 1);
+        c.insert(0, 7, 1);
+        c.insert(1, 7, 2);
+        assert_eq!(c.peek(0, 7), Some(&1));
+        assert_eq!(c.peek(1, 7), Some(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate insert")]
+    fn duplicate_insert_panics() {
+        let mut c: SetAssoc<u64, u32> = SetAssoc::new(1, 2);
+        c.insert(0, 1, 10);
+        c.insert(0, 1, 11);
+    }
+
+    #[test]
+    fn tuple_keys_model_versions() {
+        // (line, owner) keys: two versions of line 5 in one set.
+        let mut c: SetAssoc<(u64, u8), u32> = SetAssoc::new(1, 4);
+        c.insert(0, (5, 0), 100);
+        c.insert(0, (5, 1), 200);
+        assert_eq!(c.peek(0, (5, 0)), Some(&100));
+        assert_eq!(c.peek(0, (5, 1)), Some(&200));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn iter_covers_everything() {
+        let mut c: SetAssoc<u64, u32> = SetAssoc::new(4, 2);
+        for i in 0..6u64 {
+            c.insert((i % 4) as usize, i, i as u32);
+        }
+        assert_eq!(c.iter().count(), 6);
+    }
+}

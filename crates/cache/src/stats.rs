@@ -1,0 +1,100 @@
+//! Hit/miss accounting shared by every cache level.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Access counters for one cache (or one class of accesses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups performed.
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lines displaced by fills.
+    pub evictions: u64,
+    /// Lines invalidated by coherence or violation recovery.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss ratio in `0..=1`; 0 for an untouched cache.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Records one access that either hit or missed.
+    pub fn record(&mut self, hit: bool) {
+        self.accesses += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.accesses += rhs.accesses;
+        self.hits += rhs.hits;
+        self.evictions += rhs.evictions;
+        self.invalidations += rhs.invalidations;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.2}%), {} evictions, {} invalidations",
+            self.accesses,
+            self.misses(),
+            100.0 * self.miss_ratio(),
+            self.evictions,
+            self.invalidations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_ratio() {
+        let mut s = CacheStats::default();
+        s.record(true);
+        s.record(false);
+        s.record(false);
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses(), 2);
+        assert!((s.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratio_is_zero() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = CacheStats { accesses: 1, hits: 1, evictions: 2, invalidations: 3 };
+        a += CacheStats { accesses: 10, hits: 5, evictions: 1, invalidations: 0 };
+        assert_eq!(a, CacheStats { accesses: 11, hits: 6, evictions: 3, invalidations: 3 });
+    }
+
+    #[test]
+    fn display_mentions_misses() {
+        let s = CacheStats { accesses: 4, hits: 3, ..Default::default() };
+        assert!(format!("{s}").contains("1 misses"));
+    }
+}

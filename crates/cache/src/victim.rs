@@ -1,0 +1,194 @@
+//! The speculative victim cache.
+//!
+//! The paper adds "a 64-entry victim cache to the L2 to catch any
+//! speculative cache lines which are evicted from the regular L2 cache",
+//! sized so the worst-case transaction (largest threads × 8 sub-threads)
+//! never stalls on speculative overflow. This is a small fully-associative
+//! LRU buffer; the TLS layer decides what happens when even the victim
+//! cache overflows (speculation fails for the youngest owner).
+
+use crate::CacheStats;
+use std::fmt::Debug;
+
+/// A fully-associative LRU buffer of `K → V`.
+#[derive(Debug, Clone)]
+pub struct VictimBuffer<K, V> {
+    entries: Vec<(K, V, u64)>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl<K: Copy + Eq + Debug, V> VictimBuffer<K, V> {
+    /// An empty buffer holding at most `capacity` entries. A capacity of 0
+    /// is allowed and models a machine without a victim cache.
+    pub fn new(capacity: usize) -> Self {
+        VictimBuffer {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes and returns the entry for `key` (a victim-cache hit swaps
+    /// the line back into the L2, so lookups are destructive).
+    pub fn take(&mut self, key: K) -> Option<V> {
+        let pos = self.entries.iter().position(|(k, _, _)| *k == key);
+        self.stats.record(pos.is_some());
+        pos.map(|i| self.entries.swap_remove(i).1)
+    }
+
+    /// Removes and returns the first entry matching `pred`, without
+    /// recording a hit/miss (used for silent probes such as "is any
+    /// version of this line buffered?").
+    pub fn take_where(&mut self, mut pred: impl FnMut(&K) -> bool) -> Option<(K, V)> {
+        let pos = self.entries.iter().position(|(k, _, _)| pred(k))?;
+        let (k, v, _) = self.entries.swap_remove(pos);
+        Some((k, v))
+    }
+
+    /// True if any buffered key matches `pred`.
+    pub fn contains_where(&self, mut pred: impl FnMut(&K) -> bool) -> bool {
+        self.entries.iter().any(|(k, _, _)| pred(k))
+    }
+
+    /// Inserts an evicted line. If the buffer is full, the least-recently
+    /// inserted entry is displaced and returned — the TLS layer treats a
+    /// displaced *speculative* line as an overflow event.
+    ///
+    /// With capacity 0 the inserted entry itself bounces straight back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is already buffered (the L2 must never hold two
+    /// copies of the same version).
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        assert!(
+            self.entries.iter().all(|(k, _, _)| *k != key),
+            "duplicate victim-cache insert of {key:?}"
+        );
+        self.tick += 1;
+        if self.capacity == 0 {
+            return Some((key, value));
+        }
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, t))| *t)
+                .map(|(i, _)| i)
+                .expect("full buffer has an LRU entry");
+            let (k, v, _) = self.entries.swap_remove(lru);
+            self.entries.push((key, value, self.tick));
+            self.stats.evictions += 1;
+            return Some((k, v));
+        }
+        self.entries.push((key, value, self.tick));
+        None
+    }
+
+    /// Drops every entry for which the predicate returns false (used when
+    /// a thread's speculative versions are discarded or committed).
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, &mut V) -> bool) {
+        self.entries.retain_mut(|(k, v, _)| keep(k, v));
+    }
+
+    /// Iterates over buffered entries (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
+        self.entries.iter().map(|(k, v, _)| (k, v))
+    }
+
+    /// Hit/miss statistics of destructive lookups.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_destructive() {
+        let mut v: VictimBuffer<u64, u32> = VictimBuffer::new(4);
+        v.insert(1, 10);
+        assert_eq!(v.take(1), Some(10));
+        assert_eq!(v.take(1), None);
+        assert_eq!(v.stats().hits, 1);
+        assert_eq!(v.stats().misses(), 1);
+    }
+
+    #[test]
+    fn overflow_displaces_oldest() {
+        let mut v: VictimBuffer<u64, u32> = VictimBuffer::new(2);
+        assert_eq!(v.insert(1, 10), None);
+        assert_eq!(v.insert(2, 20), None);
+        assert_eq!(v.insert(3, 30), Some((1, 10)));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_bounces_inserts() {
+        let mut v: VictimBuffer<u64, u32> = VictimBuffer::new(0);
+        assert_eq!(v.insert(1, 10), Some((1, 10)));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut v: VictimBuffer<u64, u32> = VictimBuffer::new(4);
+        v.insert(1, 10);
+        v.insert(2, 20);
+        v.retain(|_, val| *val > 15);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.take(2), Some(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate victim-cache insert")]
+    fn duplicate_insert_panics() {
+        let mut v: VictimBuffer<u64, u32> = VictimBuffer::new(4);
+        v.insert(1, 10);
+        v.insert(1, 11);
+    }
+
+    #[test]
+    fn take_where_matches_predicate_without_stats() {
+        let mut v: VictimBuffer<(u64, u8), u32> = VictimBuffer::new(4);
+        v.insert((5, 0), 50);
+        v.insert((6, 1), 60);
+        assert!(v.contains_where(|k| k.0 == 5));
+        let (k, val) = v.take_where(|k| k.0 == 5).unwrap();
+        assert_eq!((k, val), ((5, 0), 50));
+        assert!(v.take_where(|k| k.0 == 5).is_none());
+        assert_eq!(v.stats().accesses, 0);
+    }
+
+    #[test]
+    fn iter_sees_all_entries() {
+        let mut v: VictimBuffer<u64, u32> = VictimBuffer::new(4);
+        v.insert(1, 10);
+        v.insert(2, 20);
+        let mut keys: Vec<u64> = v.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Machine configuration.
+
+use crate::predictor::PredictorConfig;
+use serde::{Deserialize, Serialize};
+use tls_cache::{CacheParams, MemParams};
+use tls_cpu::CpuConfig;
+
+/// Maximum CPUs per chip supported by the speculative-state encoding.
+pub const MAX_CPUS: usize = 8;
+/// Maximum sub-thread contexts per speculative thread.
+pub const MAX_SUBTHREADS: usize = 8;
+
+/// When to start a new sub-thread within a speculative thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpacingPolicy {
+    /// Start a new sub-thread every `n` speculative instructions — the
+    /// paper's strategy ("a simple strategy that works well in practice",
+    /// §5.1), with n = 5000 in the baseline.
+    Every(u64),
+    /// Divide each thread evenly across the available contexts, the
+    /// refinement §5.1 suggests ("customize the sub-thread size such that
+    /// the average thread size ... would be divided evenly").
+    EvenDivision,
+}
+
+impl SpacingPolicy {
+    /// The spacing, in speculative instructions, for a thread of
+    /// `epoch_ops` dynamic instructions with `contexts` sub-thread
+    /// contexts.
+    pub fn spacing_for(&self, epoch_ops: usize, contexts: u8) -> u64 {
+        match *self {
+            SpacingPolicy::Every(n) => n.max(1),
+            SpacingPolicy::EvenDivision => {
+                (epoch_ops as u64 / contexts.max(1) as u64).max(1)
+            }
+        }
+    }
+}
+
+/// What happens when a thread wants a new sub-thread but all of its
+/// hardware contexts are in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExhaustionPolicy {
+    /// Recycle a context by merging the two adjacent sub-threads with the
+    /// smallest combined span (their speculative state unions — a pair of
+    /// ORs over the L2's per-context bit columns — and the newer register
+    /// checkpoint is discarded). Checkpoints therefore *trail* execution:
+    /// even a 490k-instruction DELIVERY OUTER thread always has a recent
+    /// checkpoint, which is what lets Figure 6 report that more
+    /// sub-threads "increase the fraction of the thread which is covered".
+    /// This is a reconstruction — see DESIGN.md §5 — of a detail the
+    /// paper leaves open.
+    Merge,
+    /// Stop creating sub-threads once the contexts are consumed (a
+    /// literal reading of §2.2); the rest of the thread runs in the last
+    /// context, so any violation there rewinds to the last checkpoint.
+    Stop,
+}
+
+/// Sub-thread support configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubThreadConfig {
+    /// Hardware sub-thread contexts per thread, *including* the initial
+    /// one. `1` disables sub-threads (all-or-nothing TLS).
+    pub contexts: u8,
+    /// When new sub-threads begin.
+    pub spacing: SpacingPolicy,
+    /// Context-recycling policy once all contexts are in use.
+    pub exhaustion: ExhaustionPolicy,
+}
+
+impl SubThreadConfig {
+    /// The paper's baseline: 8 contexts, a new sub-thread every 5000
+    /// speculative instructions, contexts recycled by merging.
+    pub fn baseline() -> Self {
+        SubThreadConfig {
+            contexts: 8,
+            spacing: SpacingPolicy::Every(5000),
+            exhaustion: ExhaustionPolicy::Merge,
+        }
+    }
+
+    /// All-or-nothing TLS (the NO SUB-THREAD experiment).
+    pub fn disabled() -> Self {
+        SubThreadConfig {
+            contexts: 1,
+            spacing: SpacingPolicy::Every(u64::MAX),
+            exhaustion: ExhaustionPolicy::Stop,
+        }
+    }
+}
+
+/// How secondary violations pick the restart point of logically-later
+/// threads (Figure 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SecondaryPolicy {
+    /// Consult each later thread's sub-thread start table and restart only
+    /// the sub-threads that could have consumed violated data —
+    /// Figure 4(b), the paper's design.
+    StartTable,
+    /// Restart later threads from their beginning — Figure 4(a), the
+    /// ablation.
+    RestartAll,
+}
+
+/// Full configuration of the simulated chip multiprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CmpConfig {
+    /// Number of CPUs on the chip (the paper evaluates 4).
+    pub cpus: usize,
+    /// Per-core pipeline parameters.
+    pub cpu: CpuConfig,
+    /// Private L1 data-cache geometry.
+    pub l1: CacheParams,
+    /// Shared L2 geometry.
+    pub l2: CacheParams,
+    /// L2/memory timing and contention parameters.
+    pub mem: MemParams,
+    /// Speculative victim-cache entries (Table 1: 64).
+    pub victim_entries: usize,
+    /// Sub-thread support.
+    pub subthreads: SubThreadConfig,
+    /// Secondary-violation selectivity.
+    pub secondary: SecondaryPolicy,
+    /// When false, dependence tracking is disabled entirely: loads set no
+    /// speculative state and stores violate nothing. This is the paper's
+    /// NO SPECULATION upper bound ("incorrectly treating all speculative
+    /// memory accesses as non-speculative").
+    pub track_dependences: bool,
+    /// Entries in each CPU's direct-mapped exposed-load table (§3.1).
+    pub exposed_load_entries: usize,
+    /// The §1.2 alternative mechanism: a PC-indexed dependence predictor
+    /// that synchronizes predicted-violating loads. Off in the paper's
+    /// design (they found it ineffective; sub-threads subsume it).
+    pub predictor: PredictorConfig,
+    /// Extend the L1 to track sub-threads so violation recovery
+    /// invalidates only lines the rewind could have dirtied. The paper
+    /// evaluated this and found it "not worthwhile" (§2.2); off by
+    /// default, measured by the `ablations` harness.
+    pub l1_subthread_aware: bool,
+    /// Safety valve: abort simulation after this many cycles (0 = no
+    /// limit). A run that exceeds it panics — useful in tests.
+    pub max_cycles: u64,
+}
+
+impl CmpConfig {
+    /// The paper's evaluated machine: Table 1 plus the baseline sub-thread
+    /// configuration (8 sub-threads of 5000 instructions, start-table
+    /// secondary violations).
+    pub fn paper_default() -> Self {
+        CmpConfig {
+            cpus: 4,
+            cpu: CpuConfig::paper_default(),
+            l1: CacheParams::paper_l1(),
+            l2: CacheParams::paper_l2(),
+            mem: MemParams::paper_default(),
+            victim_entries: 64,
+            subthreads: SubThreadConfig::baseline(),
+            secondary: SecondaryPolicy::StartTable,
+            track_dependences: true,
+            exposed_load_entries: 4096,
+            predictor: PredictorConfig::disabled(),
+            l1_subthread_aware: false,
+            max_cycles: 0,
+        }
+    }
+
+    /// A small, fast machine for unit tests: 2 KB L1 / 16 KB L2, scalar
+    /// latencies kept, 4 CPUs.
+    pub fn test_small() -> Self {
+        CmpConfig {
+            cpus: 4,
+            cpu: CpuConfig::paper_default(),
+            l1: CacheParams::new(2 * 1024, 2, 32),
+            l2: CacheParams::new(16 * 1024, 4, 32),
+            mem: MemParams::paper_default(),
+            victim_entries: 16,
+            subthreads: SubThreadConfig { contexts: 4, spacing: SpacingPolicy::Every(500), exhaustion: ExhaustionPolicy::Merge },
+            secondary: SecondaryPolicy::StartTable,
+            track_dependences: true,
+            exposed_load_entries: 256,
+            predictor: PredictorConfig::disabled(),
+            l1_subthread_aware: false,
+            max_cycles: 50_000_000,
+        }
+    }
+
+    /// Validates cross-field invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CPU count or sub-thread contexts exceed the encoding
+    /// limits ([`MAX_CPUS`], [`MAX_SUBTHREADS`]), or if the sub-thread
+    /// context count is zero.
+    pub fn validate(&self) {
+        assert!(
+            (1..=MAX_CPUS).contains(&self.cpus),
+            "cpus must be 1..={MAX_CPUS}, got {}",
+            self.cpus
+        );
+        assert!(
+            (1..=MAX_SUBTHREADS as u8).contains(&self.subthreads.contexts),
+            "sub-thread contexts must be 1..={MAX_SUBTHREADS}, got {}",
+            self.subthreads.contexts
+        );
+        assert!(self.exposed_load_entries.is_power_of_two(), "exposed-load table size");
+        assert!(
+            self.predictor.entries.is_power_of_two() && self.predictor.entries > 0,
+            "predictor table size"
+        );
+        assert_eq!(self.l1.line_bytes, self.l2.line_bytes, "L1/L2 line sizes must match");
+    }
+
+    /// Bits-per-line of L2 speculative storage this configuration costs
+    /// (the paper: "2 bits of storage per cache line per sub-thread
+    /// tracked" per thread — 64 bits for 4 CPUs × 8 sub-threads).
+    pub fn spec_bits_per_line(&self) -> u32 {
+        2 * self.cpus as u32 * self.subthreads.contexts as u32
+    }
+}
+
+impl Default for CmpConfig {
+    fn default() -> Self {
+        CmpConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        let c = CmpConfig::paper_default();
+        c.validate();
+        assert_eq!(c.cpus, 4);
+        assert_eq!(c.subthreads.contexts, 8);
+        assert_eq!(c.victim_entries, 64);
+        assert_eq!(c.spec_bits_per_line(), 64);
+    }
+
+    #[test]
+    fn spacing_every_is_constant() {
+        let p = SpacingPolicy::Every(5000);
+        assert_eq!(p.spacing_for(1_000_000, 8), 5000);
+        assert_eq!(p.spacing_for(10, 8), 5000);
+    }
+
+    #[test]
+    fn spacing_even_division_scales_with_thread() {
+        let p = SpacingPolicy::EvenDivision;
+        assert_eq!(p.spacing_for(80_000, 8), 10_000);
+        assert_eq!(p.spacing_for(7, 8), 1); // never zero
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-thread contexts")]
+    fn zero_contexts_rejected() {
+        let mut c = CmpConfig::paper_default();
+        c.subthreads.contexts = 0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cpus")]
+    fn too_many_cpus_rejected() {
+        let mut c = CmpConfig::paper_default();
+        c.cpus = 64;
+        c.validate();
+    }
+
+    #[test]
+    fn disabled_subthreads_is_one_context() {
+        assert_eq!(SubThreadConfig::disabled().contexts, 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! The named experiments of the paper's evaluation (Figures 5 and 6).
+//!
+//! Figure 5 compares, per benchmark, five machine/software configurations
+//! normalized to SEQUENTIAL:
+//!
+//! | experiment | trace | machine |
+//! |---|---|---|
+//! | SEQUENTIAL | unmodified program | 1 busy CPU, 3 idle |
+//! | TLS-SEQ | TLS-transformed program | epochs serialized on 1 CPU |
+//! | NO SUB-THREAD | TLS-transformed | 4 CPUs, 1 sub-thread context |
+//! | BASELINE | TLS-transformed | 4 CPUs, 8 × 5000-instruction sub-threads |
+//! | NO SPECULATION | TLS-transformed | 4 CPUs, dependence tracking off |
+//!
+//! The *trace* difference (whether the workload ran with its TLS software
+//! transformations) is the workload generator's concern; this module
+//! handles the machine configuration and the epoch serialization.
+
+use crate::{CmpConfig, CmpSimulator, SimReport, SubThreadConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tls_trace::{Epoch, Region, TraceProgram};
+
+/// One bar of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExperimentKind {
+    /// The unmodified program on one CPU of the machine.
+    Sequential,
+    /// The TLS-transformed program, epochs serialized on one CPU
+    /// (measures TLS software overhead).
+    TlsSeq,
+    /// All-or-nothing TLS: violations restart whole threads.
+    NoSubThread,
+    /// The paper's design: 8 sub-threads of 5000 instructions.
+    Baseline,
+    /// Upper bound: all speculative accesses treated as non-speculative.
+    NoSpeculation,
+}
+
+impl ExperimentKind {
+    /// All five experiments, in Figure 5's bar order.
+    pub const ALL: [ExperimentKind; 5] = [
+        ExperimentKind::Sequential,
+        ExperimentKind::TlsSeq,
+        ExperimentKind::NoSubThread,
+        ExperimentKind::Baseline,
+        ExperimentKind::NoSpeculation,
+    ];
+
+    /// The paper's label for this bar.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExperimentKind::Sequential => "SEQUENTIAL",
+            ExperimentKind::TlsSeq => "TLS-SEQ",
+            ExperimentKind::NoSubThread => "NO SUB-THREAD",
+            ExperimentKind::Baseline => "BASELINE",
+            ExperimentKind::NoSpeculation => "NO SPECULATION",
+        }
+    }
+
+    /// Whether this experiment runs the TLS-transformed trace (all but
+    /// SEQUENTIAL).
+    pub fn uses_tls_trace(&self) -> bool {
+        !matches!(self, ExperimentKind::Sequential)
+    }
+
+    /// Whether epochs are serialized onto one CPU.
+    pub fn serialized(&self) -> bool {
+        matches!(self, ExperimentKind::Sequential | ExperimentKind::TlsSeq)
+    }
+
+    /// The machine configuration for this experiment, derived from `base`
+    /// (which supplies cache/core/sub-thread parameters).
+    pub fn configure(&self, base: &CmpConfig) -> CmpConfig {
+        let mut cfg = *base;
+        match self {
+            ExperimentKind::Sequential | ExperimentKind::TlsSeq => {
+                // Dependence machinery is moot for a serialized run.
+                cfg.track_dependences = false;
+            }
+            ExperimentKind::NoSubThread => {
+                cfg.subthreads = SubThreadConfig::disabled();
+            }
+            ExperimentKind::Baseline => {}
+            ExperimentKind::NoSpeculation => {
+                cfg.track_dependences = false;
+            }
+        }
+        cfg
+    }
+}
+
+impl fmt::Display for ExperimentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Rewrites a program so every region is sequential (epochs concatenated
+/// in order): the TLS-SEQ and SEQUENTIAL executions.
+pub fn serialize_program(program: &TraceProgram) -> TraceProgram {
+    let regions = program
+        .regions
+        .iter()
+        .map(|r| match r {
+            Region::Sequential(e) => Region::Sequential(e.clone()),
+            Region::Parallel(es) => {
+                let ops = es.iter().flat_map(|e| e.ops.iter().copied()).collect();
+                Region::Sequential(Epoch::new(ops))
+            }
+        })
+        .collect();
+    TraceProgram::new(program.name.clone(), regions)
+}
+
+/// The two recorded traces of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkPrograms {
+    /// The unmodified execution (no TLS software transformations).
+    pub plain: TraceProgram,
+    /// The TLS-transformed execution (parallel markers + overhead).
+    pub tls: TraceProgram,
+}
+
+/// Runs one experiment of Figure 5 on a benchmark.
+pub fn run_experiment(
+    kind: ExperimentKind,
+    base: &CmpConfig,
+    programs: &BenchmarkPrograms,
+) -> SimReport {
+    let cfg = kind.configure(base);
+    let sim = CmpSimulator::new(cfg);
+    let program = if kind.uses_tls_trace() { &programs.tls } else { &programs.plain };
+    if kind.serialized() {
+        let serialized = serialize_program(program);
+        let mut report = sim.run(&serialized);
+        report.name = format!("{} [{}]", program.name, kind.label());
+        report
+    } else {
+        let mut report = sim.run(program);
+        report.name = format!("{} [{}]", program.name, kind.label());
+        report
+    }
+}
+
+/// Runs all five Figure-5 experiments on a benchmark.
+pub fn run_benchmark(
+    base: &CmpConfig,
+    programs: &BenchmarkPrograms,
+) -> Vec<(ExperimentKind, SimReport)> {
+    ExperimentKind::ALL
+        .iter()
+        .map(|&k| (k, run_experiment(k, base, programs)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tls_trace::{Addr, OpSink, Pc, ProgramBuilder};
+
+    fn programs() -> BenchmarkPrograms {
+        let mut plain = ProgramBuilder::new("bench");
+        plain.int_ops(Pc::new(0, 0), 8000);
+        let plain = plain.finish();
+
+        let mut tls = ProgramBuilder::new("bench");
+        tls.int_ops(Pc::new(0, 9), 100); // TLS software overhead
+        tls.begin_parallel();
+        for i in 0..4u64 {
+            tls.begin_epoch();
+            tls.int_ops(Pc::new(0, 0), 2000);
+            tls.store(Pc::new(0, 1), Addr(0x100 + 64 * i), 8);
+            tls.end_epoch();
+        }
+        tls.end_parallel();
+        let tls = tls.finish();
+        BenchmarkPrograms { plain, tls }
+    }
+
+    #[test]
+    fn serialize_flattens_parallel_regions() {
+        let p = programs().tls;
+        let s = serialize_program(&p);
+        assert_eq!(s.total_ops(), p.total_ops());
+        assert!(s.regions.iter().all(|r| matches!(r, Region::Sequential(_))));
+        assert_eq!(s.stats().epochs, 0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            ExperimentKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn figure5_bar_order_holds_for_a_parallel_benchmark() {
+        let base = crate::CmpConfig::test_small();
+        let progs = programs();
+        let results = run_benchmark(&base, &progs);
+        assert_eq!(results.len(), 5);
+        let get = |k: ExperimentKind| {
+            results.iter().find(|(kk, _)| *kk == k).map(|(_, r)| r.total_cycles).unwrap()
+        };
+        let seq = get(ExperimentKind::Sequential);
+        let tls_seq = get(ExperimentKind::TlsSeq);
+        let baseline = get(ExperimentKind::Baseline);
+        let no_spec = get(ExperimentKind::NoSpeculation);
+        // TLS-SEQ pays the software overhead relative to SEQUENTIAL.
+        assert!(tls_seq >= seq, "tls-seq {tls_seq} vs seq {seq}");
+        // This benchmark has no cross-epoch dependences: baseline should
+        // parallelize well and approach the no-speculation bound.
+        assert!(baseline < seq, "baseline {baseline} vs seq {seq}");
+        assert!(no_spec <= baseline);
+    }
+
+    #[test]
+    fn sequential_experiment_reports_renamed() {
+        let base = crate::CmpConfig::test_small();
+        let r = run_experiment(ExperimentKind::Sequential, &base, &programs());
+        assert!(r.name.contains("SEQUENTIAL"));
+        assert_eq!(r.violations.total(), 0);
+    }
+}

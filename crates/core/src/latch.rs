@@ -1,0 +1,140 @@
+//! Escaped synchronization: latches.
+//!
+//! The database workload acquires short-term latches on shared DBMS
+//! structures (log tail, tree roots, …). Under TLS these operations
+//! *escape* speculation — they execute non-speculatively and are never
+//! rolled back — so a speculative thread blocking on a latch held by
+//! another CPU accrues the "Latch Stall" time visible in Figure 5.
+
+use std::collections::HashMap;
+use tls_trace::LatchId;
+
+/// Ownership state of every latch in the machine.
+///
+/// Latches are re-entrant per CPU: re-acquiring a held latch increments a
+/// count, releases decrement it. Violation recovery force-releases
+/// everything a CPU holds (the critical section is replayed).
+#[derive(Debug, Clone, Default)]
+pub struct LatchTable {
+    owners: HashMap<LatchId, (usize, u32)>,
+    acquisitions: u64,
+    contended: u64,
+}
+
+impl LatchTable {
+    /// An empty table; latches spring into existence on first use.
+    pub fn new() -> Self {
+        LatchTable::default()
+    }
+
+    /// Attempts to acquire `latch` for `cpu`. Returns true on success
+    /// (free, or already held by `cpu`).
+    pub fn try_acquire(&mut self, cpu: usize, latch: LatchId) -> bool {
+        match self.owners.get_mut(&latch) {
+            None => {
+                self.owners.insert(latch, (cpu, 1));
+                self.acquisitions += 1;
+                true
+            }
+            Some((owner, count)) if *owner == cpu => {
+                *count += 1;
+                self.acquisitions += 1;
+                true
+            }
+            Some(_) => {
+                self.contended += 1;
+                false
+            }
+        }
+    }
+
+    /// Releases one acquisition of `latch` by `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` does not hold the latch — releases must pair with
+    /// acquires in the recorded trace.
+    pub fn release(&mut self, cpu: usize, latch: LatchId) {
+        match self.owners.get_mut(&latch) {
+            Some((owner, count)) if *owner == cpu => {
+                *count -= 1;
+                if *count == 0 {
+                    self.owners.remove(&latch);
+                }
+            }
+            other => panic!("cpu {cpu} released latch {latch:?} it does not hold ({other:?})"),
+        }
+    }
+
+    /// The CPU currently holding `latch`, if any.
+    pub fn owner(&self, latch: LatchId) -> Option<usize> {
+        self.owners.get(&latch).map(|(o, _)| *o)
+    }
+
+    /// Force-releases everything `cpu` holds (violation recovery).
+    /// Returns how many distinct latches were released.
+    pub fn release_all(&mut self, cpu: usize) -> usize {
+        let before = self.owners.len();
+        self.owners.retain(|_, (owner, _)| *owner != cpu);
+        before - self.owners.len()
+    }
+
+    /// Successful acquisitions so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Failed (contended) acquisition attempts so far.
+    pub fn contended_attempts(&self) -> u64 {
+        self.contended
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: LatchId = LatchId(1);
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut t = LatchTable::new();
+        assert!(t.try_acquire(0, L));
+        assert_eq!(t.owner(L), Some(0));
+        assert!(!t.try_acquire(1, L));
+        t.release(0, L);
+        assert_eq!(t.owner(L), None);
+        assert!(t.try_acquire(1, L));
+        assert_eq!(t.acquisitions(), 2);
+        assert_eq!(t.contended_attempts(), 1);
+    }
+
+    #[test]
+    fn reentrant_acquire_counts() {
+        let mut t = LatchTable::new();
+        assert!(t.try_acquire(0, L));
+        assert!(t.try_acquire(0, L));
+        t.release(0, L);
+        assert_eq!(t.owner(L), Some(0)); // one acquisition remains
+        t.release(0, L);
+        assert_eq!(t.owner(L), None);
+    }
+
+    #[test]
+    fn release_all_frees_only_that_cpu() {
+        let mut t = LatchTable::new();
+        t.try_acquire(0, LatchId(1));
+        t.try_acquire(0, LatchId(2));
+        t.try_acquire(1, LatchId(3));
+        assert_eq!(t.release_all(0), 2);
+        assert_eq!(t.owner(LatchId(3)), Some(1));
+        assert_eq!(t.owner(LatchId(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn releasing_unheld_latch_panics() {
+        let mut t = LatchTable::new();
+        t.release(0, L);
+    }
+}

@@ -1,0 +1,200 @@
+//! Dependence prediction and synchronization — the prior-art alternative
+//! to sub-threads (paper §1.2, after Moshovos et al. and Steffan et al.).
+//!
+//! The idea: remember the PCs of loads that caused violations and, next
+//! time one is fetched in a speculative thread, *synchronize* — stall the
+//! load until the thread is no longer speculative, so the dependence is
+//! satisfied in order instead of violated.
+//!
+//! The paper reports trying "an aggressive dependence predictor like
+//! proposed by Moshovos" and finding that "only one of several dynamic
+//! instances of the same load PC caused the dependence — predicting which
+//! instance of a load PC is more difficult, since you need to consider
+//! the outer calling context". This module reproduces that trade-off: a
+//! PC-indexed predictor with saturating confidence, whose synchronization
+//! over-serializes exactly when a hot PC (a B-tree header read, a shared
+//! counter) has mostly-independent dynamic instances. The `ablations`
+//! harness measures it against sub-threads.
+
+use serde::{Deserialize, Serialize};
+use tls_trace::Pc;
+
+/// Configuration of the synchronizing dependence predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Enable prediction + synchronization.
+    pub enabled: bool,
+    /// Entries in the PC-indexed table (power of two).
+    pub entries: usize,
+    /// Confidence threshold (in trained violations) at which a load PC
+    /// starts synchronizing; saturates at 3.
+    pub threshold: u8,
+}
+
+impl PredictorConfig {
+    /// Disabled (the paper's evaluated design relies on sub-threads).
+    pub fn disabled() -> Self {
+        PredictorConfig { enabled: false, entries: 1024, threshold: 2 }
+    }
+
+    /// An aggressive Moshovos-style predictor: synchronize after a single
+    /// observed violation.
+    pub fn aggressive() -> Self {
+        PredictorConfig { enabled: true, entries: 1024, threshold: 1 }
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig::disabled()
+    }
+}
+
+/// A direct-mapped, PC-indexed violation predictor with 2-bit confidence
+/// counters.
+#[derive(Debug, Clone)]
+pub struct DependencePredictor {
+    table: Vec<(u32, u8)>,
+    mask: usize,
+    threshold: u8,
+    trainings: u64,
+    synchronizations: u64,
+}
+
+impl DependencePredictor {
+    /// A predictor per `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `config.entries` is a nonzero power of two.
+    pub fn new(config: &PredictorConfig) -> Self {
+        assert!(
+            config.entries > 0 && config.entries.is_power_of_two(),
+            "predictor table must be a power of two"
+        );
+        DependencePredictor {
+            table: vec![(0, 0); config.entries],
+            mask: config.entries - 1,
+            threshold: config.threshold.clamp(1, 3),
+            trainings: 0,
+            synchronizations: 0,
+        }
+    }
+
+    fn index(&self, pc: Pc) -> usize {
+        // Mix the module bits down so B-tree sites from different tables
+        // do not all collide.
+        let h = pc.0 ^ (pc.0 >> 13);
+        h as usize & self.mask
+    }
+
+    /// Trains on a violated load.
+    pub fn train(&mut self, load_pc: Pc) {
+        let i = self.index(load_pc);
+        let (tag, conf) = &mut self.table[i];
+        if *tag == load_pc.0 {
+            *conf = (*conf + 1).min(3);
+        } else {
+            // Direct-mapped displacement: take over the entry.
+            *tag = load_pc.0;
+            *conf = 1;
+        }
+        self.trainings += 1;
+    }
+
+    /// Should the load at `pc` synchronize (stall until non-speculative)?
+    pub fn predicts_violation(&self, pc: Pc) -> bool {
+        let (tag, conf) = self.table[self.index(pc)];
+        tag == pc.0 && conf >= self.threshold
+    }
+
+    /// Records that a load was actually stalled for synchronization.
+    pub fn note_synchronization(&mut self) {
+        self.synchronizations += 1;
+    }
+
+    /// Violations trained on.
+    pub fn trainings(&self) -> u64 {
+        self.trainings
+    }
+
+    /// Loads stalled by prediction.
+    pub fn synchronizations(&self) -> u64 {
+        self.synchronizations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor(threshold: u8) -> DependencePredictor {
+        DependencePredictor::new(&PredictorConfig { enabled: true, entries: 64, threshold })
+    }
+
+    #[test]
+    fn trains_to_threshold() {
+        let mut p = predictor(2);
+        let pc = Pc::new(3, 7);
+        assert!(!p.predicts_violation(pc));
+        p.train(pc);
+        assert!(!p.predicts_violation(pc), "below threshold");
+        p.train(pc);
+        assert!(p.predicts_violation(pc));
+        assert_eq!(p.trainings(), 2);
+    }
+
+    #[test]
+    fn aggressive_threshold_fires_after_one() {
+        let mut p = predictor(1);
+        let pc = Pc::new(1, 1);
+        p.train(pc);
+        assert!(p.predicts_violation(pc));
+    }
+
+    #[test]
+    fn displacement_resets_confidence() {
+        let mut p = predictor(1);
+        let a = Pc::new(0, 0);
+        p.train(a);
+        assert!(p.predicts_violation(a));
+        // Find a colliding PC (same index, different tag).
+        let mut b = None;
+        for m in 0..64u16 {
+            for s in 0..64u16 {
+                let cand = Pc::new(m, s);
+                if cand != a && p.index(cand) == p.index(a) {
+                    b = Some(cand);
+                    break;
+                }
+            }
+            if b.is_some() {
+                break;
+            }
+        }
+        let b = b.expect("collision exists in a 64-entry table");
+        p.train(b);
+        assert!(!p.predicts_violation(a), "displaced");
+        assert!(p.predicts_violation(b));
+    }
+
+    #[test]
+    fn confidence_saturates() {
+        let mut p = predictor(3);
+        let pc = Pc::new(2, 2);
+        for _ in 0..10 {
+            p.train(pc);
+        }
+        assert!(p.predicts_violation(pc));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_table_size_panics() {
+        let _ = DependencePredictor::new(&PredictorConfig {
+            enabled: true,
+            entries: 48,
+            threshold: 1,
+        });
+    }
+}

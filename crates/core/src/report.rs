@@ -1,0 +1,179 @@
+//! Simulation results.
+
+use crate::accounting::{Breakdown, ALL_CATEGORIES};
+use crate::profile::ProfileEntry;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tls_cache::CacheStats;
+use tls_cpu::CoreStats;
+
+/// Violation counters by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationCounts {
+    /// Direct read-after-write violations.
+    pub primary: u64,
+    /// Restarts of logically-later threads caused by a primary violation.
+    pub secondary: u64,
+    /// Speculative-state overflow restarts.
+    pub overflow: u64,
+}
+
+impl ViolationCounts {
+    /// All violations.
+    pub fn total(&self) -> u64 {
+        self.primary + self.secondary + self.overflow
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Name of the simulated program.
+    pub name: String,
+    /// Wall-clock cycles of the run.
+    pub total_cycles: u64,
+    /// CPUs simulated.
+    pub cpus: usize,
+    /// CPU-cycles by category; `breakdown.total() == total_cycles * cpus`.
+    pub breakdown: Breakdown,
+    /// Violation counters.
+    pub violations: ViolationCounts,
+    /// Epochs committed (equals the number of epochs in the program).
+    pub committed_epochs: u64,
+    /// Sub-threads started beyond each thread's initial one.
+    pub subthreads_started: u64,
+    /// Sub-thread context merges (recycling events).
+    pub subthread_merges: u64,
+    /// Dynamic instructions dispatched, including re-executions.
+    pub dispatched_ops: u64,
+    /// Dynamic instructions in the program (each counted once).
+    pub program_ops: u64,
+    /// Aggregated L1 statistics across CPUs.
+    pub l1: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// Victim-cache statistics.
+    pub victim: CacheStats,
+    /// Main-memory accesses.
+    pub mem_accesses: u64,
+    /// Aggregated core counters.
+    pub core: CoreStats,
+    /// Latch acquisitions performed.
+    pub latch_acquisitions: u64,
+    /// Loads stalled by the dependence predictor (§1.2 mechanism).
+    pub predictor_synchronizations: u64,
+    /// The dependence profile, most damaging first (§3.1).
+    pub profile: Vec<ProfileEntry>,
+}
+
+impl SimReport {
+    /// Speedup of this run relative to `baseline` (`>1` is faster).
+    pub fn speedup_vs(&self, baseline: &SimReport) -> f64 {
+        baseline.total_cycles as f64 / self.total_cycles.max(1) as f64
+    }
+
+    /// The Figure-5 stacked bar: per-category CPU-cycles normalized so
+    /// that `reference_cycles` (usually the SEQUENTIAL run's cycles) is
+    /// 1.0 per CPU.
+    pub fn normalized_stack(&self, reference_cycles: u64) -> Vec<(&'static str, f64)> {
+        let denom = (reference_cycles.max(1) * self.cpus as u64) as f64;
+        ALL_CATEGORIES
+            .iter()
+            .map(|&c| {
+                let name = match c {
+                    crate::CycleCategory::Busy => "Busy",
+                    crate::CycleCategory::CacheMiss => "Cache Miss",
+                    crate::CycleCategory::Latch => "Latch Stall",
+                    crate::CycleCategory::Sync => "Sync",
+                    crate::CycleCategory::Idle => "Idle",
+                    crate::CycleCategory::Failed => "Failed",
+                };
+                (name, self.breakdown.get(c) as f64 / denom)
+            })
+            .collect()
+    }
+
+    /// Fraction of dispatched instructions that were squashed and
+    /// re-executed.
+    pub fn wasted_work_ratio(&self) -> f64 {
+        if self.dispatched_ops == 0 {
+            0.0
+        } else {
+            1.0 - (self.program_ops.min(self.dispatched_ops) as f64 / self.dispatched_ops as f64)
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} cycles on {} CPUs ({} epochs, {} violations: {}p/{}s/{}o)",
+            self.name,
+            self.total_cycles,
+            self.cpus,
+            self.committed_epochs,
+            self.violations.total(),
+            self.violations.primary,
+            self.violations.secondary,
+            self.violations.overflow,
+        )?;
+        write!(f, "  {}", self.breakdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64) -> SimReport {
+        SimReport {
+            name: "t".into(),
+            total_cycles: cycles,
+            cpus: 4,
+            breakdown: Breakdown { busy: cycles * 4, ..Default::default() },
+            violations: ViolationCounts::default(),
+            committed_epochs: 1,
+            subthreads_started: 0,
+            subthread_merges: 0,
+            dispatched_ops: 100,
+            program_ops: 80,
+            l1: CacheStats::default(),
+            l2: CacheStats::default(),
+            victim: CacheStats::default(),
+            mem_accesses: 0,
+            core: CoreStats::default(),
+            latch_acquisitions: 0,
+            predictor_synchronizations: 0,
+            profile: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_cycles() {
+        let base = report(1000);
+        let fast = report(500);
+        assert!((fast.speedup_vs(&base) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_stack_sums_to_one_for_reference() {
+        let r = report(100);
+        let stack = r.normalized_stack(100);
+        let total: f64 = stack.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasted_work_ratio() {
+        let r = report(10);
+        assert!((r.wasted_work_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_name_and_cycles() {
+        let r = report(123);
+        let s = format!("{r}");
+        assert!(s.contains("123 cycles"));
+    }
+}

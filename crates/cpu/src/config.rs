@@ -1,0 +1,100 @@
+//! Core pipeline parameters (Table 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one out-of-order core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Instructions dispatched and retired per cycle (Table 1: 4).
+    pub issue_width: usize,
+    /// Reorder-buffer entries (Table 1: 128).
+    pub rob_entries: usize,
+    /// Integer ALU ports (Table 1: 2).
+    pub int_ports: usize,
+    /// Floating-point ports (Table 1: 2).
+    pub fp_ports: usize,
+    /// Memory (load/store) ports (Table 1: 1).
+    pub mem_ports: usize,
+    /// Branch ports (Table 1: 1).
+    pub branch_ports: usize,
+    /// Cycles the front end needs to refill after a mispredicted branch
+    /// resolves.
+    pub mispredict_penalty: u64,
+    /// gshare pattern-history-table size in bytes of 2-bit counters
+    /// (Table 1: 16 KB).
+    pub gshare_bytes: usize,
+    /// gshare global-history length in bits (Table 1: 8).
+    pub gshare_history_bits: u32,
+    /// How many recently-dispatched instructions dependence distances may
+    /// refer back to (a modeling window, not hardware state).
+    pub dep_window: usize,
+    /// Instruction-cache capacity in bytes (Table 1: 32 KB; 0 disables
+    /// instruction-fetch modeling).
+    pub icache_bytes: usize,
+    /// Instruction-cache associativity (Table 1: 4).
+    pub icache_ways: usize,
+    /// Front-end stall on an instruction-cache miss (the L2 round trip).
+    pub icache_miss_penalty: u64,
+}
+
+impl CpuConfig {
+    /// The paper's Table 1 core.
+    pub fn paper_default() -> Self {
+        CpuConfig {
+            issue_width: 4,
+            rob_entries: 128,
+            int_ports: 2,
+            fp_ports: 2,
+            mem_ports: 1,
+            branch_ports: 1,
+            mispredict_penalty: 10,
+            gshare_bytes: 16 * 1024,
+            gshare_history_bits: 8,
+            dep_window: 64,
+            icache_bytes: 32 * 1024,
+            icache_ways: 4,
+            icache_miss_penalty: 10,
+        }
+    }
+
+    /// A tiny single-issue core, useful for making timing effects obvious
+    /// in unit tests.
+    pub fn scalar_test() -> Self {
+        CpuConfig {
+            issue_width: 1,
+            rob_entries: 8,
+            int_ports: 1,
+            fp_ports: 1,
+            mem_ports: 1,
+            branch_ports: 1,
+            mispredict_penalty: 4,
+            gshare_bytes: 64,
+            gshare_history_bits: 4,
+            dep_window: 8,
+            icache_bytes: 0,
+            icache_ways: 1,
+            icache_miss_penalty: 4,
+        }
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_1() {
+        let c = CpuConfig::paper_default();
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!((c.int_ports, c.fp_ports, c.mem_ports, c.branch_ports), (2, 2, 1, 1));
+        assert_eq!(c.gshare_bytes, 16 * 1024);
+        assert_eq!(c.gshare_history_bits, 8);
+    }
+}

@@ -1,0 +1,36 @@
+//! Out-of-order core timing model for the sub-thread TLS simulator.
+//!
+//! Models the paper's CPUs: "4-way issue, out-of-order, superscalar
+//! processors similar to the MIPS R10000, but modernized to have a
+//! 128-entry reorder buffer", with the functional-unit mix, latencies and
+//! gshare branch predictor of Table 1.
+//!
+//! The model is trace-driven and interacts with the rest of the simulated
+//! chip through two seams:
+//!
+//! * the **instruction side** — the TLS layer feeds [`Core::dispatch`] one
+//!   decoded [`TraceOp`](tls_trace::TraceOp) at a time, up to the issue
+//!   width per cycle, as long as [`Core::can_dispatch`] allows;
+//! * the **memory side** — loads and stores call back into a
+//!   caller-supplied closure that models the cache hierarchy (and, in
+//!   `tls-core`, performs speculative bookkeeping and violation checks) and
+//!   returns the access completion cycle.
+//!
+//! Retirement is in-order via [`Core::retire`], whose result also
+//! classifies what the head of the reorder buffer is blocked on — the raw
+//! material for the Figure 5 execution-time breakdown.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod core;
+mod gshare;
+mod icache;
+mod ports;
+
+pub use crate::core::{Core, CoreStats, HeadStall, MemKind, RetireResult};
+pub use config::CpuConfig;
+pub use icache::ICache;
+pub use gshare::Gshare;
+pub use ports::FuPorts;

@@ -1,0 +1,617 @@
+//! B+-trees over fixed-cell pages.
+//!
+//! Interior nodes hold `(separator, child)` cells plus a leftmost child in
+//! the header's `next` field; leaves hold `(key, row)` cells and are
+//! doubly linked for scans. Splits allocate pages through the shared
+//! [`PageAlloc`] counter — a deliberately shared structure, because
+//! concurrent splits inside speculative threads are one of the paper's
+//! "dependences deep within the database system".
+
+use crate::page::{Page, PageKind, PAGE_SIZE};
+use crate::Env;
+use tls_trace::{Addr, Pc};
+
+const SITE_META_R: u16 = 16;
+const SITE_META_W: u16 = 17;
+const SITE_DESCEND: u16 = 18;
+const SITE_ALLOC: u16 = 19;
+const SITE_COUNT: u16 = 20;
+
+/// The shared page allocator: a counter cell in simulated memory.
+///
+/// Allocation performs a recorded read-modify-write of the counter, so
+/// two speculative threads that both split a page race on it — a genuine,
+/// occasional cross-thread dependence.
+#[derive(Debug, Clone, Copy)]
+pub struct PageAlloc {
+    counter: Addr,
+    module: u16,
+}
+
+impl PageAlloc {
+    /// Creates the allocator state.
+    pub fn new(env: &mut Env, module: u16) -> Self {
+        let counter = env.alloc(8, 8);
+        env.mem.poke_u64(counter, 0);
+        PageAlloc { counter, module }
+    }
+
+    /// Allocates one page, bumping the shared counter (recorded).
+    pub fn alloc_page(&self, env: &mut Env) -> Addr {
+        let pc = Pc::new(self.module, SITE_ALLOC);
+        let n = env.load_u64(pc, self.counter);
+        env.alu(pc, 3);
+        env.store_u64(pc, self.counter, n + 1);
+        env.alloc(PAGE_SIZE, PAGE_SIZE)
+    }
+
+    /// Pages allocated so far.
+    pub fn pages(&self, env: &Env) -> u64 {
+        env.mem.peek_u64(self.counter)
+    }
+}
+
+const INTERNAL_CELL: u16 = 16;
+
+/// A B+-tree handle. All tree state lives in simulated memory; the handle
+/// is freely copyable.
+///
+/// The meta block keeps a maintained **entry count**, updated by every
+/// insert and delete — standard engine bookkeeping (query planners and
+/// monitoring read it), and a genuine cross-thread dependence when
+/// speculative threads modify the same table: the paper's "data
+/// dependences ... deep within the database system in very complex and
+/// varied code paths".
+#[derive(Debug, Clone, Copy)]
+pub struct BTree {
+    /// Meta block: `[root addr][height][first leaf addr][entry count]`.
+    meta: Addr,
+    value_size: u16,
+    module: u16,
+}
+
+impl BTree {
+    /// Creates an empty tree whose rows are exactly `value_size` bytes.
+    pub fn create(env: &mut Env, alloc: &PageAlloc, value_size: u16, module: u16) -> Self {
+        let meta = env.alloc(32, 8);
+        let root = alloc.alloc_page(env);
+        Page::format(env, root, PageKind::Leaf, value_size + 8, module);
+        env.mem.poke_u64(meta, root.0);
+        env.mem.poke_u64(meta.offset(8), 1);
+        env.mem.poke_u64(meta.offset(16), root.0);
+        env.mem.poke_u64(meta.offset(24), 0);
+        BTree { meta, value_size, module }
+    }
+
+    /// The profiling module id of this tree.
+    pub fn module(&self) -> u16 {
+        self.module
+    }
+
+    /// Row width in bytes.
+    pub fn value_size(&self) -> u16 {
+        self.value_size
+    }
+
+    fn pc(&self, site: u16) -> Pc {
+        Pc::new(self.module, site)
+    }
+
+    fn root(&self, env: &mut Env) -> Addr {
+        Addr(env.load_u64(self.pc(SITE_META_R), self.meta))
+    }
+
+    fn height(&self, env: &mut Env) -> u64 {
+        env.load_u64(self.pc(SITE_META_R), self.meta.offset(8))
+    }
+
+    /// Address of the first (leftmost) leaf.
+    pub fn first_leaf(&self, env: &mut Env) -> Addr {
+        Addr(env.load_u64(self.pc(SITE_META_R), self.meta.offset(16)))
+    }
+
+    /// The maintained entry count (recorded read).
+    pub fn entry_count(&self, env: &mut Env) -> u64 {
+        env.load_u64(self.pc(SITE_COUNT), self.meta.offset(24))
+    }
+
+    /// Adjusts the maintained entry count by `delta` (recorded RMW on the
+    /// shared meta block).
+    fn bump_count(&self, env: &mut Env, delta: i64) {
+        let pc = self.pc(SITE_COUNT);
+        let n = env.load_u64(pc, self.meta.offset(24));
+        env.alu(pc, 1);
+        env.store_u64(pc, self.meta.offset(24), n.wrapping_add(delta as u64));
+    }
+
+    /// Descends to the leaf that owns `key`. When `path` is given it
+    /// collects `(interior page, descent index)` pairs, root first.
+    fn descend(&self, env: &mut Env, key: u64, mut path: Option<&mut Vec<(Page, u16)>>) -> Page {
+        let mut node = Page::open(self.root(env), self.module);
+        let mut level = self.height(env);
+        while level > 1 {
+            let idx = match node.find(env, key) {
+                Ok(i) => i + 1, // child at cell i covers keys >= sep
+                Err(i) => i,
+            };
+            let child = if idx == 0 {
+                node.next(env) // leftmost child lives in the header
+            } else {
+                let a = node.value_addr(env, idx - 1);
+                Addr(env.load_u64(self.pc(SITE_DESCEND), a))
+            };
+            if let Some(p) = path.as_deref_mut() {
+                p.push((node, idx));
+            }
+            node = Page::open(child, self.module);
+            level -= 1;
+        }
+        node
+    }
+
+    /// Looks up `key`, returning the address of its row for recorded
+    /// field-granularity access.
+    pub fn get_addr(&self, env: &mut Env, key: u64) -> Option<Addr> {
+        let leaf = self.descend(env, key, None);
+        match leaf.find(env, key) {
+            Ok(i) => Some(leaf.value_addr(env, i)),
+            Err(_) => None,
+        }
+    }
+
+    /// Reads the row for `key` into `buf` (`value_size` bytes).
+    pub fn get(&self, env: &mut Env, key: u64, buf: &mut [u8]) -> bool {
+        let leaf = self.descend(env, key, None);
+        match leaf.find(env, key) {
+            Ok(i) => {
+                leaf.read_value(env, i, buf);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Inserts `key → value`. Returns false if the key already exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not `value_size` bytes.
+    pub fn insert(&self, env: &mut Env, alloc: &PageAlloc, key: u64, value: &[u8]) -> bool {
+        assert_eq!(value.len(), self.value_size as usize, "row width mismatch");
+        let mut path = Vec::new();
+        let leaf = self.descend(env, key, Some(&mut path));
+        let mut at = match leaf.find(env, key) {
+            Ok(_) => return false,
+            Err(i) => i,
+        };
+        let mut target = leaf;
+        let cell = self.value_size + 8;
+        if leaf.ncells(env) == Page::capacity(cell) {
+            // Split the leaf; the new cell goes left or right of the
+            // separator.
+            let (sep, right) = self.split_leaf(env, alloc, leaf);
+            if key >= sep {
+                target = right;
+                at = target.find(env, key).expect_err("key was absent");
+            }
+            self.insert_sep(env, alloc, &mut path, sep, right.base);
+        }
+        target.insert_at(env, at, key, value);
+        self.bump_count(env, 1);
+        true
+    }
+
+    fn split_leaf(&self, env: &mut Env, alloc: &PageAlloc, leaf: Page) -> (u64, Page) {
+        let base = alloc.alloc_page(env);
+        let right = Page::format(env, base, PageKind::Leaf, self.value_size + 8, self.module);
+        let sep = leaf.split_into(env, right);
+        // Stitch the leaf chain.
+        let old_next = leaf.next(env);
+        right.set_next(env, old_next);
+        right.set_prev(env, leaf.base);
+        if old_next.0 != 0 {
+            Page::open(old_next, self.module).set_prev(env, right.base);
+        }
+        leaf.set_next(env, right.base);
+        (sep, right)
+    }
+
+    /// Inserts separator `sep → right` into the parent chain, splitting
+    /// interior nodes (and growing the root) as needed.
+    fn insert_sep(
+        &self,
+        env: &mut Env,
+        alloc: &PageAlloc,
+        path: &mut Vec<(Page, u16)>,
+        sep: u64,
+        right: Addr,
+    ) {
+        let mut sep = sep;
+        let mut right = right;
+        while let Some((node, _)) = path.pop() {
+            let at = match node.find(env, sep) {
+                Ok(_) => panic!("duplicate separator {sep}"),
+                Err(i) => i,
+            };
+            if node.ncells(env) < Page::capacity(INTERNAL_CELL) {
+                node.insert_at(env, at, sep, &right.0.to_le_bytes());
+                return;
+            }
+            // Split the interior node with push-up semantics.
+            let base = alloc.alloc_page(env);
+            let new_right = Page::format(env, base, PageKind::Internal, INTERNAL_CELL, self.module);
+            let copied_up = node.split_into(env, new_right);
+            // Push up: the first cell of the right node becomes its
+            // leftmost child, and its key moves to the parent.
+            let child0_slot = new_right.value_addr(env, 0);
+            let child0 = Addr(env.load_u64(self.pc(SITE_DESCEND), child0_slot));
+            new_right.set_next(env, child0);
+            new_right.remove_at(env, 0);
+            // Insert the pending separator on the correct side.
+            let target = if sep >= copied_up { new_right } else { node };
+            let at = target.find(env, sep).expect_err("fresh separator");
+            target.insert_at(env, at, sep, &right.0.to_le_bytes());
+            sep = copied_up;
+            right = new_right.base;
+        }
+        // Root split: grow the tree.
+        let old_root = self.root(env);
+        let base = alloc.alloc_page(env);
+        let new_root = Page::format(env, base, PageKind::Internal, INTERNAL_CELL, self.module);
+        new_root.set_next(env, old_root);
+        new_root.insert_at(env, 0, sep, &right.0.to_le_bytes());
+        let h = self.height(env);
+        env.store_u64(self.pc(SITE_META_W), self.meta, base.0);
+        env.store_u64(self.pc(SITE_META_W), self.meta.offset(8), h + 1);
+    }
+
+    /// Deletes `key`. Returns false if absent. Pages are never merged
+    /// (TPC-C's delete pattern — DELIVERY consuming NEW_ORDER rows —
+    /// drains ranges that are not re-inserted, so empty pages simply sit
+    /// in the leaf chain and scans skip them).
+    pub fn delete(&self, env: &mut Env, key: u64) -> bool {
+        let leaf = self.descend(env, key, None);
+        match leaf.find(env, key) {
+            Ok(i) => {
+                leaf.remove_at(env, i);
+                self.bump_count(env, -1);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The smallest entry with key `>= key`, as `(key, row address)`.
+    pub fn min_from(&self, env: &mut Env, key: u64) -> Option<(u64, Addr)> {
+        let mut leaf = self.descend(env, key, None);
+        let mut idx = match leaf.find(env, key) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        loop {
+            if idx < leaf.ncells(env) {
+                let k = leaf.key_at(env, idx);
+                return Some((k, leaf.value_addr(env, idx)));
+            }
+            let next = leaf.next(env);
+            if next.0 == 0 {
+                return None;
+            }
+            leaf = Page::open(next, self.module);
+            idx = 0;
+        }
+    }
+
+    /// Visits entries with key `>= key` in order while `f` returns true.
+    pub fn scan_from(
+        &self,
+        env: &mut Env,
+        key: u64,
+        mut f: impl FnMut(&mut Env, u64, Addr) -> bool,
+    ) {
+        let mut leaf = self.descend(env, key, None);
+        let mut idx = match leaf.find(env, key) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        loop {
+            while idx < leaf.ncells(env) {
+                let k = leaf.key_at(env, idx);
+                let v = leaf.value_addr(env, idx);
+                if !f(env, k, v) {
+                    return;
+                }
+                idx += 1;
+            }
+            let next = leaf.next(env);
+            if next.0 == 0 {
+                return;
+            }
+            leaf = Page::open(next, self.module);
+            idx = 0;
+        }
+    }
+
+    /// Validates the structural invariants of the whole tree (sorted
+    /// keys, separator correctness, consistent leaf chain, maintained
+    /// entry count). O(n); intended for tests and debugging.
+    ///
+    /// Returns the list of violations found (empty = healthy).
+    pub fn check_invariants(&self, env: &mut Env) -> Vec<String> {
+        let mut errors = Vec::new();
+        let root = self.root(env);
+        let height = self.height(env);
+        // 1. Recursive structure: keys sorted, children within separator
+        //    bounds, uniform depth.
+        self.check_node(env, Page::open(root, self.module), height, None, None, &mut errors);
+        // 2. The leaf chain visits every entry in global order and links
+        //    back correctly.
+        let mut leaf = Page::open(self.first_leaf(env), self.module);
+        let mut prev_base = Addr(0);
+        let mut last_key: Option<u64> = None;
+        let mut chained = 0u64;
+        loop {
+            if leaf.prev(env) != prev_base {
+                errors.push(format!(
+                    "leaf {:?} prev link {:?} != {:?}",
+                    leaf.base,
+                    leaf.prev(env),
+                    prev_base
+                ));
+            }
+            let n = leaf.ncells(env);
+            for i in 0..n {
+                let k = leaf.key_at(env, i);
+                if let Some(lk) = last_key {
+                    if k <= lk {
+                        errors.push(format!("leaf chain key order broken at {k}"));
+                    }
+                }
+                last_key = Some(k);
+                chained += 1;
+            }
+            let next = leaf.next(env);
+            if next.0 == 0 {
+                break;
+            }
+            prev_base = leaf.base;
+            leaf = Page::open(next, self.module);
+        }
+        // 3. The maintained count matches the chain.
+        let counted = self.entry_count(env);
+        if counted != chained {
+            errors.push(format!("entry count {counted} != chained entries {chained}"));
+        }
+        errors
+    }
+
+    fn check_node(
+        &self,
+        env: &mut Env,
+        node: Page,
+        level: u64,
+        lower: Option<u64>,
+        upper: Option<u64>,
+        errors: &mut Vec<String>,
+    ) {
+        let n = node.ncells(env);
+        let mut prev: Option<u64> = None;
+        for i in 0..n {
+            let k = node.key_at(env, i);
+            if let Some(p) = prev {
+                if k <= p {
+                    errors.push(format!("node {:?} cell {i}: key {k} <= {p}", node.base));
+                }
+            }
+            if lower.is_some_and(|lo| k < lo) {
+                errors.push(format!("node {:?}: key {k} below separator bound", node.base));
+            }
+            if upper.is_some_and(|hi| k >= hi) {
+                errors.push(format!("node {:?}: key {k} above separator bound", node.base));
+            }
+            prev = Some(k);
+        }
+        match (node.kind(env), level) {
+            (PageKind::Leaf, 1) => {}
+            (PageKind::Leaf, l) => {
+                errors.push(format!("leaf {:?} at interior level {l}", node.base))
+            }
+            (PageKind::Internal, 1) => {
+                errors.push(format!("interior node {:?} at leaf level", node.base))
+            }
+            (PageKind::Internal, l) => {
+                // Leftmost child: keys below cell 0's separator.
+                let first_sep = (n > 0).then(|| node.key_at(env, 0));
+                let leftmost = node.next(env);
+                self.check_node(
+                    env,
+                    Page::open(leftmost, self.module),
+                    l - 1,
+                    lower,
+                    first_sep.or(upper),
+                    errors,
+                );
+                for i in 0..n {
+                    let sep = node.key_at(env, i);
+                    let child_slot = node.value_addr(env, i);
+                    let child = Addr(env.load_u64(self.pc(SITE_DESCEND), child_slot));
+                    let next_sep =
+                        if i + 1 < n { Some(node.key_at(env, i + 1)) } else { upper };
+                    self.check_node(
+                        env,
+                        Page::open(child, self.module),
+                        l - 1,
+                        Some(sep),
+                        next_sep,
+                        errors,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Entry count via a full scan (test/debug helper; O(n)).
+    pub fn count(&self, env: &mut Env) -> u64 {
+        let mut n = 0;
+        let mut leaf = Page::open(self.first_leaf(env), self.module);
+        loop {
+            n += leaf.ncells(env) as u64;
+            let next = leaf.next(env);
+            if next.0 == 0 {
+                return n;
+            }
+            leaf = Page::open(next, self.module);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn setup(value_size: u16) -> (Env, PageAlloc, BTree) {
+        let mut env = Env::new();
+        let alloc = PageAlloc::new(&mut env, 1);
+        let tree = BTree::create(&mut env, &alloc, value_size, 2);
+        (env, alloc, tree)
+    }
+
+    fn row(v: u64) -> [u8; 16] {
+        let mut r = [0u8; 16];
+        r[..8].copy_from_slice(&v.to_le_bytes());
+        r
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let (mut env, alloc, t) = setup(16);
+        assert!(t.insert(&mut env, &alloc, 42, &row(420)));
+        assert!(!t.insert(&mut env, &alloc, 42, &row(999)), "duplicate rejected");
+        let mut buf = [0u8; 16];
+        assert!(t.get(&mut env, 42, &mut buf));
+        assert_eq!(buf, row(420));
+        assert!(!t.get(&mut env, 43, &mut buf));
+    }
+
+    #[test]
+    fn thousands_of_keys_match_a_model() {
+        let (mut env, alloc, t) = setup(16);
+        let mut model = BTreeMap::new();
+        // A mix of ascending and scattered keys across many splits.
+        for i in 0..2000u64 {
+            let key = (i * 2654435761) % 100_000;
+            if model.insert(key, key * 7).is_none() {
+                assert!(t.insert(&mut env, &alloc, key, &row(key * 7)), "insert {key}");
+            }
+        }
+        assert_eq!(t.count(&mut env), model.len() as u64);
+        for (&k, &v) in &model {
+            let mut buf = [0u8; 16];
+            assert!(t.get(&mut env, k, &mut buf), "missing {k}");
+            assert_eq!(u64::from_le_bytes(buf[..8].try_into().unwrap()), v);
+        }
+        assert!(alloc.pages(&env) > 4, "splits must have happened");
+    }
+
+    #[test]
+    fn ascending_inserts_keep_scan_order() {
+        let (mut env, alloc, t) = setup(16);
+        for k in 0..1000u64 {
+            assert!(t.insert(&mut env, &alloc, k, &row(k)));
+        }
+        let mut seen = Vec::new();
+        t.scan_from(&mut env, 0, |_, k, _| {
+            seen.push(k);
+            true
+        });
+        assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scan_from_starts_mid_range_and_stops() {
+        let (mut env, alloc, t) = setup(16);
+        for k in (0..100u64).map(|i| i * 10) {
+            t.insert(&mut env, &alloc, k, &row(k));
+        }
+        let mut seen = Vec::new();
+        t.scan_from(&mut env, 315, |_, k, _| {
+            seen.push(k);
+            seen.len() < 3
+        });
+        assert_eq!(seen, vec![320, 330, 340]);
+    }
+
+    #[test]
+    fn min_from_skips_deleted_ranges() {
+        let (mut env, alloc, t) = setup(16);
+        for k in 0..500u64 {
+            t.insert(&mut env, &alloc, k, &row(k));
+        }
+        for k in 0..400u64 {
+            assert!(t.delete(&mut env, k));
+        }
+        assert_eq!(t.min_from(&mut env, 0).map(|(k, _)| k), Some(400));
+        assert!(!t.delete(&mut env, 0), "already deleted");
+        assert_eq!(t.count(&mut env), 100);
+    }
+
+    #[test]
+    fn get_addr_allows_in_place_field_updates() {
+        let (mut env, alloc, t) = setup(16);
+        t.insert(&mut env, &alloc, 7, &row(0));
+        let addr = t.get_addr(&mut env, 7).unwrap();
+        env.store_u64(Pc::new(9, 0), addr.offset(8), 0xFEED);
+        let mut buf = [0u8; 16];
+        t.get(&mut env, 7, &mut buf);
+        assert_eq!(u64::from_le_bytes(buf[8..].try_into().unwrap()), 0xFEED);
+    }
+
+    #[test]
+    fn deep_trees_grow_and_stay_searchable() {
+        let (mut env, alloc, t) = setup(64);
+        // 64-byte rows, 72-byte cells, ~56 per leaf; 10k keys forces
+        // height >= 3.
+        for k in 0..10_000u64 {
+            assert!(t.insert(&mut env, &alloc, k, &[7u8; 64]));
+        }
+        assert!(t.height(&mut env) >= 3, "height {}", t.height(&mut env));
+        let mut buf = [0u8; 64];
+        assert!(t.get(&mut env, 0, &mut buf));
+        assert!(t.get(&mut env, 9_999, &mut buf));
+        assert!(!t.get(&mut env, 10_000, &mut buf));
+        assert_eq!(t.count(&mut env), 10_000);
+    }
+
+    #[test]
+    fn invariants_hold_across_mixed_workloads() {
+        let (mut env, alloc, t) = setup(16);
+        for k in 0..4000u64 {
+            t.insert(&mut env, &alloc, (k * 2654435761) % 50_000, &row(k));
+        }
+        for k in 0..1500u64 {
+            t.delete(&mut env, (k * 40_503) % 50_000);
+        }
+        let errors = t.check_invariants(&mut env);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn empty_tree_is_valid() {
+        let (mut env, _alloc, t) = setup(16);
+        assert!(t.check_invariants(&mut env).is_empty());
+    }
+
+    #[test]
+    fn descending_inserts_also_work() {
+        let (mut env, alloc, t) = setup(16);
+        for k in (0..3000u64).rev() {
+            assert!(t.insert(&mut env, &alloc, k, &row(k)));
+        }
+        assert_eq!(t.count(&mut env), 3000);
+        let mut buf = [0u8; 16];
+        for k in [0u64, 1, 1499, 2998, 2999] {
+            assert!(t.get(&mut env, k, &mut buf), "missing {k}");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! MiniDB: the workload substrate of the sub-thread TLS reproduction.
+//!
+//! The paper evaluates sub-threads on TPC-C transactions running over
+//! BerkeleyDB. Running a 2005-era C library inside a Rust architectural
+//! simulator is not possible, so this crate rebuilds the relevant parts of
+//! a database back end from scratch — **executing over a simulated flat
+//! address space** so that every byte the engine touches emits a trace
+//! operation with a real address:
+//!
+//! * [`SimMemory`] — the simulated memory image (allocator + byte store);
+//! * [`Env`] — recorded accessors (`load_u64`, `store_bytes`, …) that
+//!   pair each real data access with an emitted
+//!   [`TraceOp`](tls_trace::TraceOp);
+//! * [`Page`]/[`BTree`] — slotted pages and B+-trees with fixed-size
+//!   cells: descents, splits and cell shifts all touch simulated memory,
+//!   so page headers and interior nodes become genuine sources of
+//!   cross-thread dependences, exactly like the "internal database
+//!   structures" the paper blames for violations;
+//! * [`Wal`] — a write-ahead log whose shared tail pointer is the classic
+//!   removable dependence (and whose per-thread buffering is the classic
+//!   fix, toggled by [`OptLevel`]);
+//! * [`Db`] — the catalog tying trees, log and latches together;
+//! * [`tpcc`] — the five TPC-C transactions (plus the paper's two
+//!   variants), parameterized per the TPC-C run rules, recording either a
+//!   plain trace or a TLS-parallelized trace.
+//!
+//! # Example
+//!
+//! ```
+//! use tls_minidb::{Tpcc, TpccConfig, Transaction};
+//!
+//! let mut tpcc = Tpcc::new(TpccConfig::test());
+//! let program = tpcc.record(Transaction::NewOrder, 1);
+//! let stats = program.stats();
+//! assert!(stats.epochs >= 5, "one epoch per order line");
+//! assert!(stats.coverage() > 0.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btree;
+mod db;
+mod env;
+mod page;
+mod simmem;
+pub mod tpcc;
+mod wal;
+
+pub use btree::{BTree, PageAlloc};
+pub use db::{Db, LatchName, OptLevel};
+pub use env::{Env, Recorder, SPAWN_OVERHEAD_OPS};
+pub use page::{Page, PageKind, PAGE_SIZE};
+pub use simmem::SimMemory;
+pub use tpcc::{Tpcc, TpccConfig, Transaction};
+pub use wal::{LocalLog, Wal};

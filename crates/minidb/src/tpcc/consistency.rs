@@ -1,0 +1,202 @@
+//! TPC-C consistency conditions (spec §3.3.2), adapted to this schema.
+//!
+//! These run against the live database (recording must be off) and
+//! validate that the transaction implementations maintain the invariants
+//! the spec demands — the strongest whole-engine check we have, exercised
+//! by the test suite after arbitrary transaction mixes.
+
+use super::schema::{field, key};
+use super::Tpcc;
+
+/// Runs all consistency conditions; returns every violation found.
+///
+/// # Panics
+///
+/// Panics if called while the recorder is running (the checks would
+/// pollute the trace).
+pub fn check(t: &mut Tpcc) -> Result<(), Vec<String>> {
+    assert!(!t.env.rec.recording(), "consistency checks must not be recorded");
+    let mut errors = Vec::new();
+    condition_1_warehouse_ytd(t, &mut errors);
+    condition_2_order_ids(t, &mut errors);
+    condition_3_new_order_subset(t, &mut errors);
+    condition_4_order_line_counts(t, &mut errors);
+    condition_5_delivery_stamps(t, &mut errors);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// W_YTD equals the sum of the districts' D_YTD (spec condition 1).
+fn condition_1_warehouse_ytd(t: &mut Tpcc, errors: &mut Vec<String>) {
+    let wa = t.tables.warehouse.get_addr(&mut t.env, key::warehouse(1)).expect("warehouse");
+    let w_ytd = t.env.mem.peek_u64(wa.offset(field::W_YTD));
+    let mut sum = 0u64;
+    for d in 1..=t.cfg.districts {
+        let da = t.tables.district.get_addr(&mut t.env, key::district(d)).expect("district");
+        sum += t.env.mem.peek_u64(da.offset(field::D_YTD));
+    }
+    if w_ytd != sum {
+        errors.push(format!("C1: W_YTD {w_ytd} != sum(D_YTD) {sum}"));
+    }
+}
+
+/// For each district, D_NEXT_O_ID - 1 equals the maximum order id in
+/// ORDER (spec condition 2); district order ids are dense from 1.
+fn condition_2_order_ids(t: &mut Tpcc, errors: &mut Vec<String>) {
+    for d in 1..=t.cfg.districts {
+        let da = t.tables.district.get_addr(&mut t.env, key::district(d)).expect("district");
+        let next = t.env.mem.peek_u32(da.offset(field::D_NEXT_O_ID));
+        let mut max_o = 0u32;
+        let mut count = 0u32;
+        t.tables.orders.scan_from(&mut t.env, key::order(d, 0), |_, k, _| {
+            if (k >> 32) as u32 != d {
+                return false;
+            }
+            max_o = max_o.max((k & 0xFFFF_FFFF) as u32);
+            count += 1;
+            true
+        });
+        if next != max_o + 1 {
+            errors.push(format!("C2: district {d} next_o_id {next} != max(o_id)+1 {}", max_o + 1));
+        }
+        if count != max_o {
+            errors.push(format!("C2: district {d} has {count} orders but max id {max_o}"));
+        }
+    }
+}
+
+/// Every NEW-ORDER row has a matching ORDER row that is undelivered
+/// (spec condition 3 analog).
+fn condition_3_new_order_subset(t: &mut Tpcc, errors: &mut Vec<String>) {
+    let mut pending: Vec<u64> = Vec::new();
+    t.tables.new_order.scan_from(&mut t.env, 0, |_, k, _| {
+        pending.push(k);
+        true
+    });
+    for k in pending {
+        match t.tables.orders.get_addr(&mut t.env, k) {
+            None => errors.push(format!("C3: NEW-ORDER {k:#x} has no ORDER row")),
+            Some(oa) => {
+                let carrier = t.env.mem.peek_u32(oa.offset(field::O_CARRIER_ID));
+                if carrier != 0 {
+                    errors.push(format!("C3: NEW-ORDER {k:#x} already delivered"));
+                }
+            }
+        }
+    }
+}
+
+/// For each order, O_OL_CNT equals its ORDER-LINE row count (spec
+/// condition 3/4 analog). Sampled: the newest and oldest orders of each
+/// district (a full join is O(rows) and the sampled ends are where
+/// inserts/deletes happen).
+fn condition_4_order_line_counts(t: &mut Tpcc, errors: &mut Vec<String>) {
+    for d in 1..=t.cfg.districts {
+        let da = t.tables.district.get_addr(&mut t.env, key::district(d)).expect("district");
+        let newest = t.env.mem.peek_u32(da.offset(field::D_NEXT_O_ID)) - 1;
+        for o_id in [1, newest] {
+            let Some(oa) = t.tables.orders.get_addr(&mut t.env, key::order(d, o_id)) else {
+                continue;
+            };
+            let want = t.env.mem.peek_u32(oa.offset(field::O_OL_CNT));
+            let mut got = 0u32;
+            t.tables.order_line.scan_from(&mut t.env, key::order_line(d, o_id, 0), |_, k, _| {
+                if k >> 8 != key::order_line(d, o_id, 0) >> 8 {
+                    return false;
+                }
+                got += 1;
+                true
+            });
+            if want != got {
+                errors.push(format!(
+                    "C4: district {d} order {o_id} claims {want} lines, found {got}"
+                ));
+            }
+        }
+    }
+}
+
+/// Delivered orders have every line stamped with a delivery date, and
+/// undelivered orders have none (DELIVERY's postcondition).
+fn condition_5_delivery_stamps(t: &mut Tpcc, errors: &mut Vec<String>) {
+    for d in 1..=t.cfg.districts {
+        // The oldest remaining NEW-ORDER entry is the delivery frontier:
+        // everything older must be stamped, everything pending must not.
+        let frontier = t
+            .tables
+            .new_order
+            .min_from(&mut t.env, key::order(d, 0))
+            .filter(|(k, _)| (k >> 32) as u32 == d)
+            .map(|(k, _)| (k & 0xFFFF_FFFF) as u32);
+        let probe: Vec<(u32, bool)> = match frontier {
+            // (order, expect_delivered)
+            Some(f) => vec![(f.saturating_sub(1), true), (f, false)],
+            None => vec![],
+        };
+        for (o_id, expect_delivered) in probe {
+            if o_id == 0 {
+                continue;
+            }
+            let Some(oa) = t.tables.orders.get_addr(&mut t.env, key::order(d, o_id)) else {
+                continue;
+            };
+            let ol_cnt = t.env.mem.peek_u32(oa.offset(field::O_OL_CNT));
+            for ol in 1..=ol_cnt {
+                let Some(la) =
+                    t.tables.order_line.get_addr(&mut t.env, key::order_line(d, o_id, ol))
+                else {
+                    errors.push(format!("C5: missing line {ol} of order {o_id} district {d}"));
+                    continue;
+                };
+                let stamped = t.env.mem.peek_u64(la.offset(field::OL_DELIVERY_D)) != 0;
+                if stamped != expect_delivered {
+                    errors.push(format!(
+                        "C5: district {d} order {o_id} line {ol}: stamped={stamped}, \
+                         expected delivered={expect_delivered}"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Tpcc, TpccConfig, Transaction};
+    use super::check;
+
+    #[test]
+    fn fresh_database_is_consistent() {
+        let mut t = Tpcc::new(TpccConfig::test());
+        check(&mut t).expect("freshly loaded database");
+    }
+
+    #[test]
+    fn consistency_survives_every_transaction_type() {
+        let mut t = Tpcc::new(TpccConfig::test());
+        for txn in Transaction::ALL {
+            t.run_one(txn);
+            if let Err(es) = check(&mut t) {
+                panic!("after {}: {:?}", txn.label(), es);
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_survives_a_long_mix() {
+        let mut t = Tpcc::new(TpccConfig::test());
+        for i in 0..40 {
+            let txn = match i % 10 {
+                0..=3 => Transaction::NewOrder,
+                4..=7 => Transaction::Payment,
+                8 => Transaction::Delivery,
+                _ => Transaction::OrderStatus,
+            };
+            t.run_one(txn);
+        }
+        check(&mut t).expect("after 40 mixed transactions");
+    }
+}

@@ -1,0 +1,242 @@
+//! The DELIVERY transaction (TPC-C §2.7), in both parallelizations the
+//! paper evaluates.
+//!
+//! For each of the 10 districts: pop the oldest NEW-ORDER entry, stamp
+//! the ORDER with a carrier, stamp every ORDER-LINE with the delivery
+//! date while summing the amounts, and credit the customer's balance.
+//!
+//! * [`Variant::Inner`] parallelizes the order-line loop (63% coverage,
+//!   small threads).
+//! * [`Variant::Outer`] parallelizes the district loop (99% coverage,
+//!   threads an order of magnitude larger) — the configuration where the
+//!   paper sees the largest sub-thread benefit, because the district
+//!   epochs share NEW-ORDER leaf pages (deletes shift cells under later
+//!   districts' min-scans) and each epoch ends with the LSN reservation.
+
+use super::schema::{field, key, module, width};
+use super::Tpcc;
+use tls_trace::Pc;
+
+const M: u16 = module::TXN_DELIVERY;
+
+const BEGIN: u16 = 0;
+const NO_SCAN: u16 = 1;
+const NO_DELETE: u16 = 2;
+const ORDER_UPD: u16 = 3;
+const SPAWN: u16 = 4;
+const LINE_UPD: u16 = 5;
+const CUST_UPD: u16 = 6;
+const RESULT: u16 = 7;
+const COMMIT: u16 = 8;
+
+/// Which loop is parallelized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Parallelize the per-order-line loop within each district.
+    Inner,
+    /// Parallelize the per-district loop (DELIVERY OUTER).
+    Outer,
+}
+
+/// Runs one DELIVERY.
+pub fn run(t: &mut Tpcc, variant: Variant) {
+    let db = t.db;
+    let tb = t.tables;
+    let carrier = t.uniform(1, 10);
+    let districts = t.cfg.districts;
+    let scratch = t.scratch();
+    // The result buffer the terminal reads: ten adjacent u64 slots —
+    // adjacent epochs share its cache lines.
+    let results = t.env.alloc(8 * (districts as u64 + 1), 8);
+    // The delivered/skipped gauge the result record aggregates. Every
+    // district updates it right after consuming its NEW-ORDER entry —
+    // early in the district's work. Under DELIVERY OUTER this is the
+    // paper's "data dependence early in the thread's execution [that]
+    // causes all but the non-speculative thread to restart": cheap to
+    // contain with sub-threads, but a full 450k-instruction restart
+    // (plus secondary restarts of every later thread) without them.
+    let delivered_count = t.env.alloc(8, 8);
+    t.env.mem.poke_u64(delivered_count, 0);
+
+    t.work(Pc::new(M, BEGIN), scratch, 3);
+
+    if variant == Variant::Outer {
+        t.env.rec.begin_parallel();
+    }
+    for d_id in 1..=districts {
+        if variant == Variant::Outer {
+            t.env.rec.begin_epoch(Pc::new(M, SPAWN));
+        }
+        let dscratch = t.env.alloc(256, 64);
+        let mut local = t.db.opts.per_thread_log.then(|| t.db.local_log(&mut t.env));
+        t.work(Pc::new(M, NO_SCAN), dscratch, 4);
+
+        // Oldest undelivered order of this district.
+        let env = &mut t.env;
+        let found = tb.new_order.min_from(env, key::order(d_id, 0));
+        let o_id = match found {
+            Some((k, _)) if (k >> 32) as u32 == d_id => (k & 0xFFFF_FFFF) as u32,
+            _ => {
+                // No pending order for this district (TPC-C allows it).
+                if variant == Variant::Outer {
+                    t.env.rec.end_epoch();
+                }
+                continue;
+            }
+        };
+        tb.new_order.delete(env, key::order(d_id, o_id));
+        let n = env.load_u64(Pc::new(M, NO_DELETE), delivered_count);
+        env.alu(Pc::new(M, NO_DELETE), 2);
+        env.store_u64(Pc::new(M, NO_DELETE), delivered_count, n + 1);
+        db.log(env, width::NEW_ORDER as u64, local.as_mut());
+        db.bump_stats(env);
+        t.work(Pc::new(M, NO_DELETE), dscratch, 6);
+
+        // Stamp the order with the carrier.
+        let env = &mut t.env;
+        let oa = tb.orders.get_addr(env, key::order(d_id, o_id)).expect("order");
+        let c_id = env.load_u32(Pc::new(M, ORDER_UPD), oa.offset(field::O_C_ID));
+        let ol_cnt = env.load_u32(Pc::new(M, ORDER_UPD), oa.offset(field::O_OL_CNT));
+        env.store_u32(Pc::new(M, ORDER_UPD), oa.offset(field::O_CARRIER_ID), carrier);
+        db.log(env, width::ORDERS as u64, local.as_mut());
+        t.work(Pc::new(M, ORDER_UPD), dscratch, 5);
+
+        // Stamp and sum the order lines. The SUM(ol_amount) aggregate
+        // lives in a per-district memory cell: every line's epoch
+        // read-modify-writes it near its end — the aggregation dependence
+        // of the parallelized inner loop (position-correlated, so
+        // sub-threads contain its violations).
+        let sum_cell = t.env.alloc(8, 8);
+        t.env.mem.poke_u64(sum_cell, 0);
+        if variant == Variant::Inner {
+            t.env.rec.begin_parallel();
+        }
+        for ol in 1..=ol_cnt {
+            if variant == Variant::Inner {
+                t.env.rec.begin_epoch(Pc::new(M, SPAWN));
+            }
+            let lscratch = t.env.alloc(256, 64);
+            let mut line_local = (variant == Variant::Inner
+                && t.db.opts.per_thread_log)
+                .then(|| t.db.local_log(&mut t.env));
+            let env = &mut t.env;
+            let la = tb
+                .order_line
+                .get_addr(env, key::order_line(d_id, o_id, ol))
+                .expect("order line");
+            let amount = env.load_u64(Pc::new(M, LINE_UPD), la.offset(field::OL_AMOUNT));
+            env.store_u64(Pc::new(M, LINE_UPD), la.offset(field::OL_DELIVERY_D), 1 + o_id as u64);
+            let log_target = if variant == Variant::Inner {
+                line_local.as_mut()
+            } else {
+                local.as_mut()
+            };
+            db.log(env, width::ORDER_LINE as u64, log_target);
+            db.bump_stats(env);
+            t.work(Pc::new(M, LINE_UPD), lscratch, 4);
+            let env = &mut t.env;
+            let sum = env.load_u64(Pc::new(M, LINE_UPD), sum_cell);
+            env.alu(Pc::new(M, LINE_UPD), 3);
+            env.store_u64(Pc::new(M, LINE_UPD), sum_cell, sum + amount);
+            let _ = &line_local;
+            if variant == Variant::Inner {
+                t.env.rec.end_epoch();
+            }
+        }
+        if variant == Variant::Inner {
+            t.env.rec.end_parallel();
+        }
+
+        // Credit the customer with the aggregated total.
+        let env = &mut t.env;
+        let total = env.load_u64(Pc::new(M, CUST_UPD), sum_cell);
+        let ca = tb.customer.get_addr(env, key::customer(d_id, c_id)).expect("customer");
+        let bal = env.load_u64(Pc::new(M, CUST_UPD), ca.offset(field::C_BALANCE));
+        env.store_u64(Pc::new(M, CUST_UPD), ca.offset(field::C_BALANCE), bal.wrapping_add(total));
+        let cnt = env.load_u32(Pc::new(M, CUST_UPD), ca.offset(field::C_DELIVERY_CNT));
+        env.store_u32(Pc::new(M, CUST_UPD), ca.offset(field::C_DELIVERY_CNT), cnt + 1);
+        db.log(env, width::CUSTOMER as u64, local.as_mut());
+        t.work(Pc::new(M, CUST_UPD), dscratch, 7);
+
+        // Report the delivered order id (shared result buffer; stores
+        // only, so versioning absorbs it without violations).
+        let env = &mut t.env;
+        env.store_u64(Pc::new(M, RESULT), results.offset(8 * d_id as u64), o_id as u64);
+        let _ = &local;
+        if variant == Variant::Outer {
+            t.env.rec.end_epoch();
+        }
+    }
+    if variant == Variant::Outer {
+        t.env.rec.end_parallel();
+    }
+
+    // Merge per-thread log buffers at commit (non-speculative).
+    if db.opts.per_thread_log {
+        for _ in 0..districts {
+            db.wal.reserve(&mut t.env, 256, !db.opts.latch_free);
+        }
+    }
+    t.work(Pc::new(M, COMMIT), scratch, 3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Tpcc, TpccConfig, Transaction};
+
+    #[test]
+    fn delivery_consumes_new_order_rows() {
+        let mut t = Tpcc::new(TpccConfig::test());
+        let pending = t.tables.new_order.count(&mut t.env);
+        t.run_one(Transaction::Delivery);
+        let after = t.tables.new_order.count(&mut t.env);
+        assert_eq!(after, pending - t.cfg.districts as u64);
+    }
+
+    #[test]
+    fn both_variants_deliver_the_same_orders() {
+        let mut a = Tpcc::new(TpccConfig::test());
+        let mut b = Tpcc::new(TpccConfig::test());
+        a.run_one(Transaction::Delivery);
+        b.run_one(Transaction::DeliveryOuter);
+        assert_eq!(a.tables.new_order.count(&mut a.env), b.tables.new_order.count(&mut b.env));
+    }
+
+    #[test]
+    fn outer_variant_has_district_sized_epochs() {
+        let mut t = Tpcc::new(TpccConfig::test());
+        let p = t.record(Transaction::DeliveryOuter, 1);
+        let s = p.stats();
+        assert_eq!(s.epochs, t.cfg.districts as usize);
+        assert!(s.coverage() > 0.85, "coverage {}", s.coverage());
+    }
+
+    #[test]
+    fn inner_variant_has_line_sized_epochs_and_lower_coverage() {
+        let mut ti = Tpcc::new(TpccConfig::test());
+        let pi = ti.record(Transaction::Delivery, 1);
+        let mut to = Tpcc::new(TpccConfig::test());
+        let po = to.record(Transaction::DeliveryOuter, 1);
+        let si = pi.stats();
+        let so = po.stats();
+        assert!(si.epochs > so.epochs, "{} vs {}", si.epochs, so.epochs);
+        assert!(si.avg_epoch_ops() < so.avg_epoch_ops());
+        assert!(si.coverage() < so.coverage());
+    }
+
+    #[test]
+    fn delivered_lines_are_stamped() {
+        use super::super::schema::{field, key};
+        let mut t = Tpcc::new(TpccConfig::test());
+        // Find the oldest pending order of district 1 before delivering.
+        let (k, _) = t.tables.new_order.min_from(&mut t.env, key::order(1, 0)).unwrap();
+        let o_id = (k & 0xFFFF_FFFF) as u32;
+        t.run_one(Transaction::Delivery);
+        let la = t
+            .tables
+            .order_line
+            .get_addr(&mut t.env, key::order_line(1, o_id, 1))
+            .expect("line");
+        assert_ne!(t.env.mem.peek_u64(la.offset(field::OL_DELIVERY_D)), 0);
+    }
+}

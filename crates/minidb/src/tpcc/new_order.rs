@@ -1,0 +1,204 @@
+//! The NEW ORDER transaction (TPC-C §2.4) — the paper's headline
+//! benchmark.
+//!
+//! Prologue (sequential): read WAREHOUSE and CUSTOMER, read-increment the
+//! district's `next_o_id`, insert the ORDER and NEW-ORDER rows.
+//!
+//! Parallelized loop — one epoch per order line: read ITEM, read-update
+//! STOCK, insert the ORDER-LINE row, log everything. Cross-epoch
+//! dependences arise from ORDER-LINE leaf inserts (shared page header and
+//! cell shifts), occasional STOCK item collisions and page splits, and
+//! the end-of-epoch LSN reservation.
+
+use super::schema::{field, key, module, width};
+use super::Tpcc;
+use tls_trace::Pc;
+
+const M: u16 = module::TXN_NEW_ORDER;
+
+// Sites within the transaction module.
+const BEGIN: u16 = 0;
+const WH_READ: u16 = 1;
+const DIST_READ: u16 = 2;
+const DIST_BUMP: u16 = 3;
+const CUST_READ: u16 = 4;
+const ORDER_INS: u16 = 5;
+const SPAWN: u16 = 6;
+const LINE_BEGIN: u16 = 7;
+const ITEM_READ: u16 = 8;
+const STOCK_UPD: u16 = 9;
+const OL_INS: u16 = 10;
+const LINE_END: u16 = 11;
+const COMMIT: u16 = 12;
+
+/// Runs one NEW ORDER with `min_lines..=max_lines` order lines.
+pub fn run(t: &mut Tpcc, min_lines: u32, max_lines: u32) {
+    let db = t.db;
+    let tb = t.tables;
+    // Parameter generation per the run rules.
+    let d_id = t.pick_district();
+    let c_id = t.pick_customer();
+    let n_lines = t.uniform(min_lines, max_lines);
+    let items = t.pick_items(n_lines as usize);
+    let qtys: Vec<u32> = (0..n_lines).map(|_| t.uniform(1, 10)).collect();
+    let scratch = t.scratch();
+
+    // ---- Prologue: transaction begin, locking, parent rows. ----
+    t.work(Pc::new(M, BEGIN), scratch, 4);
+    let env = &mut t.env;
+
+    let wa = tb.warehouse.get_addr(env, key::warehouse(1)).expect("warehouse");
+    let _w_tax = env.load_u32(Pc::new(M, WH_READ), wa.offset(field::W_TAX));
+
+    let da = tb.district.get_addr(env, key::district(d_id)).expect("district");
+    let o_id = env.load_u32(Pc::new(M, DIST_READ), da.offset(field::D_NEXT_O_ID));
+    let _d_tax = env.load_u32(Pc::new(M, DIST_READ), da.offset(field::D_TAX));
+    env.alu(Pc::new(M, DIST_BUMP), 3);
+    env.store_u32(Pc::new(M, DIST_BUMP), da.offset(field::D_NEXT_O_ID), o_id + 1);
+
+    let ca = tb.customer.get_addr(env, key::customer(d_id, c_id)).expect("customer");
+    let _disc = env.load_u32(Pc::new(M, CUST_READ), ca.offset(field::C_DISCOUNT));
+    env.store_u32(Pc::new(M, CUST_READ), ca.offset(field::C_LAST_ORDER), o_id);
+    t.work(Pc::new(M, CUST_READ), scratch, 4);
+
+    let env = &mut t.env;
+    let mut orow = vec![0u8; width::ORDERS as usize];
+    orow[field::O_C_ID as usize..][..4].copy_from_slice(&c_id.to_le_bytes());
+    orow[field::O_OL_CNT as usize..][..4].copy_from_slice(&n_lines.to_le_bytes());
+    orow[field::O_ENTRY_D as usize..][..8].copy_from_slice(&(o_id as u64).to_le_bytes());
+    tb.orders.insert(env, &db.alloc, key::order(d_id, o_id), &orow);
+    let oa = tb.orders.get_addr(env, key::order(d_id, o_id)).expect("just inserted");
+    db.log(env, width::ORDERS as u64, None);
+    db.bump_stats(env);
+    tb.new_order.insert(env, &db.alloc, key::order(d_id, o_id), &[0u8; 8]);
+    db.log(env, width::NEW_ORDER as u64, None);
+    db.bump_stats(env);
+    t.work(Pc::new(M, ORDER_INS), scratch, 7);
+
+    // ---- The parallelized order-line loop. ----
+    t.env.rec.begin_parallel();
+    for l in 0..n_lines {
+        t.env.rec.begin_epoch(Pc::new(M, SPAWN));
+        let line_scratch = t.env.alloc(256, 64);
+        let mut local = t.db.opts.per_thread_log.then(|| t.db.local_log(&mut t.env));
+        let i_id = items[l as usize];
+        let qty = qtys[l as usize];
+
+        t.work(Pc::new(M, LINE_BEGIN), line_scratch, 2);
+
+        // ITEM read.
+        let env = &mut t.env;
+        let ia = tb.item.get_addr(env, key::item(i_id)).expect("item");
+        let price = env.load_u32(Pc::new(M, ITEM_READ), ia.offset(field::I_PRICE));
+        let _name = env.load_u64(Pc::new(M, ITEM_READ), ia.offset(field::I_NAME_HASH));
+        t.work(Pc::new(M, ITEM_READ), line_scratch, 2);
+
+        // STOCK read-modify-write.
+        let env = &mut t.env;
+        let sa = tb.stock.get_addr(env, key::item(i_id)).expect("stock");
+        let q = env.load_u32(Pc::new(M, STOCK_UPD), sa.offset(field::S_QUANTITY));
+        env.alu(Pc::new(M, STOCK_UPD), 4);
+        let new_q = if q >= qty + 10 { q - qty } else { q + 91 - qty };
+        env.store_u32(Pc::new(M, STOCK_UPD), sa.offset(field::S_QUANTITY), new_q);
+        let ytd = env.load_u64(Pc::new(M, STOCK_UPD), sa.offset(field::S_YTD));
+        env.store_u64(Pc::new(M, STOCK_UPD), sa.offset(field::S_YTD), ytd + qty as u64);
+        let cnt = env.load_u32(Pc::new(M, STOCK_UPD), sa.offset(field::S_ORDER_CNT));
+        env.store_u32(Pc::new(M, STOCK_UPD), sa.offset(field::S_ORDER_CNT), cnt + 1);
+        db.log(env, width::STOCK as u64, local.as_mut());
+        db.bump_stats(env);
+        t.work(Pc::new(M, STOCK_UPD), line_scratch, 2);
+
+        // ORDER-LINE insert.
+        let env = &mut t.env;
+        let amount = price as u64 * qty as u64;
+        let mut lrow = vec![0u8; width::ORDER_LINE as usize];
+        lrow[field::OL_I_ID as usize..][..4].copy_from_slice(&i_id.to_le_bytes());
+        lrow[field::OL_SUPPLY_W_ID as usize..][..4].copy_from_slice(&1u32.to_le_bytes());
+        lrow[field::OL_QUANTITY as usize..][..4].copy_from_slice(&qty.to_le_bytes());
+        lrow[field::OL_AMOUNT as usize..][..8].copy_from_slice(&amount.to_le_bytes());
+        tb.order_line.insert(env, &db.alloc, key::order_line(d_id, o_id, l + 1), &lrow);
+        db.log(env, width::ORDER_LINE as u64, local.as_mut());
+        db.bump_stats(env);
+        t.work(Pc::new(M, OL_INS), line_scratch, 2);
+
+        // Accumulate the order total in the shared ORDER row — the
+        // intra-transaction dependence every line shares (all epochs
+        // read-modify-write the same field, at matching positions).
+        let env = &mut t.env;
+        let tot = env.load_u64(Pc::new(M, LINE_END), oa.offset(field::O_TOTAL));
+        env.alu(Pc::new(M, LINE_END), 4);
+        env.store_u64(Pc::new(M, LINE_END), oa.offset(field::O_TOTAL), tot + amount);
+        env.alu(Pc::new(M, LINE_END), 8);
+        let _ = &local;
+        t.env.rec.end_epoch();
+    }
+    t.env.rec.end_parallel();
+
+    // ---- Commit processing: merge the speculative threads' private log
+    // buffers into the shared log, in commit order (non-speculative work,
+    // performed while holding the homefree token). ----
+    if db.opts.per_thread_log {
+        for _ in 0..n_lines {
+            db.wal.reserve(&mut t.env, 64, !db.opts.latch_free);
+        }
+    }
+    t.work(Pc::new(M, COMMIT), scratch, 7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{schema, Tpcc, TpccConfig, Transaction};
+    use schema::{field, key};
+
+    #[test]
+    fn inserts_order_rows_and_updates_stock() {
+        let mut t = Tpcc::new(TpccConfig::test());
+        let orders_before = t.tables.orders.count(&mut t.env);
+        let ol_before = t.tables.order_line.count(&mut t.env);
+        t.run_one(Transaction::NewOrder);
+        let orders_after = t.tables.orders.count(&mut t.env);
+        let ol_after = t.tables.order_line.count(&mut t.env);
+        assert_eq!(orders_after, orders_before + 1);
+        assert!((5..=15).contains(&(ol_after - ol_before)));
+    }
+
+    #[test]
+    fn district_counter_advances_per_order() {
+        let mut t = Tpcc::new(TpccConfig::test());
+        let before: Vec<u32> = (1..=t.cfg.districts)
+            .map(|d| {
+                let a = t.tables.district.get_addr(&mut t.env, key::district(d)).unwrap();
+                t.env.mem.peek_u32(a.offset(field::D_NEXT_O_ID))
+            })
+            .collect();
+        for _ in 0..8 {
+            t.run_one(Transaction::NewOrder);
+        }
+        let after: Vec<u32> = (1..=t.cfg.districts)
+            .map(|d| {
+                let a = t.tables.district.get_addr(&mut t.env, key::district(d)).unwrap();
+                t.env.mem.peek_u32(a.offset(field::D_NEXT_O_ID))
+            })
+            .collect();
+        let advanced: u32 = after.iter().zip(&before).map(|(a, b)| a - b).sum();
+        assert_eq!(advanced, 8);
+    }
+
+    #[test]
+    fn trace_has_one_epoch_per_line() {
+        let mut t = Tpcc::new(TpccConfig::test());
+        let p = t.record(Transaction::NewOrder, 1);
+        let s = p.stats();
+        assert!((5..=15).contains(&s.epochs), "epochs {}", s.epochs);
+        assert!(s.coverage() > 0.3, "coverage {}", s.coverage());
+    }
+
+    #[test]
+    fn new_order_150_has_ten_times_the_epochs() {
+        let mut t = Tpcc::new(TpccConfig::test());
+        let p = t.record(Transaction::NewOrder150, 1);
+        let s = p.stats();
+        assert!((50..=150).contains(&s.epochs), "epochs {}", s.epochs);
+        assert!(s.coverage() > 0.8);
+    }
+}

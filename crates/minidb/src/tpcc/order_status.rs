@@ -1,0 +1,119 @@
+//! The ORDER STATUS transaction (TPC-C §2.6).
+//!
+//! Read-only: resolve the customer (by name 60% of the time), read their
+//! balance, find their most recent order, and read its order lines. The
+//! order-line loop is parallelized, but the threads are small and the
+//! prologue substantial (paper: 38% coverage, no speedup).
+
+use super::schema::{field, key, module};
+use super::Tpcc;
+use tls_trace::Pc;
+
+const M: u16 = module::TXN_ORDER_STATUS;
+
+const BEGIN: u16 = 0;
+const NAME_SCAN: u16 = 1;
+const CUST_READ: u16 = 2;
+const ORDER_READ: u16 = 3;
+const SPAWN: u16 = 4;
+const LINE_READ: u16 = 5;
+const COMMIT: u16 = 6;
+
+/// Runs one ORDER STATUS.
+pub fn run(t: &mut Tpcc) {
+    let tb = t.tables;
+    let d_id = t.pick_district();
+    let by_name = t.uniform(1, 100) <= 60;
+    let scratch = t.scratch();
+
+    t.work(Pc::new(M, BEGIN), scratch, 2);
+
+    let c_id = if by_name {
+        let hash = t.pick_lastname_hash();
+        let env = &mut t.env;
+        let prefix = key::customer_name_prefix(d_id, hash) >> 16;
+        let mut matches: Vec<u32> = Vec::new();
+        tb.customer_name.scan_from(env, key::customer_name(d_id, hash, 0), |env2, k, v| {
+            if k >> 16 != prefix {
+                return false;
+            }
+            matches.push(env2.load_u64(Pc::new(M, NAME_SCAN), v) as u32);
+            true
+        });
+        matches[matches.len() / 2]
+    } else {
+        t.pick_customer()
+    };
+
+    // Customer status.
+    let env = &mut t.env;
+    let ca = tb.customer.get_addr(env, key::customer(d_id, c_id)).expect("customer");
+    let _bal = env.load_u64(Pc::new(M, CUST_READ), ca.offset(field::C_BALANCE));
+    let o_id = env.load_u32(Pc::new(M, CUST_READ), ca.offset(field::C_LAST_ORDER));
+    t.work(Pc::new(M, CUST_READ), scratch, 2);
+
+    // The most recent order. A customer may never have ordered (possible
+    // at full TPC-C scale too, since orders pick customers at random).
+    if o_id == 0 {
+        let env = &mut t.env;
+        env.cmp_branch(Pc::new(M, ORDER_READ), false);
+        t.work(Pc::new(M, COMMIT), scratch, 1);
+        return;
+    }
+    let env = &mut t.env;
+    let oa = tb.orders.get_addr(env, key::order(d_id, o_id)).expect("order exists");
+    let ol_cnt = env.load_u32(Pc::new(M, ORDER_READ), oa.offset(field::O_OL_CNT));
+    let _carrier = env.load_u32(Pc::new(M, ORDER_READ), oa.offset(field::O_CARRIER_ID));
+    t.work(Pc::new(M, ORDER_READ), scratch, 1);
+
+    // Parallelized order-line reads, four lines per epoch (the cursor
+    // batch size): ~2-3 threads per transaction, as in Table 2.
+    t.env.rec.begin_parallel();
+    let mut ol = 1;
+    while ol <= ol_cnt {
+        let hi = (ol + 3).min(ol_cnt);
+        t.env.rec.begin_epoch(Pc::new(M, SPAWN));
+        let lscratch = t.env.alloc(256, 64);
+        for l in ol..=hi {
+            let env = &mut t.env;
+            let la = tb
+                .order_line
+                .get_addr(env, key::order_line(d_id, o_id, l))
+                .expect("order line exists");
+            let _i = env.load_u32(Pc::new(M, LINE_READ), la.offset(field::OL_I_ID));
+            let _a = env.load_u64(Pc::new(M, LINE_READ), la.offset(field::OL_AMOUNT));
+            let _d = env.load_u64(Pc::new(M, LINE_READ), la.offset(field::OL_DELIVERY_D));
+            env.alu(Pc::new(M, LINE_READ), 8);
+            t.work_frac(Pc::new(M, LINE_READ), lscratch, 1, 4);
+        }
+        t.env.rec.end_epoch();
+        ol = hi + 1;
+    }
+    t.env.rec.end_parallel();
+
+    t.work(Pc::new(M, COMMIT), scratch, 2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Tpcc, TpccConfig, Transaction};
+
+    #[test]
+    fn order_status_is_read_only() {
+        let mut t = Tpcc::new(TpccConfig::test());
+        let orders = t.tables.orders.count(&mut t.env);
+        let lines = t.tables.order_line.count(&mut t.env);
+        t.run_one(Transaction::OrderStatus);
+        assert_eq!(t.tables.orders.count(&mut t.env), orders);
+        assert_eq!(t.tables.order_line.count(&mut t.env), lines);
+    }
+
+    #[test]
+    fn trace_has_moderate_coverage_and_small_epochs() {
+        let mut t = Tpcc::new(TpccConfig::test());
+        let p = t.record(Transaction::OrderStatus, 3);
+        let s = p.stats();
+        assert!(s.epochs >= 3, "one epoch per line read");
+        assert!(s.coverage() < 0.75, "coverage {}", s.coverage());
+    }
+}

@@ -1,0 +1,136 @@
+//! The PAYMENT transaction (TPC-C §2.5).
+//!
+//! Almost entirely sequential — warehouse/district/customer updates and a
+//! HISTORY insert — with one small parallelizable piece: scanning the
+//! customer last-name index when the customer is selected by name (60% of
+//! executions). The paper reports 3% coverage and no TLS benefit; this
+//! implementation reproduces that shape.
+
+use super::schema::{field, key, module, width};
+use super::Tpcc;
+use tls_trace::Pc;
+
+const M: u16 = module::TXN_PAYMENT;
+
+const BEGIN: u16 = 0;
+const WH_UPD: u16 = 1;
+const DIST_UPD: u16 = 2;
+const NAME_SCAN: u16 = 3;
+const SPAWN: u16 = 4;
+const CUST_UPD: u16 = 5;
+const HIST_INS: u16 = 6;
+const COMMIT: u16 = 7;
+
+/// Candidate customers examined per epoch of the name scan.
+const SCAN_CHUNK: usize = 8;
+
+/// Runs one PAYMENT.
+pub fn run(t: &mut Tpcc) {
+    let db = t.db;
+    let tb = t.tables;
+    let d_id = t.pick_district();
+    let by_name = t.uniform(1, 100) <= 60;
+    let amount = t.uniform(100, 500_000) as u64;
+    let scratch = t.scratch();
+
+    t.work(Pc::new(M, BEGIN), scratch, 7);
+
+    // WAREHOUSE and DISTRICT year-to-date updates.
+    let env = &mut t.env;
+    let wa = tb.warehouse.get_addr(env, key::warehouse(1)).expect("warehouse");
+    let w_ytd = env.load_u64(Pc::new(M, WH_UPD), wa.offset(field::W_YTD));
+    env.store_u64(Pc::new(M, WH_UPD), wa.offset(field::W_YTD), w_ytd + amount);
+    let da = tb.district.get_addr(env, key::district(d_id)).expect("district");
+    let d_ytd = env.load_u64(Pc::new(M, DIST_UPD), da.offset(field::D_YTD));
+    env.store_u64(Pc::new(M, DIST_UPD), da.offset(field::D_YTD), d_ytd + amount);
+    t.work(Pc::new(M, DIST_UPD), scratch, 7);
+
+    // Resolve the customer.
+    let c_id = if by_name {
+        let hash = t.pick_lastname_hash();
+        // Collect the matching index entries (cursor positioning).
+        let env = &mut t.env;
+        let prefix = key::customer_name_prefix(d_id, hash) >> 16;
+        let mut matches: Vec<u32> = Vec::new();
+        tb.customer_name.scan_from(env, key::customer_name(d_id, hash, 0), |env2, k, v| {
+            if k >> 16 != prefix {
+                return false;
+            }
+            let c = env2.load_u64(Pc::new(M, NAME_SCAN), v) as u32;
+            matches.push(c);
+            true
+        });
+        // Verify each candidate row — the small parallelizable loop.
+        t.env.rec.begin_parallel();
+        for chunk in matches.chunks(SCAN_CHUNK) {
+            t.env.rec.begin_epoch(Pc::new(M, SPAWN));
+            let cscratch = t.env.alloc(256, 64);
+            for &c in chunk {
+                let env = &mut t.env;
+                let ca = tb.customer.get_addr(env, key::customer(d_id, c)).expect("customer");
+                let _h = env.load_u64(Pc::new(M, NAME_SCAN), ca.offset(field::C_LAST_HASH));
+                env.alu(Pc::new(M, NAME_SCAN), 6);
+                t.work_frac(Pc::new(M, NAME_SCAN), cscratch, 1, 8);
+            }
+            t.env.rec.end_epoch();
+        }
+        t.env.rec.end_parallel();
+        // TPC-C: position on the middle match (ordered by first name).
+        matches[matches.len() / 2]
+    } else {
+        t.pick_customer()
+    };
+
+    // Customer update.
+    let env = &mut t.env;
+    let ca = tb.customer.get_addr(env, key::customer(d_id, c_id)).expect("customer");
+    let bal = env.load_u64(Pc::new(M, CUST_UPD), ca.offset(field::C_BALANCE));
+    env.store_u64(Pc::new(M, CUST_UPD), ca.offset(field::C_BALANCE), bal.wrapping_sub(amount));
+    let ytd = env.load_u64(Pc::new(M, CUST_UPD), ca.offset(field::C_YTD_PAYMENT));
+    env.store_u64(Pc::new(M, CUST_UPD), ca.offset(field::C_YTD_PAYMENT), ytd + amount);
+    let cnt = env.load_u32(Pc::new(M, CUST_UPD), ca.offset(field::C_PAYMENT_CNT));
+    env.store_u32(Pc::new(M, CUST_UPD), ca.offset(field::C_PAYMENT_CNT), cnt + 1);
+    db.log(env, width::CUSTOMER as u64, None);
+    db.bump_stats(env);
+    t.work(Pc::new(M, CUST_UPD), scratch, 9);
+
+    // HISTORY insert.
+    let hkey = t.next_history_key();
+    let env = &mut t.env;
+    let hrow = vec![0u8; width::HISTORY as usize];
+    tb.history.insert(env, &db.alloc, key::history(hkey), &hrow);
+    db.log(env, width::HISTORY as u64, None);
+    db.bump_stats(env);
+    t.work(Pc::new(M, HIST_INS), scratch, 7);
+
+    t.work(Pc::new(M, COMMIT), scratch, 7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Tpcc, TpccConfig, Transaction};
+
+    #[test]
+    fn payment_inserts_history_and_keeps_low_coverage() {
+        let mut t = Tpcc::new(TpccConfig::test());
+        let before = t.tables.history.count(&mut t.env);
+        let p = t.record(Transaction::Payment, 4);
+        let after = t.tables.history.count(&mut t.env);
+        assert_eq!(after, before + 4);
+        let s = p.stats();
+        // PAYMENT is mostly sequential (paper: 3% coverage).
+        assert!(s.coverage() < 0.35, "coverage {}", s.coverage());
+    }
+
+    #[test]
+    fn warehouse_ytd_accumulates() {
+        use super::super::schema::{field, key};
+        let mut t = Tpcc::new(TpccConfig::test());
+        let wa = t.tables.warehouse.get_addr(&mut t.env, key::warehouse(1)).unwrap();
+        let before = t.env.mem.peek_u64(wa.offset(field::W_YTD));
+        t.run_one(Transaction::Payment);
+        t.run_one(Transaction::Payment);
+        let after = t.env.mem.peek_u64(wa.offset(field::W_YTD));
+        assert!(after > before);
+    }
+}

@@ -1,0 +1,272 @@
+//! The TPC-C schema: tables, row layouts and key encodings.
+//!
+//! Single warehouse (the paper's configuration: intra-transaction
+//! parallelism means one warehouse suffices), ten districts, scaled row
+//! counts. Rows are fixed-width byte records; field offsets below. Keys
+//! pack the TPC-C composite keys into `u64`s so one B+-tree
+//! implementation serves every table.
+
+use crate::{BTree, Db, Env};
+
+/// Profiling module ids (appear in [`Pc`](tls_trace::Pc) values and in
+/// the dependence profiler's output).
+pub mod module {
+    /// The ITEM table.
+    pub const ITEM: u16 = 0x10;
+    /// The WAREHOUSE table.
+    pub const WAREHOUSE: u16 = 0x11;
+    /// The DISTRICT table.
+    pub const DISTRICT: u16 = 0x12;
+    /// The CUSTOMER table.
+    pub const CUSTOMER: u16 = 0x13;
+    /// The customer last-name secondary index.
+    pub const CUSTOMER_NAME: u16 = 0x14;
+    /// The STOCK table.
+    pub const STOCK: u16 = 0x15;
+    /// The ORDER table.
+    pub const ORDERS: u16 = 0x16;
+    /// The NEW-ORDER table.
+    pub const NEW_ORDER: u16 = 0x17;
+    /// The ORDER-LINE table.
+    pub const ORDER_LINE: u16 = 0x18;
+    /// The HISTORY table.
+    pub const HISTORY: u16 = 0x19;
+    /// NEW ORDER transaction code.
+    pub const TXN_NEW_ORDER: u16 = 0x20;
+    /// PAYMENT transaction code.
+    pub const TXN_PAYMENT: u16 = 0x21;
+    /// ORDER STATUS transaction code.
+    pub const TXN_ORDER_STATUS: u16 = 0x22;
+    /// DELIVERY transaction code.
+    pub const TXN_DELIVERY: u16 = 0x23;
+    /// STOCK LEVEL transaction code.
+    pub const TXN_STOCK_LEVEL: u16 = 0x24;
+    /// Loader / common transaction scaffolding.
+    pub const TXN_COMMON: u16 = 0x25;
+}
+
+/// Row widths in bytes.
+pub mod width {
+    /// ITEM row.
+    pub const ITEM: u16 = 48;
+    /// WAREHOUSE row.
+    pub const WAREHOUSE: u16 = 64;
+    /// DISTRICT row.
+    pub const DISTRICT: u16 = 64;
+    /// CUSTOMER row.
+    pub const CUSTOMER: u16 = 96;
+    /// Customer-name index entry.
+    pub const CUSTOMER_NAME: u16 = 8;
+    /// STOCK row.
+    pub const STOCK: u16 = 64;
+    /// ORDER row.
+    pub const ORDERS: u16 = 32;
+    /// NEW-ORDER row.
+    pub const NEW_ORDER: u16 = 8;
+    /// ORDER-LINE row.
+    pub const ORDER_LINE: u16 = 80;
+    /// HISTORY row.
+    pub const HISTORY: u16 = 40;
+}
+
+/// Field offsets within rows.
+pub mod field {
+    /// ITEM: price (u32).
+    pub const I_PRICE: u64 = 0;
+    /// ITEM: name hash (u64).
+    pub const I_NAME_HASH: u64 = 8;
+    /// WAREHOUSE: year-to-date total (u64).
+    pub const W_YTD: u64 = 0;
+    /// WAREHOUSE: tax rate (u32, basis points).
+    pub const W_TAX: u64 = 8;
+    /// DISTRICT: next order id (u32).
+    pub const D_NEXT_O_ID: u64 = 0;
+    /// DISTRICT: tax rate (u32).
+    pub const D_TAX: u64 = 4;
+    /// DISTRICT: year-to-date total (u64).
+    pub const D_YTD: u64 = 8;
+    /// CUSTOMER: balance (u64, cents, wrapping).
+    pub const C_BALANCE: u64 = 0;
+    /// CUSTOMER: year-to-date payment (u64).
+    pub const C_YTD_PAYMENT: u64 = 8;
+    /// CUSTOMER: payment count (u32).
+    pub const C_PAYMENT_CNT: u64 = 16;
+    /// CUSTOMER: delivery count (u32).
+    pub const C_DELIVERY_CNT: u64 = 20;
+    /// CUSTOMER: last-name hash (u64).
+    pub const C_LAST_HASH: u64 = 24;
+    /// CUSTOMER: discount (u32, basis points).
+    pub const C_DISCOUNT: u64 = 32;
+    /// CUSTOMER: most recent order id (u32).
+    pub const C_LAST_ORDER: u64 = 36;
+    /// STOCK: quantity (u32).
+    pub const S_QUANTITY: u64 = 0;
+    /// STOCK: year-to-date (u64).
+    pub const S_YTD: u64 = 8;
+    /// STOCK: order count (u32).
+    pub const S_ORDER_CNT: u64 = 16;
+    /// STOCK: remote count (u32).
+    pub const S_REMOTE_CNT: u64 = 20;
+    /// ORDER: customer id (u32).
+    pub const O_C_ID: u64 = 0;
+    /// ORDER: carrier id (u32).
+    pub const O_CARRIER_ID: u64 = 4;
+    /// ORDER: entry date (u64).
+    pub const O_ENTRY_D: u64 = 8;
+    /// ORDER: order-line count (u32).
+    pub const O_OL_CNT: u64 = 16;
+    /// ORDER: accumulated total amount (u64, cents).
+    pub const O_TOTAL: u64 = 24;
+    /// ORDER-LINE: item id (u32).
+    pub const OL_I_ID: u64 = 0;
+    /// ORDER-LINE: supplying warehouse (u32).
+    pub const OL_SUPPLY_W_ID: u64 = 4;
+    /// ORDER-LINE: delivery date (u64; 0 = undelivered).
+    pub const OL_DELIVERY_D: u64 = 8;
+    /// ORDER-LINE: quantity (u32).
+    pub const OL_QUANTITY: u64 = 16;
+    /// ORDER-LINE: amount (u64, cents).
+    pub const OL_AMOUNT: u64 = 24;
+}
+
+/// Key encoders. Districts are 1-based and ≤ 255; order ids < 2^24;
+/// customer ids < 2^16; line numbers ≤ 255.
+pub mod key {
+    /// ITEM / STOCK key.
+    pub fn item(i_id: u32) -> u64 {
+        i_id as u64
+    }
+
+    /// WAREHOUSE key.
+    pub fn warehouse(w_id: u32) -> u64 {
+        w_id as u64
+    }
+
+    /// DISTRICT key.
+    pub fn district(d_id: u32) -> u64 {
+        d_id as u64
+    }
+
+    /// CUSTOMER key: `(d_id, c_id)`.
+    pub fn customer(d_id: u32, c_id: u32) -> u64 {
+        ((d_id as u64) << 32) | c_id as u64
+    }
+
+    /// Customer-name index key: `(d_id, last-name hash, c_id)`.
+    pub fn customer_name(d_id: u32, last_hash: u64, c_id: u32) -> u64 {
+        ((d_id as u64) << 56) | ((last_hash & 0xFF_FFFF_FFFF) << 16) | c_id as u64
+    }
+
+    /// Prefix of [`customer_name`] keys for `(d_id, last_hash)`; entries
+    /// match while `k >> 16` equals `customer_name(d, h, 0) >> 16`.
+    pub fn customer_name_prefix(d_id: u32, last_hash: u64) -> u64 {
+        customer_name(d_id, last_hash, 0)
+    }
+
+    /// ORDER / NEW-ORDER key: `(d_id, o_id)`.
+    pub fn order(d_id: u32, o_id: u32) -> u64 {
+        ((d_id as u64) << 32) | o_id as u64
+    }
+
+    /// ORDER-LINE key: `(d_id, o_id, ol_number)`.
+    pub fn order_line(d_id: u32, o_id: u32, ol: u32) -> u64 {
+        ((d_id as u64) << 40) | ((o_id as u64) << 8) | ol as u64
+    }
+
+    /// HISTORY key (a monotonic sequence).
+    pub fn history(seq: u64) -> u64 {
+        seq
+    }
+}
+
+/// The table catalog: one B+-tree per TPC-C table plus the customer
+/// last-name index. Copyable — all state is in simulated memory.
+#[derive(Debug, Clone, Copy)]
+pub struct Tables {
+    /// ITEM (read-only after load).
+    pub item: BTree,
+    /// WAREHOUSE.
+    pub warehouse: BTree,
+    /// DISTRICT.
+    pub district: BTree,
+    /// CUSTOMER.
+    pub customer: BTree,
+    /// Customer last-name secondary index.
+    pub customer_name: BTree,
+    /// STOCK.
+    pub stock: BTree,
+    /// ORDER.
+    pub orders: BTree,
+    /// NEW-ORDER (pending deliveries).
+    pub new_order: BTree,
+    /// ORDER-LINE.
+    pub order_line: BTree,
+    /// HISTORY (append-only).
+    pub history: BTree,
+}
+
+impl Tables {
+    /// Creates all tables (empty).
+    pub fn create(env: &mut Env, db: &Db) -> Tables {
+        Tables {
+            item: db.create_tree(env, width::ITEM, module::ITEM),
+            warehouse: db.create_tree(env, width::WAREHOUSE, module::WAREHOUSE),
+            district: db.create_tree(env, width::DISTRICT, module::DISTRICT),
+            customer: db.create_tree(env, width::CUSTOMER, module::CUSTOMER),
+            customer_name: db.create_tree(env, width::CUSTOMER_NAME, module::CUSTOMER_NAME),
+            stock: db.create_tree(env, width::STOCK, module::STOCK),
+            orders: db.create_tree(env, width::ORDERS, module::ORDERS),
+            new_order: db.create_tree(env, width::NEW_ORDER, module::NEW_ORDER),
+            order_line: db.create_tree(env, width::ORDER_LINE, module::ORDER_LINE),
+            history: db.create_tree(env, width::HISTORY, module::HISTORY),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_order_preserving() {
+        assert!(key::customer(1, 5) < key::customer(1, 6));
+        assert!(key::customer(1, 65_535) < key::customer(2, 0));
+        assert!(key::order(3, 10) < key::order(3, 11));
+        assert!(key::order(3, u32::MAX) < key::order(4, 0));
+        assert!(key::order_line(2, 7, 1) < key::order_line(2, 7, 2));
+        assert!(key::order_line(2, 7, 255) < key::order_line(2, 8, 1));
+        assert!(key::order_line(2, 0xFF_FFFF, 255) < key::order_line(3, 0, 1));
+    }
+
+    #[test]
+    fn customer_name_prefix_matches_same_name_only() {
+        let a = key::customer_name(1, 0xABCD, 10);
+        let b = key::customer_name(1, 0xABCD, 20);
+        let c = key::customer_name(1, 0xABCE, 10);
+        let p = key::customer_name_prefix(1, 0xABCD) >> 16;
+        assert_eq!(a >> 16, p);
+        assert_eq!(b >> 16, p);
+        assert_ne!(c >> 16, p);
+    }
+
+    #[test]
+    fn tables_create_with_distinct_modules() {
+        let mut env = Env::new();
+        let db = Db::new(&mut env, crate::OptLevel::none());
+        let t = Tables::create(&mut env, &db);
+        let modules = [
+            t.item.module(),
+            t.warehouse.module(),
+            t.district.module(),
+            t.customer.module(),
+            t.customer_name.module(),
+            t.stock.module(),
+            t.orders.module(),
+            t.new_order.module(),
+            t.order_line.module(),
+            t.history.module(),
+        ];
+        let set: std::collections::HashSet<_> = modules.iter().collect();
+        assert_eq!(set.len(), modules.len());
+    }
+}

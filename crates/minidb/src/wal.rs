@@ -1,0 +1,218 @@
+//! The write-ahead log.
+//!
+//! In the unoptimized engine every row modification appends to a single
+//! log buffer through a shared tail pointer — the textbook cross-thread
+//! dependence that makes speculative parallelization of transactions
+//! fail. The TLS-optimized engine gives each speculative thread a
+//! [`LocalLog`] buffer instead (merged at commit, outside the parallel
+//! loop), the very optimization the paper's tuning methodology discovers
+//! first.
+
+use crate::Env;
+use tls_trace::{Addr, LatchId, Pc};
+
+const SITE_TAIL_R: u16 = 0;
+const SITE_TAIL_W: u16 = 1;
+const SITE_PAYLOAD: u16 = 2;
+
+/// The shared, chip-wide log.
+#[derive(Debug, Clone, Copy)]
+pub struct Wal {
+    tail_cell: Addr,
+    region: Addr,
+    capacity: u64,
+    module: u16,
+    latch: LatchId,
+}
+
+impl Wal {
+    /// Creates a log with a buffer of `capacity` bytes.
+    pub fn new(env: &mut Env, capacity: u64, module: u16, latch: LatchId) -> Self {
+        let tail_cell = env.alloc(8, 8);
+        env.mem.poke_u64(tail_cell, 0);
+        let region = env.alloc(capacity, 64);
+        Wal { tail_cell, region, capacity, module, latch }
+    }
+
+    /// Appends a record of `payload` bytes at the shared tail. When
+    /// `latched` the tail update sits in a latch-protected critical
+    /// section (the unoptimized engine).
+    pub fn append(&self, env: &mut Env, payload: u64, latched: bool) {
+        let pc_r = Pc::new(self.module, SITE_TAIL_R);
+        let pc_w = Pc::new(self.module, SITE_TAIL_W);
+        let pc_p = Pc::new(self.module, SITE_PAYLOAD);
+        if latched {
+            env.latch_acquire(pc_r, self.latch);
+        }
+        let tail = env.load_u64(pc_r, self.tail_cell);
+        env.alu(pc_r, 4); // record header assembly
+        let at = self.region.offset(tail % (self.capacity - payload - 8));
+        env.store_u64(pc_p, at, tail); // record header (LSN)
+        env.fill(pc_p, at.offset(8), payload);
+        env.store_u64(pc_w, self.tail_cell, tail + payload + 8);
+        if latched {
+            env.latch_release(pc_r, self.latch);
+        }
+    }
+
+    /// Reserves `len` bytes of LSN space: a recorded read-modify-write of
+    /// the shared tail *without* payload stores.
+    ///
+    /// This is how per-thread log buffers commit: the thread claims an
+    /// LSN range once, at the end of its work, instead of contending on
+    /// the tail for every record. It is the one cross-thread dependence
+    /// that per-thread logging cannot remove — and because it sits at the
+    /// *end* of each speculative thread, it is exactly the kind of late
+    /// dependence that makes all-or-nothing TLS restart entire threads
+    /// while sub-threads rewind almost nothing.
+    pub fn reserve(&self, env: &mut Env, len: u64, latched: bool) {
+        let pc_r = Pc::new(self.module, SITE_TAIL_R);
+        let pc_w = Pc::new(self.module, SITE_TAIL_W);
+        if latched {
+            env.latch_acquire(pc_r, self.latch);
+        }
+        let tail = env.load_u64(pc_r, self.tail_cell);
+        env.alu(pc_r, 2);
+        env.store_u64(pc_w, self.tail_cell, tail + len);
+        if latched {
+            env.latch_release(pc_r, self.latch);
+        }
+    }
+
+    /// Current tail offset (unrecorded, for tests).
+    pub fn tail(&self, env: &Env) -> u64 {
+        env.mem.peek_u64(self.tail_cell)
+    }
+}
+
+/// A thread-private log buffer (the optimized engine): appends touch only
+/// memory owned by the current speculative thread.
+#[derive(Debug)]
+pub struct LocalLog {
+    region: Addr,
+    capacity: u64,
+    used: u64,
+    module: u16,
+}
+
+impl LocalLog {
+    /// Allocates a private buffer of `capacity` bytes.
+    pub fn new(env: &mut Env, capacity: u64, module: u16) -> Self {
+        let region = env.alloc(capacity, 64);
+        LocalLog { region, capacity, used: 0, module }
+    }
+
+    /// Appends a record of `payload` bytes. The cursor lives in a
+    /// register (Rust state), so nothing shared is touched.
+    pub fn append(&mut self, env: &mut Env, payload: u64) {
+        let pc = Pc::new(self.module, SITE_PAYLOAD);
+        env.alu(pc, 4);
+        let need = payload + 8;
+        if self.used + need > self.capacity {
+            self.used = 0; // wrap: older records were already merged
+        }
+        let at = self.region.offset(self.used);
+        env.store_u64(pc, at, self.used);
+        env.fill(pc, at.offset(8), payload);
+        self.used += need;
+    }
+
+    /// Bytes appended since creation (modulo wraps).
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tls_trace::OpKind;
+
+    #[test]
+    fn shared_appends_advance_the_tail() {
+        let mut env = Env::new();
+        let w = Wal::new(&mut env, 1 << 16, 3, LatchId(0));
+        w.append(&mut env, 40, false);
+        w.append(&mut env, 40, false);
+        assert_eq!(w.tail(&env), 96);
+    }
+
+    #[test]
+    fn latched_append_brackets_with_latch_ops() {
+        let mut env = Env::new();
+        let w = Wal::new(&mut env, 1 << 16, 3, LatchId(5));
+        env.rec.start("t", false);
+        w.append(&mut env, 16, true);
+        let p = env.rec.finish();
+        let kinds: Vec<_> = p.iter_ops().map(|o| o.kind()).collect();
+        assert!(matches!(kinds[0], OpKind::LatchAcquire(LatchId(5))));
+        assert!(matches!(kinds.last().unwrap(), OpKind::LatchRelease(LatchId(5))));
+    }
+
+    #[test]
+    fn shared_append_reads_and_writes_the_tail_cell() {
+        let mut env = Env::new();
+        let w = Wal::new(&mut env, 1 << 16, 3, LatchId(0));
+        env.rec.start("t", false);
+        w.append(&mut env, 16, false);
+        let p = env.rec.finish();
+        let tail_addr = w.tail_cell;
+        assert!(p
+            .iter_ops()
+            .any(|o| o.is_load() && o.mem_addr() == Some(tail_addr)));
+        assert!(p
+            .iter_ops()
+            .any(|o| o.is_store() && o.mem_addr() == Some(tail_addr)));
+    }
+
+    #[test]
+    fn reserve_advances_tail_without_payload_stores() {
+        let mut env = Env::new();
+        let w = Wal::new(&mut env, 1 << 16, 3, LatchId(0));
+        env.rec.start("t", false);
+        w.reserve(&mut env, 128, false);
+        let p = env.rec.finish();
+        assert_eq!(w.tail(&env), 128);
+        let stores = p.iter_ops().filter(|o| o.is_store()).count();
+        assert_eq!(stores, 1, "only the tail cell is written");
+        assert_eq!(p.iter_ops().filter(|o| o.is_load()).count(), 1);
+    }
+
+    #[test]
+    fn latched_reserve_brackets_with_latch_ops() {
+        let mut env = Env::new();
+        let w = Wal::new(&mut env, 1 << 16, 3, LatchId(4));
+        env.rec.start("t", false);
+        w.reserve(&mut env, 64, true);
+        let p = env.rec.finish();
+        let kinds: Vec<_> = p.iter_ops().map(|o| o.kind()).collect();
+        assert!(matches!(kinds[0], OpKind::LatchAcquire(LatchId(4))));
+        assert!(matches!(kinds.last().unwrap(), OpKind::LatchRelease(LatchId(4))));
+    }
+
+    #[test]
+    fn local_log_touches_only_its_region() {
+        let mut env = Env::new();
+        let mut l = LocalLog::new(&mut env, 4096, 3);
+        env.rec.start("t", false);
+        l.append(&mut env, 32);
+        l.append(&mut env, 32);
+        let p = env.rec.finish();
+        assert_eq!(l.used(), 80);
+        for op in p.iter_ops() {
+            if let Some(a) = op.mem_addr() {
+                assert!(a.0 >= l.region.0 && a.0 < l.region.0 + 4096);
+            }
+        }
+    }
+
+    #[test]
+    fn local_log_wraps_when_full() {
+        let mut env = Env::new();
+        let mut l = LocalLog::new(&mut env, 100, 3);
+        for _ in 0..5 {
+            l.append(&mut env, 32);
+        }
+        assert!(l.used() <= 100);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: the B+-tree against a `BTreeMap` reference model, and
+//! page-format invariants, under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tls_minidb::{BTree, Env, PageAlloc};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Get(u64),
+    Delete(u64),
+    ScanFrom(u64, u8),
+    MinFrom(u64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // A small key universe maximizes collisions, splits of hot leaves,
+    // and delete-then-reinsert patterns.
+    let key = 0u64..400;
+    prop_oneof![
+        4 => (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key.clone().prop_map(Op::Get),
+        2 => key.clone().prop_map(Op::Delete),
+        1 => (key.clone(), 1u8..20).prop_map(|(k, n)| Op::ScanFrom(k, n)),
+        1 => key.prop_map(Op::MinFrom),
+    ]
+}
+
+fn value_bytes(v: u64) -> [u8; 16] {
+    let mut b = [0u8; 16];
+    b[..8].copy_from_slice(&v.to_le_bytes());
+    b[8..].copy_from_slice(&(!v).to_le_bytes());
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_btreemap(ops in proptest::collection::vec(op(), 1..600)) {
+        let mut env = Env::new();
+        let alloc = PageAlloc::new(&mut env, 1);
+        let tree = BTree::create(&mut env, &alloc, 16, 2);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let inserted = tree.insert(&mut env, &alloc, k, &value_bytes(v));
+                    // Duplicate inserts are rejected and must not clobber
+                    // the existing value, so the model only inserts when
+                    // the key is absent.
+                    let absent = !model.contains_key(&k);
+                    prop_assert_eq!(inserted, absent);
+                    if absent {
+                        model.insert(k, v);
+                    }
+                }
+                Op::Get(k) => {
+                    let mut buf = [0u8; 16];
+                    let found = tree.get(&mut env, k, &mut buf);
+                    match model.get(&k) {
+                        Some(&v) => {
+                            prop_assert!(found);
+                            // First inserted value wins (no upsert).
+                            let got = u64::from_le_bytes(buf[..8].try_into().unwrap());
+                            prop_assert_eq!(got, v);
+                        }
+                        None => prop_assert!(!found),
+                    }
+                }
+                Op::Delete(k) => {
+                    prop_assert_eq!(tree.delete(&mut env, k), model.remove(&k).is_some());
+                }
+                Op::ScanFrom(k, n) => {
+                    let mut got = Vec::new();
+                    tree.scan_from(&mut env, k, |_, key, _| {
+                        got.push(key);
+                        got.len() < n as usize
+                    });
+                    let want: Vec<u64> =
+                        model.range(k..).take(n as usize).map(|(&k, _)| k).collect();
+                    prop_assert_eq!(got, want);
+                }
+                Op::MinFrom(k) => {
+                    let got = tree.min_from(&mut env, k).map(|(key, _)| key);
+                    let want = model.range(k..).next().map(|(&k, _)| k);
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        prop_assert_eq!(tree.count(&mut env), model.len() as u64);
+        prop_assert_eq!(tree.entry_count(&mut env), model.len() as u64);
+        let errors = tree.check_invariants(&mut env);
+        prop_assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn dense_ascending_then_random_deletes_keep_order(
+        n in 50u64..400,
+        dels in proptest::collection::vec(0u64..400, 0..200),
+    ) {
+        let mut env = Env::new();
+        let alloc = PageAlloc::new(&mut env, 1);
+        let tree = BTree::create(&mut env, &alloc, 16, 2);
+        for k in 0..n {
+            prop_assert!(tree.insert(&mut env, &alloc, k, &value_bytes(k)));
+        }
+        let mut model: BTreeMap<u64, u64> = (0..n).map(|k| (k, k)).collect();
+        for d in dels {
+            prop_assert_eq!(tree.delete(&mut env, d), model.remove(&d).is_some());
+        }
+        let mut seen = Vec::new();
+        tree.scan_from(&mut env, 0, |_, k, _| {
+            seen.push(k);
+            true
+        });
+        let want: Vec<u64> = model.keys().copied().collect();
+        prop_assert_eq!(seen, want);
+    }
+}

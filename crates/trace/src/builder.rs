@@ -1,0 +1,295 @@
+//! Program construction.
+//!
+//! Two layers:
+//!
+//! * [`OpSink`] — anything that accepts a stream of [`TraceOp`]s. The
+//!   workload substrate (`tls-minidb`) writes against this trait so the
+//!   same DB code can feed a [`ProgramBuilder`], a statistics counter, or a
+//!   test collector.
+//! * [`ProgramBuilder`] — assembles ops into sequential and parallel
+//!   regions and produces a [`TraceProgram`].
+
+use crate::{latency, Addr, Epoch, LatchId, Pc, Region, TraceOp, TraceProgram};
+
+/// A consumer of dynamic instructions.
+///
+/// Only [`OpSink::emit`] is required; the remaining methods are convenience
+/// emitters with the instruction mix used throughout the workload code.
+pub trait OpSink {
+    /// Accepts one dynamic instruction.
+    fn emit(&mut self, op: TraceOp);
+
+    /// Emits one single-cycle integer ALU op.
+    fn int_alu(&mut self, pc: Pc) {
+        self.emit(TraceOp::int_alu(pc, latency::INT));
+    }
+
+    /// Emits `n` single-cycle integer ALU ops.
+    fn int_ops(&mut self, pc: Pc, n: usize) {
+        for _ in 0..n {
+            self.int_alu(pc);
+        }
+    }
+
+    /// Emits a load of `size` bytes.
+    fn load(&mut self, pc: Pc, addr: Addr, size: u8) {
+        self.emit(TraceOp::load(pc, addr, size));
+    }
+
+    /// Emits a store of `size` bytes.
+    fn store(&mut self, pc: Pc, addr: Addr, size: u8) {
+        self.emit(TraceOp::store(pc, addr, size));
+    }
+
+    /// Emits a conditional branch with recorded outcome `taken`.
+    fn branch(&mut self, pc: Pc, taken: bool) {
+        self.emit(TraceOp::branch(pc, taken));
+    }
+
+    /// Emits a latch acquire.
+    fn latch_acquire(&mut self, pc: Pc, latch: LatchId) {
+        self.emit(TraceOp::latch_acquire(pc, latch));
+    }
+
+    /// Emits a latch release.
+    fn latch_release(&mut self, pc: Pc, latch: LatchId) {
+        self.emit(TraceOp::latch_release(pc, latch));
+    }
+}
+
+/// Collects emitted ops into a `Vec` — handy in tests.
+impl OpSink for Vec<TraceOp> {
+    fn emit(&mut self, op: TraceOp) {
+        self.push(op);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Sequential,
+    Parallel { in_epoch: bool },
+}
+
+/// Incrementally builds a [`TraceProgram`].
+///
+/// The builder is always in one of two modes. In sequential mode (the
+/// initial mode) emitted ops append to the current sequential region. After
+/// [`begin_parallel`](ProgramBuilder::begin_parallel), ops may only be
+/// emitted between [`begin_epoch`](ProgramBuilder::begin_epoch) /
+/// [`end_epoch`](ProgramBuilder::end_epoch) pairs; each pair records one
+/// speculative thread.
+///
+/// # Panics
+///
+/// Methods panic on mode violations (emitting outside an epoch while in
+/// parallel mode, unbalanced begin/end, finishing mid-parallel-region):
+/// these are programming errors in the workload generator, not runtime
+/// conditions.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    regions: Vec<Region>,
+    seq: Vec<TraceOp>,
+    epochs: Vec<Epoch>,
+    cur_epoch: Vec<TraceOp>,
+    mode: Mode,
+}
+
+impl ProgramBuilder {
+    /// A new builder for a program called `name`, starting in sequential
+    /// mode.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            regions: Vec::new(),
+            seq: Vec::new(),
+            epochs: Vec::new(),
+            cur_epoch: Vec::new(),
+            mode: Mode::Sequential,
+        }
+    }
+
+    /// Closes the current sequential region and starts a parallel one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already inside a parallel region.
+    pub fn begin_parallel(&mut self) {
+        assert_eq!(self.mode, Mode::Sequential, "begin_parallel inside a parallel region");
+        if !self.seq.is_empty() {
+            self.regions.push(Region::Sequential(Epoch::new(std::mem::take(&mut self.seq))));
+        }
+        self.mode = Mode::Parallel { in_epoch: false };
+    }
+
+    /// Starts the next epoch (loop iteration) of the current parallel
+    /// region.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside a parallel region or if the previous epoch was not
+    /// ended.
+    pub fn begin_epoch(&mut self) {
+        match self.mode {
+            Mode::Parallel { in_epoch: false } => self.mode = Mode::Parallel { in_epoch: true },
+            Mode::Parallel { in_epoch: true } => panic!("begin_epoch while an epoch is open"),
+            Mode::Sequential => panic!("begin_epoch outside a parallel region"),
+        }
+    }
+
+    /// Ends the current epoch. Empty epochs are recorded too: an iteration
+    /// that did no work still occupies a thread context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no epoch is open.
+    pub fn end_epoch(&mut self) {
+        match self.mode {
+            Mode::Parallel { in_epoch: true } => {
+                self.epochs.push(Epoch::new(std::mem::take(&mut self.cur_epoch)));
+                self.mode = Mode::Parallel { in_epoch: false };
+            }
+            _ => panic!("end_epoch without begin_epoch"),
+        }
+    }
+
+    /// Ends the parallel region and returns to sequential mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not in a parallel region or if an epoch is still open.
+    pub fn end_parallel(&mut self) {
+        match self.mode {
+            Mode::Parallel { in_epoch: false } => {
+                self.regions.push(Region::Parallel(std::mem::take(&mut self.epochs)));
+                self.mode = Mode::Sequential;
+            }
+            Mode::Parallel { in_epoch: true } => panic!("end_parallel with an open epoch"),
+            Mode::Sequential => panic!("end_parallel outside a parallel region"),
+        }
+    }
+
+    /// True while inside a parallel region (between `begin_parallel` and
+    /// `end_parallel`).
+    pub fn in_parallel(&self) -> bool {
+        matches!(self.mode, Mode::Parallel { .. })
+    }
+
+    /// Finishes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parallel region is still open.
+    pub fn finish(mut self) -> TraceProgram {
+        assert_eq!(self.mode, Mode::Sequential, "finish inside a parallel region");
+        if !self.seq.is_empty() {
+            self.regions.push(Region::Sequential(Epoch::new(self.seq)));
+        }
+        TraceProgram::new(self.name, self.regions)
+    }
+}
+
+impl OpSink for ProgramBuilder {
+    fn emit(&mut self, op: TraceOp) {
+        match self.mode {
+            Mode::Sequential => self.seq.push(op),
+            Mode::Parallel { in_epoch: true } => self.cur_epoch.push(op),
+            Mode::Parallel { in_epoch: false } => {
+                panic!("emit in a parallel region outside any epoch")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_alternating_regions() {
+        let mut b = ProgramBuilder::new("p");
+        b.int_ops(Pc::new(0, 0), 2);
+        b.begin_parallel();
+        for _ in 0..3 {
+            b.begin_epoch();
+            b.int_alu(Pc::new(0, 1));
+            b.end_epoch();
+        }
+        b.end_parallel();
+        b.int_alu(Pc::new(0, 2));
+        let p = b.finish();
+        assert_eq!(p.regions.len(), 3);
+        assert!(matches!(&p.regions[0], Region::Sequential(e) if e.len() == 2));
+        assert!(matches!(&p.regions[1], Region::Parallel(es) if es.len() == 3));
+        assert!(matches!(&p.regions[2], Region::Sequential(e) if e.len() == 1));
+    }
+
+    #[test]
+    fn no_empty_leading_sequential_region() {
+        let mut b = ProgramBuilder::new("p");
+        b.begin_parallel();
+        b.begin_epoch();
+        b.int_alu(Pc::new(0, 0));
+        b.end_epoch();
+        b.end_parallel();
+        let p = b.finish();
+        assert_eq!(p.regions.len(), 1);
+    }
+
+    #[test]
+    fn empty_epochs_are_kept() {
+        let mut b = ProgramBuilder::new("p");
+        b.begin_parallel();
+        b.begin_epoch();
+        b.end_epoch();
+        b.begin_epoch();
+        b.int_alu(Pc::new(0, 0));
+        b.end_epoch();
+        b.end_parallel();
+        let p = b.finish();
+        assert!(matches!(&p.regions[0], Region::Parallel(es) if es.len() == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside any epoch")]
+    fn emit_outside_epoch_panics() {
+        let mut b = ProgramBuilder::new("p");
+        b.begin_parallel();
+        b.int_alu(Pc::new(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finish inside a parallel region")]
+    fn finish_mid_parallel_panics() {
+        let mut b = ProgramBuilder::new("p");
+        b.begin_parallel();
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_epoch while an epoch is open")]
+    fn nested_epoch_panics() {
+        let mut b = ProgramBuilder::new("p");
+        b.begin_parallel();
+        b.begin_epoch();
+        b.begin_epoch();
+    }
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut v: Vec<TraceOp> = Vec::new();
+        v.int_ops(Pc::new(1, 1), 4);
+        v.branch(Pc::new(1, 2), true);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn in_parallel_tracks_mode() {
+        let mut b = ProgramBuilder::new("p");
+        assert!(!b.in_parallel());
+        b.begin_parallel();
+        assert!(b.in_parallel());
+        b.end_parallel();
+        assert!(!b.in_parallel());
+    }
+}

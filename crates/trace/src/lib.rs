@@ -1,0 +1,57 @@
+//! Instruction-trace representation for the sub-thread TLS simulator.
+//!
+//! The simulator reproduced here (Colohan et al., *Tolerating Dependences
+//! Between Large Speculative Threads Via Sub-Threads*, ISCA 2006) is
+//! **trace-driven**: a workload executes once, recording every dynamic
+//! instruction it would have run, and the timing model then replays that
+//! trace on a simulated chip multiprocessor. This crate defines the trace
+//! vocabulary shared by the workload generators (`tls-minidb`) and the
+//! timing model (`tls-core`):
+//!
+//! * [`TraceOp`] — one dynamic instruction: a synthetic program counter
+//!   ([`Pc`]), an operation class with its latency or memory address, and an
+//!   optional data dependence on an earlier instruction.
+//! * [`Epoch`] — the unit of speculative parallelism: one iteration of a
+//!   loop the programmer marked parallel. Epochs are totally ordered by
+//!   their position in the original sequential execution.
+//! * [`Region`] / [`TraceProgram`] — a program is an alternation of
+//!   sequential regions and parallel regions (each a vector of epochs).
+//! * [`ProgramBuilder`] / [`OpSink`] — ergonomic construction of programs,
+//!   used by both the TPC-C workload and hand-built microbenchmarks.
+//! * [`TraceStats`] — the static statistics behind Table 2 of the paper
+//!   (coverage, average thread size, speculative instructions per thread).
+//!
+//! # Example
+//!
+//! ```
+//! use tls_trace::{ProgramBuilder, OpSink, Pc, Addr};
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! b.int_ops(Pc::new(1, 0), 10); // sequential prologue
+//! b.begin_parallel();
+//! for i in 0..4u64 {
+//!     b.begin_epoch();
+//!     b.load(Pc::new(2, 0), Addr(0x1000 + 8 * i), 8);
+//!     b.int_ops(Pc::new(2, 1), 100);
+//!     b.store(Pc::new(2, 2), Addr(0x2000 + 8 * i), 8);
+//!     b.end_epoch();
+//! }
+//! b.end_parallel();
+//! let program = b.finish();
+//! let stats = program.stats();
+//! assert_eq!(stats.epochs, 4);
+//! assert!(stats.coverage() > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod op;
+mod program;
+mod stats;
+
+pub use builder::{OpSink, ProgramBuilder};
+pub use op::{latency, Addr, LatchId, OpKind, Pc, TraceOp};
+pub use program::{Epoch, EpochId, Region, TraceProgram};
+pub use stats::TraceStats;

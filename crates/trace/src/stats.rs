@@ -1,0 +1,156 @@
+//! Static trace statistics (the quantities reported in Table 2 of the
+//! paper, minus the cycle counts which come from the timing model).
+
+use crate::{Region, TraceProgram};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Statistics of a [`TraceProgram`].
+///
+/// * `coverage` — fraction of dynamic instructions inside parallel regions
+///   (Table 2 "Coverage"). Low coverage bounds TLS speedup by Amdahl's law.
+/// * `avg_epoch_ops` — average speculative thread size in dynamic
+///   instructions (Table 2 "Avg. Thread Size").
+/// * `epochs` — number of speculative threads (Table 2 "Threads per
+///   Transaction" once divided by the transaction count).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct TraceStats {
+    /// Total dynamic instructions.
+    pub total_ops: usize,
+    /// Dynamic instructions inside parallel regions.
+    pub parallel_ops: usize,
+    /// Number of epochs across all parallel regions.
+    pub epochs: usize,
+    /// Number of parallel regions.
+    pub parallel_regions: usize,
+    /// Dynamic loads inside parallel regions.
+    pub spec_loads: usize,
+    /// Dynamic stores inside parallel regions.
+    pub spec_stores: usize,
+    /// Largest epoch, in dynamic instructions.
+    pub max_epoch_ops: usize,
+    /// Smallest non-empty epoch, in dynamic instructions.
+    pub min_epoch_ops: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for `program`.
+    pub fn of(program: &TraceProgram) -> Self {
+        let mut s = TraceStats { min_epoch_ops: usize::MAX, ..Default::default() };
+        for region in &program.regions {
+            s.total_ops += region.ops();
+            if let Region::Parallel(epochs) = region {
+                s.parallel_regions += 1;
+                s.parallel_ops += region.ops();
+                for e in epochs {
+                    s.epochs += 1;
+                    s.max_epoch_ops = s.max_epoch_ops.max(e.len());
+                    if !e.is_empty() {
+                        s.min_epoch_ops = s.min_epoch_ops.min(e.len());
+                    }
+                    for op in &e.ops {
+                        if op.is_load() {
+                            s.spec_loads += 1;
+                        } else if op.is_store() {
+                            s.spec_stores += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if s.min_epoch_ops == usize::MAX {
+            s.min_epoch_ops = 0;
+        }
+        s
+    }
+
+    /// Fraction of dynamic instructions inside parallel regions, in `0..=1`.
+    /// Returns 0 for an empty program.
+    pub fn coverage(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.parallel_ops as f64 / self.total_ops as f64
+        }
+    }
+
+    /// Average epoch size in dynamic instructions (0 if there are no
+    /// epochs).
+    pub fn avg_epoch_ops(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.parallel_ops as f64 / self.epochs as f64
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ops, {:.1}% coverage, {} epochs averaging {:.0} ops \
+             ({} loads / {} stores speculative)",
+            self.total_ops,
+            100.0 * self.coverage(),
+            self.epochs,
+            self.avg_epoch_ops(),
+            self.spec_loads,
+            self.spec_stores,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, OpSink, Pc, ProgramBuilder};
+
+    fn sample() -> TraceProgram {
+        let mut b = ProgramBuilder::new("s");
+        b.int_ops(Pc::new(0, 0), 10);
+        b.begin_parallel();
+        for i in 0..2u64 {
+            b.begin_epoch();
+            b.load(Pc::new(0, 1), Addr(64 * i), 8);
+            b.int_ops(Pc::new(0, 2), 18);
+            b.store(Pc::new(0, 3), Addr(64 * i), 8);
+            b.end_epoch();
+        }
+        b.end_parallel();
+        b.finish()
+    }
+
+    #[test]
+    fn counts_and_coverage() {
+        let s = sample().stats();
+        assert_eq!(s.total_ops, 50);
+        assert_eq!(s.parallel_ops, 40);
+        assert_eq!(s.epochs, 2);
+        assert_eq!(s.parallel_regions, 1);
+        assert_eq!(s.spec_loads, 2);
+        assert_eq!(s.spec_stores, 2);
+        assert!((s.coverage() - 0.8).abs() < 1e-12);
+        assert!((s.avg_epoch_ops() - 20.0).abs() < 1e-12);
+        assert_eq!(s.max_epoch_ops, 20);
+        assert_eq!(s.min_epoch_ops, 20);
+    }
+
+    #[test]
+    fn empty_program_is_all_zero() {
+        let p = TraceProgram::new("empty", vec![]);
+        let s = p.stats();
+        assert_eq!(s.total_ops, 0);
+        assert_eq!(s.coverage(), 0.0);
+        assert_eq!(s.avg_epoch_ops(), 0.0);
+        assert_eq!(s.min_epoch_ops, 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = sample().stats();
+        let text = format!("{s}");
+        assert!(text.contains("coverage"));
+        assert!(text.contains("epochs"));
+    }
+}

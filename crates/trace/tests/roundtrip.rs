@@ -1,0 +1,100 @@
+//! Property tests of the trace layer: packing round-trips, statistics
+//! arithmetic, and serde serialization.
+
+use proptest::prelude::*;
+use tls_trace::{Addr, Epoch, LatchId, OpKind, Pc, Region, TraceOp, TraceProgram};
+
+fn gen_traceop() -> impl Strategy<Value = TraceOp> {
+    let pc = (any::<u16>(), any::<u16>()).prop_map(|(m, s)| Pc::new(m, s));
+    prop_oneof![
+        (pc.clone(), 1u8..=200).prop_map(|(pc, l)| TraceOp::int_alu(pc, l)),
+        (pc.clone(), 1u8..=200).prop_map(|(pc, l)| TraceOp::fp_alu(pc, l)),
+        (pc.clone(), any::<u64>(), 1u8..=8, any::<u16>())
+            .prop_map(|(pc, a, s, d)| TraceOp::load(pc, Addr(a), s).with_dep(d)),
+        (pc.clone(), any::<u64>(), 1u8..=8)
+            .prop_map(|(pc, a, s)| TraceOp::store(pc, Addr(a), s)),
+        (pc.clone(), any::<bool>()).prop_map(|(pc, t)| TraceOp::branch(pc, t)),
+        (pc.clone(), any::<u16>()).prop_map(|(pc, l)| TraceOp::latch_acquire(pc, LatchId(l))),
+        (pc, any::<u16>()).prop_map(|(pc, l)| TraceOp::latch_release(pc, LatchId(l))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The 16-byte packing decodes to exactly what was encoded.
+    #[test]
+    fn op_packing_round_trips(op in gen_traceop()) {
+        let kind = op.kind();
+        match kind {
+            OpKind::Load { addr, size } => {
+                prop_assert!(op.is_load() && op.is_mem());
+                prop_assert_eq!(op.mem_addr(), Some(addr));
+                prop_assert!((1..=8).contains(&size));
+            }
+            OpKind::Store { addr, .. } => {
+                prop_assert!(op.is_store() && op.is_mem());
+                prop_assert_eq!(op.mem_addr(), Some(addr));
+            }
+            _ => prop_assert!(!op.is_mem()),
+        }
+        // Re-encoding by kind gives an equal op (dep preserved separately).
+        let rebuilt = match kind {
+            OpKind::IntAlu { latency } => TraceOp::int_alu(op.pc(), latency),
+            OpKind::FpAlu { latency } => TraceOp::fp_alu(op.pc(), latency),
+            OpKind::Load { addr, size } => TraceOp::load(op.pc(), addr, size),
+            OpKind::Store { addr, size } => TraceOp::store(op.pc(), addr, size),
+            OpKind::Branch { taken } => TraceOp::branch(op.pc(), taken),
+            OpKind::LatchAcquire(l) => TraceOp::latch_acquire(op.pc(), l),
+            OpKind::LatchRelease(l) => TraceOp::latch_release(op.pc(), l),
+        }.with_dep(op.dep());
+        prop_assert_eq!(rebuilt, op);
+    }
+
+    /// Serde round-trips the packed representation losslessly.
+    #[test]
+    fn op_serde_round_trips(ops in proptest::collection::vec(gen_traceop(), 0..50)) {
+        let program = TraceProgram::new(
+            "rt",
+            vec![Region::Sequential(Epoch::new(ops.clone()))],
+        );
+        let json = serde_json::to_string(&program).expect("serialize");
+        let back: TraceProgram = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back.total_ops(), ops.len());
+        for (a, b) in back.iter_ops().zip(ops.iter()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Statistics identities hold for arbitrary region structures.
+    #[test]
+    fn stats_identities(
+        seqs in proptest::collection::vec(0usize..40, 0..4),
+        epochs in proptest::collection::vec(proptest::collection::vec(0usize..40, 0..6), 0..4),
+    ) {
+        let mut regions = Vec::new();
+        for n in &seqs {
+            regions.push(Region::Sequential(Epoch::new(
+                (0..*n).map(|i| TraceOp::int_alu(Pc::new(0, i as u16), 1)).collect(),
+            )));
+        }
+        for par in &epochs {
+            regions.push(Region::Parallel(
+                par.iter()
+                    .map(|n| Epoch::new(
+                        (0..*n).map(|i| TraceOp::int_alu(Pc::new(1, i as u16), 1)).collect(),
+                    ))
+                    .collect(),
+            ));
+        }
+        let p = TraceProgram::new("s", regions);
+        let s = p.stats();
+        let seq_total: usize = seqs.iter().sum();
+        let par_total: usize = epochs.iter().flatten().sum();
+        prop_assert_eq!(s.total_ops, seq_total + par_total);
+        prop_assert_eq!(s.parallel_ops, par_total);
+        prop_assert_eq!(s.epochs, epochs.iter().map(Vec::len).sum::<usize>());
+        prop_assert!(s.coverage() >= 0.0 && s.coverage() <= 1.0);
+        prop_assert_eq!(p.iter_ops().count(), s.total_ops);
+    }
+}

@@ -1,0 +1,55 @@
+//! Using the simulator outside TPC-C: hand-build a speculative workload
+//! with [`ProgramBuilder`] and explore how dependence position interacts
+//! with sub-thread checkpoints.
+//!
+//! The paper closes by recommending sub-threads for "large and dependent
+//! speculative threads in other application domains as well" — this
+//! example is the template for doing exactly that: synthesize (or record)
+//! your workload as a trace program, mark the parallel loops, and measure.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use subthreads::core::synthetic;
+use subthreads::core::{CmpConfig, CmpSimulator, SubThreadConfig};
+
+fn main() {
+    let machine = {
+        let mut c = CmpConfig::paper_default();
+        c.max_cycles = 1_000_000_000;
+        c
+    };
+    let mut all_or_nothing = machine;
+    all_or_nothing.subthreads = SubThreadConfig::disabled();
+
+    println!("4 threads x 50k instructions; value passed thread-to-thread");
+    println!(
+        "{:<28} {:>14} {:>14} {:>8}",
+        "dependence placement", "all-or-nothing", "sub-threads", "gain"
+    );
+    for (label, load_at, store_at) in [
+        ("early load  -> early store", 0.05, 0.10),
+        ("mid load    -> late store ", 0.50, 0.90),
+        ("late load   -> late store ", 0.85, 0.90),
+        ("early load  -> late store ", 0.05, 0.90),
+    ] {
+        let p = synthetic::pipeline(4, 50_000, load_at, store_at);
+        let aon = CmpSimulator::new(all_or_nothing).run(&p);
+        let sub = CmpSimulator::new(machine).run(&p);
+        println!(
+            "{label:<28} {:>12} cy {:>12} cy {:>7.2}x",
+            aon.total_cycles,
+            sub.total_cycles,
+            aon.total_cycles as f64 / sub.total_cycles as f64
+        );
+    }
+
+    println!(
+        "\nTakeaways (matching the paper): sub-threads pay off most when the \
+         consuming load sits late in the thread (the rewind is contained to \
+         one checkpoint span); an early load followed by a late producer \
+         store is the one shape checkpoints cannot fix — that dependence \
+         must be removed in software (Figure 2's tuning process)."
+    );
+}

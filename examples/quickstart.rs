@@ -1,0 +1,53 @@
+//! Quickstart: record a TPC-C NEW ORDER transaction and simulate it on
+//! the paper's 4-CPU machine, with and without sub-thread support.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use subthreads::core::{CmpConfig, CmpSimulator, SubThreadConfig};
+use subthreads::minidb::{Tpcc, TpccConfig, Transaction};
+
+fn main() {
+    // 1. Load a TPC-C database: a full single-warehouse population, as
+    //    in the paper (a couple of seconds; `TpccConfig::test()` is the
+    //    millisecond-fast variant used by the test suite).
+    let mut tpcc = Tpcc::new(TpccConfig::paper());
+
+    // 2. Execute two NEW ORDER transactions, recording every dynamic
+    //    instruction into a trace program. The order-line loop is marked
+    //    parallel, so each iteration becomes a speculative thread.
+    let program = tpcc.record(Transaction::NewOrder, 2);
+    let stats = program.stats();
+    println!(
+        "recorded {} instructions, {} speculative threads averaging {:.0} instructions, \
+         {:.0}% coverage",
+        stats.total_ops,
+        stats.epochs,
+        stats.avg_epoch_ops(),
+        100.0 * stats.coverage()
+    );
+
+    // 3. Simulate on the paper's machine: 4 CPUs, 8 sub-threads per
+    //    speculative thread checkpointed every 5000 instructions.
+    let mut config = CmpConfig::paper_default();
+    config.max_cycles = 1_000_000_000;
+    let with_subthreads = CmpSimulator::new(config).run(&program);
+
+    // 4. Same machine, sub-threads disabled: all-or-nothing TLS.
+    let mut no_subthreads = config;
+    no_subthreads.subthreads = SubThreadConfig::disabled();
+    let all_or_nothing = CmpSimulator::new(no_subthreads).run(&program);
+
+    println!("\nwith sub-threads (baseline):");
+    println!("{with_subthreads}");
+    println!("\nall-or-nothing TLS:");
+    println!("{all_or_nothing}");
+
+    println!(
+        "\nsub-threads turned {} failed CPU-cycles into {} — a {:.2}x end-to-end win",
+        all_or_nothing.breakdown.failed,
+        with_subthreads.breakdown.failed,
+        with_subthreads.speedup_vs(&all_or_nothing),
+    );
+}

@@ -1,0 +1,88 @@
+//! The §3.2 performance-tuning loop, as a programmer would drive it:
+//!
+//! 1. run the speculatively-parallelized transaction,
+//! 2. read the hardware dependence profile (failed cycles per
+//!    load-PC/store-PC pair),
+//! 3. apply the optimization the top entry points at,
+//! 4. repeat.
+//!
+//! ```sh
+//! cargo run --release --example tuning
+//! ```
+
+use subthreads::core::{CmpConfig, CmpSimulator, ProfileEntry};
+use subthreads::minidb::tpcc::schema::module;
+use subthreads::minidb::{OptLevel, Tpcc, TpccConfig, Transaction};
+use subthreads::trace::Pc;
+
+/// Maps a profiled PC back to the engine structure it lives in — the
+/// "software interface to the list" of §3.1.
+fn describe(pc: Option<Pc>) -> String {
+    let Some(pc) = pc else { return "<evicted from exposed-load table>".into() };
+    let what = match pc.module() {
+        0x08 => "engine shared state (log tail / allocator / statistics)",
+        module::ITEM => "ITEM b-tree",
+        module::DISTRICT => "DISTRICT b-tree",
+        module::CUSTOMER => "CUSTOMER b-tree",
+        module::STOCK => "STOCK b-tree",
+        module::ORDERS => "ORDER b-tree",
+        module::NEW_ORDER => "NEW-ORDER b-tree",
+        module::ORDER_LINE => "ORDER-LINE b-tree",
+        module::TXN_NEW_ORDER => "NEW ORDER transaction code",
+        _ => "other",
+    };
+    format!("{pc} ({what})")
+}
+
+fn show_profile(profile: &[ProfileEntry]) {
+    for e in profile.iter().take(3) {
+        println!(
+            "      {:>9} failed cycles, {:>3} violations: load {} <- store {}",
+            e.failed_cycles,
+            e.violations,
+            describe(e.load_pc),
+            describe(e.store_pc)
+        );
+    }
+}
+
+fn main() {
+    let machine = {
+        let mut c = CmpConfig::paper_default();
+        c.max_cycles = 2_000_000_000;
+        c
+    };
+
+    let mut speedups = Vec::new();
+    for (name, opts) in OptLevel::tuning_steps() {
+        // Build the engine at this optimization level and record the
+        // parallelized transaction. (A fresh database per step keeps the
+        // runs comparable.) Paper scale: the tuning dynamics need
+        // full-size threads, so this example takes ~10 seconds.
+        let mut cfg = TpccConfig::paper();
+        cfg.opts = opts;
+        let mut tpcc = Tpcc::new(cfg);
+        let program = tpcc.record(Transaction::NewOrder, 3);
+
+        // Reference: the same engine level, epochs serialized.
+        let serial = subthreads::core::experiment::serialize_program(&program);
+        let seq_cycles = CmpSimulator::new(machine).run(&serial).total_cycles;
+
+        let report = CmpSimulator::new(machine).run(&program);
+        let speedup = seq_cycles as f64 / report.total_cycles as f64;
+        println!(
+            "\n[{name}] {} cycles, speedup {speedup:.2}x, {} violations",
+            report.total_cycles,
+            report.violations.total()
+        );
+        println!("   profiler says the most harmful dependences are:");
+        show_profile(&report.profile);
+        speedups.push((name, speedup));
+    }
+
+    println!("\ntuning curve:");
+    for (name, s) in &speedups {
+        let bars = "#".repeat((s * 20.0) as usize);
+        println!("  {name:<28} {s:>5.2}x {bars}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # subthreads — sub-thread checkpointing for large speculative threads
+//!
+//! A production-quality Rust reproduction of Colohan, Ailamaki, Steffan and
+//! Mowry, *"Tolerating Dependences Between Large Speculative Threads Via
+//! Sub-Threads"* (ISCA 2006).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`trace`] — instruction traces, epochs and programs.
+//! * [`cpu`] — the out-of-order core timing model.
+//! * [`cache`] — the L1/L2/victim-cache memory hierarchy.
+//! * [`core`] — the TLS protocol with sub-thread checkpointing and the CMP
+//!   simulator (the paper's contribution).
+//! * [`minidb`] — the storage engine + TPC-C workload the paper evaluates
+//!   on.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use subthreads::core::{CmpConfig, CmpSimulator, ExperimentKind};
+//! use subthreads::minidb::{Tpcc, TpccConfig, Transaction};
+//!
+//! // Record a (scaled-down) NEW ORDER transaction as a trace program.
+//! let mut tpcc = Tpcc::new(TpccConfig::test());
+//! let program = tpcc.record(Transaction::NewOrder, 2);
+//!
+//! // Simulate it on a 4-CPU CMP with 8 sub-threads per thread.
+//! let config = CmpConfig::paper_default();
+//! let report = CmpSimulator::new(config).run(&program);
+//! assert!(report.total_cycles > 0);
+//! ```
+
+pub use tls_cache as cache;
+pub use tls_core as core;
+pub use tls_cpu as cpu;
+pub use tls_minidb as minidb;
+pub use tls_trace as trace;

@@ -1,0 +1,25 @@
+//! End-to-end: the full TPC-C transaction mix recorded and simulated.
+
+use subthreads::core::{CmpConfig, CmpSimulator, SpacingPolicy};
+use subthreads::minidb::tpcc::consistency;
+use subthreads::minidb::{Tpcc, TpccConfig};
+
+#[test]
+fn the_standard_mix_simulates_and_stays_consistent() {
+    let mut tpcc = Tpcc::new(TpccConfig::test());
+    let program = tpcc.record_mix(12);
+    consistency::check(&mut tpcc).expect("database consistent after the mix");
+
+    let mut machine = CmpConfig::paper_default();
+    machine.subthreads.spacing = SpacingPolicy::EvenDivision;
+    machine.max_cycles = 200_000_000;
+    let r = CmpSimulator::new(machine).run(&program);
+    let expected: u64 = program.regions.iter().map(|reg| reg.epochs() as u64).sum();
+    assert_eq!(r.committed_epochs, expected);
+    assert_eq!(r.breakdown.total(), r.total_cycles * 4);
+
+    // The mix must contain both parallel phases (NEW ORDER et al.) and
+    // mostly-sequential ones (PAYMENT): idle present, busy present.
+    assert!(r.breakdown.idle > 0);
+    assert!(r.breakdown.busy > 0);
+}

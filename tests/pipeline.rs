@@ -1,0 +1,144 @@
+//! End-to-end integration: TPC-C → trace → CMP simulation, checking the
+//! cross-crate invariants no unit test can see.
+
+use subthreads::core::experiment::{run_benchmark, BenchmarkPrograms, ExperimentKind};
+use subthreads::core::{CmpConfig, CmpSimulator, SpacingPolicy};
+use subthreads::minidb::{Tpcc, TpccConfig, Transaction};
+
+fn machine() -> CmpConfig {
+    let mut c = CmpConfig::paper_default();
+    // Scaled-down test threads need proportionally scaled sub-threads.
+    c.subthreads.spacing = SpacingPolicy::EvenDivision;
+    c.max_cycles = 100_000_000;
+    c
+}
+
+fn programs(txn: Transaction, count: usize) -> BenchmarkPrograms {
+    let (plain, tls) = Tpcc::record_pair(&TpccConfig::test(), txn, count);
+    BenchmarkPrograms { plain, tls }
+}
+
+#[test]
+fn every_benchmark_runs_all_five_experiments() {
+    for txn in Transaction::ALL {
+        let progs = programs(txn, 1);
+        let results = run_benchmark(&machine(), &progs);
+        assert_eq!(results.len(), 5, "{}", txn.label());
+        for (kind, r) in &results {
+            // Accounting identity: every CPU-cycle categorized once.
+            assert_eq!(
+                r.breakdown.total(),
+                r.total_cycles * r.cpus as u64,
+                "{} {}",
+                txn.label(),
+                kind.label()
+            );
+            // Every epoch committed exactly once.
+            let program =
+                if kind.uses_tls_trace() { &progs.tls } else { &progs.plain };
+            let expected = if kind.serialized() {
+                program.regions.len() as u64
+            } else {
+                program.regions.iter().map(|r| r.epochs() as u64).sum()
+            };
+            assert_eq!(r.committed_epochs, expected, "{} {}", txn.label(), kind.label());
+            // Nothing retained was fabricated: at least the program's
+            // instructions were dispatched.
+            assert!(r.dispatched_ops >= (program.total_ops() as u64).saturating_sub(
+                program.iter_ops().filter(|o| matches!(o.kind(),
+                    subthreads::trace::OpKind::LatchAcquire(_)
+                        | subthreads::trace::OpKind::LatchRelease(_))).count() as u64));
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let progs = programs(Transaction::NewOrder, 2);
+    let a = CmpSimulator::new(machine()).run(&progs.tls);
+    let b = CmpSimulator::new(machine()).run(&progs.tls);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.breakdown, b.breakdown);
+    assert_eq!(a.violations, b.violations);
+    assert_eq!(a.l1, b.l1);
+    assert_eq!(
+        serde_json::to_string(&a.profile).unwrap(),
+        serde_json::to_string(&b.profile).unwrap()
+    );
+}
+
+#[test]
+fn identically_seeded_databases_record_identical_traces() {
+    let mut a = Tpcc::new(TpccConfig::test());
+    let mut b = Tpcc::new(TpccConfig::test());
+    let pa = a.record(Transaction::Delivery, 1);
+    let pb = b.record(Transaction::Delivery, 1);
+    assert_eq!(pa.total_ops(), pb.total_ops());
+    let ka: Vec<_> = pa.iter_ops().map(|o| format!("{o:?}")).collect();
+    let kb: Vec<_> = pb.iter_ops().map(|o| format!("{o:?}")).collect();
+    assert_eq!(ka, kb);
+}
+
+#[test]
+fn tls_software_transformation_preserves_database_logic() {
+    // The plain (unoptimized engine) and TLS (optimized engine) runs must
+    // compute the same logical database state: same row counts, same
+    // district order counters.
+    use subthreads::minidb::tpcc::schema::{field, key};
+    use subthreads::minidb::OptLevel;
+
+    let mut plain_cfg = TpccConfig::test();
+    plain_cfg.opts = OptLevel::none();
+    let mut a = Tpcc::new(plain_cfg);
+    let mut b = Tpcc::new(TpccConfig::test());
+    for _ in 0..3 {
+        a.run_one(Transaction::NewOrder);
+        a.run_one(Transaction::Delivery);
+        a.run_one(Transaction::Payment);
+        b.run_one(Transaction::NewOrder);
+        b.run_one(Transaction::Delivery);
+        b.run_one(Transaction::Payment);
+    }
+    assert_eq!(a.tables.orders.count(&mut a.env), b.tables.orders.count(&mut b.env));
+    assert_eq!(a.tables.new_order.count(&mut a.env), b.tables.new_order.count(&mut b.env));
+    assert_eq!(a.tables.order_line.count(&mut a.env), b.tables.order_line.count(&mut b.env));
+    for d in 1..=a.cfg.districts {
+        let da = a.tables.district.get_addr(&mut a.env, key::district(d)).unwrap();
+        let db = b.tables.district.get_addr(&mut b.env, key::district(d)).unwrap();
+        assert_eq!(
+            a.env.mem.peek_u32(da.offset(field::D_NEXT_O_ID)),
+            b.env.mem.peek_u32(db.offset(field::D_NEXT_O_ID)),
+            "district {d} order counter"
+        );
+    }
+}
+
+#[test]
+fn violations_never_lose_epochs_or_work() {
+    // Even under heavy violation churn, every epoch commits and the
+    // simulator terminates.
+    let progs = programs(Transaction::NewOrder150, 1);
+    let r = CmpSimulator::new(machine()).run(&progs.tls);
+    assert!(r.violations.total() > 0, "this workload is dependence-heavy");
+    let expected: u64 = progs.tls.regions.iter().map(|r| r.epochs() as u64).sum();
+    assert_eq!(r.committed_epochs, expected);
+    assert!(r.wasted_work_ratio() < 0.9, "must make forward progress");
+}
+
+#[test]
+fn no_speculation_bound_is_fastest() {
+    let progs = programs(Transaction::NewOrder, 2);
+    let results = run_benchmark(&machine(), &progs);
+    let cycles = |k: ExperimentKind| {
+        results.iter().find(|(kk, _)| *kk == k).map(|(_, r)| r.total_cycles).unwrap()
+    };
+    let no_spec = cycles(ExperimentKind::NoSpeculation);
+    for (k, r) in &results {
+        assert!(
+            r.total_cycles * 100 >= no_spec * 98,
+            "{} ({} cycles) beat the no-speculation bound ({no_spec})",
+            k.label(),
+            r.total_cycles
+        );
+    }
+}

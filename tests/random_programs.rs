@@ -1,0 +1,170 @@
+//! Property tests of the simulator over randomly generated speculative
+//! programs: whatever the dependence pattern, the machine terminates,
+//! commits every epoch in order, preserves the accounting identity, and
+//! reacts to dependences exactly when they exist.
+
+use proptest::prelude::*;
+use subthreads::core::{
+    CmpConfig, CmpSimulator, ExhaustionPolicy, SecondaryPolicy, SpacingPolicy, SubThreadConfig,
+};
+use subthreads::trace::{Addr, OpSink, Pc, ProgramBuilder, TraceProgram};
+
+#[derive(Debug, Clone)]
+enum GenOp {
+    Alu(u8),
+    Load(u8),
+    Store(u8),
+    Branch(bool),
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        4 => (1u8..=4).prop_map(GenOp::Alu),
+        2 => (0u8..32).prop_map(GenOp::Load),
+        1 => (0u8..32).prop_map(GenOp::Store),
+        1 => any::<bool>().prop_map(GenOp::Branch),
+    ]
+}
+
+fn gen_program() -> impl Strategy<Value = TraceProgram> {
+    // 2..6 epochs of 10..200 ops over a 32-slot shared address pool.
+    proptest::collection::vec(proptest::collection::vec(gen_op(), 10..200), 2..6).prop_map(
+        |epochs| {
+            let mut b = ProgramBuilder::new("random");
+            b.begin_parallel();
+            for (e, ops) in epochs.iter().enumerate() {
+                b.begin_epoch();
+                for (i, op) in ops.iter().enumerate() {
+                    let pc = Pc::new(e as u16, i as u16);
+                    match op {
+                        GenOp::Alu(n) => b.int_ops(pc, *n as usize),
+                        GenOp::Load(slot) => b.load(pc, Addr(0x4000 + 8 * *slot as u64), 8),
+                        GenOp::Store(slot) => b.store(pc, Addr(0x4000 + 8 * *slot as u64), 8),
+                        GenOp::Branch(t) => b.branch(pc, *t),
+                    }
+                }
+                b.end_epoch();
+            }
+            b.end_parallel();
+            b.finish()
+        },
+    )
+}
+
+fn machines() -> Vec<CmpConfig> {
+    let mut base = CmpConfig::test_small();
+    base.max_cycles = 5_000_000;
+    let mut v = Vec::new();
+    for contexts in [1u8, 2, 8] {
+        for secondary in [SecondaryPolicy::StartTable, SecondaryPolicy::RestartAll] {
+            for exhaustion in [ExhaustionPolicy::Merge, ExhaustionPolicy::Stop] {
+                let mut c = base;
+                c.subthreads = SubThreadConfig {
+                    contexts,
+                    spacing: SpacingPolicy::Every(17),
+                    exhaustion,
+                };
+                c.secondary = secondary;
+                v.push(c);
+            }
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn machine_invariants_hold_for_any_program(program in gen_program()) {
+        let epochs = program.stats().epochs as u64;
+        for cfg in machines() {
+            let r = CmpSimulator::new(cfg).run(&program);
+            // Terminates (max_cycles would panic) and commits everything.
+            prop_assert_eq!(r.committed_epochs, epochs);
+            // Accounting identity.
+            prop_assert_eq!(r.breakdown.total(), r.total_cycles * r.cpus as u64);
+            // Work conservation: everything in the program ran at least
+            // once; failed time implies re-execution and vice versa.
+            prop_assert!(r.dispatched_ops >= program.total_ops() as u64);
+            if r.violations.total() == 0 {
+                prop_assert_eq!(r.dispatched_ops, program.total_ops() as u64);
+                prop_assert_eq!(r.breakdown.failed, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dependence_free_programs_never_violate(
+        epochs in proptest::collection::vec(10usize..100, 2..5)
+    ) {
+        // Each epoch touches a disjoint address range.
+        let mut b = ProgramBuilder::new("disjoint");
+        b.begin_parallel();
+        for (e, n) in epochs.iter().enumerate() {
+            b.begin_epoch();
+            for i in 0..*n {
+                let pc = Pc::new(e as u16, i as u16);
+                let a = Addr(0x10_0000 + e as u64 * 0x1000 + (i as u64 % 16) * 8);
+                if i % 3 == 0 {
+                    b.store(pc, a, 8);
+                } else {
+                    b.load(pc, a, 8);
+                }
+            }
+            b.end_epoch();
+        }
+        b.end_parallel();
+        let program = b.finish();
+        let mut cfg = CmpConfig::test_small();
+        cfg.max_cycles = 5_000_000;
+        let r = CmpSimulator::new(cfg).run(&program);
+        prop_assert_eq!(r.violations.total(), 0);
+        prop_assert_eq!(r.breakdown.failed, 0);
+    }
+
+    #[test]
+    fn guaranteed_raw_dependence_is_always_caught(
+        work in 200usize..2000,
+        load_frac in 0.0f64..0.9,
+    ) {
+        // Epoch 0 stores X at its very end; epoch 1 loads X early enough
+        // that propagation cannot beat it (load position strictly before
+        // the store's position in a simultaneous schedule).
+        let load_at = (work as f64 * load_frac) as usize;
+        let mut b = ProgramBuilder::new("raw");
+        b.begin_parallel();
+        b.begin_epoch();
+        b.int_ops(Pc::new(0, 0), work);
+        b.store(Pc::new(0, 1), Addr(0x9000), 8);
+        b.end_epoch();
+        b.begin_epoch();
+        b.int_ops(Pc::new(1, 0), load_at);
+        b.load(Pc::new(1, 1), Addr(0x9000), 8);
+        b.int_ops(Pc::new(1, 2), work.saturating_sub(load_at));
+        b.end_epoch();
+        b.end_parallel();
+        let program = b.finish();
+        let mut cfg = CmpConfig::test_small();
+        cfg.max_cycles = 5_000_000;
+        let r = CmpSimulator::new(cfg).run(&program);
+        prop_assert!(r.violations.primary >= 1,
+            "load at {load_at}/{work} must be violated by the end-of-thread store");
+        prop_assert!(r.breakdown.failed > 0);
+    }
+
+    #[test]
+    fn start_table_never_loses_to_restart_all(program in gen_program()) {
+        let mut with_table = CmpConfig::test_small();
+        with_table.max_cycles = 5_000_000;
+        with_table.subthreads.spacing = SpacingPolicy::Every(29);
+        let mut restart_all = with_table;
+        restart_all.secondary = SecondaryPolicy::RestartAll;
+        let a = CmpSimulator::new(with_table).run(&program);
+        let b = CmpSimulator::new(restart_all).run(&program);
+        // Selective secondary violations can only reduce rewound work in
+        // aggregate; allow a small timing-noise margin on total cycles.
+        prop_assert!(a.total_cycles as f64 <= b.total_cycles as f64 * 1.10,
+            "start-table {} vs restart-all {}", a.total_cycles, b.total_cycles);
+    }
+}
