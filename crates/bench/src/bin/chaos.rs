@@ -1,0 +1,217 @@
+//! Chaos sweep: deterministic fault injection × seeds → survival matrix.
+//!
+//! Records scaled-down TPC-C transactions, then replays each program under
+//! every fault class (plus a mixed-class row) across N seeded fault plans.
+//! A run *survives* when it neither panics nor trips the invariant
+//! auditor, the sequential differential oracle matches, and every epoch
+//! commits. Latch-hazard protocol errors are expected degradation, not
+//! failures — they are reported per cell but do not fail the run.
+//!
+//! Usage: `cargo run --release -p tls-bench --bin chaos -- [--smoke] [--seeds N] [--json DIR]`
+//!
+//! Exits non-zero unless survival is 100%.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use serde::Serialize;
+use tls_bench::{json_dir, paper_machine, write_json, Scale};
+use tls_core::{CmpSimulator, FaultClass, FaultPlan, RunOptions, SpacingPolicy, ALL_FAULT_CLASSES};
+use tls_minidb::{tpcc::consistency, OptLevel, Tpcc, Transaction};
+use tls_trace::TraceProgram;
+
+/// One (class, seed) cell of the survival matrix.
+#[derive(Serialize)]
+struct Cell {
+    seed: u64,
+    plan_seed: u64,
+    survived: bool,
+    faults_applied: u64,
+    faults_skipped: u64,
+    protocol_errors: u64,
+    violations: u64,
+    total_cycles: u64,
+    detail: String,
+}
+
+/// One row: a workload under one fault class across all seeds.
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    class: String,
+    seeds: usize,
+    survived: usize,
+    cells: Vec<Cell>,
+}
+
+#[derive(Serialize)]
+struct Matrix {
+    smoke: bool,
+    seeds: usize,
+    events_per_plan: usize,
+    rows: Vec<Row>,
+    survival_pct: f64,
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn seeds_arg(args: &[String], default: usize) -> usize {
+    args.iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--seeds takes a number"))
+        .unwrap_or(default)
+}
+
+/// Records `count` instances of `txn` at test scale and verifies the
+/// database still satisfies the TPC-C consistency conditions afterwards —
+/// the workload itself must be sound before we start injecting faults.
+fn record(txn: Transaction, count: usize) -> (String, TraceProgram) {
+    let mut cfg = Scale::Test.tpcc();
+    // The unoptimized engine: shared WAL tail, global statistics, real
+    // latches. Chaos wants the dependence-heavy configuration — the
+    // optimized one is latch-free, so latch-hazard faults would never
+    // find a target.
+    cfg.opts = OptLevel::none();
+    let mut tpcc = Tpcc::new(cfg);
+    let program = tpcc.record(txn, count);
+    if let Err(errors) = consistency::check(&mut tpcc) {
+        eprintln!("TPC-C consistency violated after recording {txn:?}:");
+        for e in errors {
+            eprintln!("  {e}");
+        }
+        std::process::exit(2);
+    }
+    (format!("{txn:?}x{count}"), program)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = flag(&args, "--smoke");
+    let seeds = seeds_arg(&args, 8).max(1);
+    let events = if smoke { 3 } else { 5 };
+    let json = json_dir(&args).or_else(|| Some(std::path::PathBuf::from("results")));
+
+    let workloads: Vec<(String, TraceProgram)> = if smoke {
+        vec![record(Transaction::NewOrder, 2)]
+    } else {
+        vec![
+            record(Transaction::NewOrder, 2),
+            record(Transaction::Payment, 4),
+            record(Transaction::StockLevel, 2),
+        ]
+    };
+
+    // Every fault class alone, plus one mixed row drawing from all of them.
+    let mut classes: Vec<(String, Vec<FaultClass>)> = ALL_FAULT_CLASSES
+        .iter()
+        .map(|&c| (c.to_string(), vec![c]))
+        .collect();
+    classes.push(("mixed".into(), ALL_FAULT_CLASSES.to_vec()));
+
+    let mut machine = paper_machine();
+    // The paper's every-5000-instructions spacing never spawns a second
+    // checkpoint on test-scale epochs; divide evenly instead so forced
+    // merges (and start-table traffic) have real targets to hit.
+    machine.subthreads.spacing = SpacingPolicy::EvenDivision;
+    let sim = CmpSimulator::new(machine);
+    let mut rows = Vec::new();
+    let (mut total, mut passed) = (0usize, 0usize);
+
+    println!("Chaos survival matrix ({seeds} seeds, {events} faults/plan)");
+    println!("{:=<72}", "");
+    for (wi, (wname, program)) in workloads.iter().enumerate() {
+        // Fault-free baseline fixes the cycle horizon faults are drawn
+        // from and the epoch count every chaos run must still commit.
+        let baseline = sim.run_with(
+            program,
+            RunOptions { panic_on_audit_failure: false, ..RunOptions::default() },
+        );
+        if !baseline.audit_failures.is_empty() {
+            eprintln!("baseline run of {wname} fails its own audit:");
+            for f in &baseline.audit_failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(2);
+        }
+        let horizon = baseline.total_cycles;
+        let expected = baseline.committed_epochs;
+        println!("{wname}: {} epochs, {} cycles fault-free", expected, horizon);
+
+        for (ci, (cname, set)) in classes.iter().enumerate() {
+            let mut cells = Vec::new();
+            let mut line = format!("  {cname:<20}");
+            for seed in 0..seeds as u64 {
+                let plan_seed = 0xC4A0_5EED
+                    ^ (seed << 24)
+                    ^ ((ci as u64) << 8)
+                    ^ wi as u64;
+                let plan = FaultPlan::generate(plan_seed, set, horizon, events);
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    sim.run_with(program, RunOptions::chaos(plan.clone()))
+                }));
+                let (survived, detail, report) = match r {
+                    Err(_) => (false, "panicked".to_string(), None),
+                    Ok(rep) => {
+                        if !rep.audit_failures.is_empty() {
+                            (false, rep.audit_failures.join("; "), Some(rep))
+                        } else if rep.committed_epochs != expected {
+                            let d = format!(
+                                "committed {}/{} epochs",
+                                rep.committed_epochs, expected
+                            );
+                            (false, d, Some(rep))
+                        } else {
+                            (true, String::new(), Some(rep))
+                        }
+                    }
+                };
+                total += 1;
+                passed += survived as usize;
+                line.push(if survived { '.' } else { 'X' });
+                let rep = report.as_ref();
+                cells.push(Cell {
+                    seed,
+                    plan_seed,
+                    survived,
+                    faults_applied: rep.map_or(0, |r| r.faults.applied()),
+                    faults_skipped: rep.map_or(0, |r| r.faults.skipped),
+                    protocol_errors: rep.map_or(0, |r| r.protocol_errors.len() as u64),
+                    violations: rep.map_or(0, |r| r.violations.total()),
+                    total_cycles: rep.map_or(0, |r| r.total_cycles),
+                    detail,
+                });
+            }
+            let ok = cells.iter().filter(|c| c.survived).count();
+            line.push_str(&format!("  {ok}/{seeds}"));
+            println!("{line}");
+            rows.push(Row {
+                workload: wname.clone(),
+                class: cname.clone(),
+                seeds,
+                survived: ok,
+                cells,
+            });
+        }
+    }
+
+    let survival_pct = 100.0 * passed as f64 / total.max(1) as f64;
+    println!("{:=<72}", "");
+    println!("survival: {passed}/{total} ({survival_pct:.1}%)");
+    for row in rows.iter().filter(|r| r.survived < r.seeds) {
+        for c in row.cells.iter().filter(|c| !c.survived) {
+            println!(
+                "FAIL {} / {} seed {} (plan_seed {:#x}): {}",
+                row.workload, row.class, c.seed, c.plan_seed, c.detail
+            );
+        }
+    }
+
+    let matrix = Matrix { smoke, seeds, events_per_plan: events, rows, survival_pct };
+    write_json(&json, "chaos_survival", &matrix);
+
+    if passed != total {
+        std::process::exit(1);
+    }
+}

@@ -36,6 +36,29 @@ impl<K: Copy + Eq + Debug, V> VictimBuffer<K, V> {
         self.capacity
     }
 
+    /// Resizes the buffer. Shrinking displaces the least-recently
+    /// inserted surplus entries and returns them (oldest first) — the
+    /// TLS layer treats displaced speculative lines as overflow events,
+    /// which is exactly what the chaos harness's victim-squeeze fault
+    /// leans on. Growing displaces nothing.
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<(K, V)> {
+        self.capacity = capacity;
+        let mut displaced = Vec::new();
+        while self.entries.len() > self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, t))| *t)
+                .map(|(i, _)| i)
+                .expect("len > capacity >= 0 implies non-empty");
+            let (k, v, _) = self.entries.swap_remove(lru);
+            self.stats.evictions += 1;
+            displaced.push((k, v));
+        }
+        displaced
+    }
+
     /// Current number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -150,6 +173,21 @@ mod tests {
         let mut v: VictimBuffer<u64, u32> = VictimBuffer::new(0);
         assert_eq!(v.insert(1, 10), Some((1, 10)));
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn set_capacity_shrink_displaces_oldest_first() {
+        let mut v: VictimBuffer<u64, u32> = VictimBuffer::new(4);
+        v.insert(1, 10);
+        v.insert(2, 20);
+        v.insert(3, 30);
+        let displaced = v.set_capacity(1);
+        assert_eq!(displaced, vec![(1, 10), (2, 20)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.capacity(), 1);
+        // Growing back displaces nothing and restores headroom.
+        assert!(v.set_capacity(4).is_empty());
+        assert_eq!(v.insert(5, 50), None);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! re-classified as **Failed** ("includes all time spent executing failed
 //! code"), exactly as the paper attributes it.
 
+use crate::chaos::FaultClass;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::AddAssign;
@@ -212,6 +213,69 @@ impl SubThreadLedger {
     }
 }
 
+/// Per-class counters for the chaos harness: how many faults of each
+/// class were actually applied, how many found no eligible target, and
+/// how many recoverable protocol errors the machine absorbed.
+///
+/// All zero on a fault-free run, so the struct rides along in every
+/// [`crate::report::SimReport`] at no cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Applied [`FaultClass::SpuriousPrimary`] events.
+    pub spurious_primary: u64,
+    /// Applied [`FaultClass::SpuriousSecondary`] events.
+    pub spurious_secondary: u64,
+    /// Applied [`FaultClass::VictimSqueeze`] events.
+    pub victim_squeeze: u64,
+    /// Applied [`FaultClass::ForcedMerge`] events.
+    pub forced_merge: u64,
+    /// Applied [`FaultClass::DelayedToken`] events.
+    pub delayed_token: u64,
+    /// Applied [`FaultClass::LatchHazard`] events.
+    pub latch_hazard: u64,
+    /// Events that fired with no eligible target (e.g. a merge when no
+    /// epoch had two checkpoints) and were dropped.
+    pub skipped: u64,
+    /// Recoverable protocol errors absorbed during the run (see
+    /// [`crate::report::SimReport::protocol_errors`]).
+    pub protocol_errors: u64,
+}
+
+impl FaultStats {
+    /// Counts one applied fault of `class`.
+    pub fn record(&mut self, class: FaultClass) {
+        *self.slot_mut(class) += 1;
+    }
+
+    /// Applied-fault count for `class`.
+    pub fn get(&self, class: FaultClass) -> u64 {
+        match class {
+            FaultClass::SpuriousPrimary => self.spurious_primary,
+            FaultClass::SpuriousSecondary => self.spurious_secondary,
+            FaultClass::VictimSqueeze => self.victim_squeeze,
+            FaultClass::ForcedMerge => self.forced_merge,
+            FaultClass::DelayedToken => self.delayed_token,
+            FaultClass::LatchHazard => self.latch_hazard,
+        }
+    }
+
+    /// Total faults applied, across every class.
+    pub fn applied(&self) -> u64 {
+        crate::chaos::ALL_FAULT_CLASSES.iter().map(|&c| self.get(c)).sum()
+    }
+
+    fn slot_mut(&mut self, class: FaultClass) -> &mut u64 {
+        match class {
+            FaultClass::SpuriousPrimary => &mut self.spurious_primary,
+            FaultClass::SpuriousSecondary => &mut self.spurious_secondary,
+            FaultClass::VictimSqueeze => &mut self.victim_squeeze,
+            FaultClass::ForcedMerge => &mut self.forced_merge,
+            FaultClass::DelayedToken => &mut self.delayed_token,
+            FaultClass::LatchHazard => &mut self.latch_hazard,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +360,18 @@ mod tests {
     fn rewind_past_end_panics() {
         let mut l = SubThreadLedger::new();
         let _ = l.rewind_to(3);
+    }
+
+    #[test]
+    fn fault_stats_record_and_sum() {
+        let mut s = FaultStats::default();
+        s.record(FaultClass::ForcedMerge);
+        s.record(FaultClass::ForcedMerge);
+        s.record(FaultClass::LatchHazard);
+        s.skipped += 1;
+        assert_eq!(s.get(FaultClass::ForcedMerge), 2);
+        assert_eq!(s.get(FaultClass::LatchHazard), 1);
+        assert_eq!(s.applied(), 3, "skipped events are not applied");
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Deterministic chaos harness: seeded fault plans for the TLS protocol.
+//!
+//! A [`FaultPlan`] is a seeded, reproducible schedule of protocol-level
+//! perturbations — spurious violations, victim-cache squeezes, forced
+//! sub-thread merges, a delayed homefree token, latch hazards — that the
+//! simulator applies at exact cycle points. Because the whole machine is
+//! deterministic, a (program, config, plan) triple replays bit-for-bit,
+//! which is what lets the differential oracle and the invariant auditor
+//! turn "the protocol survived" into a checkable property rather than a
+//! hope. See `DESIGN.md` §7 for the fault model and the invariants each
+//! class is meant to stress.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The classes of protocol-level faults the harness can inject.
+///
+/// Each class exercises one recovery path of the sub-threaded TLS
+/// protocol; none of them models a data error — faults perturb *when*
+/// the protocol machinery runs, never *what* the program computes, so
+/// the sequential oracle must still match afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// A spurious primary (RAW-like) violation against the oldest
+    /// speculative epoch, rewinding it to its newest checkpoint and
+    /// cascading secondary violations through the start tables.
+    SpuriousPrimary,
+    /// A spurious violation against the youngest speculative epoch at
+    /// sub-thread 0 — a full epoch restart, the pre-sub-thread penalty.
+    SpuriousSecondary,
+    /// The victim cache is squeezed to capacity zero for the fault's
+    /// duration, forcing displaced speculative versions through the
+    /// L2 overflow path.
+    VictimSqueeze,
+    /// One sub-thread context of a running speculative epoch is merged
+    /// away, as if the context supply had been exhausted early.
+    ForcedMerge,
+    /// The homefree token is withheld for the fault's duration: no
+    /// epoch may commit until the token is released again.
+    DelayedToken,
+    /// A held latch is forcibly released out from under its owner; the
+    /// owner's own release must then surface as a recoverable
+    /// [`crate::report::ProtocolError`], not a crash.
+    LatchHazard,
+}
+
+/// Every fault class, in a fixed order (stable across runs and useful
+/// for sweeps and report tables).
+pub const ALL_FAULT_CLASSES: [FaultClass; 6] = [
+    FaultClass::SpuriousPrimary,
+    FaultClass::SpuriousSecondary,
+    FaultClass::VictimSqueeze,
+    FaultClass::ForcedMerge,
+    FaultClass::DelayedToken,
+    FaultClass::LatchHazard,
+];
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultClass::SpuriousPrimary => "spurious-primary",
+            FaultClass::SpuriousSecondary => "spurious-secondary",
+            FaultClass::VictimSqueeze => "victim-squeeze",
+            FaultClass::ForcedMerge => "forced-merge",
+            FaultClass::DelayedToken => "delayed-token",
+            FaultClass::LatchHazard => "latch-hazard",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Cycle at which the fault fires (start of the cycle, before any
+    /// CPU executes).
+    pub at_cycle: u64,
+    /// What kind of perturbation to apply.
+    pub class: FaultClass,
+    /// How long the perturbation lasts, for the classes with an extent
+    /// ([`FaultClass::VictimSqueeze`], [`FaultClass::DelayedToken`]).
+    /// For instantaneous classes this is instead the *arming window*:
+    /// the fault stays pending for this many cycles past `at_cycle`,
+    /// firing at the first cycle with an eligible target, and is skipped
+    /// only if the window closes without one.
+    pub duration: u64,
+}
+
+/// A seeded, reproducible schedule of faults.
+///
+/// Plans are data: they serialize, compare, and replay. The same seed,
+/// class set, horizon and count always generate the same plan.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+    /// Scheduled faults, sorted by [`FaultEvent::at_cycle`].
+    pub events: Vec<FaultEvent>,
+}
+
+/// SplitMix64 step: the plan generator's own tiny RNG, kept inline so
+/// `tls-core` needs no runtime RNG dependency and plans stay stable no
+/// matter what the workspace's `rand` resolves to.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// Generates a plan of `count` faults drawn from `classes`, spread
+    /// over cycles `1..horizon`, with durations of roughly 100-500
+    /// cycles for the classes that have one.
+    ///
+    /// Panics if `classes` is empty.
+    pub fn generate(seed: u64, classes: &[FaultClass], horizon: u64, count: usize) -> FaultPlan {
+        assert!(!classes.is_empty(), "fault plan needs at least one class");
+        let horizon = horizon.max(2);
+        let mut state = seed ^ 0xC4A0_5D1E_C4A0_5D1E;
+        // Warm the stream so nearby seeds diverge immediately.
+        let _ = splitmix64(&mut state);
+        let mut events: Vec<FaultEvent> = (0..count)
+            .map(|_| {
+                let class = classes[(splitmix64(&mut state) % classes.len() as u64) as usize];
+                let at_cycle = 1 + splitmix64(&mut state) % (horizon - 1);
+                let duration = 100 + splitmix64(&mut state) % 400;
+                FaultEvent { at_cycle, class, duration }
+            })
+            .collect();
+        events.sort_by_key(|e| e.at_cycle);
+        FaultPlan { seed, events }
+    }
+
+    /// A plan with a single fault — handy for targeted tests.
+    pub fn single(class: FaultClass, at_cycle: u64, duration: u64) -> FaultPlan {
+        FaultPlan { seed: 0, events: vec![FaultEvent { at_cycle, class, duration }] }
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Cursor over a plan's events during one run.
+///
+/// The simulator drains due events at the top of each cycle; the
+/// injector just tracks how far into the (sorted) schedule the run has
+/// advanced.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    events: Vec<FaultEvent>,
+    next: usize,
+}
+
+impl FaultInjector {
+    /// Builds an injector over `plan` (events re-sorted defensively so
+    /// hand-built plans behave like generated ones).
+    pub fn new(plan: &FaultPlan) -> FaultInjector {
+        let mut events = plan.events.clone();
+        events.sort_by_key(|e| e.at_cycle);
+        FaultInjector { events, next: 0 }
+    }
+
+    /// Returns every event scheduled at or before `cycle` that has not
+    /// fired yet.
+    pub fn due(&mut self, cycle: u64) -> Vec<FaultEvent> {
+        let start = self.next;
+        while self.next < self.events.len() && self.events[self.next].at_cycle <= cycle {
+            self.next += 1;
+        }
+        self.events[start..self.next].to_vec()
+    }
+
+    /// True once every scheduled event has fired.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.events.len()
+    }
+
+    /// Events that have not come due yet (a run ending early never
+    /// delivers them; they count as skipped).
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+}
+
+/// Options for [`crate::CmpSimulator::run_with`]: which fault plan to
+/// apply and how strictly to check the run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Faults to inject, if any.
+    pub plan: Option<FaultPlan>,
+    /// Run the invariant auditor after every rewind and commit.
+    pub audit: bool,
+    /// Track committed stores and compare the final memory image
+    /// against a sequential replay of the program.
+    pub oracle: bool,
+    /// Panic on the first audit failure (the default: tests fail loud).
+    /// When false the run aborts cleanly and failures are reported in
+    /// [`crate::report::SimReport::audit_failures`].
+    pub panic_on_audit_failure: bool,
+    /// Test-only sabotage: skip the speculative-L2 cleanup on rewind,
+    /// to prove the auditor catches a broken recovery path.
+    pub sabotage_rewind: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            plan: None,
+            audit: true,
+            oracle: true,
+            panic_on_audit_failure: true,
+            sabotage_rewind: false,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Options for a chaos sweep: faults in, audits and oracle on, and
+    /// failures collected in the report instead of panicking.
+    pub fn chaos(plan: FaultPlan) -> RunOptions {
+        RunOptions {
+            plan: Some(plan),
+            panic_on_audit_failure: false,
+            ..RunOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = FaultPlan::generate(7, &ALL_FAULT_CLASSES, 10_000, 16);
+        let b = FaultPlan::generate(7, &ALL_FAULT_CLASSES, 10_000, 16);
+        let c = FaultPlan::generate(8, &ALL_FAULT_CLASSES, 10_000, 16);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "nearby seeds should produce different plans");
+    }
+
+    #[test]
+    fn events_are_sorted_and_inside_the_horizon() {
+        let p = FaultPlan::generate(3, &ALL_FAULT_CLASSES, 5_000, 32);
+        assert_eq!(p.len(), 32);
+        assert!(p.events.windows(2).all(|w| w[0].at_cycle <= w[1].at_cycle));
+        assert!(p.events.iter().all(|e| e.at_cycle >= 1 && e.at_cycle < 5_000));
+        assert!(p.events.iter().all(|e| (100..500).contains(&e.duration)));
+    }
+
+    #[test]
+    fn single_class_plans_only_draw_that_class() {
+        let p = FaultPlan::generate(11, &[FaultClass::DelayedToken], 1_000, 8);
+        assert!(p.events.iter().all(|e| e.class == FaultClass::DelayedToken));
+    }
+
+    #[test]
+    fn injector_drains_in_order() {
+        let plan = FaultPlan {
+            seed: 0,
+            events: vec![
+                FaultEvent { at_cycle: 10, class: FaultClass::ForcedMerge, duration: 0 },
+                FaultEvent { at_cycle: 10, class: FaultClass::DelayedToken, duration: 50 },
+                FaultEvent { at_cycle: 40, class: FaultClass::LatchHazard, duration: 0 },
+            ],
+        };
+        let mut inj = FaultInjector::new(&plan);
+        assert!(inj.due(5).is_empty());
+        assert_eq!(inj.due(10).len(), 2);
+        assert!(inj.due(20).is_empty());
+        assert!(!inj.exhausted());
+        assert_eq!(inj.due(1_000).len(), 1);
+        assert!(inj.exhausted());
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let p = FaultPlan::generate(5, &ALL_FAULT_CLASSES, 2_000, 6);
+        let s = serde_json::to_string(&p).expect("serialize");
+        let q: FaultPlan = serde_json::from_str(&s).expect("deserialize");
+        assert_eq!(p, q);
+    }
+}

@@ -52,6 +52,10 @@ pub enum ViolationKind {
     Secondary,
     /// Speculative state overflowed the L2 + victim cache.
     Overflow,
+    /// A spurious violation injected by the chaos harness
+    /// ([`crate::chaos::FaultClass`]); exercises the recovery machinery
+    /// but is counted separately from genuine dependences.
+    Injected,
 }
 
 /// A violation detected by the memory system, to be applied by the
@@ -533,6 +537,90 @@ impl SpecL2 {
     /// Count of loaded-bit recordings (for tests).
     pub fn sl_recordings(&self) -> u64 {
         self.sl_recorded
+    }
+
+    /// Current victim-cache capacity.
+    pub fn victim_capacity(&self) -> usize {
+        self.victim.capacity()
+    }
+
+    /// Resizes the victim cache (chaos-harness hook). Shrinking may
+    /// displace buffered versions; displaced *speculative* versions are
+    /// overflow events, and the affected `(cpu, sub)` pairs are returned
+    /// for the simulator to rewind — exactly the paper's "speculation
+    /// fails when even the victim cache overflows" path.
+    pub fn set_victim_capacity(&mut self, capacity: usize) -> Vec<(usize, u8)> {
+        let mut overflow = Vec::new();
+        for (key, ()) in self.victim.set_capacity(capacity) {
+            if key.1.is_some() {
+                overflow.extend(self.overflow_victims_of(key));
+            } else if self.meta.get(&key.0).is_some_and(|m| m.sl != 0) {
+                // A base copy with recorded speculative loads died.
+                overflow.extend(self.overflow_victims_of(key));
+            }
+        }
+        overflow.sort_unstable();
+        overflow.dedup();
+        overflow
+    }
+
+    /// Audit: lines still carrying speculative bits for `cpu`'s
+    /// sub-threads `from..` — must be empty right after a rewind to
+    /// `from` (only meaningful when dependence tracking is on).
+    pub fn audit_subthread_residue(&self, cpu: usize, from: u8) -> Vec<String> {
+        let mask = self.cpu_mask_from(cpu, from);
+        let mut v: Vec<String> = self
+            .meta
+            .iter()
+            .filter(|(_, m)| (m.sl | m.sm_any()) & mask != 0)
+            .map(|(line, _)| {
+                format!("line {line:#x} keeps spec bits for cpu {cpu} sub-threads {from}..")
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Audit: after `cpu` commits, no speculative bit and no version it
+    /// owns may remain anywhere in the L2 or the victim cache.
+    pub fn audit_cpu_clear(&self, cpu: usize) -> Vec<String> {
+        let mut v = self.audit_subthread_residue(cpu, 0);
+        for (_, key, _) in self.entries.iter() {
+            if key.1 == Some(cpu as u8) {
+                v.push(format!(
+                    "L2 still holds a speculative version of line {:#x} owned by cpu {cpu}",
+                    key.0
+                ));
+            }
+        }
+        if self.victim.contains_where(|k| k.1 == Some(cpu as u8)) {
+            v.push(format!("victim cache still holds a speculative version owned by cpu {cpu}"));
+        }
+        v
+    }
+
+    /// Audit: with every epoch committed, no speculative metadata or
+    /// version may survive anywhere.
+    pub fn audit_quiescent(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .meta
+            .iter()
+            .filter(|(_, m)| !m.is_clear())
+            .map(|(line, _)| format!("line {line:#x} keeps spec metadata after full commit"))
+            .collect();
+        for (_, key, _) in self.entries.iter() {
+            if let Some(cpu) = key.1 {
+                v.push(format!(
+                    "L2 keeps a speculative version of line {:#x} (cpu {cpu}) after full commit",
+                    key.0
+                ));
+            }
+        }
+        if self.victim.contains_where(|k| k.1.is_some()) {
+            v.push("victim cache keeps a speculative version after full commit".into());
+        }
+        v.sort_unstable();
+        v
     }
 }
 

@@ -7,7 +7,36 @@
 //! another CPU accrues the "Latch Stall" time visible in Figure 5.
 
 use std::collections::HashMap;
+use std::fmt;
 use tls_trace::LatchId;
+
+/// A latch-protocol error: a release that does not pair with a held
+/// acquisition. Recoverable — the machine records it and keeps running
+/// (the table is simply left unchanged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatchError {
+    /// The CPU that issued the bad release.
+    pub cpu: usize,
+    /// The latch it tried to release.
+    pub latch: LatchId,
+    /// Who actually holds the latch (`None` if it is free).
+    pub owner: Option<usize>,
+}
+
+impl fmt::Display for LatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.owner {
+            Some(o) => write!(
+                f,
+                "cpu {} released latch {:?} held by cpu {}",
+                self.cpu, self.latch, o
+            ),
+            None => write!(f, "cpu {} released latch {:?} it does not hold", self.cpu, self.latch),
+        }
+    }
+}
+
+impl std::error::Error for LatchError {}
 
 /// Ownership state of every latch in the machine.
 ///
@@ -50,20 +79,37 @@ impl LatchTable {
 
     /// Releases one acquisition of `latch` by `cpu`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `cpu` does not hold the latch — releases must pair with
-    /// acquires in the recorded trace.
-    pub fn release(&mut self, cpu: usize, latch: LatchId) {
+    /// Releases must pair with acquires in the recorded trace; an
+    /// unpaired release (possible after a chaos-injected latch hazard)
+    /// returns a [`LatchError`] and leaves the table unchanged.
+    pub fn release(&mut self, cpu: usize, latch: LatchId) -> Result<(), LatchError> {
         match self.owners.get_mut(&latch) {
             Some((owner, count)) if *owner == cpu => {
                 *count -= 1;
                 if *count == 0 {
                     self.owners.remove(&latch);
                 }
+                Ok(())
             }
-            other => panic!("cpu {cpu} released latch {latch:?} it does not hold ({other:?})"),
+            other => {
+                let owner = other.map(|&mut (o, _)| o);
+                Err(LatchError { cpu, latch, owner })
+            }
         }
+    }
+
+    /// Forcibly releases `latch` no matter who holds it, returning the
+    /// previous owner. Chaos-harness hook ([`crate::chaos::FaultClass::LatchHazard`]):
+    /// the owner's own release will then surface as a [`LatchError`].
+    pub fn force_release(&mut self, latch: LatchId) -> Option<usize> {
+        self.owners.remove(&latch).map(|(o, _)| o)
+    }
+
+    /// Every latch currently held, sorted for determinism.
+    pub fn held(&self) -> Vec<LatchId> {
+        let mut v: Vec<LatchId> = self.owners.keys().copied().collect();
+        v.sort_unstable();
+        v
     }
 
     /// The CPU currently holding `latch`, if any.
@@ -102,7 +148,7 @@ mod tests {
         assert!(t.try_acquire(0, L));
         assert_eq!(t.owner(L), Some(0));
         assert!(!t.try_acquire(1, L));
-        t.release(0, L);
+        t.release(0, L).expect("paired release");
         assert_eq!(t.owner(L), None);
         assert!(t.try_acquire(1, L));
         assert_eq!(t.acquisitions(), 2);
@@ -114,9 +160,9 @@ mod tests {
         let mut t = LatchTable::new();
         assert!(t.try_acquire(0, L));
         assert!(t.try_acquire(0, L));
-        t.release(0, L);
+        t.release(0, L).expect("paired release");
         assert_eq!(t.owner(L), Some(0)); // one acquisition remains
-        t.release(0, L);
+        t.release(0, L).expect("paired release");
         assert_eq!(t.owner(L), None);
     }
 
@@ -132,9 +178,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not hold")]
-    fn releasing_unheld_latch_panics() {
+    fn releasing_unheld_latch_is_a_recoverable_error() {
         let mut t = LatchTable::new();
-        t.release(0, L);
+        let e = t.release(0, L).expect_err("latch is free");
+        assert_eq!(e, LatchError { cpu: 0, latch: L, owner: None });
+        assert!(format!("{e}").contains("does not hold"));
+
+        t.try_acquire(1, L);
+        let e = t.release(0, L).expect_err("held by someone else");
+        assert_eq!(e.owner, Some(1));
+        assert_eq!(t.owner(L), Some(1), "failed release leaves the table unchanged");
+    }
+
+    #[test]
+    fn force_release_evicts_the_owner() {
+        let mut t = LatchTable::new();
+        t.try_acquire(0, L);
+        assert_eq!(t.held(), vec![L]);
+        assert_eq!(t.force_release(L), Some(0));
+        assert_eq!(t.force_release(L), None);
+        assert!(t.held().is_empty());
+        // The original owner's paired release now errors but recovers.
+        assert!(t.release(0, L).is_err());
     }
 }

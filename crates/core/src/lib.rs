@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 
 mod accounting;
+pub mod chaos;
 mod config;
 pub mod experiment;
 pub mod synthetic;
@@ -78,12 +79,13 @@ mod profile;
 mod report;
 mod simulator;
 
-pub use accounting::{Breakdown, CycleCategory, SubThreadLedger};
+pub use accounting::{Breakdown, CycleCategory, FaultStats, SubThreadLedger};
+pub use chaos::{FaultClass, FaultEvent, FaultInjector, FaultPlan, RunOptions, ALL_FAULT_CLASSES};
 pub use config::{CmpConfig, ExhaustionPolicy, SecondaryPolicy, SpacingPolicy, SubThreadConfig, MAX_CPUS, MAX_SUBTHREADS};
 pub use experiment::ExperimentKind;
 pub use l2spec::{L2Outcome, PendingViolation, SpecL2, ViolationKind};
-pub use latch::LatchTable;
+pub use latch::{LatchError, LatchTable};
 pub use predictor::{DependencePredictor, PredictorConfig};
 pub use profile::{DependenceProfiler, ProfileEntry};
-pub use report::{SimReport, ViolationCounts};
+pub use report::{ProtocolError, SimReport, ViolationCounts};
 pub use simulator::{CmpSimulator, StartTable};

@@ -1,6 +1,6 @@
 //! Simulation results.
 
-use crate::accounting::{Breakdown, ALL_CATEGORIES};
+use crate::accounting::{Breakdown, FaultStats, ALL_CATEGORIES};
 use crate::profile::ProfileEntry;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -22,6 +22,23 @@ impl ViolationCounts {
     /// All violations.
     pub fn total(&self) -> u64 {
         self.primary + self.secondary + self.overflow
+    }
+}
+
+/// A recoverable protocol error the machine absorbed instead of
+/// crashing on — e.g. a latch release that no longer pairs with an
+/// acquire after a chaos-injected [`crate::chaos::FaultClass::LatchHazard`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolError {
+    /// Cycle at which the error surfaced.
+    pub cycle: u64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}: {}", self.cycle, self.message)
     }
 }
 
@@ -64,6 +81,14 @@ pub struct SimReport {
     pub predictor_synchronizations: u64,
     /// The dependence profile, most damaging first (§3.1).
     pub profile: Vec<ProfileEntry>,
+    /// Chaos-fault counters (all zero unless a plan was injected).
+    pub faults: FaultStats,
+    /// Recoverable protocol errors absorbed during the run (first 32;
+    /// `faults.protocol_errors` has the full count).
+    pub protocol_errors: Vec<ProtocolError>,
+    /// Invariant-audit failures. Empty on a healthy run; non-empty only
+    /// when auditing ran with `panic_on_audit_failure` disabled.
+    pub audit_failures: Vec<String>,
 }
 
 impl SimReport {
@@ -146,6 +171,9 @@ mod tests {
             latch_acquisitions: 0,
             predictor_synchronizations: 0,
             profile: Vec::new(),
+            faults: FaultStats::default(),
+            protocol_errors: Vec::new(),
+            audit_failures: Vec::new(),
         }
     }
 

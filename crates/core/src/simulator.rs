@@ -17,13 +17,14 @@
 //! 4. **Schedule** — free CPUs pick up the next epochs of the current
 //!    region; a region barrier separates regions.
 
-use crate::accounting::{Breakdown, CycleCategory, SubThreadLedger};
+use crate::accounting::{Breakdown, CycleCategory, FaultStats, SubThreadLedger};
+use crate::chaos::{FaultClass, FaultEvent, FaultInjector, RunOptions};
 use crate::config::{CmpConfig, ExhaustionPolicy, SecondaryPolicy};
 use crate::l2spec::{AccessCtx, PendingViolation, SpecL2, ViolationKind};
-use crate::latch::LatchTable;
+use crate::latch::{LatchError, LatchTable};
 use crate::predictor::DependencePredictor;
 use crate::profile::{DependenceProfiler, ExposedLoadTable};
-use crate::report::{SimReport, ViolationCounts};
+use crate::report::{ProtocolError, SimReport, ViolationCounts};
 use std::collections::{HashMap, VecDeque};
 use tls_cache::{CacheStats, L1Data, MshrFile};
 use tls_cpu::{Core, CoreStats, HeadStall, MemKind};
@@ -89,6 +90,12 @@ impl StartTable {
             }
         }
     }
+
+    /// All entries `((sender_cpu, sender_sub), local_sub)` — for the
+    /// invariant auditor's consistency checks.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, u8), u8)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
 }
 
 /// The execution state of one epoch on one CPU.
@@ -117,6 +124,10 @@ struct EpochRun<'p> {
     last_sync_cursor: Option<usize>,
     /// Cursor reached the end and the core drained; awaiting the token.
     finished: bool,
+    /// Differential-oracle write log: `(op cursor, addr, size)` of every
+    /// store dispatched and not yet undone by a rewind. Sorted by cursor;
+    /// only populated when the oracle is enabled.
+    stores: Vec<(usize, Addr, u8)>,
 }
 
 impl<'p> EpochRun<'p> {
@@ -134,6 +145,7 @@ impl<'p> EpochRun<'p> {
             waiting_sync: false,
             last_sync_cursor: None,
             finished: false,
+            stores: Vec::new(),
         }
     }
 
@@ -264,12 +276,33 @@ impl CmpSimulator {
 
     /// Simulates `program` and returns the report.
     ///
+    /// In debug builds (i.e. every test) the invariant auditor and the
+    /// sequential differential oracle run alongside the simulation and
+    /// panic on any protocol breakage; release builds skip both so the
+    /// paper's experiments pay nothing for them.
+    ///
     /// # Panics
     ///
     /// Panics if the run exceeds `config.max_cycles` (when nonzero) — the
-    /// safety valve for misbehaving workloads.
+    /// safety valve for misbehaving workloads — or, in debug builds, if
+    /// an invariant audit fails.
     pub fn run(&self, program: &TraceProgram) -> SimReport {
-        Machine::new(&self.config, program).run()
+        let checked = cfg!(debug_assertions);
+        self.run_with(program, RunOptions { audit: checked, oracle: checked, ..RunOptions::default() })
+    }
+
+    /// Simulates `program` under explicit chaos/audit options: an
+    /// optional seeded [`crate::chaos::FaultPlan`], the invariant
+    /// auditor, and the sequential differential oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `max_cycles` overrun, and on audit failure when
+    /// `opts.panic_on_audit_failure` is set; with it clear, audit
+    /// failures abort the run and are reported in
+    /// [`SimReport::audit_failures`].
+    pub fn run_with(&self, program: &TraceProgram, opts: RunOptions) -> SimReport {
+        Machine::new(&self.config, program, opts).run()
     }
 }
 
@@ -307,11 +340,55 @@ struct Machine<'p> {
     subthread_merges: u64,
     profiler: DependenceProfiler,
     predictor: DependencePredictor,
+    // --- chaos harness ---
+    opts: RunOptions,
+    injector: FaultInjector,
+    /// Due events still waiting for an eligible target; each stays armed
+    /// until its window (`at_cycle + duration`) closes, then is skipped.
+    armed: Vec<FaultEvent>,
+    faults: FaultStats,
+    protocol_errors: Vec<ProtocolError>,
+    audit_failures: Vec<String>,
+    /// An audit failed (non-panicking mode): finish the current step,
+    /// then stop.
+    audit_aborted: bool,
+    /// A latch hazard was injected, so latch-consistency audits and the
+    /// unexpected-release check are suspended for the rest of the run.
+    latch_hazard_active: bool,
+    /// The homefree token is withheld until this cycle (delayed-token
+    /// fault).
+    commit_block_until: u64,
+    /// Restore the victim cache to this capacity at this cycle
+    /// (victim-squeeze fault).
+    victim_restore: Option<(u64, usize)>,
+    /// Sequential op-index base of each epoch by logical order, matching
+    /// [`TraceProgram::iter_ops`] — the oracle's token space.
+    epoch_base: Vec<u64>,
+    /// Committed symbolic memory image: byte address → global index of
+    /// the last committed store writing it (oracle only).
+    image: HashMap<u64, u64>,
 }
 
 impl<'p> Machine<'p> {
-    fn new(cfg: &'p CmpConfig, program: &'p TraceProgram) -> Self {
+    fn new(cfg: &'p CmpConfig, program: &'p TraceProgram, opts: RunOptions) -> Self {
         let n = cfg.cpus;
+        let injector = opts.plan.as_ref().map(FaultInjector::new).unwrap_or_default();
+        let mut epoch_base = Vec::new();
+        let mut base = 0u64;
+        for region in &program.regions {
+            match region {
+                Region::Sequential(e) => {
+                    epoch_base.push(base);
+                    base += e.len() as u64;
+                }
+                Region::Parallel(es) => {
+                    for e in es {
+                        epoch_base.push(base);
+                        base += e.len() as u64;
+                    }
+                }
+            }
+        }
         Machine {
             cfg,
             program,
@@ -348,6 +425,18 @@ impl<'p> Machine<'p> {
             subthread_merges: 0,
             profiler: DependenceProfiler::new(1024),
             predictor: DependencePredictor::new(&cfg.predictor),
+            opts,
+            injector,
+            armed: Vec::new(),
+            faults: FaultStats::default(),
+            protocol_errors: Vec::new(),
+            audit_failures: Vec::new(),
+            audit_aborted: false,
+            latch_hazard_active: false,
+            commit_block_until: 0,
+            victim_restore: None,
+            epoch_base,
+            image: HashMap::new(),
         }
     }
 
@@ -357,6 +446,9 @@ impl<'p> Machine<'p> {
         while !self.done() {
             self.step();
             self.cycle += 1;
+            if self.audit_aborted {
+                break;
+            }
             if self.cfg.max_cycles > 0 && self.cycle > self.cfg.max_cycles {
                 panic!(
                     "simulation of '{}' exceeded {} cycles (region {}, {} committed)",
@@ -364,6 +456,22 @@ impl<'p> Machine<'p> {
                 );
             }
         }
+        if self.audit_aborted {
+            // Partial run: fold the cycles of still-running epochs into
+            // the global accounting so the identity holds even here.
+            for s in &mut self.slots {
+                if let Slot::Running(r) = std::mem::replace(s, Slot::Free) {
+                    self.acct += r.ledger.commit();
+                }
+            }
+        } else {
+            self.audit_end();
+            self.check_oracle();
+        }
+        // Faults still armed (or never due) when the run ends were never
+        // delivered: count them skipped so applied + skipped == plan len.
+        self.faults.skipped += (self.armed.len() + self.injector.remaining()) as u64;
+        self.armed.clear();
         self.finish(program_ops)
     }
 
@@ -374,6 +482,7 @@ impl<'p> Machine<'p> {
     }
 
     fn step(&mut self) {
+        self.apply_due_faults();
         let orders = self.orders_snapshot();
         for cpu in 0..self.cfg.cpus {
             self.execute_cpu(cpu, &orders);
@@ -393,6 +502,324 @@ impl<'p> Machine<'p> {
             .collect()
     }
 
+    /// Chaos phase (cycle start): expire timed faults and apply every
+    /// event the plan schedules at or before this cycle.
+    fn apply_due_faults(&mut self) {
+        if let Some((at, cap)) = self.victim_restore {
+            if self.cycle >= at {
+                self.victim_restore = None;
+                let displaced = self.mem.l2.set_victim_capacity(cap);
+                debug_assert!(displaced.is_empty(), "growing the victim cache displaces nothing");
+            }
+        }
+        if !self.injector.exhausted() {
+            self.armed.extend(self.injector.due(self.cycle));
+        }
+        if self.armed.is_empty() {
+            return;
+        }
+        // Each armed fault fires at the first cycle in its window with an
+        // eligible target; a window that closes without one is skipped.
+        let mut still_armed = Vec::new();
+        for ev in std::mem::take(&mut self.armed) {
+            if self.apply_fault(ev) {
+                self.faults.record(ev.class);
+            } else if self.cycle >= ev.at_cycle + ev.duration.max(1) {
+                self.faults.skipped += 1;
+            } else {
+                still_armed.push(ev);
+            }
+        }
+        self.armed = still_armed;
+    }
+
+    /// Attempts one fault; returns whether it found a target and applied.
+    fn apply_fault(&mut self, ev: FaultEvent) -> bool {
+        match ev.class {
+            FaultClass::SpuriousPrimary => self.inject_violation(false),
+            FaultClass::SpuriousSecondary => self.inject_violation(true),
+            FaultClass::VictimSqueeze => {
+                if self.victim_restore.is_some() {
+                    false // a squeeze is already in flight
+                } else {
+                    let cap = self.mem.l2.victim_capacity();
+                    self.victim_restore = Some((self.cycle + ev.duration.max(1), cap));
+                    let orders = self.orders_snapshot();
+                    let victims = self.mem.l2.set_victim_capacity(0);
+                    self.mem.queue_overflow(&victims, Addr(0), &orders);
+                    true
+                }
+            }
+            FaultClass::ForcedMerge => self.force_merge(),
+            FaultClass::DelayedToken => {
+                self.commit_block_until =
+                    self.commit_block_until.max(self.cycle + ev.duration.max(1));
+                true
+            }
+            FaultClass::LatchHazard => match self.latches.held().first() {
+                Some(&latch) => {
+                    // Latch audits are best-effort from here on: the
+                    // owner's bookkeeping is deliberately desynchronized.
+                    self.latch_hazard_active = true;
+                    self.latches.force_release(latch);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Queues a spurious violation. `full_restart` picks the youngest
+    /// speculative epoch and rewinds it to sub-thread 0 (the worst case);
+    /// otherwise the oldest speculative epoch rewinds to its current
+    /// sub-thread, which also drives secondary violations through every
+    /// later thread's start table.
+    fn inject_violation(&mut self, full_restart: bool) -> bool {
+        let candidates = self.slots.iter().filter_map(|s| match s {
+            Slot::Running(r) if r.order > self.next_commit => Some((r.order, r.cur_sub())),
+            _ => None,
+        });
+        let target = if full_restart {
+            candidates.max_by_key(|&(order, _)| order)
+        } else {
+            candidates.min_by_key(|&(order, _)| order)
+        };
+        let Some((order, cur_sub)) = target else { return false };
+        let Some(cpu) = self.cpu_running(order) else { return false };
+        let sub = if full_restart { 0 } else { cur_sub };
+        self.mem.pending.push(PendingViolation {
+            cpu,
+            sub,
+            order,
+            kind: ViolationKind::Injected,
+            line: Addr(0),
+            store_pc: None,
+        });
+        true
+    }
+
+    /// Forces a sub-thread context merge on the first speculative epoch
+    /// that has one to give — as if its context supply were exhausted.
+    fn force_merge(&mut self) -> bool {
+        for cpu in 0..self.cfg.cpus {
+            let mut run = match std::mem::replace(&mut self.slots[cpu], Slot::Free) {
+                Slot::Running(r) => r,
+                Slot::Free => continue,
+            };
+            let eligible = run.order > self.next_commit && run.checkpoints.len() >= 2;
+            if eligible {
+                Self::merge_one_context(
+                    &mut self.mem,
+                    &mut self.slots,
+                    &mut self.subthread_merges,
+                    cpu,
+                    &mut run,
+                );
+            }
+            self.slots[cpu] = Slot::Running(run);
+            if eligible {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Recycles one sub-thread context of `cpu`'s running epoch (taken
+    /// out of its slot) by merging the adjacent checkpoint pair with the
+    /// smallest combined span. Shared by the Merge exhaustion policy and
+    /// the chaos harness's forced-merge fault. Takes the disjoint pieces
+    /// of the machine it needs so callers may hold other borrows.
+    fn merge_one_context(
+        mem: &mut MemSystem,
+        slots: &mut [Slot<'p>],
+        subthread_merges: &mut u64,
+        cpu: usize,
+        run: &mut EpochRun<'p>,
+    ) {
+        let m = (1..run.checkpoints.len())
+            .min_by_key(|&k| {
+                let end = run.checkpoints.get(k + 1).copied().unwrap_or(run.cursor);
+                end - run.checkpoints[k - 1]
+            })
+            .expect("at least two checkpoints");
+        run.checkpoints.remove(m);
+        run.ledger.merge_bucket(m);
+        run.start_table.remap_values(m as u8);
+        mem.l2.merge_subthread(cpu, m as u8);
+        for s in slots.iter_mut() {
+            if let Slot::Running(o) = s {
+                o.start_table.remap_keys_for(cpu, m as u8);
+            }
+        }
+        for v in &mut mem.pending {
+            if v.cpu == cpu && v.sub >= m as u8 {
+                v.sub = (v.sub - 1).max(m as u8 - 1);
+            }
+        }
+        *subthread_merges += 1;
+    }
+
+    /// Records a recoverable protocol error; an unexpected one (no latch
+    /// hazard was injected) is also an invariant-audit failure.
+    fn latch_release_error(&mut self, e: LatchError) {
+        let message = e.to_string();
+        if self.opts.audit && !self.latch_hazard_active {
+            self.audit_fail(format!("unexpected latch protocol error: {message}"));
+        }
+        self.faults.protocol_errors += 1;
+        if self.protocol_errors.len() < 32 {
+            self.protocol_errors.push(ProtocolError { cycle: self.cycle, message });
+        }
+    }
+
+    /// Registers an invariant-audit failure: panic when configured to
+    /// (the test default), otherwise collect it and stop the run after
+    /// the current step completes.
+    fn audit_fail(&mut self, msg: String) {
+        if self.opts.panic_on_audit_failure {
+            panic!("invariant audit failed at cycle {}: {msg}", self.cycle);
+        }
+        if self.audit_failures.len() < 32 {
+            self.audit_failures.push(format!("cycle {}: {msg}", self.cycle));
+        }
+        self.audit_aborted = true;
+    }
+
+    /// Audits run after every rewind: the rewound sub-threads must leave
+    /// no speculative residue in the L2, and the structural invariants of
+    /// every running epoch must hold.
+    fn audit_after_rewind(&mut self, cpu: usize, sub: u8) {
+        if !self.opts.audit {
+            return;
+        }
+        if self.cfg.track_dependences {
+            for msg in self.mem.l2.audit_subthread_residue(cpu, sub) {
+                self.audit_fail(format!("post-rewind: {msg}"));
+            }
+        }
+        self.audit_slots();
+    }
+
+    /// Audits run as each epoch commits: commits happen in logical order
+    /// and the committing CPU leaves nothing speculative behind.
+    fn audit_after_commit(&mut self, cpu: usize, order: u32) {
+        if !self.opts.audit {
+            return;
+        }
+        if order != self.next_commit {
+            self.audit_fail(format!(
+                "out-of-order commit: epoch {order} committed while the token was at {}",
+                self.next_commit
+            ));
+        }
+        if self.cfg.track_dependences {
+            for msg in self.mem.l2.audit_cpu_clear(cpu) {
+                self.audit_fail(format!("post-commit: {msg}"));
+            }
+        }
+        self.audit_slots();
+    }
+
+    /// Structural invariants of every running epoch: strictly increasing
+    /// checkpoints, ledger buckets in lockstep with checkpoints, sane
+    /// start-table entries, and latch bookkeeping consistent with the
+    /// global table.
+    fn audit_slots(&mut self) {
+        let mut failures: Vec<String> = Vec::new();
+        let contexts = self.cfg.subthreads.contexts;
+        for (cpu, s) in self.slots.iter().enumerate() {
+            let Slot::Running(run) = s else { continue };
+            if !run.checkpoints.windows(2).all(|w| w[0] < w[1]) {
+                failures.push(format!(
+                    "cpu {cpu}: checkpoints not strictly increasing: {:?}",
+                    run.checkpoints
+                ));
+            }
+            if run.checkpoints.len() > contexts.max(1) as usize {
+                failures.push(format!(
+                    "cpu {cpu}: {} live sub-threads exceed {contexts} contexts",
+                    run.checkpoints.len()
+                ));
+            }
+            if run.ledger.current() + 1 != run.checkpoints.len() {
+                failures.push(format!(
+                    "cpu {cpu}: {} ledger buckets for {} checkpoints",
+                    run.ledger.current() + 1,
+                    run.checkpoints.len()
+                ));
+            }
+            for ((sender, sub), local) in run.start_table.iter() {
+                // `local` may legitimately exceed the *current* sub-thread
+                // after a rewind (restart_point guards with `target > cur`),
+                // but every recorded value must be a valid context id from
+                // a real, different CPU.
+                if sender == cpu || sender >= self.cfg.cpus || sub >= contexts || local >= contexts
+                {
+                    failures.push(format!(
+                        "cpu {cpu}: corrupt start-table entry ({sender},{sub})->{local}"
+                    ));
+                }
+            }
+            if !self.latch_hazard_active {
+                for &(latch, _) in &run.held_latches {
+                    if self.latches.owner(latch) != Some(cpu) {
+                        failures.push(format!(
+                            "cpu {cpu}: held latch {latch:?} is not owned in the latch table"
+                        ));
+                    }
+                }
+            }
+        }
+        for f in failures {
+            self.audit_fail(f);
+        }
+    }
+
+    /// End-of-run audit: with every epoch committed there must be no
+    /// speculative metadata or versions left anywhere in the hierarchy.
+    fn audit_end(&mut self) {
+        if !self.opts.audit || !self.cfg.track_dependences {
+            return;
+        }
+        for msg in self.mem.l2.audit_quiescent() {
+            self.audit_fail(format!("end-of-run: {msg}"));
+        }
+    }
+
+    /// Differential oracle: replay the program sequentially as a symbolic
+    /// last-writer image and compare with what the speculative machine
+    /// committed. The simulator models no data values, so two runs agree
+    /// exactly when every byte's last writer (in logical order) agrees.
+    fn check_oracle(&mut self) {
+        if !self.opts.oracle {
+            return;
+        }
+        let mut expected: HashMap<u64, u64> = HashMap::new();
+        for (i, op) in self.program.iter_ops().enumerate() {
+            if let OpKind::Store { addr, size } = op.kind() {
+                for b in 0..size as u64 {
+                    expected.insert(addr.0 + b, i as u64);
+                }
+            }
+        }
+        if expected != self.image {
+            let mut diffs: Vec<u64> = expected
+                .keys()
+                .chain(self.image.keys())
+                .filter(|a| expected.get(*a) != self.image.get(*a))
+                .copied()
+                .collect();
+            diffs.sort_unstable();
+            diffs.dedup();
+            let shown: Vec<String> = diffs.iter().take(4).map(|a| format!("{a:#x}")).collect();
+            self.audit_fail(format!(
+                "oracle divergence: committed image disagrees with the sequential replay \
+                 at {} bytes (first: {shown:?})",
+                diffs.len()
+            ));
+        }
+    }
+
     fn execute_cpu(&mut self, cpu: usize, orders: &[Option<u32>]) {
         let mut run = match std::mem::replace(&mut self.slots[cpu], Slot::Free) {
             Slot::Free => {
@@ -407,6 +834,7 @@ impl<'p> Machine<'p> {
         let speculative = run.order > self.next_commit;
         let mut dispatched = 0usize;
         let mut examined = 0usize;
+        let mut latch_errors: Vec<LatchError> = Vec::new();
         run.waiting_latch = false;
         run.waiting_sync = false;
 
@@ -442,28 +870,13 @@ impl<'p> Machine<'p> {
             {
                 // Recycle a context: merge the adjacent checkpoint pair
                 // with the smallest combined span.
-                let m = (1..run.checkpoints.len())
-                    .min_by_key(|&k| {
-                        let end =
-                            run.checkpoints.get(k + 1).copied().unwrap_or(run.cursor);
-                        end - run.checkpoints[k - 1]
-                    })
-                    .expect("at least two checkpoints");
-                run.checkpoints.remove(m);
-                run.ledger.merge_bucket(m);
-                run.start_table.remap_values(m as u8);
-                self.mem.l2.merge_subthread(cpu, m as u8);
-                for s in &mut self.slots {
-                    if let Slot::Running(o) = s {
-                        o.start_table.remap_keys_for(cpu, m as u8);
-                    }
-                }
-                for v in &mut self.mem.pending {
-                    if v.cpu == cpu && v.sub >= m as u8 {
-                        v.sub = (v.sub - 1).max(m as u8 - 1);
-                    }
-                }
-                self.subthread_merges += 1;
+                Self::merge_one_context(
+                    &mut self.mem,
+                    &mut self.slots,
+                    &mut self.subthread_merges,
+                    cpu,
+                    &mut run,
+                );
             }
             if speculative
                 && may_checkpoint
@@ -496,7 +909,9 @@ impl<'p> Machine<'p> {
                     }
                 }
                 OpKind::LatchRelease(latch) => {
-                    self.latches.release(cpu, latch);
+                    if let Err(e) = self.latches.release(cpu, latch) {
+                        latch_errors.push(e);
+                    }
                     if let Some(i) =
                         run.held_latches.iter().rposition(|(l, _)| *l == latch)
                     {
@@ -530,6 +945,11 @@ impl<'p> Machine<'p> {
                             break;
                         }
                     }
+                    if self.opts.oracle {
+                        if let OpKind::Store { addr, size } = kind {
+                            run.stores.push((run.cursor, addr, size));
+                        }
+                    }
                     let ctx = AccessCtx { cpu, sub: run.cur_sub(), speculative };
                     let mem = &mut self.mem;
                     core.dispatch(op, |start, _, mk| mem.access(op, ctx, orders, start, mk));
@@ -556,6 +976,9 @@ impl<'p> Machine<'p> {
         };
         run.ledger.record(category);
         self.slots[cpu] = Slot::Running(run);
+        for e in latch_errors {
+            self.latch_release_error(e);
+        }
     }
 
     fn apply_violations(&mut self) {
@@ -573,6 +996,10 @@ impl<'p> Machine<'p> {
                 ViolationKind::Raw => self.violations.primary += 1,
                 ViolationKind::Overflow => self.violations.overflow += 1,
                 ViolationKind::Secondary => self.violations.secondary += 1,
+                // Chaos injections are counted in FaultStats, not in the
+                // machine's dependence statistics (the secondaries they
+                // cascade into are real protocol work and still count).
+                ViolationKind::Injected => {}
             }
             // Attribute the about-to-be-discarded cycles to the dependence
             // (§3.1: the exposed-load table provides the load PC).
@@ -628,43 +1055,63 @@ impl<'p> Machine<'p> {
     /// flushes the pipeline and re-classifies the discarded cycles as
     /// Failed.
     fn rewind(&mut self, cpu: usize, sub: u8) {
-        let run = match &mut self.slots[cpu] {
-            Slot::Running(r) => r,
-            Slot::Free => return,
-        };
-        debug_assert!((sub as usize) < run.checkpoints.len());
-        let failed = run.ledger.rewind_to(sub as usize);
-        self.acct += failed;
-        run.cursor = run.checkpoints[sub as usize];
-        run.checkpoints.truncate(sub as usize + 1);
-        run.finished = false;
-        run.waiting_latch = false;
-        self.latch_retry[cpu] = None;
-        self.cores[cpu].flush();
-        self.mem.mshrs[cpu].clear();
-        if self.mem.l1_subthread_aware {
-            self.mem.l1s[cpu].invalidate_speculative_from(sub);
-        } else {
-            self.mem.l1s[cpu].invalidate_speculative();
-        }
-        self.mem.l2.rewind(cpu, sub);
-        // Escaped synchronization: only acquisitions the rewind undoes
-        // are released; critical sections that completed (or that the
-        // rewind target sits inside) keep their latches, so the replay's
-        // re-entrant acquires and the eventual releases stay balanced.
-        let rewound_to = run.cursor;
-        let mut kept = Vec::with_capacity(run.held_latches.len());
-        for (latch, at) in run.held_latches.drain(..) {
-            if at >= rewound_to {
-                self.latches.release(cpu, latch);
+        let mut latch_errors: Vec<LatchError> = Vec::new();
+        {
+            let run = match &mut self.slots[cpu] {
+                Slot::Running(r) => r,
+                Slot::Free => return,
+            };
+            debug_assert!((sub as usize) < run.checkpoints.len());
+            let failed = run.ledger.rewind_to(sub as usize);
+            self.acct += failed;
+            run.cursor = run.checkpoints[sub as usize];
+            run.checkpoints.truncate(sub as usize + 1);
+            run.finished = false;
+            run.waiting_latch = false;
+            self.latch_retry[cpu] = None;
+            self.cores[cpu].flush();
+            self.mem.mshrs[cpu].clear();
+            if self.mem.l1_subthread_aware {
+                self.mem.l1s[cpu].invalidate_speculative_from(sub);
             } else {
-                kept.push((latch, at));
+                self.mem.l1s[cpu].invalidate_speculative();
             }
+            if !self.opts.sabotage_rewind {
+                self.mem.l2.rewind(cpu, sub);
+            }
+            // Escaped synchronization: only acquisitions the rewind undoes
+            // are released; critical sections that completed (or that the
+            // rewind target sits inside) keep their latches, so the replay's
+            // re-entrant acquires and the eventual releases stay balanced.
+            let rewound_to = run.cursor;
+            let mut kept = Vec::with_capacity(run.held_latches.len());
+            for (latch, at) in run.held_latches.drain(..) {
+                if at >= rewound_to {
+                    if let Err(e) = self.latches.release(cpu, latch) {
+                        latch_errors.push(e);
+                    }
+                } else {
+                    kept.push((latch, at));
+                }
+            }
+            run.held_latches = kept;
+            // The oracle's write log forgets the stores the rewind undid;
+            // re-execution re-records them, keeping commit exactly-once.
+            let keep = run.stores.partition_point(|&(c, _, _)| c < rewound_to);
+            run.stores.truncate(keep);
         }
-        run.held_latches = kept;
+        for e in latch_errors {
+            self.latch_release_error(e);
+        }
+        self.audit_after_rewind(cpu, sub);
     }
 
     fn commit_ready(&mut self) {
+        // Delayed-token fault: the homefree token is withheld; finished
+        // epochs accrue Sync time until it is released.
+        if self.cycle < self.commit_block_until {
+            return;
+        }
         loop {
             let ready = self.slots.iter().position(|s| {
                 matches!(s, Slot::Running(r) if r.finished && r.order == self.next_commit)
@@ -674,6 +1121,19 @@ impl<'p> Machine<'p> {
                 Slot::Running(r) => r,
                 Slot::Free => unreachable!(),
             };
+            let order = run.order;
+            if self.opts.oracle {
+                // The epoch's surviving write log becomes the committed
+                // image; tokens are global op indices, so the image can be
+                // compared byte-for-byte with a sequential replay.
+                let base = self.epoch_base[order as usize];
+                for &(cursor, addr, size) in &run.stores {
+                    let token = base + cursor as u64;
+                    for b in 0..size as u64 {
+                        self.image.insert(addr.0 + b, token);
+                    }
+                }
+            }
             self.acct += run.ledger.commit();
             let orders = self.orders_snapshot();
             let overflow = self.mem.l2.commit(cpu);
@@ -686,6 +1146,7 @@ impl<'p> Machine<'p> {
                     r.start_table.forget_cpu(cpu);
                 }
             }
+            self.audit_after_commit(cpu, order);
             self.committed += 1;
             self.next_commit += 1;
         }
@@ -762,6 +1223,9 @@ impl<'p> Machine<'p> {
             latch_acquisitions: self.latches.acquisitions(),
             predictor_synchronizations: self.predictor.synchronizations(),
             profile: self.profiler.report(),
+            faults: self.faults,
+            protocol_errors: self.protocol_errors,
+            audit_failures: self.audit_failures,
         }
     }
 }
@@ -1204,5 +1668,166 @@ mod tests {
         let r = run_with(cfg(), &p);
         assert!(r.dispatched_ops > r.program_ops);
         assert!(r.wasted_work_ratio() > 0.0);
+    }
+
+    // --- chaos harness ---
+
+    use crate::chaos::{FaultClass, FaultPlan};
+
+    /// Runs with a fault plan, audits and oracle on, panicking on any
+    /// invariant breakage — chaos tests fail loudly.
+    fn run_chaos(config: CmpConfig, p: &TraceProgram, plan: FaultPlan) -> SimReport {
+        CmpSimulator::new(config)
+            .run_with(p, RunOptions { plan: Some(plan), ..RunOptions::default() })
+    }
+
+    /// Four independent epochs: no genuine dependences, so any recovery
+    /// activity observed under chaos is the harness's doing.
+    fn independent_program() -> TraceProgram {
+        let mut b = ProgramBuilder::new("independent");
+        b.begin_parallel();
+        for t in 0..4u16 {
+            b.begin_epoch();
+            b.int_ops(Pc::new(t, 0), 4000);
+            b.store(Pc::new(t, 1), Addr(0xE000 + 64 * t as u64), 8);
+            b.end_epoch();
+        }
+        b.end_parallel();
+        b.finish()
+    }
+
+    #[test]
+    fn spurious_primary_rewinds_without_counting_as_raw() {
+        let p = independent_program();
+        let r = run_chaos(cfg(), &p, FaultPlan::single(FaultClass::SpuriousPrimary, 300, 0));
+        assert_eq!(r.faults.spurious_primary, 1);
+        assert_eq!(r.violations.primary, 0, "injected violations are not RAW statistics");
+        assert!(r.breakdown.failed > 0, "the rewind must discard real work");
+        assert_eq!(r.committed_epochs, 4);
+        assert!(r.audit_failures.is_empty());
+    }
+
+    #[test]
+    fn spurious_secondary_restarts_the_youngest_epoch() {
+        let p = independent_program();
+        let r = run_chaos(cfg(), &p, FaultPlan::single(FaultClass::SpuriousSecondary, 300, 0));
+        assert_eq!(r.faults.spurious_secondary, 1);
+        assert!(r.breakdown.failed > 0);
+        assert_eq!(r.committed_epochs, 4);
+    }
+
+    #[test]
+    fn forced_merge_recycles_a_live_context() {
+        let p = independent_program();
+        let r = run_chaos(cfg(), &p, FaultPlan::single(FaultClass::ForcedMerge, 1000, 0));
+        assert_eq!(r.faults.forced_merge, 1);
+        assert!(r.subthread_merges >= 1);
+        assert_eq!(r.committed_epochs, 4);
+    }
+
+    #[test]
+    fn delayed_token_stalls_commit_but_not_correctness() {
+        let p = independent_program();
+        let base = run_with(cfg(), &p);
+        let r = run_chaos(cfg(), &p, FaultPlan::single(FaultClass::DelayedToken, 10, 3000));
+        assert_eq!(r.faults.delayed_token, 1);
+        assert!(r.total_cycles >= 3010, "token withheld until cycle 3010: {}", r.total_cycles);
+        assert!(r.total_cycles > base.total_cycles);
+        assert!(r.breakdown.sync > base.breakdown.sync, "finished epochs wait on the token");
+        assert_eq!(r.committed_epochs, 4);
+    }
+
+    #[test]
+    fn victim_squeeze_forces_the_overflow_path() {
+        // Same spill pattern the 64-entry victim cache absorbs cleanly;
+        // squeezing it mid-run must surface overflow violations and the
+        // machine must still finish correctly once capacity returns.
+        let mut b = ProgramBuilder::new("squeezed");
+        b.begin_parallel();
+        b.begin_epoch();
+        b.int_ops(Pc::new(0, 0), 30_000);
+        b.end_epoch();
+        b.begin_epoch();
+        for i in 0..8u64 {
+            b.store(Pc::new(1, 1), Addr(0x4_0000 + i * 4096), 8);
+            b.int_ops(Pc::new(1, 2), 50);
+        }
+        b.int_ops(Pc::new(1, 3), 1000);
+        b.end_epoch();
+        b.end_parallel();
+        let p = b.finish();
+        let mut c = cfg();
+        c.victim_entries = 64;
+        let clean = run_with(c, &p);
+        assert_eq!(clean.violations.overflow, 0);
+        let r = run_chaos(c, &p, FaultPlan::single(FaultClass::VictimSqueeze, 2000, 400));
+        assert_eq!(r.faults.victim_squeeze, 1);
+        assert!(r.violations.overflow >= 1, "violations: {:?}", r.violations);
+        assert_eq!(r.committed_epochs, 2);
+    }
+
+    #[test]
+    fn latch_hazard_is_absorbed_as_a_protocol_error() {
+        let mut b = ProgramBuilder::new("hazard");
+        b.begin_parallel();
+        for _ in 0..2 {
+            b.begin_epoch();
+            b.latch_acquire(Pc::new(3, 0), LatchId(7));
+            b.int_ops(Pc::new(3, 1), 3000);
+            b.latch_release(Pc::new(3, 2), LatchId(7));
+            b.end_epoch();
+        }
+        b.end_parallel();
+        let p = b.finish();
+        let r = run_chaos(cfg(), &p, FaultPlan::single(FaultClass::LatchHazard, 500, 0));
+        assert_eq!(r.faults.latch_hazard, 1);
+        assert!(r.faults.protocol_errors >= 1, "the orphaned release must surface");
+        assert!(!r.protocol_errors.is_empty());
+        assert!(r.protocol_errors[0].message.contains("latch"));
+        assert_eq!(r.committed_epochs, 2, "the machine keeps running");
+    }
+
+    #[test]
+    fn faults_with_no_target_are_skipped() {
+        // A sequential program has no speculative epoch to injure.
+        let mut b = ProgramBuilder::new("seq-chaos");
+        b.int_ops(Pc::new(0, 0), 2000);
+        let p = b.finish();
+        let r = run_chaos(cfg(), &p, FaultPlan::single(FaultClass::SpuriousPrimary, 100, 0));
+        assert_eq!(r.faults.applied(), 0);
+        assert_eq!(r.faults.skipped, 1);
+        assert_eq!(r.committed_epochs, 1);
+    }
+
+    #[test]
+    fn seeded_plans_replay_identically() {
+        let p = independent_program();
+        let plan = FaultPlan::generate(42, &crate::chaos::ALL_FAULT_CLASSES, 3000, 6);
+        let a = run_chaos(cfg(), &p, plan.clone());
+        let b = run_chaos(cfg(), &p, plan);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.breakdown, b.breakdown);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn sabotaged_rewind_is_caught_by_the_auditor() {
+        // Break the recovery path on purpose: skip the speculative-L2
+        // cleanup during rewind. The invariant auditor — not a downstream
+        // assert — must report the residue immediately after the rewind.
+        let p = raw_program(4000, 100);
+        let r = CmpSimulator::new(cfg()).run_with(
+            &p,
+            RunOptions {
+                sabotage_rewind: true,
+                panic_on_audit_failure: false,
+                ..RunOptions::default()
+            },
+        );
+        assert!(
+            r.audit_failures.iter().any(|f| f.contains("post-rewind")),
+            "auditor must flag the sabotage: {:?}",
+            r.audit_failures
+        );
     }
 }

@@ -411,7 +411,14 @@ impl BTree {
             }
             prev = Some(k);
         }
-        match (node.kind(env), level) {
+        let kind = match node.kind(env) {
+            Ok(k) => k,
+            Err(e) => {
+                errors.push(e.to_string());
+                return;
+            }
+        };
+        match (kind, level) {
             (PageKind::Leaf, 1) => {}
             (PageKind::Leaf, l) => {
                 errors.push(format!("leaf {:?} at interior level {l}", node.base))

@@ -50,7 +50,7 @@ mod wal;
 pub use btree::{BTree, PageAlloc};
 pub use db::{Db, LatchName, OptLevel};
 pub use env::{Env, Recorder, SPAWN_OVERHEAD_OPS};
-pub use page::{Page, PageKind, PAGE_SIZE};
+pub use page::{Page, PageError, PageKind, PAGE_SIZE};
 pub use simmem::SimMemory;
 pub use tpcc::{Tpcc, TpccConfig, Transaction};
 pub use wal::{LocalLog, Wal};

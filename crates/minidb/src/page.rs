@@ -18,6 +18,7 @@
 //! | 16 | prev page address (u64) |
 
 use crate::Env;
+use std::fmt;
 use tls_trace::{Addr, Pc};
 
 /// Bytes per page.
@@ -42,14 +43,33 @@ impl PageKind {
         }
     }
 
-    fn from_u16(v: u16) -> PageKind {
+    fn from_u16(v: u16) -> Result<PageKind, u16> {
         match v {
-            1 => PageKind::Leaf,
-            2 => PageKind::Internal,
-            other => panic!("corrupt page kind {other}"),
+            1 => Ok(PageKind::Leaf),
+            2 => Ok(PageKind::Internal),
+            other => Err(other),
         }
     }
 }
+
+/// A structurally corrupt page: its header does not decode. Surfaced as
+/// a typed error so integrity checks can report corruption instead of
+/// crashing mid-scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageError {
+    /// Base address of the page whose header was invalid.
+    pub base: Addr,
+    /// The raw kind field found there.
+    pub raw_kind: u16,
+}
+
+impl fmt::Display for PageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page {:?}: corrupt page kind {}", self.base, self.raw_kind)
+    }
+}
+
+impl std::error::Error for PageError {}
 
 // Recorded-access sites within a page's module.
 const SITE_HDR_R: u16 = 0;
@@ -92,9 +112,11 @@ impl Page {
         Pc::new(self.module, site)
     }
 
-    /// The page kind (recorded header read).
-    pub fn kind(&self, env: &mut Env) -> PageKind {
-        PageKind::from_u16(env.load_u16(self.pc(SITE_HDR_R), self.base))
+    /// The page kind (recorded header read), or a [`PageError`] if the
+    /// header does not decode to a known kind.
+    pub fn kind(&self, env: &mut Env) -> Result<PageKind, PageError> {
+        let raw = env.load_u16(self.pc(SITE_HDR_R), self.base);
+        PageKind::from_u16(raw).map_err(|raw_kind| PageError { base: self.base, raw_kind })
     }
 
     /// Number of cells (recorded header read).
@@ -262,11 +284,22 @@ mod tests {
     fn format_and_header_round_trip() {
         let mut env = Env::new();
         let p = fresh(&mut env, 16);
-        assert_eq!(p.kind(&mut env), PageKind::Leaf);
+        assert_eq!(p.kind(&mut env), Ok(PageKind::Leaf));
         assert_eq!(p.ncells(&mut env), 0);
         assert_eq!(p.cell_size(&mut env), 16);
         p.set_next(&mut env, Addr(0xAAA0));
         assert_eq!(p.next(&mut env), Addr(0xAAA0));
+    }
+
+    #[test]
+    fn corrupt_kind_is_a_typed_error() {
+        let mut env = Env::new();
+        let p = fresh(&mut env, 16);
+        // Clobber the kind field with a value no formatter writes.
+        env.store_u16(Pc::new(7, 1), p.base, 0xBEEF);
+        let e = p.kind(&mut env).expect_err("corrupt header must not decode");
+        assert_eq!(e, PageError { base: p.base, raw_kind: 0xBEEF });
+        assert!(format!("{e}").contains("corrupt page kind 48879"));
     }
 
     #[test]

@@ -110,10 +110,15 @@ mod tests {
 
     #[test]
     fn trace_has_moderate_coverage_and_small_epochs() {
+        // At test scale most customers have never ordered, so whether a
+        // given ORDER STATUS reaches the parallel order-line loop is a
+        // seeded-RNG draw. Ten transactions make at least one ordered
+        // customer a certainty for any reasonable stream while keeping
+        // the run deterministic.
         let mut t = Tpcc::new(TpccConfig::test());
-        let p = t.record(Transaction::OrderStatus, 3);
+        let p = t.record(Transaction::OrderStatus, 10);
         let s = p.stats();
-        assert!(s.epochs >= 3, "one epoch per line read");
+        assert!(s.epochs >= 3, "one epoch per line read, got {}", s.epochs);
         assert!(s.coverage() < 0.75, "coverage {}", s.coverage());
     }
 }

@@ -1,0 +1,428 @@
+//! Strategies (value generators) and value trees (shrinkable samples).
+
+use crate::test_runner::TestRunner;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of shrinkable values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one shrinkable sample.
+    fn new_tree(&self, runner: &mut TestRunner) -> Box<dyn ValueTree<Value = Self::Value>>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O + Clone,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// One generated sample plus its shrink state.
+///
+/// `simplify` moves to a strictly "smaller" candidate and returns whether
+/// it could; `complicate` backs out the most recent simplification (used
+/// when that simplification made the failing test pass). Implementations
+/// guarantee the simplify/complicate walk terminates.
+pub trait ValueTree {
+    /// The value type.
+    type Value;
+
+    /// The current candidate value.
+    fn current(&self) -> Self::Value;
+
+    /// Attempts to move to a simpler candidate.
+    fn simplify(&mut self) -> bool;
+
+    /// Attempts to back out the last simplification.
+    fn complicate(&mut self) -> bool;
+}
+
+impl<V> ValueTree for Box<dyn ValueTree<Value = V>> {
+    type Value = V;
+    fn current(&self) -> V {
+        (**self).current()
+    }
+    fn simplify(&mut self) -> bool {
+        (**self).simplify()
+    }
+    fn complicate(&mut self) -> bool {
+        (**self).complicate()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Just
+// ---------------------------------------------------------------------------
+
+/// A strategy that always yields a fixed value (no shrinking).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn new_tree(&self, _runner: &mut TestRunner) -> Box<dyn ValueTree<Value = T>> {
+        Box::new(JustTree(self.0.clone()))
+    }
+}
+
+struct JustTree<T: Clone>(T);
+
+impl<T: Clone> ValueTree for JustTree<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+    fn simplify(&mut self) -> bool {
+        false
+    }
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer ranges
+// ---------------------------------------------------------------------------
+
+/// Integer types range strategies can produce.
+pub trait IntValue: Copy + 'static {
+    /// Widens to the `u64` shrink domain.
+    fn to_u64(self) -> u64;
+    /// Narrows back; the value is known to fit.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_int_value {
+    ($($t:ty),*) => {$(
+        impl IntValue for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+impl_int_value!(u8, u16, u32, u64, usize);
+
+/// Shrinks an integer toward `lo` by binary search. `complicate` restores
+/// the previous failing value and fences the low bound so the walk
+/// terminates.
+struct IntTree<T: IntValue> {
+    lo: u64,
+    curr: u64,
+    prev: Option<u64>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: IntValue> IntTree<T> {
+    fn new(lo: u64, curr: u64) -> Self {
+        IntTree { lo, curr, prev: None, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<T: IntValue> ValueTree for IntTree<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        T::from_u64(self.curr)
+    }
+    fn simplify(&mut self) -> bool {
+        if self.curr > self.lo {
+            self.prev = Some(self.curr);
+            self.curr = self.lo + (self.curr - self.lo) / 2;
+            true
+        } else {
+            false
+        }
+    }
+    fn complicate(&mut self) -> bool {
+        match self.prev.take() {
+            Some(p) if p > self.curr => {
+                self.lo = self.curr + 1;
+                self.curr = p;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+fn sample_in(runner: &mut TestRunner, lo: u64, hi_inclusive: u64) -> u64 {
+    let span = hi_inclusive.wrapping_sub(lo).wrapping_add(1);
+    if span == 0 {
+        runner.next_u64()
+    } else {
+        lo + runner.below(span)
+    }
+}
+
+impl<T: IntValue> Strategy for Range<T> {
+    type Value = T;
+    fn new_tree(&self, runner: &mut TestRunner) -> Box<dyn ValueTree<Value = T>> {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "empty range strategy");
+        let v = sample_in(runner, lo, hi - 1);
+        Box::new(IntTree::<T>::new(lo, v))
+    }
+}
+
+impl<T: IntValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn new_tree(&self, runner: &mut TestRunner) -> Box<dyn ValueTree<Value = T>> {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "empty range strategy");
+        let v = sample_in(runner, lo, hi);
+        Box::new(IntTree::<T>::new(lo, v))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Float ranges
+// ---------------------------------------------------------------------------
+
+struct FloatTree {
+    lo: f64,
+    curr: f64,
+    prev: Option<f64>,
+    done: bool,
+}
+
+impl ValueTree for FloatTree {
+    type Value = f64;
+    fn current(&self) -> f64 {
+        self.curr
+    }
+    fn simplify(&mut self) -> bool {
+        if self.done || (self.curr - self.lo).abs() < 1e-9 {
+            return false;
+        }
+        self.prev = Some(self.curr);
+        self.curr = self.lo + (self.curr - self.lo) / 2.0;
+        true
+    }
+    fn complicate(&mut self) -> bool {
+        match self.prev.take() {
+            Some(p) => {
+                self.curr = p;
+                self.done = true;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_tree(&self, runner: &mut TestRunner) -> Box<dyn ValueTree<Value = f64>> {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (runner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + unit * (self.end - self.start);
+        Box::new(FloatTree { lo: self.start, curr: v, prev: None, done: false })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bool
+// ---------------------------------------------------------------------------
+
+/// The `any::<bool>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolStrategy;
+
+struct BoolTree {
+    curr: bool,
+    flipped: bool,
+    done: bool,
+}
+
+impl ValueTree for BoolTree {
+    type Value = bool;
+    fn current(&self) -> bool {
+        self.curr
+    }
+    fn simplify(&mut self) -> bool {
+        if self.curr && !self.done {
+            self.curr = false;
+            self.flipped = true;
+            true
+        } else {
+            false
+        }
+    }
+    fn complicate(&mut self) -> bool {
+        if self.flipped {
+            self.curr = true;
+            self.flipped = false;
+            self.done = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn new_tree(&self, runner: &mut TestRunner) -> Box<dyn ValueTree<Value = bool>> {
+        Box::new(BoolTree { curr: runner.next_u64() & 1 == 1, flipped: false, done: false })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prop_map
+// ---------------------------------------------------------------------------
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    S::Value: 'static,
+    O: 'static,
+    F: Fn(S::Value) -> O + Clone + 'static,
+{
+    type Value = O;
+    fn new_tree(&self, runner: &mut TestRunner) -> Box<dyn ValueTree<Value = O>> {
+        Box::new(MapTree { inner: self.inner.new_tree(runner), f: self.f.clone() })
+    }
+}
+
+struct MapTree<I, F> {
+    inner: Box<dyn ValueTree<Value = I>>,
+    f: F,
+}
+
+impl<I, O, F: Fn(I) -> O> ValueTree for MapTree<I, F> {
+    type Value = O;
+    fn current(&self) -> O {
+        (self.f)(self.inner.current())
+    }
+    fn simplify(&mut self) -> bool {
+        self.inner.simplify()
+    }
+    fn complicate(&mut self) -> bool {
+        self.inner.complicate()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($TreeName:ident; $($S:ident : $idx:tt),+) => {
+        impl<$($S,)+> Strategy for ($($S,)+)
+        where
+            $($S: Strategy, $S::Value: 'static,)+
+        {
+            type Value = ($($S::Value,)+);
+            fn new_tree(
+                &self,
+                runner: &mut TestRunner,
+            ) -> Box<dyn ValueTree<Value = Self::Value>> {
+                Box::new($TreeName {
+                    children: ($(self.$idx.new_tree(runner),)+),
+                    cursor: 0,
+                    last: usize::MAX,
+                })
+            }
+        }
+
+        struct $TreeName<$($S,)+> {
+            children: ($(Box<dyn ValueTree<Value = $S>>,)+),
+            cursor: usize,
+            last: usize,
+        }
+
+        impl<$($S,)+> ValueTree for $TreeName<$($S,)+> {
+            type Value = ($($S,)+);
+            fn current(&self) -> Self::Value {
+                ($(self.children.$idx.current(),)+)
+            }
+            fn simplify(&mut self) -> bool {
+                $(
+                    if self.cursor == $idx {
+                        if self.children.$idx.simplify() {
+                            self.last = $idx;
+                            return true;
+                        }
+                        self.cursor += 1;
+                    }
+                )+
+                false
+            }
+            fn complicate(&mut self) -> bool {
+                $(
+                    if self.last == $idx {
+                        return self.children.$idx.complicate();
+                    }
+                )+
+                false
+            }
+        }
+    };
+}
+
+tuple_strategy!(Tuple1Tree; S0: 0);
+tuple_strategy!(Tuple2Tree; S0: 0, S1: 1);
+tuple_strategy!(Tuple3Tree; S0: 0, S1: 1, S2: 2);
+tuple_strategy!(Tuple4Tree; S0: 0, S1: 1, S2: 2, S3: 3);
+tuple_strategy!(Tuple5Tree; S0: 0, S1: 1, S2: 2, S3: 3, S4: 4);
+tuple_strategy!(Tuple6Tree; S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5);
+
+// ---------------------------------------------------------------------------
+// Union (prop_oneof!)
+// ---------------------------------------------------------------------------
+
+/// A weighted choice among strategies of a common value type.
+pub struct Union<T> {
+    arms: Vec<(u32, Rc<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone() }
+    }
+}
+
+impl<T> Union<T> {
+    /// A union with no arms yet (builder for `prop_oneof!`).
+    pub fn empty() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    /// Adds an arm with the given weight.
+    pub fn or<S>(mut self, weight: u32, strategy: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        assert!(weight > 0, "prop_oneof! weights must be positive");
+        self.arms.push((weight, Rc::new(strategy)));
+        self
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn new_tree(&self, runner: &mut TestRunner) -> Box<dyn ValueTree<Value = T>> {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = runner.below(total);
+        for (w, arm) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return arm.new_tree(runner);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}

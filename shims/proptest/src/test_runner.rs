@@ -1,0 +1,115 @@
+//! Test configuration, the RNG-carrying runner, and the shrink loop.
+
+use crate::strategy::Strategy;
+use std::fmt;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Maximum shrink iterations after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 4096 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (everything else default).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Self::default() }
+    }
+}
+
+/// A failed property: the message from `prop_assert!`/`prop_assert_eq!`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Carries the deterministic RNG that strategies draw from.
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    fn new(seed: u64) -> Self {
+        TestRunner { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Runs `test` against `config.cases` generated inputs, shrinking on the
+/// first failure and panicking with the minimal failing case's message.
+pub fn run_test<S, F>(config: ProptestConfig, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5EED_CAFE_F00D_D1CE);
+    let mut runner = TestRunner::new(seed);
+
+    for case in 0..config.cases {
+        let mut tree = strategy.new_tree(&mut runner);
+        let first = match test(tree.current()) {
+            Ok(()) => continue,
+            Err(e) => e,
+        };
+
+        // Shrink: simplify while the test keeps failing; when a
+        // simplification makes it pass, back out one step and move on.
+        let mut best = first;
+        let mut shrinks = 0u32;
+        for _ in 0..config.max_shrink_iters {
+            if !tree.simplify() {
+                break;
+            }
+            match test(tree.current()) {
+                Err(e) => {
+                    best = e;
+                    shrinks += 1;
+                }
+                Ok(()) => {
+                    if !tree.complicate() {
+                        break;
+                    }
+                }
+            }
+        }
+        panic!(
+            "proptest case #{case} failed (after {shrinks} successful shrink steps): {best}"
+        );
+    }
+}

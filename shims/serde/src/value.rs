@@ -1,0 +1,364 @@
+//! A parsed JSON tree and a small recursive-descent parser.
+
+use crate::{write_json_string, DeError};
+use std::fmt;
+
+/// A JSON document.
+///
+/// Numbers keep integer/float distinction so `u64` values round-trip
+/// exactly (`f64` would lose precision above 2^53).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer literal (no `.`/exponent in the source).
+    Int(i128),
+    /// A float literal.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object's key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Writes this value as JSON, indenting nested containers when
+    /// `indent` is `Some(step)`.
+    pub fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(f) => {
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            }
+            Value::Str(s) => write_json_string(s, out),
+            Value::Array(items) => {
+                write_seq(out, indent, level, '[', ']', items.iter(), |v, out, lvl| {
+                    v.write(out, indent, lvl)
+                });
+            }
+            Value::Object(pairs) => {
+                write_seq(out, indent, level, '{', '}', pairs.iter(), |(k, v), out, lvl| {
+                    write_json_string(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, lvl)
+                });
+            }
+        }
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(T, &mut String, usize),
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (level + 1)));
+        }
+        write_item(item, out, level + 1);
+    }
+    if n > 0 {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * level));
+        }
+    }
+    out.push(close);
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        f.write_str(&s)
+    }
+}
+
+/// Parses a JSON document. Trailing whitespace is allowed; trailing
+/// content is an error.
+pub fn parse(input: &str) -> Result<Value, DeError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(DeError(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), DeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DeError(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, DeError> {
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(DeError(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, v: Value) -> Result<Value, DeError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(DeError(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, DeError> {
+        let start = self.pos;
+        let mut float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DeError("invalid utf-8 in number".into()))?;
+        if float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| DeError(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|_| DeError(format!("invalid integer `{text}`")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DeError> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(DeError("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| DeError("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| DeError("invalid \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| DeError("invalid \\u escape".into()))?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| DeError("invalid \\u codepoint".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(DeError(format!("invalid escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| DeError("invalid utf-8 in string".into()))?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, DeError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(DeError(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, DeError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            pairs.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(DeError(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("-42").unwrap(), Value::Int(-42));
+        assert_eq!(parse("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn parses_nested() {
+        let v = parse(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].0, "a");
+        assert_eq!(obj[1].1, Value::Str("x".into()));
+    }
+
+    #[test]
+    fn big_u64_round_trips_exactly() {
+        let n = u64::MAX - 1;
+        let v = parse(&n.to_string()).unwrap();
+        assert_eq!(v, Value::Int(n as i128));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("1 x").is_err());
+        assert!(parse("[1,").is_err());
+    }
+}

@@ -1,0 +1,395 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the offline serde
+//! shim.
+//!
+//! No `syn`/`quote` (nothing can be downloaded in this environment), so
+//! the macro walks the `proc_macro::TokenStream` directly. It supports the
+//! shapes this workspace actually derives on:
+//!
+//! * structs with named fields, tuple/newtype structs, unit structs;
+//! * enums with unit, newtype, tuple and struct variants;
+//!
+//! with serde's external-tagging JSON convention. Generics and
+//! `#[serde(...)]` attributes are deliberately unsupported — the
+//! workspace uses neither.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields; the count is all codegen needs.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (JSON text writer).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (from a parsed JSON `Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim does not support generic types (deriving on {name})");
+        }
+    }
+    // Skip a `where` clause if one ever appears (none in this workspace).
+    while i < tokens.len() && !matches!(&tokens[i], TokenTree::Group(_))
+        && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ';')
+    {
+        i += 1;
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                None | Some(TokenTree::Punct(_)) => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(other) => panic!("serde_derive: unexpected struct body {other}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("serde_derive: expected enum body for {name}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive: cannot derive on `{other}` items"),
+    }
+}
+
+/// Advances past leading attributes (`#[...]`, including doc comments,
+/// which reach the macro as `#[doc = ...]`) and visibility qualifiers.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the `[...]` group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` etc.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field/variant list on commas that sit outside `<...>` angle
+/// brackets (group nesting is already handled by the token tree).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth: i32 = 0;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        out.last_mut().unwrap().push(t);
+    }
+    if out.last().map(Vec::is_empty).unwrap_or(false) {
+        out.pop();
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|field| {
+            let mut i = 0;
+            skip_attrs_and_vis(&field, &mut i);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .map(|variant| {
+            let mut i = 0;
+            skip_attrs_and_vis(&variant, &mut i);
+            let name = match variant.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other:?}"),
+            };
+            i += 1;
+            let fields = match variant.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    panic!("serde_derive shim does not support explicit discriminants ({name})")
+                }
+                _ => Fields::Unit,
+            };
+            (name, fields)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "out.push_str(\"null\");".to_string(),
+                Fields::Tuple(1) => {
+                    "::serde::Serialize::serialize(&self.0, out);".to_string()
+                }
+                Fields::Tuple(n) => {
+                    let mut b = String::from("out.push('[');");
+                    for k in 0..*n {
+                        if k > 0 {
+                            b.push_str("out.push(',');");
+                        }
+                        b.push_str(&format!("::serde::Serialize::serialize(&self.{k}, out);"));
+                    }
+                    b.push_str("out.push(']');");
+                    b
+                }
+                Fields::Named(fields) => ser_named_body(fields, "&self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn serialize(&self, out: &mut ::std::string::String) {{ {body} }}\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => out.push_str(\"\\\"{vname}\\\"\"),"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {{\
+                           out.push_str(\"{{\\\"{vname}\\\":\");\
+                           ::serde::Serialize::serialize(__f0, out);\
+                           out.push('}}');\
+                         }},"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut b = format!(
+                            "{name}::{vname}({}) => {{\
+                               out.push_str(\"{{\\\"{vname}\\\":[\");",
+                            binders.join(", ")
+                        );
+                        for (k, bind) in binders.iter().enumerate() {
+                            if k > 0 {
+                                b.push_str("out.push(',');");
+                            }
+                            b.push_str(&format!("::serde::Serialize::serialize({bind}, out);"));
+                        }
+                        b.push_str("out.push(']');out.push('}');},");
+                        arms.push_str(&b);
+                    }
+                    Fields::Named(fnames) => {
+                        let binders = fnames.join(", ");
+                        let body = ser_named_body(fnames, "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binders} }} => {{\
+                               out.push_str(\"{{\\\"{vname}\\\":\");\
+                               {body}\
+                               out.push('}}');\
+                             }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn serialize(&self, out: &mut ::std::string::String) {{\
+                     match self {{ {arms} }}\
+                   }}\
+                 }}"
+            )
+        }
+    }
+}
+
+/// `{"a":...,"b":...}` over named fields; `prefix` is `&self.` for
+/// structs and `` for enum-variant binders.
+fn ser_named_body(fields: &[String], prefix: &str) -> String {
+    let mut b = String::from("out.push('{');");
+    for (k, f) in fields.iter().enumerate() {
+        if k > 0 {
+            b.push_str("out.push(',');");
+        }
+        b.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");"));
+        b.push_str(&format!("::serde::Serialize::serialize({prefix}{f}, out);"));
+    }
+    b.push_str("out.push('}');");
+    b
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!(
+                "match v {{\
+                   ::serde::Value::Null => ::std::result::Result::Ok({name}),\
+                   _ => ::std::result::Result::Err(::serde::DeError::expected(\"null\", \"{name}\")),\
+                 }}"
+            ),
+            Fields::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::from_value(v)?))"
+            ),
+            Fields::Tuple(n) => de_tuple_body(name, name, *n, "v"),
+            Fields::Named(fields) => de_named_body(name, name, fields, "v"),
+        },
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    )),
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::from_value(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let ctor = de_tuple_body(name, &format!("{name}::{vname}"), *n, "__inner");
+                        tagged_arms.push_str(&format!("\"{vname}\" => {{ {ctor} }},"));
+                    }
+                    Fields::Named(fnames) => {
+                        let ctor =
+                            de_named_body(name, &format!("{name}::{vname}"), fnames, "__inner");
+                        tagged_arms.push_str(&format!("\"{vname}\" => {{ {ctor} }},"));
+                    }
+                }
+            }
+            format!(
+                "match v {{\
+                   ::serde::Value::Str(__s) => match __s.as_str() {{\
+                     {unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError(\
+                       ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\
+                   }},\
+                   ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\
+                     let (__tag, __inner) = &__pairs[0];\
+                     match __tag.as_str() {{\
+                       {tagged_arms}\
+                       __other => ::std::result::Result::Err(::serde::DeError(\
+                         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\
+                     }}\
+                   }},\
+                   _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                     \"variant string or single-key object\", \"{name}\")),\
+                 }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+           fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\
+             {body}\
+           }}\
+         }}"
+    )
+}
+
+fn de_named_body(ty: &str, ctor: &str, fields: &[String], src: &str) -> String {
+    let mut b = format!(
+        "let __obj = {src}.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{ty}\"))?;\
+         ::std::result::Result::Ok({ctor} {{"
+    );
+    for f in fields {
+        b.push_str(&format!(
+            "{f}: ::serde::from_value(::serde::obj_get(__obj, \"{f}\", \"{ty}\")?)?,"
+        ));
+    }
+    b.push_str("})");
+    b
+}
+
+fn de_tuple_body(ty: &str, ctor: &str, n: usize, src: &str) -> String {
+    let mut b = format!(
+        "let __arr = {src}.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{ty}\"))?;\
+         if __arr.len() != {n} {{\
+           return ::std::result::Result::Err(::serde::DeError::expected(\"{n}-element array\", \"{ty}\"));\
+         }}\
+         ::std::result::Result::Ok({ctor}("
+    );
+    for k in 0..n {
+        b.push_str(&format!("::serde::from_value(&__arr[{k}])?,"));
+    }
+    b.push_str("))");
+    b
+}

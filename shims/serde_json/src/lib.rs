@@ -1,0 +1,123 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde`
+//! shim's JSON-native traits.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// A serialization or deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// The usual `serde_json` result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let compact = to_string(value)?;
+    let v = serde::parse(&compact)?;
+    let mut out = String::new();
+    v.write(&mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let v = serde::parse(s)?;
+    Ok(T::deserialize(&v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: u64,
+        y: Option<String>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Dot,
+        Circle(u32),
+        Rect(u32, u32),
+        Label { text: String, size: u8 },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrap(u16);
+
+    #[test]
+    fn struct_round_trip() {
+        let p = Point { x: u64::MAX - 3, y: Some("hi\n".into()) };
+        let s = super::to_string(&p).unwrap();
+        assert_eq!(s, format!("{{\"x\":{},\"y\":\"hi\\n\"}}", u64::MAX - 3));
+        assert_eq!(super::from_str::<Point>(&s).unwrap(), p);
+        let none = Point { x: 0, y: None };
+        let s = super::to_string(&none).unwrap();
+        assert_eq!(s, "{\"x\":0,\"y\":null}");
+        assert_eq!(super::from_str::<Point>(&s).unwrap(), none);
+    }
+
+    #[test]
+    fn enum_round_trip_all_shapes() {
+        for (v, json) in [
+            (Shape::Dot, r#""Dot""#.to_string()),
+            (Shape::Circle(9), r#"{"Circle":9}"#.to_string()),
+            (Shape::Rect(3, 4), r#"{"Rect":[3,4]}"#.to_string()),
+            (
+                Shape::Label { text: "t".into(), size: 2 },
+                r#"{"Label":{"text":"t","size":2}}"#.to_string(),
+            ),
+        ] {
+            let s = super::to_string(&v).unwrap();
+            assert_eq!(s, json);
+            assert_eq!(super::from_str::<Shape>(&s).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        let s = super::to_string(&Wrap(77)).unwrap();
+        assert_eq!(s, "77");
+        assert_eq!(super::from_str::<Wrap>(&s).unwrap(), Wrap(77));
+    }
+
+    #[test]
+    fn pretty_prints_indented() {
+        let p = Point { x: 1, y: None };
+        let s = super::to_string_pretty(&p).unwrap();
+        assert!(s.contains("\n  \"x\": 1"), "{s}");
+    }
+
+    #[test]
+    fn vec_and_nested() {
+        let v = vec![Shape::Dot, Shape::Circle(1)];
+        let s = super::to_string(&v).unwrap();
+        assert_eq!(super::from_str::<Vec<Shape>>(&s).unwrap(), v);
+    }
+}

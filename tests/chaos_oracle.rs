@@ -1,0 +1,117 @@
+//! Chaos property tests: whatever the program and whatever the seeded
+//! fault plan, the TLS machine must degrade gracefully — every epoch
+//! still commits, the invariant auditor stays silent, the sequential
+//! differential oracle matches the speculative memory image, and the
+//! fault ledger accounts for every scheduled event.
+//!
+//! Failures shrink to a minimal (program, plan-seed) pair because the
+//! whole plan sweep sits inside the property.
+
+use proptest::prelude::*;
+use subthreads::core::{
+    CmpConfig, CmpSimulator, FaultClass, FaultPlan, RunOptions, ALL_FAULT_CLASSES,
+};
+use subthreads::trace::{Addr, OpSink, Pc, ProgramBuilder, TraceProgram};
+
+#[derive(Debug, Clone)]
+enum GenOp {
+    Alu(u8),
+    Load(u8),
+    Store(u8),
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        4 => (1u8..=4).prop_map(GenOp::Alu),
+        2 => (0u8..16).prop_map(GenOp::Load),
+        1 => (0u8..16).prop_map(GenOp::Store),
+    ]
+}
+
+fn gen_program() -> impl Strategy<Value = TraceProgram> {
+    // 2..5 epochs of 10..120 ops over a 16-slot shared address pool:
+    // small enough to sweep 32 fault plans per case, shared enough that
+    // real RAW dependences (and thus real rewinds) are common.
+    proptest::collection::vec(proptest::collection::vec(gen_op(), 10..120), 2..5).prop_map(
+        |epochs| {
+            let mut b = ProgramBuilder::new("chaos-random");
+            b.begin_parallel();
+            for (e, ops) in epochs.iter().enumerate() {
+                b.begin_epoch();
+                for (i, op) in ops.iter().enumerate() {
+                    let pc = Pc::new(e as u16, i as u16);
+                    match op {
+                        GenOp::Alu(n) => b.int_ops(pc, *n as usize),
+                        GenOp::Load(slot) => b.load(pc, Addr(0x7000 + 8 * *slot as u64), 8),
+                        GenOp::Store(slot) => b.store(pc, Addr(0x7000 + 8 * *slot as u64), 8),
+                    }
+                }
+                b.end_epoch();
+            }
+            b.end_parallel();
+            b.finish()
+        },
+    )
+}
+
+fn machine() -> CmpConfig {
+    let mut cfg = CmpConfig::test_small();
+    cfg.max_cycles = 5_000_000;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_program_survives_32_seeded_fault_plans(program in gen_program()) {
+        let epochs = program.stats().epochs as u64;
+        let sim = CmpSimulator::new(machine());
+        // Fault-free baseline fixes the horizon plans draw cycles from.
+        let baseline = sim.run_with(
+            &program,
+            RunOptions { panic_on_audit_failure: false, ..RunOptions::default() },
+        );
+        prop_assert!(baseline.audit_failures.is_empty(),
+            "fault-free baseline failed audit: {:?}", baseline.audit_failures);
+        for seed in 0..32u64 {
+            let plan = FaultPlan::generate(seed, &ALL_FAULT_CLASSES, baseline.total_cycles, 4);
+            let n = plan.len() as u64;
+            let r = sim.run_with(&program, RunOptions::chaos(plan));
+            prop_assert!(r.audit_failures.is_empty(),
+                "seed {seed}: auditor tripped: {:?}", r.audit_failures);
+            prop_assert_eq!(r.committed_epochs, epochs, "seed {} lost epochs", seed);
+            // Accounting identity survives faults.
+            prop_assert_eq!(r.breakdown.total(), r.total_cycles * r.cpus as u64);
+            // Every scheduled fault is accounted: applied or skipped.
+            prop_assert_eq!(r.faults.applied() + r.faults.skipped, n);
+        }
+    }
+
+    #[test]
+    fn sabotaged_rewind_never_escapes_the_auditor(
+        program in gen_program(),
+        seed in 0u64..16,
+    ) {
+        // Break the protocol on purpose (rewinds skip the L2 state wash)
+        // and inject a violation so a rewind definitely happens: the
+        // auditor — not a downstream assert or the oracle alone — must
+        // catch it.
+        let sim = CmpSimulator::new(machine());
+        let plan = FaultPlan::generate(seed, &[FaultClass::SpuriousPrimary], 2_000, 2);
+        let opts = RunOptions {
+            sabotage_rewind: true,
+            panic_on_audit_failure: false,
+            ..RunOptions::chaos(plan)
+        };
+        let r = sim.run_with(&program, opts);
+        if r.faults.applied() > 0 {
+            prop_assert!(!r.audit_failures.is_empty(),
+                "a sabotaged rewind ran undetected ({} faults applied)",
+                r.faults.applied());
+            prop_assert!(r.audit_failures.iter().any(|f| f.contains("post-rewind")),
+                "sabotage caught, but not by the post-rewind audit: {:?}",
+                r.audit_failures);
+        }
+    }
+}
