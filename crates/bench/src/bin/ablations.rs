@@ -1,160 +1,14 @@
-//! Design-choice ablations called out in DESIGN.md §5:
+//! Design-choice ablations called out in DESIGN.md §5: secondary-violation
+//! selectivity (Figure 4), victim-cache capacity (§2.1), context
+//! exhaustion, dependence prediction (§1.2), L1 sub-thread awareness
+//! (§2.2).
 //!
-//! 1. **Secondary-violation selectivity** (Figure 4): the sub-thread
-//!    start table vs restarting every later thread from scratch.
-//! 2. **Victim-cache capacity** (§2.1): the paper sizes it at 64 entries
-//!    "large enough to avoid stalling threads due to cache overflows for
-//!    our worst case".
-//! 3. **Context-exhaustion policy**: merge-and-recycle vs stop (the
-//!    reconstruction documented in DESIGN.md).
+//! Thin wrapper over the `ablations` plan in `tls-harness`; the `suite`
+//! binary runs the same plan alongside every other artifact.
 //!
 //! Usage: `cargo run --release -p tls-bench --bin ablations [--scale paper|test] [--json DIR]`
 
-use serde::Serialize;
-use tls_bench::{instances, json_dir, paper_machine, record_benchmark, write_json, Scale};
-use tls_core::{CmpSimulator, ExhaustionPolicy, PredictorConfig, SecondaryPolicy, SimReport, SubThreadConfig};
-use tls_minidb::Transaction;
-
-#[derive(Serialize)]
-struct Entry {
-    ablation: &'static str,
-    benchmark: &'static str,
-    variant: String,
-    cycles: u64,
-    failed: u64,
-    violations_secondary: u64,
-    violations_overflow: u64,
-}
-
-fn entry(
-    ablation: &'static str,
-    benchmark: &'static str,
-    variant: String,
-    r: &SimReport,
-) -> Entry {
-    Entry {
-        ablation,
-        benchmark,
-        variant,
-        cycles: r.total_cycles,
-        failed: r.breakdown.failed,
-        violations_secondary: r.violations.secondary,
-        violations_overflow: r.violations.overflow,
-    }
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::parse(&args);
-    let base = paper_machine();
-    let mut out = Vec::new();
-
-    // --- 1. Secondary-violation selectivity (Figure 4). ---
-    println!("Ablation 1: secondary violations (Figure 4a vs 4b)");
-    for txn in [Transaction::NewOrder150, Transaction::DeliveryOuter] {
-        let progs = record_benchmark(&scale.tpcc(), txn, instances(txn, scale));
-        for policy in [SecondaryPolicy::StartTable, SecondaryPolicy::RestartAll] {
-            let mut cfg = base;
-            cfg.secondary = policy;
-            let r = CmpSimulator::new(cfg).run(&progs.tls);
-            println!(
-                "  {:<16} {:<12} {:>10} cycles, {:>9} failed, {:>4} secondary",
-                txn.label(),
-                format!("{policy:?}"),
-                r.total_cycles,
-                r.breakdown.failed,
-                r.violations.secondary
-            );
-            out.push(entry("secondary-policy", txn.label(), format!("{policy:?}"), &r));
-        }
-    }
-
-    // --- 2. Victim-cache capacity (§2.1). ---
-    println!("\nAblation 2: speculative victim-cache capacity");
-    {
-        let txn = Transaction::NewOrder150;
-        let progs = record_benchmark(&scale.tpcc(), txn, instances(txn, scale));
-        for entries in [0usize, 16, 64, 256] {
-            let mut cfg = base;
-            cfg.victim_entries = entries;
-            let r = CmpSimulator::new(cfg).run(&progs.tls);
-            println!(
-                "  {:<16} {:>4} entries {:>10} cycles, {:>4} overflow violations",
-                txn.label(),
-                entries,
-                r.total_cycles,
-                r.violations.overflow
-            );
-            out.push(entry("victim-capacity", txn.label(), format!("{entries}"), &r));
-        }
-    }
-
-    // --- 3. Context exhaustion: merge vs stop. ---
-    println!("\nAblation 3: context exhaustion (merge-and-recycle vs stop)");
-    for txn in [Transaction::NewOrder, Transaction::DeliveryOuter] {
-        let progs = record_benchmark(&scale.tpcc(), txn, instances(txn, scale));
-        for policy in [ExhaustionPolicy::Merge, ExhaustionPolicy::Stop] {
-            let mut cfg = base;
-            cfg.subthreads.exhaustion = policy;
-            let r = CmpSimulator::new(cfg).run(&progs.tls);
-            println!(
-                "  {:<16} {:<6} {:>10} cycles, {:>9} failed, {:>5} merges",
-                txn.label(),
-                format!("{policy:?}"),
-                r.total_cycles,
-                r.breakdown.failed,
-                r.subthread_merges
-            );
-            out.push(entry("exhaustion-policy", txn.label(), format!("{policy:?}"), &r));
-        }
-    }
-
-    // --- 4. The §1.2 alternative: dependence prediction + synchronization. ---
-    println!("\nAblation 4: dependence predictor vs sub-threads (§1.2)");
-    for txn in [Transaction::NewOrder, Transaction::NewOrder150] {
-        let progs = record_benchmark(&scale.tpcc(), txn, instances(txn, scale));
-        let variants: [(&str, _, _); 3] = [
-            ("sub-threads (baseline)", SubThreadConfig::baseline(), PredictorConfig::disabled()),
-            ("predictor only", SubThreadConfig::disabled(), PredictorConfig::aggressive()),
-            ("both", SubThreadConfig::baseline(), PredictorConfig::aggressive()),
-        ];
-        for (name, subs, pred) in variants {
-            let mut cfg = base;
-            cfg.subthreads = subs;
-            cfg.predictor = pred;
-            let r = CmpSimulator::new(cfg).run(&progs.tls);
-            println!(
-                "  {:<16} {:<22} {:>10} cycles, {:>9} failed, {:>9} sync cyc, {:>4} stalled loads",
-                txn.label(),
-                name,
-                r.total_cycles,
-                r.breakdown.failed,
-                r.breakdown.sync,
-                r.predictor_synchronizations
-            );
-            out.push(entry("dependence-predictor", txn.label(), name.to_string(), &r));
-        }
-    }
-
-    // --- 5. L1 sub-thread awareness (§2.2: "not worthwhile"). ---
-    println!("\nAblation 5: sub-thread-aware L1 invalidation (§2.2)");
-    for txn in [Transaction::NewOrder, Transaction::NewOrder150] {
-        let progs = record_benchmark(&scale.tpcc(), txn, instances(txn, scale));
-        for aware in [false, true] {
-            let mut cfg = base;
-            cfg.l1_subthread_aware = aware;
-            let r = CmpSimulator::new(cfg).run(&progs.tls);
-            println!(
-                "  {:<16} aware={:<5} {:>10} cycles, {:>8} L1 invalidations, {:>8} L1 misses",
-                txn.label(),
-                aware,
-                r.total_cycles,
-                r.l1.invalidations,
-                r.l1.misses()
-            );
-            out.push(entry("l1-subthread-aware", txn.label(), format!("{aware}"), &r));
-        }
-    }
-
-    write_json(&json_dir(&args), "ablations", &out);
+    tls_harness::suite::run_single_plan("ablations", &args);
 }

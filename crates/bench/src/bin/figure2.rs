@@ -9,125 +9,17 @@
 //!
 //! Expected shapes (the paper's Figure 2):
 //!
-//! * **(a)** all-or-nothing: removing `*p` does **not** help — and can
-//!   hurt — because the `*q` violation still rewinds the whole thread
-//!   ("removing the early dependence only delays the inevitable
-//!   re-execution"), and without the early restart's stagger the late
-//!   dependence fires from a deeper position.
-//! * **(b)** with sub-threads, each removed dependence improves
-//!   performance incrementally.
+//! * **(a)** all-or-nothing: removing `*p` does **not** help — the `*q`
+//!   violation still rewinds the whole thread;
+//! * **(b)** sub-threads: removing `*p` **does** help — only the work
+//!   after the last checkpoint before the `*q` load is re-executed.
+//!
+//! Thin wrapper over the `figure2` plan in `tls-harness`; the `suite`
+//! binary runs the same plan alongside every other artifact.
 //!
 //! Usage: `cargo run --release -p tls-bench --bin figure2 [--json DIR]`
 
-use serde::Serialize;
-use tls_bench::{json_dir, paper_machine, write_json};
-use tls_core::{CmpSimulator, SubThreadConfig};
-use tls_trace::{Addr, OpSink, Pc, ProgramBuilder, TraceProgram};
-
-const WORK: usize = 40_000;
-const P: Addr = Addr(0x10_0000);
-const Q: Addr = Addr(0x10_0040);
-
-/// Builds the two-thread program; `with_p` keeps the early dependence.
-fn program(with_p: bool) -> TraceProgram {
-    let mut b = ProgramBuilder::new(if with_p { "fig2-with-p" } else { "fig2-without-p" });
-    b.begin_parallel();
-    // Thread 1: producer.
-    b.begin_epoch();
-    b.int_ops(Pc::new(1, 0), WORK / 5);
-    b.store(Pc::new(1, 1), P, 8); // *p = ... at 20%
-    b.int_ops(Pc::new(1, 2), WORK * 3 / 5);
-    b.store(Pc::new(1, 3), Q, 8); // *q = ... at 80%
-    b.int_ops(Pc::new(1, 4), WORK / 5);
-    b.end_epoch();
-    // Thread 2: consumer.
-    b.begin_epoch();
-    b.int_ops(Pc::new(2, 0), WORK / 10);
-    if with_p {
-        b.load(Pc::new(2, 1), P, 8); // ... = *p at 10%
-    }
-    b.int_ops(Pc::new(2, 2), WORK * 6 / 10);
-    b.load(Pc::new(2, 3), Q, 8); // ... = *q at 70%
-    b.int_ops(Pc::new(2, 4), WORK * 3 / 10);
-    b.end_epoch();
-    b.end_parallel();
-    b.finish()
-}
-
-#[derive(Serialize)]
-struct Row {
-    config: String,
-    cycles: u64,
-    violations: u64,
-    failed_cpu_cycles: u64,
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let base = paper_machine();
-    let mut rows = Vec::new();
-
-    println!("Figure 2 microbenchmark ({} ops per thread)", WORK);
-    println!("{:-<72}", "");
-    for (mode, subs) in [("all-or-nothing", SubThreadConfig::disabled()),
-        ("sub-threads", SubThreadConfig::baseline())]
-    {
-        for with_p in [true, false] {
-            let mut cfg = base;
-            cfg.subthreads = subs;
-            let r = CmpSimulator::new(cfg).run(&program(with_p));
-            let label = format!(
-                "{mode:<15} {}",
-                if with_p { "with *p and *q" } else { "*p removed    " }
-            );
-            println!(
-                "{label}  {:>8} cycles  {:>2} violations  {:>8} failed",
-                r.total_cycles,
-                r.violations.total(),
-                r.breakdown.failed
-            );
-            rows.push(Row {
-                config: label,
-                cycles: r.total_cycles,
-                violations: r.violations.total(),
-                failed_cpu_cycles: r.breakdown.failed,
-            });
-        }
-    }
-    // Figure 2(c): idealized parallel execution.
-    let mut cfg = base;
-    cfg.track_dependences = false;
-    let r = CmpSimulator::new(cfg).run(&program(true));
-    println!(
-        "{:<31}  {:>8} cycles (idealized, Figure 2c)",
-        "no-speculation bound", r.total_cycles
-    );
-    rows.push(Row {
-        config: "no-speculation bound".into(),
-        cycles: r.total_cycles,
-        violations: 0,
-        failed_cpu_cycles: 0,
-    });
-
-    // The paper's qualitative claims, checked.
-    let get = |needle: &str| rows.iter().find(|r| r.config.contains(needle)).unwrap().cycles;
-    let aon_with = rows[0].cycles;
-    let aon_without = rows[1].cycles;
-    let sub_with = rows[2].cycles;
-    let sub_without = rows[3].cycles;
-    let _ = get;
-    println!("{:-<72}", "");
-    println!(
-        "all-or-nothing: removing *p changed {} -> {} cycles ({})",
-        aon_with,
-        aon_without,
-        if aon_without >= aon_with { "no better, as Figure 2(a) warns" } else { "better" }
-    );
-    println!(
-        "sub-threads:    removing *p changed {} -> {} cycles ({})",
-        sub_with,
-        sub_without,
-        if sub_without <= sub_with { "improved, as Figure 2(b) promises" } else { "worse" }
-    );
-    write_json(&json_dir(&args), "figure2", &rows);
+    tls_harness::suite::run_single_plan("figure2", &args);
 }

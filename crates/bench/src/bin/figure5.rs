@@ -7,99 +7,12 @@
 //! stacked bars of Figure 5(a)–(g) — plus the speedups the paper quotes
 //! (1.9–2.9× for three of the five transactions).
 //!
+//! Thin wrapper over the `figure5` plan in `tls-harness`; the `suite`
+//! binary runs the same plan alongside every other artifact.
+//!
 //! Usage: `cargo run --release -p tls-bench --bin figure5 [--scale paper|test] [--json DIR]`
-
-use serde::Serialize;
-use tls_bench::{instances, json_dir, paper_machine, record_benchmark, render_stack, write_json, Scale};
-use tls_core::experiment::{run_benchmark, ExperimentKind};
-use tls_core::SimReport;
-use tls_minidb::Transaction;
-
-#[derive(Serialize)]
-struct Bar {
-    experiment: &'static str,
-    total_cycles: u64,
-    speedup_vs_sequential: f64,
-    normalized_stack: Vec<(&'static str, f64)>,
-    violations_primary: u64,
-    violations_secondary: u64,
-    violations_overflow: u64,
-}
-
-#[derive(Serialize)]
-struct Panel {
-    benchmark: &'static str,
-    transactions: usize,
-    bars: Vec<Bar>,
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::parse(&args);
-    let machine = paper_machine();
-    let mut panels = Vec::new();
-
-    for txn in Transaction::ALL {
-        let count = instances(txn, scale);
-        let progs = record_benchmark(&scale.tpcc(), txn, count);
-        let results = run_benchmark(&machine, &progs);
-        let seq_cycles = results
-            .iter()
-            .find(|(k, _)| *k == ExperimentKind::Sequential)
-            .map(|(_, r)| r.total_cycles)
-            .expect("sequential bar present");
-
-        println!("\nFigure 5: {} ({} transactions)", txn.label(), count);
-        println!("{:-<120}", "");
-        println!(
-            "{:<15} {:>7} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} | {:>6}",
-            "experiment", "speedup", "idle", "fail", "latch", "sync", "miss", "busy", "total"
-        );
-        let bars = results
-            .iter()
-            .map(|(kind, r)| {
-                print_bar(kind.label(), r, seq_cycles);
-                Bar {
-                    experiment: kind.label(),
-                    total_cycles: r.total_cycles,
-                    speedup_vs_sequential: seq_cycles as f64 / r.total_cycles.max(1) as f64,
-                    normalized_stack: r.normalized_stack(seq_cycles),
-                    violations_primary: r.violations.primary,
-                    violations_secondary: r.violations.secondary,
-                    violations_overflow: r.violations.overflow,
-                }
-            })
-            .collect();
-        panels.push(Panel { benchmark: txn.label(), transactions: count, bars });
-    }
-
-    println!("\nSummary (speedup of BASELINE over SEQUENTIAL):");
-    for p in &panels {
-        let s = p
-            .bars
-            .iter()
-            .find(|b| b.experiment == "BASELINE")
-            .map(|b| b.speedup_vs_sequential)
-            .unwrap_or(0.0);
-        println!("  {:<16} {:.2}x", p.benchmark, s);
-    }
-    write_json(&json_dir(&args), "figure5", &panels);
-}
-
-fn print_bar(label: &str, r: &SimReport, seq: u64) {
-    let stack = r.normalized_stack(seq);
-    let v: Vec<f64> = stack.iter().map(|(_, x)| *x).collect();
-    println!(
-        "{:<15} {:>6.2}x | {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3} | {:>6.3}",
-        label,
-        seq as f64 / r.total_cycles.max(1) as f64,
-        v[0],
-        v[1],
-        v[2],
-        v[3],
-        v[4],
-        v[5],
-        v.iter().sum::<f64>()
-    );
-    println!("{:>24}{}", "", render_stack(&stack));
+    tls_harness::suite::run_single_plan("figure5", &args);
 }

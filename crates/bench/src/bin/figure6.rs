@@ -10,111 +10,12 @@
 //! * ~5000 instructions per sub-thread with 8 contexts is near-best on
 //!   average.
 //!
+//! Thin wrapper over the `figure6` plan in `tls-harness`; the `suite`
+//! binary runs the same plan alongside every other artifact.
+//!
 //! Usage: `cargo run --release -p tls-bench --bin figure6 [--scale paper|test] [--json DIR]`
-
-use serde::Serialize;
-use tls_bench::{instances, json_dir, paper_machine, record_benchmark, write_json, Scale};
-use tls_core::{CmpSimulator, ExhaustionPolicy, SpacingPolicy, SubThreadConfig};
-use tls_minidb::Transaction;
-
-const SPACINGS: [u64; 6] = [1000, 2500, 5000, 10_000, 25_000, 50_000];
-const CONTEXTS: [u8; 3] = [2, 4, 8];
-
-/// The five TLS-profitable benchmarks shown in Figure 6 (a)–(e).
-const BENCHMARKS: [Transaction; 5] = [
-    Transaction::NewOrder,
-    Transaction::NewOrder150,
-    Transaction::Delivery,
-    Transaction::DeliveryOuter,
-    Transaction::StockLevel,
-];
-
-#[derive(Serialize)]
-struct Point {
-    contexts: u8,
-    spacing: u64,
-    total_cycles: u64,
-    failed_cpu_cycles: u64,
-    violations: u64,
-    subthreads_started: u64,
-}
-
-#[derive(Serialize)]
-struct Panel {
-    benchmark: &'static str,
-    sequential_cycles: u64,
-    points: Vec<Point>,
-    even_division: Vec<Point>,
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::parse(&args);
-    let base = paper_machine();
-    let mut panels = Vec::new();
-
-    for txn in BENCHMARKS {
-        let count = instances(txn, scale);
-        let progs = record_benchmark(&scale.tpcc(), txn, count);
-        let seq = {
-            let r = tls_core::experiment::run_experiment(
-                tls_core::ExperimentKind::Sequential,
-                &base,
-                &progs,
-            );
-            r.total_cycles
-        };
-        println!("\nFigure 6: {} (SEQUENTIAL = {} cycles)", txn.label(), seq);
-        println!(
-            "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-            "contexts", "1000", "2500", "5000", "10000", "25000", "50000", "even"
-        );
-        let mut points = Vec::new();
-        let mut even = Vec::new();
-        for contexts in CONTEXTS {
-            let mut row = format!("{contexts:<10}");
-            for spacing in SPACINGS {
-                let mut cfg = base;
-                cfg.subthreads = SubThreadConfig {
-                    contexts,
-                    spacing: SpacingPolicy::Every(spacing),
-                    exhaustion: ExhaustionPolicy::Merge,
-                };
-                let r = CmpSimulator::new(cfg).run(&progs.tls);
-                row.push_str(&format!(" {:>8.2}x", seq as f64 / r.total_cycles as f64));
-                points.push(Point {
-                    contexts,
-                    spacing,
-                    total_cycles: r.total_cycles,
-                    failed_cpu_cycles: r.breakdown.failed,
-                    violations: r.violations.total(),
-                    subthreads_started: r.subthreads_started,
-                });
-            }
-            let mut cfg = base;
-            cfg.subthreads = SubThreadConfig {
-                contexts,
-                spacing: SpacingPolicy::EvenDivision,
-                exhaustion: ExhaustionPolicy::Merge,
-            };
-            let r = CmpSimulator::new(cfg).run(&progs.tls);
-            row.push_str(&format!(" {:>8.2}x", seq as f64 / r.total_cycles as f64));
-            even.push(Point {
-                contexts,
-                spacing: 0,
-                total_cycles: r.total_cycles,
-                failed_cpu_cycles: r.breakdown.failed,
-                violations: r.violations.total(),
-                subthreads_started: r.subthreads_started,
-            });
-            println!("{row}");
-        }
-        panels.push(Panel {
-            benchmark: txn.label(),
-            sequential_cycles: seq,
-            points,
-            even_division: even,
-        });
-    }
-    write_json(&json_dir(&args), "figure6", &panels);
+    tls_harness::suite::run_single_plan("figure6", &args);
 }

@@ -1,83 +1,12 @@
-//! Extension study: CPU-count scaling.
+//! Extension study: CPU-count scaling (2/4/8) for the TLS-profitable
+//! benchmarks, speedup over SEQUENTIAL.
 //!
-//! The paper evaluates a 4-CPU chip and notes the design "could be
-//! extended" (§2); the speculative-state encoding here supports up to 8
-//! CPUs × 8 sub-thread contexts. This binary sweeps 2/4/8 CPUs for the
-//! TLS-profitable benchmarks and reports speedup over SEQUENTIAL plus
-//! where the scaling saturates (thread supply, dependences, or commit
-//! serialization).
+//! Thin wrapper over the `scalability` plan in `tls-harness`; the `suite`
+//! binary runs the same plan alongside every other artifact.
 //!
 //! Usage: `cargo run --release -p tls-bench --bin scalability [--scale paper|test] [--json DIR]`
 
-use serde::Serialize;
-use tls_bench::{instances, json_dir, paper_machine, record_benchmark, write_json, Scale};
-use tls_core::CmpSimulator;
-use tls_minidb::Transaction;
-
-const CPUS: [usize; 3] = [2, 4, 8];
-const BENCHMARKS: [Transaction; 4] = [
-    Transaction::NewOrder,
-    Transaction::NewOrder150,
-    Transaction::DeliveryOuter,
-    Transaction::StockLevel,
-];
-
-#[derive(Serialize)]
-struct Point {
-    benchmark: &'static str,
-    cpus: usize,
-    cycles: u64,
-    speedup: f64,
-    idle_fraction: f64,
-    failed_fraction: f64,
-    violations: u64,
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::parse(&args);
-    let base = paper_machine();
-    let mut out = Vec::new();
-
-    println!(
-        "{:<16} {:>6} {:>12} {:>9} {:>7} {:>7} {:>6}",
-        "benchmark", "cpus", "cycles", "speedup", "idle", "failed", "viol"
-    );
-    for txn in BENCHMARKS {
-        let progs = record_benchmark(&scale.tpcc(), txn, instances(txn, scale));
-        // SEQUENTIAL reference on the 4-CPU machine (one busy CPU).
-        let seq = tls_core::experiment::run_experiment(
-            tls_core::ExperimentKind::Sequential,
-            &base,
-            &progs,
-        )
-        .total_cycles;
-        for cpus in CPUS {
-            let mut cfg = base;
-            cfg.cpus = cpus;
-            let r = CmpSimulator::new(cfg).run(&progs.tls);
-            let total = r.breakdown.total().max(1) as f64;
-            let p = Point {
-                benchmark: txn.label(),
-                cpus,
-                cycles: r.total_cycles,
-                speedup: seq as f64 / r.total_cycles as f64,
-                idle_fraction: r.breakdown.idle as f64 / total,
-                failed_fraction: r.breakdown.failed as f64 / total,
-                violations: r.violations.total(),
-            };
-            println!(
-                "{:<16} {:>6} {:>12} {:>8.2}x {:>6.1}% {:>6.1}% {:>6}",
-                p.benchmark,
-                p.cpus,
-                p.cycles,
-                p.speedup,
-                100.0 * p.idle_fraction,
-                100.0 * p.failed_fraction,
-                p.violations
-            );
-            out.push(p);
-        }
-    }
-    write_json(&json_dir(&args), "scalability", &out);
+    tls_harness::suite::run_single_plan("scalability", &args);
 }

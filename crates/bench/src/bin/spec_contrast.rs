@@ -1,83 +1,13 @@
-//! Context experiment: why prior TLS work did not need sub-threads.
+//! Context experiment: why prior (SPEC-style) TLS work did not need
+//! sub-threads — small/independent threads vs the paper's large/dependent
+//! database threads, on the same machine.
 //!
-//! The paper's motivation contrasts database threads (tens of thousands
-//! of instructions, frequent dependences) with the SPEC-style threads of
-//! earlier TLS studies ("a few hundred to a few thousand dynamic
-//! instructions per thread" with "very infrequent data dependences").
-//! This binary simulates both regimes on the same machine and shows that
-//! all-or-nothing TLS is indeed sufficient for the small/independent
-//! regime while collapsing on the large/dependent one — the paper's
-//! opening argument, reproduced.
+//! Thin wrapper over the `spec_contrast` plan in `tls-harness`; the
+//! `suite` binary runs the same plan alongside every other artifact.
 //!
 //! Usage: `cargo run --release -p tls-bench --bin spec_contrast [--json DIR]`
 
-use serde::Serialize;
-use tls_bench::{json_dir, paper_machine, write_json};
-use tls_core::synthetic::{shared_dependences, Dependence};
-use tls_core::{CmpSimulator, SubThreadConfig};
-
-#[derive(Serialize)]
-struct Row {
-    regime: &'static str,
-    threads: usize,
-    ops_per_thread: usize,
-    dependences: usize,
-    all_or_nothing_speedup: f64,
-    subthread_speedup: f64,
-}
-
-fn speedups(threads: usize, ops: usize, deps: &[Dependence]) -> (f64, f64) {
-    let p = shared_dependences(threads, ops, deps);
-    let serial = tls_core::experiment::serialize_program(&p);
-    let base = paper_machine();
-    let seq = CmpSimulator::new(base).run(&serial).total_cycles as f64;
-    let mut aon = base;
-    aon.subthreads = SubThreadConfig::disabled();
-    let a = seq / CmpSimulator::new(aon).run(&p).total_cycles as f64;
-    let s = seq / CmpSimulator::new(base).run(&p).total_cycles as f64;
-    (a, s)
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // Read-modify-write dependences spread through the thread body, as
-    // database code has (each shared structure is read and written at
-    // the same relative position in every thread).
-    let dep = |n: usize| -> Vec<Dependence> {
-        (0..n)
-            .map(|i| {
-                let at = 0.3 + 0.6 * i as f64 / n.max(1) as f64;
-                Dependence::new(at, at)
-            })
-            .collect()
-    };
-    let cases = [
-        ("SPEC-like: small, independent", 32, 800, 0),
-        ("SPEC-like: small, one dependence", 32, 800, 1),
-        ("database-like: large, dependent", 8, 60_000, 6),
-    ];
-    println!(
-        "{:<36} {:>8} {:>10} {:>6} {:>16} {:>13}",
-        "regime", "threads", "ops/thread", "deps", "all-or-nothing", "sub-threads"
-    );
-    let mut rows = Vec::new();
-    for (name, threads, ops, ndeps) in cases {
-        let (aon, sub) = speedups(threads, ops, &dep(ndeps));
-        println!(
-            "{name:<36} {threads:>8} {ops:>10} {ndeps:>6} {aon:>15.2}x {sub:>12.2}x"
-        );
-        rows.push(Row {
-            regime: name,
-            threads,
-            ops_per_thread: ops,
-            dependences: ndeps,
-            all_or_nothing_speedup: aon,
-            subthread_speedup: sub,
-        });
-    }
-    println!(
-        "\nAll-or-nothing TLS suffices for the small/independent regime of prior\n\
-         work; only the large/dependent regime (the paper's) needs sub-threads."
-    );
-    write_json(&json_dir(&args), "spec_contrast", &rows);
+    tls_harness::suite::run_single_plan("spec_contrast", &args);
 }

@@ -4,63 +4,12 @@
 //! coverage, average speculative-thread size, speculative instructions
 //! per thread, and threads per transaction.
 //!
+//! Thin wrapper over the `table2` plan in `tls-harness`; the `suite`
+//! binary runs the same plan alongside every other artifact.
+//!
 //! Usage: `cargo run --release -p tls-bench --bin table2 [--scale paper|test] [--json DIR]`
-
-use serde::Serialize;
-use tls_bench::{instances, json_dir, paper_machine, record_benchmark, write_json, Scale};
-use tls_core::experiment::{run_experiment, ExperimentKind};
-use tls_minidb::Transaction;
-
-#[derive(Serialize)]
-struct Row {
-    benchmark: &'static str,
-    exec_mcycles: f64,
-    coverage_pct: f64,
-    avg_thread_size: f64,
-    spec_insts_per_thread: f64,
-    threads_per_txn: f64,
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::parse(&args);
-    let machine = paper_machine();
-    let mut rows = Vec::new();
-    println!("Table 2. Benchmark statistics.");
-    println!("{:=<100}", "");
-    println!(
-        "{:<16} {:>12} {:>10} {:>14} {:>18} {:>12}",
-        "Benchmark", "Exec (Mcyc)", "Coverage", "Thread size", "SpecInsts/thread", "Threads/txn"
-    );
-    for txn in Transaction::ALL {
-        let count = instances(txn, scale);
-        let progs = record_benchmark(&scale.tpcc(), txn, count);
-        let stats = progs.tls.stats();
-        let seq = run_experiment(ExperimentKind::Sequential, &machine, &progs);
-        // "Spec. Insts per Thread": instructions a thread executes
-        // speculatively — all of its instructions except those it runs
-        // after becoming the oldest (non-speculative) thread. We report
-        // the epoch body minus the spawn scaffolding.
-        let spec_per_thread = stats.avg_epoch_ops()
-            - tls_minidb::SPAWN_OVERHEAD_OPS as f64;
-        let row = Row {
-            benchmark: txn.label(),
-            exec_mcycles: seq.total_cycles as f64 / 1e6,
-            coverage_pct: 100.0 * stats.coverage(),
-            avg_thread_size: stats.avg_epoch_ops(),
-            spec_insts_per_thread: spec_per_thread,
-            threads_per_txn: stats.epochs as f64 / count as f64,
-        };
-        println!(
-            "{:<16} {:>12.1} {:>9.0}% {:>13.0}k {:>17.0}k {:>12.1}",
-            row.benchmark,
-            row.exec_mcycles,
-            row.coverage_pct,
-            row.avg_thread_size / 1000.0,
-            row.spec_insts_per_thread / 1000.0,
-            row.threads_per_txn
-        );
-        rows.push(row);
-    }
-    write_json(&json_dir(&args), "table2", &rows);
+    tls_harness::suite::run_single_plan("table2", &args);
 }

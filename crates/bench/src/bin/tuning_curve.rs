@@ -1,102 +1,13 @@
 //! Regenerates the **§3.2 iterative tuning process**: profile-guided
-//! removal of performance-critical dependences.
+//! removal of performance-critical dependences, one NEW ORDER trace per
+//! cumulative optimization step.
 //!
-//! For each cumulative optimization step (unoptimized engine → per-thread
-//! log buffers → no global statistics → latch-free structures), records a
-//! NEW ORDER trace from an engine built at that level, runs it on the
-//! BASELINE machine, and prints the speedup plus the profiler's
-//! most-damaging dependences — the feedback a programmer would use to
-//! decide the *next* optimization, exactly the loop of §3.2.
+//! Thin wrapper over the `tuning_curve` plan in `tls-harness`; the
+//! `suite` binary runs the same plan alongside every other artifact.
 //!
 //! Usage: `cargo run --release -p tls-bench --bin tuning_curve [--scale paper|test] [--json DIR]`
 
-use serde::Serialize;
-use tls_bench::{instances, json_dir, paper_machine, write_json, Scale};
-use tls_core::experiment::{run_experiment, BenchmarkPrograms, ExperimentKind};
-use tls_core::CmpSimulator;
-use tls_minidb::{OptLevel, Tpcc, Transaction};
-
-#[derive(Serialize)]
-struct Step {
-    step: &'static str,
-    cycles: u64,
-    speedup_vs_sequential: f64,
-    failed_cpu_cycles: u64,
-    latch_cpu_cycles: u64,
-    violations: u64,
-    top_dependences: Vec<String>,
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = Scale::parse(&args);
-    let machine = paper_machine();
-    let txn = Transaction::NewOrder;
-    let count = instances(txn, scale);
-
-    // The reference: the unmodified engine running sequentially.
-    let mut plain_cfg = scale.tpcc();
-    plain_cfg.opts = OptLevel::none();
-    let plain = Tpcc::new(plain_cfg).record_plain(txn, count);
-    let seq = run_experiment(
-        ExperimentKind::Sequential,
-        &machine,
-        &BenchmarkPrograms { plain: plain.clone(), tls: plain.clone() },
-    )
-    .total_cycles;
-    println!("NEW ORDER tuning curve (SEQUENTIAL = {seq} cycles)");
-    println!("{:-<100}", "");
-
-    let mut steps = Vec::new();
-    for (name, opts) in OptLevel::tuning_steps() {
-        let mut cfg = scale.tpcc();
-        cfg.opts = opts;
-        let program = Tpcc::new(cfg).record(txn, count);
-        let r = CmpSimulator::new(machine).run(&program);
-        let speedup = seq as f64 / r.total_cycles as f64;
-        println!(
-            "{:<28} {:>10} cycles  speedup {:>5.2}x  failed {:>9}  latch {:>8}  {:>3} violations",
-            name,
-            r.total_cycles,
-            speedup,
-            r.breakdown.failed,
-            r.breakdown.latch,
-            r.violations.total()
-        );
-        let top: Vec<String> = r
-            .profile
-            .iter()
-            .take(3)
-            .map(|e| {
-                format!(
-                    "load {} <- store {}: {} failed cycles ({} violations)",
-                    e.load_pc.map(|p| p.to_string()).unwrap_or_else(|| "?".into()),
-                    e.store_pc.map(|p| p.to_string()).unwrap_or_else(|| "?".into()),
-                    e.failed_cycles,
-                    e.violations
-                )
-            })
-            .collect();
-        for t in &top {
-            println!("        {t}");
-        }
-        steps.push(Step {
-            step: name,
-            cycles: r.total_cycles,
-            speedup_vs_sequential: speedup,
-            failed_cpu_cycles: r.breakdown.failed,
-            latch_cpu_cycles: r.breakdown.latch,
-            violations: r.violations.total(),
-            top_dependences: top,
-        });
-    }
-
-    println!("{:-<100}", "");
-    let first = steps.first().expect("steps");
-    let last = steps.last().expect("steps");
-    println!(
-        "Tuning took NEW ORDER from {:.2}x to {:.2}x — the §3.2 iterative process.",
-        first.speedup_vs_sequential, last.speedup_vs_sequential
-    );
-    write_json(&json_dir(&args), "tuning_curve", &steps);
+    tls_harness::suite::run_single_plan("tuning_curve", &args);
 }

@@ -15,6 +15,12 @@
 //! | `spec_contrast` | §1 context — SPEC-like vs database-like regimes |
 //! | `probe` | development probe (all experiments for one benchmark) |
 //!
+//! The per-figure binaries are thin wrappers over the declarative plans in
+//! `tls-harness` — `cargo run -p tls-harness --bin suite` runs all of them
+//! in one parallel, snapshot-cached pass. The evaluation vocabulary
+//! ([`Scale`], [`instances`], [`paper_machine`], the stack renderers)
+//! lives in `tls-harness::eval` and is re-exported here unchanged.
+//!
 //! Pass `--scale test` for a fast run or `--scale paper` (default) for the
 //! full-size workload; `--json DIR` additionally writes machine-readable
 //! results.
@@ -22,58 +28,11 @@
 #![forbid(unsafe_code)]
 
 use tls_core::experiment::BenchmarkPrograms;
-use tls_core::{CmpConfig, SimReport};
 use tls_minidb::{Tpcc, TpccConfig, Transaction};
 
-/// How many transaction instances each benchmark records, per the
-/// transaction's size (small transactions record more instances so runs
-/// are not dominated by a single parameter draw).
-pub fn instances(txn: Transaction, scale: Scale) -> usize {
-    let base = match txn {
-        Transaction::NewOrder => 4,
-        Transaction::NewOrder150 => 1,
-        Transaction::Delivery => 1,
-        Transaction::DeliveryOuter => 1,
-        Transaction::StockLevel => 2,
-        Transaction::Payment => 6,
-        Transaction::OrderStatus => 6,
-    };
-    match scale {
-        Scale::Paper => base,
-        Scale::Test => base,
-    }
-}
-
-/// Workload scale selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Full single-warehouse TPC-C (the paper's configuration).
-    Paper,
-    /// Milliseconds-fast scaled-down population.
-    Test,
-}
-
-impl Scale {
-    /// The matching TPC-C configuration.
-    pub fn tpcc(self) -> TpccConfig {
-        match self {
-            Scale::Paper => TpccConfig::paper(),
-            Scale::Test => TpccConfig::test(),
-        }
-    }
-
-    /// Parses `--scale` arguments.
-    pub fn parse(args: &[String]) -> Scale {
-        match args.iter().position(|a| a == "--scale") {
-            Some(i) => match args.get(i + 1).map(String::as_str) {
-                Some("test") => Scale::Test,
-                Some("paper") | None => Scale::Paper,
-                Some(other) => panic!("unknown scale '{other}' (use: paper, test)"),
-            },
-            None => Scale::Paper,
-        }
-    }
-}
+pub use tls_harness::eval::{
+    breakdown_row, initials, instances, paper_machine, render_stack, Scale,
+};
 
 /// Records the (plain, TLS) program pair for one benchmark.
 pub fn record_benchmark(cfg: &TpccConfig, txn: Transaction, count: usize) -> BenchmarkPrograms {
@@ -98,61 +57,6 @@ pub fn write_json<T: serde::Serialize>(dir: &Option<std::path::PathBuf>, name: &
             .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
         eprintln!("wrote {}", path.display());
     }
-}
-
-/// One row of a breakdown table, normalized to a reference cycle count.
-pub fn breakdown_row(report: &SimReport, reference: u64) -> String {
-    let stack = report.normalized_stack(reference);
-    let total: f64 = stack.iter().map(|(_, v)| v).sum();
-    let cells: Vec<String> =
-        stack.iter().map(|(n, v)| format!("{}={:5.3}", initials(n), v)).collect();
-    format!("{} | total={:5.3}", cells.join(" "), total)
-}
-
-/// Renders a normalized breakdown as an ASCII stacked bar, 50 characters
-/// per 1.0 of normalized time: `I` idle, `F` failed, `L` latch, `S` sync,
-/// `M` cache miss, `B` busy — the Figure 5 bars in terminal form.
-pub fn render_stack(stack: &[(&'static str, f64)]) -> String {
-    const CHARS_PER_UNIT: f64 = 50.0;
-    let mut bar = String::new();
-    let mut carry = 0.0;
-    for (name, value) in stack {
-        let glyph = match *name {
-            "Idle" => 'I',
-            "Failed" => 'F',
-            "Latch Stall" => 'L',
-            "Sync" => 'S',
-            "Cache Miss" => 'M',
-            "Busy" => 'B',
-            other => panic!("unknown category {other}"),
-        };
-        // Carry fractional cells so the bar length tracks the total.
-        let exact = value * CHARS_PER_UNIT + carry;
-        let cells = exact.floor() as usize;
-        carry = exact - cells as f64;
-        bar.extend(std::iter::repeat_n(glyph, cells));
-    }
-    bar
-}
-
-fn initials(name: &str) -> &'static str {
-    match name {
-        "Idle" => "idle",
-        "Failed" => "fail",
-        "Latch Stall" => "ltch",
-        "Sync" => "sync",
-        "Cache Miss" => "miss",
-        "Busy" => "busy",
-        other => panic!("unknown category {other}"),
-    }
-}
-
-/// The paper's 4-CPU machine (Table 1 + baseline sub-threads).
-pub fn paper_machine() -> CmpConfig {
-    let mut cfg = CmpConfig::paper_default();
-    // Safety valve: no benchmark should exceed this.
-    cfg.max_cycles = 4_000_000_000;
-    cfg
 }
 
 #[cfg(test)]

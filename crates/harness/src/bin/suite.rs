@@ -1,0 +1,17 @@
+//! The unified evaluation driver: every figure/table/study of the
+//! reproduction as one parallel, cached, regression-checked run.
+//!
+//! Usage: `cargo run --release -p tls-harness --bin suite -- [options]`
+//! (see `--help` for the option list).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match tls_harness::suite::SuiteOptions::parse(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    std::process::exit(tls_harness::suite::run_suite(&opts));
+}

@@ -1,0 +1,446 @@
+//! The versioned, checksummed snapshot container and the binary trace
+//! codec.
+//!
+//! Every file the harness writes under `traces/` is one *container*:
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0  | 6 | magic `TLSNAP` |
+//! | 6  | 1 | payload kind (1 = trace pair, 2 = sim report) |
+//! | 7  | 1 | format version (currently 1) |
+//! | 8  | 8 | cache-key hash, little-endian (see [`crate::store`]) |
+//! | 16 | 8 | payload length in bytes, little-endian |
+//! | 24 | n | payload |
+//! | 24 + n | 8 | FNV-1a-64 checksum of bytes `0 .. 24 + n` |
+//!
+//! The decoder verifies magic, kind, version, key hash, length and
+//! checksum *before* interpreting a single payload byte, so a corrupt or
+//! truncated snapshot is rejected — never misdecoded — and a format bump
+//! simply invalidates old cache entries (the store falls back to
+//! re-recording).
+//!
+//! The **trace-pair payload** (kind 1) holds the `(plain, tls)` program
+//! pair of one benchmark:
+//!
+//! | field | encoding |
+//! |---|---|
+//! | program × 2 | plain first, then TLS |
+//! | ├ name | u32 length + UTF-8 bytes |
+//! | ├ region count | u32 |
+//! | └ region | tag u8 (0 sequential, 1 parallel) |
+//! | &nbsp;&nbsp; sequential | one epoch |
+//! | &nbsp;&nbsp; parallel | u32 epoch count, then epochs |
+//! | &nbsp;&nbsp; epoch | u32 op count + ops × 16-byte [`TraceOp::to_raw`] records |
+//!
+//! All integers are little-endian. The op records are validated by
+//! [`TraceOp::from_raw`], so even a checksum collision cannot smuggle an
+//! op the simulator would choke on.
+
+use std::fmt;
+use tls_core::experiment::BenchmarkPrograms;
+use tls_trace::{Epoch, RawOpError, Region, TraceOp, TraceProgram};
+
+/// Magic prefix of every snapshot container.
+pub const MAGIC: &[u8; 6] = b"TLSNAP";
+/// Current container format version.
+pub const VERSION: u8 = 1;
+/// Container payload kind: a recorded `(plain, tls)` trace pair.
+pub const KIND_TRACE_PAIR: u8 = 1;
+/// Container payload kind: a cached simulation report (JSON payload).
+pub const KIND_SIM_REPORT: u8 = 2;
+
+const HEADER_LEN: usize = 24;
+const CHECKSUM_LEN: usize = 8;
+
+/// Why a snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Shorter than header + checksum.
+    TooShort(usize),
+    /// Magic bytes do not match [`MAGIC`].
+    BadMagic,
+    /// Container holds a different payload kind than requested.
+    KindMismatch {
+        /// Kind found in the container.
+        found: u8,
+        /// Kind the caller asked for.
+        expected: u8,
+    },
+    /// Written by a different format version.
+    VersionMismatch {
+        /// Version found in the container.
+        found: u8,
+    },
+    /// The stored cache-key hash differs from the requested key (a stale
+    /// or misfiled snapshot).
+    KeyMismatch {
+        /// Hash found in the container.
+        found: u64,
+        /// Hash the caller derived from its key.
+        expected: u64,
+    },
+    /// The declared payload length disagrees with the file size.
+    LengthMismatch {
+        /// Payload length declared in the header.
+        declared: u64,
+        /// Payload bytes actually present.
+        present: u64,
+    },
+    /// The trailing FNV-1a checksum does not match the bytes.
+    ChecksumMismatch,
+    /// A 16-byte op record failed validation.
+    BadOp(RawOpError),
+    /// A program name was not valid UTF-8.
+    BadUtf8,
+    /// An unknown region tag byte.
+    BadRegionTag(u8),
+    /// The payload ended mid-structure.
+    Truncated,
+    /// The payload decoded but left unconsumed trailing bytes.
+    TrailingBytes(usize),
+    /// A JSON payload (sim report) failed to parse.
+    BadJson(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::TooShort(n) => write!(f, "snapshot too short ({n} bytes)"),
+            SnapshotError::BadMagic => write!(f, "bad magic (not a TLSNAP container)"),
+            SnapshotError::KindMismatch { found, expected } => {
+                write!(f, "payload kind {found} where {expected} expected")
+            }
+            SnapshotError::VersionMismatch { found } => {
+                write!(f, "format version {found} (this build reads {VERSION})")
+            }
+            SnapshotError::KeyMismatch { found, expected } => {
+                write!(f, "cache key {found:016x} where {expected:016x} expected")
+            }
+            SnapshotError::LengthMismatch { declared, present } => {
+                write!(f, "declared payload {declared} bytes but {present} present")
+            }
+            SnapshotError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            SnapshotError::BadOp(e) => write!(f, "corrupt op record: {e}"),
+            SnapshotError::BadUtf8 => write!(f, "program name is not UTF-8"),
+            SnapshotError::BadRegionTag(t) => write!(f, "unknown region tag {t}"),
+            SnapshotError::Truncated => write!(f, "payload ends mid-structure"),
+            SnapshotError::TrailingBytes(n) => write!(f, "{n} unconsumed payload bytes"),
+            SnapshotError::BadJson(e) => write!(f, "report payload is not valid JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<RawOpError> for SnapshotError {
+    fn from(e: RawOpError) -> Self {
+        SnapshotError::BadOp(e)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — the container checksum and the cache-key
+/// fingerprint hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Wraps `payload` in a checksummed container.
+pub fn encode_container(kind: u8, key_hash: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    out.extend_from_slice(MAGIC);
+    out.push(kind);
+    out.push(VERSION);
+    out.extend_from_slice(&key_hash.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Verifies a container's framing and returns its payload slice.
+pub fn decode_container(
+    bytes: &[u8],
+    kind: u8,
+    key_hash: u64,
+) -> Result<&[u8], SnapshotError> {
+    if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+        return Err(SnapshotError::TooShort(bytes.len()));
+    }
+    if &bytes[0..6] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if bytes[6] != kind {
+        return Err(SnapshotError::KindMismatch { found: bytes[6], expected: kind });
+    }
+    if bytes[7] != VERSION {
+        return Err(SnapshotError::VersionMismatch { found: bytes[7] });
+    }
+    let found_key = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let declared = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let present = (bytes.len() - HEADER_LEN - CHECKSUM_LEN) as u64;
+    if declared != present {
+        return Err(SnapshotError::LengthMismatch { declared, present });
+    }
+    let body_end = bytes.len() - CHECKSUM_LEN;
+    let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+    if fnv1a(&bytes[..body_end]) != stored {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    // Key verified after integrity so a flipped key bit reads as
+    // corruption, not as somebody else's (valid) snapshot.
+    if found_key != key_hash {
+        return Err(SnapshotError::KeyMismatch { found: found_key, expected: key_hash });
+    }
+    Ok(&bytes[HEADER_LEN..body_end])
+}
+
+// ---------------------------------------------------------------------------
+// Trace-pair payload.
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_epoch(out: &mut Vec<u8>, epoch: &Epoch) {
+    put_u32(out, epoch.ops.len() as u32);
+    for op in &epoch.ops {
+        out.extend_from_slice(&op.to_raw());
+    }
+}
+
+fn encode_program(out: &mut Vec<u8>, program: &TraceProgram) {
+    put_u32(out, program.name.len() as u32);
+    out.extend_from_slice(program.name.as_bytes());
+    put_u32(out, program.regions.len() as u32);
+    for region in &program.regions {
+        match region {
+            Region::Sequential(e) => {
+                out.push(0);
+                encode_epoch(out, e);
+            }
+            Region::Parallel(es) => {
+                out.push(1);
+                put_u32(out, es.len() as u32);
+                for e in es {
+                    encode_epoch(out, e);
+                }
+            }
+        }
+    }
+}
+
+/// Serializes one program as payload bytes (used for both snapshot
+/// payloads and content-addressed simulation cache keys).
+pub fn program_bytes(program: &TraceProgram) -> Vec<u8> {
+    // 16 bytes per op plus a small framing overhead.
+    let mut out = Vec::with_capacity(16 * program.total_ops() + 64);
+    encode_program(&mut out, program);
+    out
+}
+
+/// Serializes a `(plain, tls)` pair as a kind-1 payload.
+pub fn encode_pair(pair: &BenchmarkPrograms) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(16 * (pair.plain.total_ops() + pair.tls.total_ops()) + 128);
+    encode_program(&mut out, &pair.plain);
+    encode_program(&mut out, &pair.tls);
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn epoch(&mut self) -> Result<Epoch, SnapshotError> {
+        let count = self.u32()? as usize;
+        // Bound the allocation by the bytes actually present.
+        if count > (self.bytes.len() - self.pos) / 16 {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut ops = Vec::with_capacity(count);
+        for _ in 0..count {
+            let raw: [u8; 16] = self.take(16)?.try_into().expect("16 bytes");
+            ops.push(TraceOp::from_raw(raw)?);
+        }
+        Ok(Epoch::new(ops))
+    }
+
+    fn program(&mut self) -> Result<TraceProgram, SnapshotError> {
+        let name_len = self.u32()? as usize;
+        let name = std::str::from_utf8(self.take(name_len)?)
+            .map_err(|_| SnapshotError::BadUtf8)?
+            .to_string();
+        let region_count = self.u32()? as usize;
+        if region_count > self.bytes.len() - self.pos {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut regions = Vec::with_capacity(region_count);
+        for _ in 0..region_count {
+            regions.push(match self.u8()? {
+                0 => Region::Sequential(self.epoch()?),
+                1 => {
+                    let n = self.u32()? as usize;
+                    if n > self.bytes.len() - self.pos {
+                        return Err(SnapshotError::Truncated);
+                    }
+                    let mut epochs = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        epochs.push(self.epoch()?);
+                    }
+                    Region::Parallel(epochs)
+                }
+                tag => return Err(SnapshotError::BadRegionTag(tag)),
+            });
+        }
+        Ok(TraceProgram::new(name, regions))
+    }
+}
+
+/// Decodes a kind-1 payload back into the `(plain, tls)` pair.
+pub fn decode_pair(payload: &[u8]) -> Result<BenchmarkPrograms, SnapshotError> {
+    let mut r = Reader { bytes: payload, pos: 0 };
+    let plain = r.program()?;
+    let tls = r.program()?;
+    if r.pos != payload.len() {
+        return Err(SnapshotError::TrailingBytes(payload.len() - r.pos));
+    }
+    Ok(BenchmarkPrograms { plain, tls })
+}
+
+/// Encodes a pair as a complete container file image.
+pub fn encode_pair_file(key_hash: u64, pair: &BenchmarkPrograms) -> Vec<u8> {
+    encode_container(KIND_TRACE_PAIR, key_hash, &encode_pair(pair))
+}
+
+/// Decodes a container file image back into a pair, verifying framing,
+/// checksum and key.
+pub fn decode_pair_file(bytes: &[u8], key_hash: u64) -> Result<BenchmarkPrograms, SnapshotError> {
+    decode_pair(decode_container(bytes, KIND_TRACE_PAIR, key_hash)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tls_trace::{Addr, LatchId, OpSink, Pc, ProgramBuilder};
+
+    fn sample_pair() -> BenchmarkPrograms {
+        let mut plain = ProgramBuilder::new("plain");
+        plain.int_ops(Pc::new(0, 0), 10);
+        plain.load(Pc::new(0, 1), Addr(0x40), 8);
+        let plain = plain.finish();
+        let mut tls = ProgramBuilder::new("tls");
+        tls.int_ops(Pc::new(0, 2), 2);
+        tls.begin_parallel();
+        for i in 0..3u64 {
+            tls.begin_epoch();
+            tls.store(Pc::new(1, i as u16), Addr(0x100 + 8 * i), 8);
+            tls.latch_acquire(Pc::new(1, 100), LatchId(4));
+            tls.latch_release(Pc::new(1, 101), LatchId(4));
+            tls.end_epoch();
+        }
+        tls.end_parallel();
+        let tls = tls.finish();
+        BenchmarkPrograms { plain, tls }
+    }
+
+    fn programs_equal(a: &TraceProgram, b: &TraceProgram) -> bool {
+        a.name == b.name
+            && a.regions.len() == b.regions.len()
+            && a.iter_ops().zip(b.iter_ops()).all(|(x, y)| x == y)
+            && a.total_ops() == b.total_ops()
+    }
+
+    #[test]
+    fn pair_round_trips() {
+        let pair = sample_pair();
+        let file = encode_pair_file(0xABCD, &pair);
+        let back = decode_pair_file(&file, 0xABCD).expect("decode");
+        assert!(programs_equal(&pair.plain, &back.plain));
+        assert!(programs_equal(&pair.tls, &back.tls));
+    }
+
+    #[test]
+    fn every_flipped_byte_is_rejected_or_identical() {
+        let pair = sample_pair();
+        let file = encode_pair_file(7, &pair);
+        for i in 0..file.len() {
+            let mut bad = file.clone();
+            bad[i] ^= 0x20;
+            // Either the framing/checksum rejects it, or (never, for a
+            // single flip with FNV over the body) it decodes — it must
+            // not silently misdecode.
+            assert!(
+                decode_pair_file(&bad, 7).is_err(),
+                "flip at byte {i} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn truncations_are_rejected() {
+        let pair = sample_pair();
+        let file = encode_pair_file(7, &pair);
+        for len in [0, 10, 23, 24, file.len() / 2, file.len() - 1] {
+            assert!(decode_pair_file(&file[..len], 7).is_err(), "truncation to {len} accepted");
+        }
+    }
+
+    #[test]
+    fn wrong_key_version_and_kind_are_rejected() {
+        let pair = sample_pair();
+        let file = encode_pair_file(7, &pair);
+        assert!(matches!(
+            decode_pair_file(&file, 8),
+            Err(SnapshotError::KeyMismatch { found: 7, expected: 8 })
+        ));
+        let mut wrong_version = file.clone();
+        wrong_version[7] = VERSION + 1;
+        // Version is checked before the checksum, so a future-format file
+        // reads as a version mismatch (then gets re-recorded), not as
+        // corruption.
+        assert!(matches!(
+            decode_pair_file(&wrong_version, 7),
+            Err(SnapshotError::VersionMismatch { .. })
+        ));
+        let report = encode_container(KIND_SIM_REPORT, 7, b"{}");
+        assert!(matches!(
+            decode_pair_file(&report, 7),
+            Err(SnapshotError::KindMismatch { found: KIND_SIM_REPORT, expected: KIND_TRACE_PAIR })
+        ));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a-64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

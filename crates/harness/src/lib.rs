@@ -1,0 +1,36 @@
+//! # tls-harness — parallel experiment-execution subsystem
+//!
+//! The fourth subsystem of the reproduction (beside the simulator, the
+//! protocol model and the workload): infrastructure for *running* the
+//! evaluation quickly and reproducibly.
+//!
+//! - [`codec`] / [`store`] — a versioned, checksummed snapshot format
+//!   for recorded trace pairs and simulation reports, cached under
+//!   `traces/` and keyed by a hash of the workload configuration, so
+//!   repeated suite runs skip both TPC-C recording and repeated
+//!   simulation of identical (program, machine) inputs.
+//! - [`runner`] — a deterministic scoped-thread job pool: results come
+//!   back in submission order regardless of worker count, so every
+//!   artifact is byte-identical for any `--jobs` value.
+//! - [`plan`] / [`plans`] — the eight evaluation artifacts
+//!   (figure2/figure5/figure6/table2/ablations/scalability/
+//!   tuning_curve/spec_contrast) as declarative [`plan::Plan`]s over the
+//!   shared runner and store.
+//! - [`suite`] — the unified driver: filtering, baseline regression
+//!   comparison, and `BENCH_suite.json` throughput accounting.
+//! - [`eval`] — shared evaluation helpers (scales, instance counts, the
+//!   paper machine, text-bar rendering).
+
+pub mod codec;
+pub mod eval;
+pub mod plan;
+pub mod plans;
+pub mod runner;
+pub mod store;
+pub mod suite;
+
+pub use codec::{decode_pair, encode_pair, SnapshotError};
+pub use eval::{breakdown_row, initials, instances, paper_machine, render_stack, Scale};
+pub use plan::{all_plans, find_plan, Plan, PlanCtx, PlanOutput};
+pub use runner::JobPool;
+pub use store::{HarnessStore, StoreStats, TraceKey};

@@ -1,0 +1,222 @@
+//! The **ablations** plan: the design-choice studies of DESIGN.md §5
+//! (secondary-violation selectivity, victim-cache capacity, context
+//! exhaustion, dependence prediction, L1 sub-thread awareness).
+
+use crate::plan::{to_artifact_json, Job, Plan, PlanCtx, PlanOutput};
+use crate::store::TraceKey;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tls_core::{
+    CmpConfig, ExhaustionPolicy, PredictorConfig, SecondaryPolicy, SimReport, SubThreadConfig,
+};
+use tls_minidb::Transaction;
+
+#[derive(Serialize)]
+struct Entry {
+    ablation: &'static str,
+    benchmark: &'static str,
+    variant: String,
+    cycles: u64,
+    failed: u64,
+    violations_secondary: u64,
+    violations_overflow: u64,
+}
+
+/// Which counters a section's text rows show.
+enum Style {
+    Secondary,
+    Victim,
+    Exhaustion,
+    Predictor,
+    L1,
+}
+
+struct Spec {
+    ablation: &'static str,
+    benchmark: Transaction,
+    variant: String,
+    style: Style,
+    cfg: CmpConfig,
+}
+
+/// The ablations plan.
+pub fn plan() -> Plan {
+    Plan { name: "ablations", title: "Design ablations (DESIGN.md §5)", traces, run }
+}
+
+fn traces(ctx: &PlanCtx) -> Vec<TraceKey> {
+    [Transaction::NewOrder150, Transaction::DeliveryOuter, Transaction::NewOrder]
+        .iter()
+        .map(|&txn| ctx.trace_key(txn))
+        .collect()
+}
+
+fn specs(base: &CmpConfig) -> Vec<Spec> {
+    let mut out = Vec::new();
+    // --- 1. Secondary-violation selectivity (Figure 4). ---
+    for txn in [Transaction::NewOrder150, Transaction::DeliveryOuter] {
+        for policy in [SecondaryPolicy::StartTable, SecondaryPolicy::RestartAll] {
+            let mut cfg = *base;
+            cfg.secondary = policy;
+            out.push(Spec {
+                ablation: "secondary-policy",
+                benchmark: txn,
+                variant: format!("{policy:?}"),
+                style: Style::Secondary,
+                cfg,
+            });
+        }
+    }
+    // --- 2. Victim-cache capacity (§2.1). ---
+    for entries in [0usize, 16, 64, 256] {
+        let mut cfg = *base;
+        cfg.victim_entries = entries;
+        out.push(Spec {
+            ablation: "victim-capacity",
+            benchmark: Transaction::NewOrder150,
+            variant: format!("{entries}"),
+            style: Style::Victim,
+            cfg,
+        });
+    }
+    // --- 3. Context exhaustion: merge vs stop. ---
+    for txn in [Transaction::NewOrder, Transaction::DeliveryOuter] {
+        for policy in [ExhaustionPolicy::Merge, ExhaustionPolicy::Stop] {
+            let mut cfg = *base;
+            cfg.subthreads.exhaustion = policy;
+            out.push(Spec {
+                ablation: "exhaustion-policy",
+                benchmark: txn,
+                variant: format!("{policy:?}"),
+                style: Style::Exhaustion,
+                cfg,
+            });
+        }
+    }
+    // --- 4. The §1.2 alternative: dependence prediction + synchronization. ---
+    for txn in [Transaction::NewOrder, Transaction::NewOrder150] {
+        let variants: [(&str, SubThreadConfig, PredictorConfig); 3] = [
+            ("sub-threads (baseline)", SubThreadConfig::baseline(), PredictorConfig::disabled()),
+            ("predictor only", SubThreadConfig::disabled(), PredictorConfig::aggressive()),
+            ("both", SubThreadConfig::baseline(), PredictorConfig::aggressive()),
+        ];
+        for (name, subs, pred) in variants {
+            let mut cfg = *base;
+            cfg.subthreads = subs;
+            cfg.predictor = pred;
+            out.push(Spec {
+                ablation: "dependence-predictor",
+                benchmark: txn,
+                variant: name.to_string(),
+                style: Style::Predictor,
+                cfg,
+            });
+        }
+    }
+    // --- 5. L1 sub-thread awareness (§2.2: "not worthwhile"). ---
+    for txn in [Transaction::NewOrder, Transaction::NewOrder150] {
+        for aware in [false, true] {
+            let mut cfg = *base;
+            cfg.l1_subthread_aware = aware;
+            out.push(Spec {
+                ablation: "l1-subthread-aware",
+                benchmark: txn,
+                variant: format!("{aware}"),
+                style: Style::L1,
+                cfg,
+            });
+        }
+    }
+    out
+}
+
+const SECTION_HEADERS: [(&str, &str); 5] = [
+    ("secondary-policy", "Ablation 1: secondary violations (Figure 4a vs 4b)"),
+    ("victim-capacity", "\nAblation 2: speculative victim-cache capacity"),
+    ("exhaustion-policy", "\nAblation 3: context exhaustion (merge-and-recycle vs stop)"),
+    ("dependence-predictor", "\nAblation 4: dependence predictor vs sub-threads (§1.2)"),
+    ("l1-subthread-aware", "\nAblation 5: sub-thread-aware L1 invalidation (§2.2)"),
+];
+
+fn run(ctx: &PlanCtx) -> PlanOutput {
+    let specs = specs(&ctx.machine);
+    let jobs: Vec<Job<Arc<SimReport>>> = specs
+        .iter()
+        .map(|spec| {
+            let cfg = spec.cfg;
+            let txn = spec.benchmark;
+            let job: Job<Arc<SimReport>> = Box::new(move || {
+                let progs = ctx.programs(txn);
+                ctx.sim(&progs.tls, &cfg)
+            });
+            job
+        })
+        .collect();
+    let reports = ctx.pool.run(jobs);
+
+    let mut text = String::new();
+    let mut rows = Vec::new();
+    let mut sim_cycles = 0u64;
+    let mut section = "";
+    for (spec, r) in specs.iter().zip(&reports) {
+        if spec.ablation != section {
+            section = spec.ablation;
+            let header = SECTION_HEADERS
+                .iter()
+                .find(|(name, _)| *name == section)
+                .map(|(_, h)| *h)
+                .unwrap_or(section);
+            writeln!(text, "{header}").unwrap();
+        }
+        sim_cycles += r.total_cycles;
+        let label = spec.benchmark.label();
+        match spec.style {
+            Style::Secondary => writeln!(
+                text,
+                "  {:<16} {:<12} {:>10} cycles, {:>9} failed, {:>4} secondary",
+                label, spec.variant, r.total_cycles, r.breakdown.failed, r.violations.secondary
+            ),
+            Style::Victim => writeln!(
+                text,
+                "  {:<16} {:>4} entries {:>10} cycles, {:>4} overflow violations",
+                label, spec.variant, r.total_cycles, r.violations.overflow
+            ),
+            Style::Exhaustion => writeln!(
+                text,
+                "  {:<16} {:<6} {:>10} cycles, {:>9} failed, {:>5} merges",
+                label, spec.variant, r.total_cycles, r.breakdown.failed, r.subthread_merges
+            ),
+            Style::Predictor => writeln!(
+                text,
+                "  {:<16} {:<22} {:>10} cycles, {:>9} failed, {:>9} sync cyc, {:>4} stalled loads",
+                label,
+                spec.variant,
+                r.total_cycles,
+                r.breakdown.failed,
+                r.breakdown.sync,
+                r.predictor_synchronizations
+            ),
+            Style::L1 => writeln!(
+                text,
+                "  {:<16} aware={:<5} {:>10} cycles, {:>8} L1 invalidations, {:>8} L1 misses",
+                label,
+                spec.variant,
+                r.total_cycles,
+                r.l1.invalidations,
+                r.l1.misses()
+            ),
+        }
+        .unwrap();
+        rows.push(Entry {
+            ablation: spec.ablation,
+            benchmark: label,
+            variant: spec.variant.clone(),
+            cycles: r.total_cycles,
+            failed: r.breakdown.failed,
+            violations_secondary: r.violations.secondary,
+            violations_overflow: r.violations.overflow,
+        });
+    }
+    PlanOutput { json: to_artifact_json(&rows), text, sim_cycles }
+}

@@ -1,0 +1,124 @@
+//! The **Figure 5** plan: execution-time breakdown of the seven
+//! benchmarks across the five machine experiments, normalized to
+//! SEQUENTIAL.
+
+use crate::eval::{instances, render_stack};
+use crate::plan::{to_artifact_json, Job, Plan, PlanCtx, PlanOutput};
+use crate::store::TraceKey;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tls_core::experiment::ExperimentKind;
+use tls_core::SimReport;
+use tls_minidb::Transaction;
+
+#[derive(Serialize)]
+struct Bar {
+    experiment: &'static str,
+    total_cycles: u64,
+    speedup_vs_sequential: f64,
+    normalized_stack: Vec<(&'static str, f64)>,
+    violations_primary: u64,
+    violations_secondary: u64,
+    violations_overflow: u64,
+}
+
+#[derive(Serialize)]
+struct Panel {
+    benchmark: &'static str,
+    transactions: usize,
+    bars: Vec<Bar>,
+}
+
+/// The figure5 plan.
+pub fn plan() -> Plan {
+    Plan {
+        name: "figure5",
+        title: "Figure 5 — execution-time breakdown, 7 benchmarks x 5 experiments",
+        traces,
+        run,
+    }
+}
+
+fn traces(ctx: &PlanCtx) -> Vec<TraceKey> {
+    Transaction::ALL.iter().map(|&txn| ctx.trace_key(txn)).collect()
+}
+
+fn run(ctx: &PlanCtx) -> PlanOutput {
+    let mut jobs: Vec<Job<Arc<SimReport>>> = Vec::new();
+    for &txn in &Transaction::ALL {
+        let progs = ctx.programs(txn);
+        for &kind in &ExperimentKind::ALL {
+            let progs = progs.clone();
+            jobs.push(Box::new(move || ctx.experiment(kind, &progs)));
+        }
+    }
+    let reports = ctx.pool.run(jobs);
+
+    let mut text = String::new();
+    let mut panels = Vec::new();
+    let mut sim_cycles = 0u64;
+    for (b, &txn) in Transaction::ALL.iter().enumerate() {
+        let count = instances(txn, ctx.scale);
+        let per_bench = &reports[b * ExperimentKind::ALL.len()..(b + 1) * ExperimentKind::ALL.len()];
+        let seq_cycles = per_bench[0].total_cycles; // ALL[0] is SEQUENTIAL
+        writeln!(text, "\nFigure 5: {} ({} transactions)", txn.label(), count).unwrap();
+        writeln!(text, "{:-<120}", "").unwrap();
+        writeln!(
+            text,
+            "{:<15} {:>7} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} | {:>6}",
+            "experiment", "speedup", "idle", "fail", "latch", "sync", "miss", "busy", "total"
+        )
+        .unwrap();
+        let bars = ExperimentKind::ALL
+            .iter()
+            .zip(per_bench)
+            .map(|(kind, r)| {
+                sim_cycles += r.total_cycles;
+                print_bar(&mut text, kind.label(), r, seq_cycles);
+                Bar {
+                    experiment: kind.label(),
+                    total_cycles: r.total_cycles,
+                    speedup_vs_sequential: seq_cycles as f64 / r.total_cycles.max(1) as f64,
+                    normalized_stack: r.normalized_stack(seq_cycles),
+                    violations_primary: r.violations.primary,
+                    violations_secondary: r.violations.secondary,
+                    violations_overflow: r.violations.overflow,
+                }
+            })
+            .collect();
+        panels.push(Panel { benchmark: txn.label(), transactions: count, bars });
+    }
+
+    writeln!(text, "\nSummary (speedup of BASELINE over SEQUENTIAL):").unwrap();
+    for p in &panels {
+        let s = p
+            .bars
+            .iter()
+            .find(|b| b.experiment == "BASELINE")
+            .map(|b| b.speedup_vs_sequential)
+            .unwrap_or(0.0);
+        writeln!(text, "  {:<16} {:.2}x", p.benchmark, s).unwrap();
+    }
+    PlanOutput { json: to_artifact_json(&panels), text, sim_cycles }
+}
+
+fn print_bar(text: &mut String, label: &str, r: &SimReport, seq: u64) {
+    let stack = r.normalized_stack(seq);
+    let v: Vec<f64> = stack.iter().map(|(_, x)| *x).collect();
+    writeln!(
+        text,
+        "{:<15} {:>6.2}x | {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3} | {:>6.3}",
+        label,
+        seq as f64 / r.total_cycles.max(1) as f64,
+        v[0],
+        v[1],
+        v[2],
+        v[3],
+        v[4],
+        v[5],
+        v.iter().sum::<f64>()
+    )
+    .unwrap();
+    writeln!(text, "{:>24}{}", "", render_stack(&stack)).unwrap();
+}

@@ -1,0 +1,142 @@
+//! The **Figure 6** plan: sub-thread count × size sweep over the five
+//! TLS-profitable benchmarks.
+
+use crate::plan::{to_artifact_json, Job, Plan, PlanCtx, PlanOutput};
+use crate::store::TraceKey;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tls_core::experiment::ExperimentKind;
+use tls_core::{ExhaustionPolicy, SimReport, SpacingPolicy, SubThreadConfig};
+use tls_minidb::Transaction;
+
+const SPACINGS: [u64; 6] = [1000, 2500, 5000, 10_000, 25_000, 50_000];
+const CONTEXTS: [u8; 3] = [2, 4, 8];
+
+/// The five TLS-profitable benchmarks shown in Figure 6 (a)–(e).
+const BENCHMARKS: [Transaction; 5] = [
+    Transaction::NewOrder,
+    Transaction::NewOrder150,
+    Transaction::Delivery,
+    Transaction::DeliveryOuter,
+    Transaction::StockLevel,
+];
+
+#[derive(Serialize)]
+struct Point {
+    contexts: u8,
+    spacing: u64,
+    total_cycles: u64,
+    failed_cpu_cycles: u64,
+    violations: u64,
+    subthreads_started: u64,
+}
+
+#[derive(Serialize)]
+struct Panel {
+    benchmark: &'static str,
+    sequential_cycles: u64,
+    points: Vec<Point>,
+    even_division: Vec<Point>,
+}
+
+/// The figure6 plan.
+pub fn plan() -> Plan {
+    Plan { name: "figure6", title: "Figure 6 — sub-thread count x size sweep", traces, run }
+}
+
+fn traces(ctx: &PlanCtx) -> Vec<TraceKey> {
+    BENCHMARKS.iter().map(|&txn| ctx.trace_key(txn)).collect()
+}
+
+// Per benchmark: 1 SEQUENTIAL job, then per context row 6 spacing jobs
+// followed by 1 even-division job.
+const JOBS_PER_ROW: usize = SPACINGS.len() + 1;
+const JOBS_PER_BENCH: usize = 1 + CONTEXTS.len() * JOBS_PER_ROW;
+
+fn point(contexts: u8, spacing: u64, r: &SimReport) -> Point {
+    Point {
+        contexts,
+        spacing,
+        total_cycles: r.total_cycles,
+        failed_cpu_cycles: r.breakdown.failed,
+        violations: r.violations.total(),
+        subthreads_started: r.subthreads_started,
+    }
+}
+
+fn run(ctx: &PlanCtx) -> PlanOutput {
+    let mut jobs: Vec<Job<Arc<SimReport>>> = Vec::new();
+    for &txn in &BENCHMARKS {
+        let progs = ctx.programs(txn);
+        {
+            let progs = progs.clone();
+            jobs.push(Box::new(move || ctx.experiment(ExperimentKind::Sequential, &progs)));
+        }
+        for &contexts in &CONTEXTS {
+            for &spacing in &SPACINGS {
+                let progs = progs.clone();
+                jobs.push(Box::new(move || {
+                    let mut cfg = ctx.machine;
+                    cfg.subthreads = SubThreadConfig {
+                        contexts,
+                        spacing: SpacingPolicy::Every(spacing),
+                        exhaustion: ExhaustionPolicy::Merge,
+                    };
+                    ctx.sim(&progs.tls, &cfg)
+                }));
+            }
+            let progs = progs.clone();
+            jobs.push(Box::new(move || {
+                let mut cfg = ctx.machine;
+                cfg.subthreads = SubThreadConfig {
+                    contexts,
+                    spacing: SpacingPolicy::EvenDivision,
+                    exhaustion: ExhaustionPolicy::Merge,
+                };
+                ctx.sim(&progs.tls, &cfg)
+            }));
+        }
+    }
+    let reports = ctx.pool.run(jobs);
+
+    let mut text = String::new();
+    let mut panels = Vec::new();
+    let mut sim_cycles = 0u64;
+    for (b, &txn) in BENCHMARKS.iter().enumerate() {
+        let base = b * JOBS_PER_BENCH;
+        let seq = reports[base].total_cycles;
+        sim_cycles += seq;
+        writeln!(text, "\nFigure 6: {} (SEQUENTIAL = {} cycles)", txn.label(), seq).unwrap();
+        writeln!(
+            text,
+            "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "contexts", "1000", "2500", "5000", "10000", "25000", "50000", "even"
+        )
+        .unwrap();
+        let mut points = Vec::new();
+        let mut even = Vec::new();
+        for (c, &contexts) in CONTEXTS.iter().enumerate() {
+            let row_base = base + 1 + c * JOBS_PER_ROW;
+            let mut row = format!("{contexts:<10}");
+            for (s, &spacing) in SPACINGS.iter().enumerate() {
+                let r = &reports[row_base + s];
+                sim_cycles += r.total_cycles;
+                row.push_str(&format!(" {:>8.2}x", seq as f64 / r.total_cycles as f64));
+                points.push(point(contexts, spacing, r));
+            }
+            let r = &reports[row_base + SPACINGS.len()];
+            sim_cycles += r.total_cycles;
+            row.push_str(&format!(" {:>8.2}x", seq as f64 / r.total_cycles as f64));
+            even.push(point(contexts, 0, r));
+            writeln!(text, "{row}").unwrap();
+        }
+        panels.push(Panel {
+            benchmark: txn.label(),
+            sequential_cycles: seq,
+            points,
+            even_division: even,
+        });
+    }
+    PlanOutput { json: to_artifact_json(&panels), text, sim_cycles }
+}

@@ -1,0 +1,10 @@
+//! The declarative plans behind every evaluation artifact.
+
+pub mod ablations;
+pub mod figure2;
+pub mod figure5;
+pub mod figure6;
+pub mod scalability;
+pub mod spec_contrast;
+pub mod table2;
+pub mod tuning_curve;

@@ -1,0 +1,105 @@
+//! The **scalability** plan: CPU-count scaling (2/4/8) for the
+//! TLS-profitable benchmarks, speedup over SEQUENTIAL.
+
+use crate::plan::{to_artifact_json, Job, Plan, PlanCtx, PlanOutput};
+use crate::store::TraceKey;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tls_core::experiment::ExperimentKind;
+use tls_core::SimReport;
+use tls_minidb::Transaction;
+
+const CPUS: [usize; 3] = [2, 4, 8];
+const BENCHMARKS: [Transaction; 4] = [
+    Transaction::NewOrder,
+    Transaction::NewOrder150,
+    Transaction::DeliveryOuter,
+    Transaction::StockLevel,
+];
+
+// Per benchmark: 1 SEQUENTIAL job, then one job per CPU count.
+const JOBS_PER_BENCH: usize = 1 + CPUS.len();
+
+#[derive(Serialize)]
+struct Point {
+    benchmark: &'static str,
+    cpus: usize,
+    cycles: u64,
+    speedup: f64,
+    idle_fraction: f64,
+    failed_fraction: f64,
+    violations: u64,
+}
+
+/// The scalability plan.
+pub fn plan() -> Plan {
+    Plan { name: "scalability", title: "Extension — CPU-count scaling (2/4/8)", traces, run }
+}
+
+fn traces(ctx: &PlanCtx) -> Vec<TraceKey> {
+    BENCHMARKS.iter().map(|&txn| ctx.trace_key(txn)).collect()
+}
+
+fn run(ctx: &PlanCtx) -> PlanOutput {
+    let mut jobs: Vec<Job<Arc<SimReport>>> = Vec::new();
+    for &txn in &BENCHMARKS {
+        let progs = ctx.programs(txn);
+        {
+            let progs = progs.clone();
+            jobs.push(Box::new(move || ctx.experiment(ExperimentKind::Sequential, &progs)));
+        }
+        for &cpus in &CPUS {
+            let progs = progs.clone();
+            jobs.push(Box::new(move || {
+                let mut cfg = ctx.machine;
+                cfg.cpus = cpus;
+                ctx.sim(&progs.tls, &cfg)
+            }));
+        }
+    }
+    let reports = ctx.pool.run(jobs);
+
+    let mut text = String::new();
+    writeln!(
+        text,
+        "{:<16} {:>6} {:>12} {:>9} {:>7} {:>7} {:>6}",
+        "benchmark", "cpus", "cycles", "speedup", "idle", "failed", "viol"
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    let mut sim_cycles = 0u64;
+    for (b, &txn) in BENCHMARKS.iter().enumerate() {
+        let base = b * JOBS_PER_BENCH;
+        let seq = reports[base].total_cycles;
+        sim_cycles += seq;
+        for (c, &cpus) in CPUS.iter().enumerate() {
+            let r = &reports[base + 1 + c];
+            sim_cycles += r.total_cycles;
+            let total = r.breakdown.total().max(1) as f64;
+            let p = Point {
+                benchmark: txn.label(),
+                cpus,
+                cycles: r.total_cycles,
+                speedup: seq as f64 / r.total_cycles as f64,
+                idle_fraction: r.breakdown.idle as f64 / total,
+                failed_fraction: r.breakdown.failed as f64 / total,
+                violations: r.violations.total(),
+            };
+            writeln!(
+                text,
+                "{:<16} {:>6} {:>12} {:>8.2}x {:>6.1}% {:>6.1}% {:>6}",
+                p.benchmark,
+                p.cpus,
+                p.cycles,
+                p.speedup,
+                100.0 * p.idle_fraction,
+                100.0 * p.failed_fraction,
+                p.violations
+            )
+            .unwrap();
+            rows.push(p);
+        }
+    }
+    PlanOutput { json: to_artifact_json(&rows), text, sim_cycles }
+}

@@ -1,0 +1,88 @@
+//! The **Table 2** plan: benchmark statistics (sequential Mcycles, TLS
+//! coverage, thread sizes, threads per transaction).
+
+use crate::eval::instances;
+use crate::plan::{to_artifact_json, Job, Plan, PlanCtx, PlanOutput};
+use crate::store::TraceKey;
+use serde::Serialize;
+use std::fmt::Write as _;
+use tls_core::experiment::ExperimentKind;
+use tls_minidb::Transaction;
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: &'static str,
+    exec_mcycles: f64,
+    coverage_pct: f64,
+    avg_thread_size: f64,
+    spec_insts_per_thread: f64,
+    threads_per_txn: f64,
+}
+
+/// The table2 plan.
+pub fn plan() -> Plan {
+    Plan { name: "table2", title: "Table 2 — benchmark statistics", traces, run }
+}
+
+fn traces(ctx: &PlanCtx) -> Vec<TraceKey> {
+    Transaction::ALL.iter().map(|&txn| ctx.trace_key(txn)).collect()
+}
+
+fn run(ctx: &PlanCtx) -> PlanOutput {
+    let jobs: Vec<Job<(Row, u64)>> = Transaction::ALL
+        .iter()
+        .map(|&txn| {
+            let job: Job<(Row, u64)> = Box::new(move || {
+                let count = instances(txn, ctx.scale);
+                let progs = ctx.programs(txn);
+                let stats = progs.tls.stats();
+                let seq = ctx.experiment(ExperimentKind::Sequential, &progs);
+                // "Spec. Insts per Thread": instructions a thread executes
+                // speculatively — all of its instructions except those it
+                // runs after becoming the oldest (non-speculative) thread.
+                // We report the epoch body minus the spawn scaffolding.
+                let spec_per_thread =
+                    stats.avg_epoch_ops() - tls_minidb::SPAWN_OVERHEAD_OPS as f64;
+                let row = Row {
+                    benchmark: txn.label(),
+                    exec_mcycles: seq.total_cycles as f64 / 1e6,
+                    coverage_pct: 100.0 * stats.coverage(),
+                    avg_thread_size: stats.avg_epoch_ops(),
+                    spec_insts_per_thread: spec_per_thread,
+                    threads_per_txn: stats.epochs as f64 / count as f64,
+                };
+                (row, seq.total_cycles)
+            });
+            job
+        })
+        .collect();
+    let results = ctx.pool.run(jobs);
+
+    let mut text = String::new();
+    writeln!(text, "Table 2. Benchmark statistics.").unwrap();
+    writeln!(text, "{:=<100}", "").unwrap();
+    writeln!(
+        text,
+        "{:<16} {:>12} {:>10} {:>14} {:>18} {:>12}",
+        "Benchmark", "Exec (Mcyc)", "Coverage", "Thread size", "SpecInsts/thread", "Threads/txn"
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    let mut sim_cycles = 0u64;
+    for (row, cycles) in results {
+        sim_cycles += cycles;
+        writeln!(
+            text,
+            "{:<16} {:>12.1} {:>9.0}% {:>13.0}k {:>17.0}k {:>12.1}",
+            row.benchmark,
+            row.exec_mcycles,
+            row.coverage_pct,
+            row.avg_thread_size / 1000.0,
+            row.spec_insts_per_thread / 1000.0,
+            row.threads_per_txn
+        )
+        .unwrap();
+        rows.push(row);
+    }
+    PlanOutput { json: to_artifact_json(&rows), text, sim_cycles }
+}

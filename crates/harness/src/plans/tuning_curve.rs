@@ -1,0 +1,124 @@
+//! The **tuning_curve** plan: the §3.2 iterative tuning process —
+//! profile-guided removal of performance-critical dependences, one
+//! NEW ORDER trace per cumulative optimization step.
+
+use crate::eval::instances;
+use crate::plan::{to_artifact_json, Job, Plan, PlanCtx, PlanOutput};
+use crate::store::TraceKey;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tls_core::experiment::{BenchmarkPrograms, ExperimentKind};
+use tls_core::SimReport;
+use tls_minidb::{OptLevel, Transaction};
+
+const TXN: Transaction = Transaction::NewOrder;
+
+#[derive(Serialize)]
+struct Step {
+    step: &'static str,
+    cycles: u64,
+    speedup_vs_sequential: f64,
+    failed_cpu_cycles: u64,
+    latch_cpu_cycles: u64,
+    violations: u64,
+    top_dependences: Vec<String>,
+}
+
+/// The tuning_curve plan.
+pub fn plan() -> Plan {
+    Plan { name: "tuning_curve", title: "§3.2 — iterative profile-guided tuning", traces, run }
+}
+
+/// The snapshot key of the NEW ORDER trace recorded from an engine
+/// built at `opts`.
+fn step_key(ctx: &PlanCtx, opts: OptLevel) -> TraceKey {
+    let mut cfg = ctx.scale.tpcc();
+    cfg.opts = opts;
+    TraceKey { cfg, txn: TXN, count: instances(TXN, ctx.scale) }
+}
+
+fn traces(ctx: &PlanCtx) -> Vec<TraceKey> {
+    // The "unoptimized" step is OptLevel::none(), which doubles as the
+    // sequential reference's key, so the list is already complete.
+    OptLevel::tuning_steps().into_iter().map(|(_, opts)| step_key(ctx, opts)).collect()
+}
+
+fn run(ctx: &PlanCtx) -> PlanOutput {
+    let steps = OptLevel::tuning_steps();
+    let mut jobs: Vec<Job<Arc<SimReport>>> = Vec::new();
+    // Job 0: the unmodified engine running sequentially (the reference).
+    jobs.push(Box::new(move || {
+        let progs = ctx.store.programs(&step_key(ctx, OptLevel::none()));
+        let plain = BenchmarkPrograms { plain: progs.plain.clone(), tls: progs.plain.clone() };
+        ctx.experiment(ExperimentKind::Sequential, &plain)
+    }));
+    // Jobs 1..: one BASELINE run per cumulative optimization step.
+    for (_, opts) in steps.clone() {
+        jobs.push(Box::new(move || {
+            let progs = ctx.store.programs(&step_key(ctx, opts));
+            ctx.sim(&progs.tls, &ctx.machine)
+        }));
+    }
+    let reports = ctx.pool.run(jobs);
+
+    let seq = reports[0].total_cycles;
+    let mut sim_cycles = seq;
+    let mut text = String::new();
+    writeln!(text, "NEW ORDER tuning curve (SEQUENTIAL = {seq} cycles)").unwrap();
+    writeln!(text, "{:-<100}", "").unwrap();
+
+    let mut rows = Vec::new();
+    for ((name, _), r) in steps.iter().zip(&reports[1..]) {
+        sim_cycles += r.total_cycles;
+        let speedup = seq as f64 / r.total_cycles as f64;
+        writeln!(
+            text,
+            "{:<28} {:>10} cycles  speedup {:>5.2}x  failed {:>9}  latch {:>8}  {:>3} violations",
+            name,
+            r.total_cycles,
+            speedup,
+            r.breakdown.failed,
+            r.breakdown.latch,
+            r.violations.total()
+        )
+        .unwrap();
+        let top: Vec<String> = r
+            .profile
+            .iter()
+            .take(3)
+            .map(|e| {
+                format!(
+                    "load {} <- store {}: {} failed cycles ({} violations)",
+                    e.load_pc.map(|p| p.to_string()).unwrap_or_else(|| "?".into()),
+                    e.store_pc.map(|p| p.to_string()).unwrap_or_else(|| "?".into()),
+                    e.failed_cycles,
+                    e.violations
+                )
+            })
+            .collect();
+        for t in &top {
+            writeln!(text, "        {t}").unwrap();
+        }
+        rows.push(Step {
+            step: name,
+            cycles: r.total_cycles,
+            speedup_vs_sequential: speedup,
+            failed_cpu_cycles: r.breakdown.failed,
+            latch_cpu_cycles: r.breakdown.latch,
+            violations: r.violations.total(),
+            top_dependences: top,
+        });
+    }
+
+    writeln!(text, "{:-<100}", "").unwrap();
+    let first = rows.first().expect("steps");
+    let last = rows.last().expect("steps");
+    writeln!(
+        text,
+        "Tuning took NEW ORDER from {:.2}x to {:.2}x — the §3.2 iterative process.",
+        first.speedup_vs_sequential, last.speedup_vs_sequential
+    )
+    .unwrap();
+    PlanOutput { json: to_artifact_json(&rows), text, sim_cycles }
+}

@@ -1,0 +1,143 @@
+//! The deterministic parallel runner.
+//!
+//! [`JobPool::run`] fans a vector of independent jobs across scoped host
+//! threads and returns their results **in submission order**, whatever
+//! the worker count or completion interleaving. Determinism therefore
+//! reduces to the jobs themselves being pure functions — which simulator
+//! runs are — so `suite --jobs 8` is byte-identical to `--jobs 1`.
+//!
+//! Work is distributed by an atomic take-a-number counter rather than
+//! pre-partitioning, so a pool never idles while one long simulation
+//! (NEW ORDER 150 at paper scale dwarfs PAYMENT) monopolizes a stripe of
+//! the plan.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width pool of scoped worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct JobPool {
+    workers: usize,
+}
+
+impl JobPool {
+    /// A pool of `workers` threads (0 is clamped to 1).
+    pub fn new(workers: usize) -> Self {
+        JobPool { workers: workers.max(1) }
+    }
+
+    /// The host's available parallelism (the `--jobs` default).
+    pub fn available() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job and returns the results in submission order.
+    ///
+    /// A single-worker pool (or a single job) runs inline on the calling
+    /// thread — the `--jobs 1` reference execution has no thread
+    /// machinery at all. If a job panics, the panic is propagated to the
+    /// caller after all workers stop.
+    pub fn run<'env, T: Send>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
+    ) -> Vec<T> {
+        let workers = self.workers.min(jobs.len());
+        if workers <= 1 {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        type JobSlot<'env, T> = Mutex<Option<Box<dyn FnOnce() -> T + Send + 'env>>>;
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let jobs: Vec<JobSlot<'env, T>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let job = jobs[i]
+                            .lock()
+                            .expect("job slot poisoned")
+                            .take()
+                            .expect("each job taken exactly once");
+                        let result = job();
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    })
+                })
+                .collect();
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for handle in handles {
+                if let Err(p) = handle.join() {
+                    panic.get_or_insert(p);
+                }
+            }
+            if let Some(p) = panic {
+                std::panic::resume_unwind(p);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot filled after join")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed<T, F: FnOnce() -> T + Send + 'static>(f: F) -> Box<dyn FnOnce() -> T + Send> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for workers in [1, 2, 8, 32] {
+            let pool = JobPool::new(workers);
+            let jobs: Vec<_> = (0..50u64)
+                .map(|i| {
+                    boxed(move || {
+                        // Stagger completion: later jobs finish sooner.
+                        std::thread::sleep(std::time::Duration::from_micros(50 - i));
+                        i * i
+                    })
+                })
+                .collect();
+            let out = pool.run(jobs);
+            assert_eq!(out, (0..50u64).map(|i| i * i).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job_vectors_work() {
+        let pool = JobPool::new(8);
+        assert_eq!(pool.run(Vec::<Box<dyn FnOnce() -> u32 + Send>>::new()), vec![]);
+        assert_eq!(pool.run(vec![boxed(|| 7u32)]), vec![7]);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(JobPool::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let pool = JobPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..8)
+            .map(|i| boxed(move || if i == 5 { panic!("job 5 exploded") } else { i }))
+            .collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run(jobs)));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! The snapshot store: record-once / replay-many workload traces, plus a
+//! content-addressed simulation-report cache.
+//!
+//! Recording a TPC-C benchmark (populate database, execute transactions,
+//! capture every dynamic instruction) is pure — it depends only on the
+//! [`TpccConfig`] (which embeds the workload seed and engine options),
+//! the transaction and the instance count. The store exploits that in two
+//! layers:
+//!
+//! 1. **Trace snapshots** — the recorded `(plain, tls)` pair is written
+//!    once to `traces/<name>-<key>.trace` in the versioned binary format
+//!    of [`crate::codec`] and replayed by every binary and test that
+//!    asks for the same key. Corrupt, stale or truncated snapshots fail
+//!    closed: the store re-records and rewrites them.
+//! 2. **Simulation reports** — a simulation is likewise a pure function
+//!    of (program bytes, machine configuration). When enabled, finished
+//!    [`SimReport`]s are memoized in memory (deduplicating the many
+//!    identical SEQUENTIAL/BASELINE runs shared across figures) and
+//!    persisted under `traces/reports/`, so a warm-cache suite run
+//!    replays timing results instead of re-simulating them.
+//!
+//! Both layers are transparent: a cache hit returns bit-identical data to
+//! a recompute, which `tests/suite_determinism.rs` checks end to end.
+//! Writes go through a temp file + atomic rename so concurrent runs never
+//! observe a half-written snapshot.
+
+use crate::codec::{
+    self, decode_container, encode_container, fnv1a, SnapshotError, KIND_SIM_REPORT,
+};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use tls_core::experiment::BenchmarkPrograms;
+use tls_core::{CmpConfig, CmpSimulator, SimReport};
+use tls_minidb::{Tpcc, TpccConfig, Transaction};
+
+/// Identifies one recorded benchmark: everything that influences the
+/// recorded trace pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceKey {
+    /// Workload scale, seed and engine options.
+    pub cfg: TpccConfig,
+    /// The transaction (benchmark) recorded.
+    pub txn: Transaction,
+    /// Back-to-back instances recorded.
+    pub count: usize,
+}
+
+impl TraceKey {
+    /// The cache-key fingerprint: FNV-1a over the canonical JSON of every
+    /// field (the JSON encoding is deterministic, so the hash is stable
+    /// across runs and platforms).
+    pub fn hash(&self) -> u64 {
+        let mut s = String::new();
+        use serde::Serialize;
+        self.cfg.serialize(&mut s);
+        s.push('|');
+        s.push_str(self.txn.trace_name());
+        s.push('|');
+        s.push_str(&self.count.to_string());
+        fnv1a(s.as_bytes())
+    }
+
+    /// The snapshot file name: human-greppable benchmark name plus the
+    /// full key fingerprint.
+    pub fn file_name(&self) -> String {
+        format!("{}-{:016x}.trace", self.txn.trace_name(), self.hash())
+    }
+}
+
+/// Aggregate cache counters, reported into `BENCH_suite.json`.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Trace pairs served from the in-memory map.
+    pub trace_mem_hits: AtomicU64,
+    /// Trace pairs decoded from a disk snapshot.
+    pub trace_disk_hits: AtomicU64,
+    /// Trace pairs recorded from scratch.
+    pub trace_records: AtomicU64,
+    /// Reports served from memory.
+    pub report_mem_hits: AtomicU64,
+    /// Reports decoded from disk.
+    pub report_disk_hits: AtomicU64,
+    /// Simulations actually executed.
+    pub report_sims: AtomicU64,
+}
+
+impl StoreStats {
+    fn get(v: &AtomicU64) -> u64 {
+        v.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all six counters, in declaration order.
+    pub fn snapshot(&self) -> [u64; 6] {
+        [
+            Self::get(&self.trace_mem_hits),
+            Self::get(&self.trace_disk_hits),
+            Self::get(&self.trace_records),
+            Self::get(&self.report_mem_hits),
+            Self::get(&self.report_disk_hits),
+            Self::get(&self.report_sims),
+        ]
+    }
+}
+
+type Slot<T> = Arc<OnceLock<Arc<T>>>;
+
+/// The process-wide snapshot store. Thread-safe; per-key initialization
+/// is serialized (two threads asking for the same uncached benchmark
+/// record it once), distinct keys proceed in parallel.
+pub struct HarnessStore {
+    dir: Option<PathBuf>,
+    sim_cache: bool,
+    traces: Mutex<HashMap<u64, Slot<BenchmarkPrograms>>>,
+    reports: Mutex<HashMap<u64, Slot<SimReport>>>,
+    /// Cache activity counters.
+    pub stats: StoreStats,
+}
+
+impl HarnessStore {
+    /// A store caching under `dir` (`None` = in-memory only).
+    pub fn new(dir: Option<PathBuf>, sim_cache: bool) -> Self {
+        HarnessStore {
+            dir,
+            sim_cache,
+            traces: Mutex::new(HashMap::new()),
+            reports: Mutex::new(HashMap::new()),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// A store with no disk backing and no report memoization: every
+    /// request records and simulates from scratch (used to measure the
+    /// serial-equivalent baseline).
+    pub fn uncached() -> Self {
+        HarnessStore::new(None, false)
+    }
+
+    /// The snapshot directory, if disk caching is enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn slot<T>(map: &Mutex<HashMap<u64, Slot<T>>>, key: u64) -> Slot<T> {
+        map.lock().expect("store map poisoned").entry(key).or_default().clone()
+    }
+
+    /// The recorded `(plain, tls)` pair for `key`: from memory, else from
+    /// a disk snapshot, else recorded (and persisted).
+    pub fn programs(&self, key: &TraceKey) -> Arc<BenchmarkPrograms> {
+        let hash = key.hash();
+        let slot = Self::slot(&self.traces, hash);
+        if let Some(hit) = slot.get() {
+            self.stats.trace_mem_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        slot.get_or_init(|| {
+            let path = self.dir.as_ref().map(|d| d.join(key.file_name()));
+            if let Some(path) = &path {
+                if let Ok(bytes) = std::fs::read(path) {
+                    match codec::decode_pair_file(&bytes, hash) {
+                        Ok(pair) => {
+                            self.stats.trace_disk_hits.fetch_add(1, Ordering::Relaxed);
+                            return Arc::new(pair);
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "warning: discarding snapshot {}: {e}; re-recording",
+                                path.display()
+                            );
+                        }
+                    }
+                }
+            }
+            self.stats.trace_records.fetch_add(1, Ordering::Relaxed);
+            let (plain, tls) = Tpcc::record_pair(&key.cfg, key.txn, key.count);
+            let pair = BenchmarkPrograms { plain, tls };
+            if let Some(path) = &path {
+                write_atomic(path, &codec::encode_pair_file(hash, &pair));
+            }
+            Arc::new(pair)
+        })
+        .clone()
+    }
+
+    /// Runs `program` on the machine `cfg`, memoizing by content: the key
+    /// hashes the program's canonical byte encoding and the full machine
+    /// configuration, so any change to either re-simulates.
+    pub fn simulate(&self, program: &tls_trace::TraceProgram, cfg: &CmpConfig) -> Arc<SimReport> {
+        if !self.sim_cache {
+            self.stats.report_sims.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(CmpSimulator::new(*cfg).run(program));
+        }
+        let mut key_bytes = codec::program_bytes(program);
+        {
+            use serde::Serialize;
+            let mut cfg_json = String::new();
+            cfg.serialize(&mut cfg_json);
+            key_bytes.extend_from_slice(cfg_json.as_bytes());
+        }
+        let hash = fnv1a(&key_bytes);
+        let slot = Self::slot(&self.reports, hash);
+        if let Some(hit) = slot.get() {
+            self.stats.report_mem_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        slot.get_or_init(|| {
+            let path =
+                self.dir.as_ref().map(|d| d.join("reports").join(format!("{hash:016x}.rpt")));
+            if let Some(path) = &path {
+                if let Ok(bytes) = std::fs::read(path) {
+                    match decode_report(&bytes, hash) {
+                        Ok(report) => {
+                            self.stats.report_disk_hits.fetch_add(1, Ordering::Relaxed);
+                            return Arc::new(report);
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "warning: discarding cached report {}: {e}; re-simulating",
+                                path.display()
+                            );
+                        }
+                    }
+                }
+            }
+            self.stats.report_sims.fetch_add(1, Ordering::Relaxed);
+            let report = CmpSimulator::new(*cfg).run(program);
+            if let Some(path) = &path {
+                let json = serde_json::to_string(&report).expect("serialize report");
+                write_atomic(path, &encode_container(KIND_SIM_REPORT, hash, json.as_bytes()));
+            }
+            Arc::new(report)
+        })
+        .clone()
+    }
+}
+
+fn decode_report(bytes: &[u8], hash: u64) -> Result<SimReport, SnapshotError> {
+    let payload = decode_container(bytes, KIND_SIM_REPORT, hash)?;
+    let json = std::str::from_utf8(payload).map_err(|_| SnapshotError::BadUtf8)?;
+    serde_json::from_str(json).map_err(|e| SnapshotError::BadJson(e.to_string()))
+}
+
+/// Writes `bytes` to `path` via a unique temp file + rename, creating
+/// parent directories. Failures warn and leave the cache cold — the
+/// snapshot store is an accelerator, never a correctness dependency.
+fn write_atomic(path: &Path, bytes: &[u8]) {
+    let Some(parent) = path.parent() else { return };
+    if let Err(e) = std::fs::create_dir_all(parent) {
+        eprintln!("warning: cannot create {}: {e}", parent.display());
+        return;
+    }
+    let tmp = parent.join(format!(
+        ".{}.tmp-{}",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("snapshot"),
+        std::process::id()
+    ));
+    if let Err(e) = std::fs::write(&tmp, bytes) {
+        eprintln!("warning: cannot write {}: {e}", tmp.display());
+        return;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        eprintln!("warning: cannot publish {}: {e}", path.display());
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Scale;
+
+    fn key() -> TraceKey {
+        TraceKey { cfg: Scale::Test.tpcc(), txn: Transaction::Payment, count: 1 }
+    }
+
+    #[test]
+    fn key_hash_is_stable_and_sensitive() {
+        let k = key();
+        assert_eq!(k.hash(), k.hash());
+        let mut other = key();
+        other.count = 2;
+        assert_ne!(k.hash(), other.hash());
+        let mut reseeded = key();
+        reseeded.cfg.seed ^= 1;
+        assert_ne!(k.hash(), reseeded.hash());
+    }
+
+    #[test]
+    fn memory_store_records_once() {
+        let store = HarnessStore::new(None, true);
+        let a = store.programs(&key());
+        let b = store.programs(&key());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.stats.snapshot()[2], 1, "one record");
+        assert_eq!(store.stats.snapshot()[0], 1, "one memory hit");
+    }
+
+    #[test]
+    fn disk_snapshot_round_trips_through_a_second_store() {
+        let dir = std::env::temp_dir().join(format!("tls-harness-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = HarnessStore::new(Some(dir.clone()), true);
+        let a = cold.programs(&key());
+        assert_eq!(cold.stats.snapshot()[2], 1);
+        let warm = HarnessStore::new(Some(dir.clone()), true);
+        let b = warm.programs(&key());
+        assert_eq!(warm.stats.snapshot()[1], 1, "served from disk");
+        assert_eq!(warm.stats.snapshot()[2], 0, "no re-record");
+        assert_eq!(a.tls.total_ops(), b.tls.total_ops());
+        assert_eq!(
+            crate::codec::program_bytes(&a.tls),
+            crate::codec::program_bytes(&b.tls),
+            "decoded trace is bit-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_recording() {
+        let dir =
+            std::env::temp_dir().join(format!("tls-harness-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = HarnessStore::new(Some(dir.clone()), true);
+        cold.programs(&key());
+        let path = dir.join(key().file_name());
+        let mut bytes = std::fs::read(&path).expect("snapshot written");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let warm = HarnessStore::new(Some(dir.clone()), true);
+        let b = warm.programs(&key());
+        assert_eq!(warm.stats.snapshot()[2], 1, "re-recorded after corruption");
+        assert!(b.tls.total_ops() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulation_cache_is_transparent() {
+        let cached = HarnessStore::new(None, true);
+        let raw = HarnessStore::uncached();
+        let pair = cached.programs(&key());
+        let cfg = crate::eval::paper_machine();
+        let a = cached.simulate(&pair.tls, &cfg);
+        let b = cached.simulate(&pair.tls, &cfg);
+        assert!(Arc::ptr_eq(&a, &b), "second simulate is a memo hit");
+        let c = raw.simulate(&pair.tls, &cfg);
+        assert_eq!(a.total_cycles, c.total_cycles);
+        assert_eq!(a.breakdown, c.breakdown);
+        assert_eq!(a.violations, c.violations);
+    }
+}

@@ -1,0 +1,504 @@
+//! The unified suite driver behind the `suite` binary.
+//!
+//! Runs any subset of the evaluation plans through the parallel runner
+//! and the snapshot store, writes `results/<plan>.{json,txt}`, optionally
+//! compares the JSON artifacts against a previous `results/` tree
+//! (failing on cycle-count drift), and records per-plan wall time plus
+//! simulated-cycles-per-host-second throughput in `BENCH_suite.json`.
+
+use crate::eval::{paper_machine, Scale};
+use crate::plan::{all_plans, Plan, PlanCtx, PlanOutput};
+use crate::runner::JobPool;
+use crate::store::HarnessStore;
+use serde::{Serialize, Value};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Everything `suite` accepts on its command line.
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    /// Workload scale (`--scale paper|test`).
+    pub scale: Scale,
+    /// Worker threads (`--jobs N`, default = available parallelism).
+    pub jobs: usize,
+    /// Comma-separated plan-name substrings (`--filter fig,table2`).
+    pub filter: Option<String>,
+    /// Artifact output directory (`--out`, default `results`).
+    pub out_dir: PathBuf,
+    /// Snapshot cache directory (`--traces`, default `traces`); `None`
+    /// after `--no-cache`.
+    pub trace_dir: Option<PathBuf>,
+    /// Previous results tree to regression-compare against (`--baseline`).
+    pub baseline: Option<PathBuf>,
+    /// Where to write the timing report (`--bench`, default
+    /// `BENCH_suite.json`).
+    pub bench_path: PathBuf,
+    /// Measure the uncached single-worker equivalent of every plan
+    /// (`--compare-serial` / `--no-compare-serial`; default: on at test
+    /// scale, off at paper scale).
+    pub compare_serial: Option<bool>,
+    /// Suppress the plans' human-readable tables on stdout (`--quiet`).
+    pub quiet: bool,
+    /// List plans and exit (`--list`).
+    pub list: bool,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        SuiteOptions {
+            scale: Scale::Paper,
+            jobs: JobPool::available(),
+            filter: None,
+            out_dir: PathBuf::from("results"),
+            trace_dir: Some(PathBuf::from("traces")),
+            baseline: None,
+            bench_path: PathBuf::from("BENCH_suite.json"),
+            compare_serial: None,
+            quiet: false,
+            list: false,
+        }
+    }
+}
+
+pub const USAGE: &str = "\
+usage: suite [options]
+  --scale paper|test     workload scale (default: paper)
+  --jobs N               worker threads (default: available cores)
+  --filter A,B           run only plans whose name contains A or B
+  --out DIR              artifact directory (default: results)
+  --traces DIR           snapshot cache directory (default: traces)
+  --no-cache             disable the snapshot/report cache entirely
+  --baseline DIR         compare artifacts against a previous results tree;
+                         exit 1 on cycle-count drift
+  --bench PATH           timing report (default: BENCH_suite.json)
+  --compare-serial       also time the uncached 1-worker equivalent
+  --no-compare-serial    skip that measurement (default at paper scale)
+  --quiet                do not print the plans' tables to stdout
+  --list                 list available plans and exit
+";
+
+impl SuiteOptions {
+    /// Parses a `suite` command line.
+    pub fn parse(args: &[String]) -> Result<SuiteOptions, String> {
+        let mut opts = SuiteOptions::default();
+        let mut it = args.iter().peekable();
+        let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                     flag: &str|
+         -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    opts.scale = match value(&mut it, "--scale")?.as_str() {
+                        "paper" => Scale::Paper,
+                        "test" => Scale::Test,
+                        other => return Err(format!("unknown scale '{other}' (use: paper, test)")),
+                    }
+                }
+                "--jobs" => {
+                    let v = value(&mut it, "--jobs")?;
+                    opts.jobs =
+                        v.parse().map_err(|_| format!("--jobs needs a number, got '{v}'"))?;
+                }
+                "--filter" => opts.filter = Some(value(&mut it, "--filter")?),
+                "--out" => opts.out_dir = PathBuf::from(value(&mut it, "--out")?),
+                "--traces" => opts.trace_dir = Some(PathBuf::from(value(&mut it, "--traces")?)),
+                "--no-cache" => opts.trace_dir = None,
+                "--baseline" => opts.baseline = Some(PathBuf::from(value(&mut it, "--baseline")?)),
+                "--bench" => opts.bench_path = PathBuf::from(value(&mut it, "--bench")?),
+                "--compare-serial" => opts.compare_serial = Some(true),
+                "--no-compare-serial" => opts.compare_serial = Some(false),
+                "--quiet" => opts.quiet = true,
+                "--list" => opts.list = true,
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The plans selected by `--filter` (all of them without a filter).
+    pub fn selected_plans(&self) -> Vec<Plan> {
+        let plans = all_plans();
+        match &self.filter {
+            None => plans,
+            Some(f) => {
+                let needles: Vec<&str> =
+                    f.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+                plans
+                    .into_iter()
+                    .filter(|p| needles.iter().any(|n| p.name.contains(n)))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct BenchPlan {
+    name: &'static str,
+    wall_s: f64,
+    sim_cycles: u64,
+    sim_mcycles_per_s: f64,
+}
+
+#[derive(Serialize)]
+struct BenchCache {
+    trace_mem_hits: u64,
+    trace_disk_hits: u64,
+    trace_records: u64,
+    report_mem_hits: u64,
+    report_disk_hits: u64,
+    report_sims: u64,
+}
+
+#[derive(Serialize)]
+struct BenchSerial {
+    /// Back-to-back wall time of the uncached single-worker equivalent
+    /// of every selected plan — what the pre-existing per-figure
+    /// binaries cost.
+    serial_wall_s: f64,
+    /// Serial wall time over the suite's wall time.
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize)]
+struct BenchSuite {
+    scale: &'static str,
+    jobs: usize,
+    prewarm_s: f64,
+    plans: Vec<BenchPlan>,
+    total_wall_s: f64,
+    total_sim_cycles: u64,
+    sim_mcycles_per_host_s: f64,
+    cache: BenchCache,
+    serial_equivalent: Option<BenchSerial>,
+    baseline: Option<String>,
+}
+
+/// Runs the suite; returns the process exit code.
+pub fn run_suite(opts: &SuiteOptions) -> i32 {
+    let plans = opts.selected_plans();
+    if opts.list || plans.is_empty() {
+        if plans.is_empty() {
+            eprintln!("no plan matches --filter {:?}", opts.filter.as_deref().unwrap_or(""));
+        }
+        for p in all_plans() {
+            println!("{:<14} {}", p.name, p.title);
+        }
+        return if opts.list { 0 } else { 2 };
+    }
+
+    let pool = JobPool::new(opts.jobs);
+    let store = HarnessStore::new(opts.trace_dir.clone(), true);
+    let ctx = PlanCtx { scale: opts.scale, machine: paper_machine(), store: &store, pool: &pool };
+
+    let suite_start = Instant::now();
+    // Pre-record every distinct workload trace through the pool so plan
+    // execution starts from a warm in-memory store.
+    let prewarm_start = Instant::now();
+    let mut keys = Vec::new();
+    for plan in &plans {
+        for key in (plan.traces)(&ctx) {
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+    }
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = keys
+        .iter()
+        .map(|key| {
+            let key = key.clone();
+            let store = &store;
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                store.programs(&key);
+            });
+            job
+        })
+        .collect();
+    pool.run(jobs);
+    let prewarm_s = prewarm_start.elapsed().as_secs_f64();
+
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("error: cannot create {}: {e}", opts.out_dir.display());
+        return 1;
+    }
+
+    let mut bench_plans = Vec::new();
+    let mut outputs: Vec<PlanOutput> = Vec::new();
+    for plan in &plans {
+        let t0 = Instant::now();
+        let out = (plan.run)(&ctx);
+        let wall_s = t0.elapsed().as_secs_f64();
+        if !opts.quiet {
+            println!("==> {} ({})", plan.name, plan.title);
+            print!("{}", out.text);
+        }
+        let json_path = opts.out_dir.join(format!("{}.json", plan.name));
+        let txt_path = opts.out_dir.join(format!("{}.txt", plan.name));
+        if let Err(e) = std::fs::write(&json_path, &out.json) {
+            eprintln!("error: write {}: {e}", json_path.display());
+            return 1;
+        }
+        if let Err(e) = std::fs::write(&txt_path, &out.text) {
+            eprintln!("error: write {}: {e}", txt_path.display());
+            return 1;
+        }
+        eprintln!("wrote {} ({wall_s:.3}s)", json_path.display());
+        bench_plans.push(BenchPlan {
+            name: plan.name,
+            wall_s,
+            sim_cycles: out.sim_cycles,
+            sim_mcycles_per_s: out.sim_cycles as f64 / 1e6 / wall_s.max(1e-9),
+        });
+        outputs.push(out);
+    }
+    let total_wall_s = suite_start.elapsed().as_secs_f64();
+    let total_sim_cycles: u64 = bench_plans.iter().map(|p| p.sim_cycles).sum();
+
+    // Optional honesty check + denominator for the speedup claim: run the
+    // same plans with no cache and one worker, the way the standalone
+    // per-figure binaries execute.
+    let compare_serial = opts.compare_serial.unwrap_or(opts.scale == Scale::Test);
+    let mut serial_equivalent = None;
+    if compare_serial {
+        let serial_store = HarnessStore::uncached();
+        let serial_pool = JobPool::new(1);
+        let serial_ctx = PlanCtx {
+            scale: opts.scale,
+            machine: paper_machine(),
+            store: &serial_store,
+            pool: &serial_pool,
+        };
+        let serial_start = Instant::now();
+        for (plan, parallel_out) in plans.iter().zip(&outputs) {
+            let out = (plan.run)(&serial_ctx);
+            if out.json != parallel_out.json || out.text != parallel_out.text {
+                eprintln!(
+                    "error: plan '{}' is not deterministic — uncached 1-worker output \
+                     differs from the cached parallel run",
+                    plan.name
+                );
+                return 1;
+            }
+        }
+        let serial_wall_s = serial_start.elapsed().as_secs_f64();
+        eprintln!(
+            "serial equivalent: {serial_wall_s:.3}s vs suite {total_wall_s:.3}s \
+             ({:.2}x)",
+            serial_wall_s / total_wall_s.max(1e-9)
+        );
+        serial_equivalent = Some(BenchSerial {
+            serial_wall_s,
+            speedup_vs_serial: serial_wall_s / total_wall_s.max(1e-9),
+        });
+    }
+
+    let stats = store.stats.snapshot();
+    let bench = BenchSuite {
+        scale: opts.scale.name(),
+        jobs: pool.workers(),
+        prewarm_s,
+        plans: bench_plans,
+        total_wall_s,
+        total_sim_cycles,
+        sim_mcycles_per_host_s: total_sim_cycles as f64 / 1e6 / total_wall_s.max(1e-9),
+        cache: BenchCache {
+            trace_mem_hits: stats[0],
+            trace_disk_hits: stats[1],
+            trace_records: stats[2],
+            report_mem_hits: stats[3],
+            report_disk_hits: stats[4],
+            report_sims: stats[5],
+        },
+        serial_equivalent,
+        baseline: opts.baseline.as_ref().map(|p| p.display().to_string()),
+    };
+    let mut bench_json = serde_json::to_string_pretty(&bench).expect("serialize bench report");
+    bench_json.push('\n');
+    if let Err(e) = std::fs::write(&opts.bench_path, bench_json) {
+        eprintln!("error: write {}: {e}", opts.bench_path.display());
+        return 1;
+    }
+    eprintln!("wrote {}", opts.bench_path.display());
+
+    if let Some(baseline) = &opts.baseline {
+        let drifts = compare_against_baseline(&plans, &opts.out_dir, baseline);
+        if !drifts.is_empty() {
+            eprintln!("regression: {} artifact difference(s) vs {}:", drifts.len(), baseline.display());
+            for d in drifts.iter().take(20) {
+                eprintln!("  {d}");
+            }
+            if drifts.len() > 20 {
+                eprintln!("  ... and {} more", drifts.len() - 20);
+            }
+            return 1;
+        }
+        eprintln!("baseline comparison: {} artifact(s) identical", plans.len());
+    }
+    0
+}
+
+/// Compares each plan's fresh artifact to `baseline/<name>.json`.
+/// Returns human-readable descriptions of every difference (cycle-count
+/// drift or structural change); an empty vector means no drift.
+fn compare_against_baseline(plans: &[Plan], out_dir: &Path, baseline: &Path) -> Vec<String> {
+    let mut drifts = Vec::new();
+    for plan in plans {
+        let base_path = baseline.join(format!("{}.json", plan.name));
+        let new_path = out_dir.join(format!("{}.json", plan.name));
+        let base = match std::fs::read_to_string(&base_path) {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("note: no baseline artifact {}, skipping", base_path.display());
+                continue;
+            }
+        };
+        let new = match std::fs::read_to_string(&new_path) {
+            Ok(s) => s,
+            Err(e) => {
+                drifts.push(format!("{}: unreadable fresh artifact: {e}", plan.name));
+                continue;
+            }
+        };
+        match (serde::parse(&base), serde::parse(&new)) {
+            (Ok(b), Ok(n)) => diff_values(plan.name, &b, &n, &mut drifts),
+            (Err(e), _) => drifts.push(format!("{}: baseline is not JSON: {}", plan.name, e.0)),
+            (_, Err(e)) => drifts.push(format!("{}: fresh artifact is not JSON: {}", plan.name, e.0)),
+        }
+    }
+    drifts
+}
+
+/// Structural JSON diff. Every leaf difference is reported; differences
+/// under a key containing `cycles` are flagged as cycle drift.
+fn diff_values(path: &str, a: &Value, b: &Value, drifts: &mut Vec<String>) {
+    match (a, b) {
+        (Value::Object(pa), Value::Object(pb)) => {
+            if pa.len() != pb.len()
+                || pa.iter().zip(pb.iter()).any(|((ka, _), (kb, _))| ka != kb)
+            {
+                drifts.push(format!("{path}: object keys changed"));
+                return;
+            }
+            for ((k, va), (_, vb)) in pa.iter().zip(pb.iter()) {
+                diff_values(&format!("{path}.{k}"), va, vb, drifts);
+            }
+        }
+        (Value::Array(xa), Value::Array(xb)) => {
+            if xa.len() != xb.len() {
+                drifts.push(format!("{path}: array length {} -> {}", xa.len(), xb.len()));
+                return;
+            }
+            for (i, (va, vb)) in xa.iter().zip(xb.iter()).enumerate() {
+                diff_values(&format!("{path}[{i}]"), va, vb, drifts);
+            }
+        }
+        _ => {
+            if a != b {
+                let kind = if path
+                    .rsplit(['.', '[', ']'])
+                    .next()
+                    .map(|_| path.to_ascii_lowercase().contains("cycles"))
+                    .unwrap_or(false)
+                {
+                    "cycle drift"
+                } else {
+                    "drift"
+                };
+                drifts.push(format!("{path}: {kind}: {a} -> {b}"));
+            }
+        }
+    }
+}
+
+/// The engine behind the thin per-figure wrapper binaries in `tls-bench`:
+/// runs one plan with the standalone binaries' historical CLI (`--scale
+/// paper|test`, `--json DIR`), printing the table to stdout. Honors
+/// `--jobs N` and `--traces DIR` too, defaulting to every core and the
+/// shared `traces/` cache.
+pub fn run_single_plan(name: &str, args: &[String]) {
+    let scale = Scale::parse(args);
+    let flag = |f: &str| -> Option<&String> {
+        args.iter().position(|a| a == f).and_then(|i| args.get(i + 1))
+    };
+    let jobs = flag("--jobs")
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("--jobs needs a number, got '{v}'")))
+        .unwrap_or_else(JobPool::available);
+    let trace_dir = if args.iter().any(|a| a == "--no-cache") {
+        None
+    } else {
+        Some(PathBuf::from(flag("--traces").map(String::as_str).unwrap_or("traces")))
+    };
+    let plan = crate::plan::find_plan(name)
+        .unwrap_or_else(|| panic!("no plan named '{name}'"));
+    let pool = JobPool::new(jobs);
+    let store = HarnessStore::new(trace_dir, true);
+    let ctx = PlanCtx { scale, machine: paper_machine(), store: &store, pool: &pool };
+    let out = (plan.run)(&ctx);
+    print!("{}", out.text);
+    if let Some(dir) = flag("--json").map(PathBuf::from) {
+        std::fs::create_dir_all(&dir).expect("create json dir");
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, &out.json)
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let o = SuiteOptions::parse(&args(&[
+            "--scale", "test", "--jobs", "8", "--filter", "fig", "--out", "r",
+            "--baseline", "old", "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(o.scale, Scale::Test);
+        assert_eq!(o.jobs, 8);
+        assert_eq!(o.out_dir, PathBuf::from("r"));
+        assert_eq!(o.baseline, Some(PathBuf::from("old")));
+        assert!(o.quiet);
+        let names: Vec<_> = o.selected_plans().iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["figure2", "figure5", "figure6"]);
+    }
+
+    #[test]
+    fn rejects_unknown_arguments() {
+        assert!(SuiteOptions::parse(&args(&["--bogus"])).is_err());
+        assert!(SuiteOptions::parse(&args(&["--scale", "huge"])).is_err());
+        assert!(SuiteOptions::parse(&args(&["--jobs", "many"])).is_err());
+    }
+
+    #[test]
+    fn diff_flags_cycle_drift() {
+        let a = serde::parse(r#"[{"name":"x","total_cycles":10}]"#).unwrap();
+        let b = serde::parse(r#"[{"name":"x","total_cycles":11}]"#).unwrap();
+        let mut drifts = Vec::new();
+        diff_values("t", &a, &b, &mut drifts);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].contains("cycle drift"), "{drifts:?}");
+
+        let mut same = Vec::new();
+        diff_values("t", &a, &a, &mut same);
+        assert!(same.is_empty());
+    }
+
+    #[test]
+    fn diff_flags_structural_changes() {
+        let a = serde::parse(r#"{"rows":[1,2]}"#).unwrap();
+        let b = serde::parse(r#"{"rows":[1,2,3]}"#).unwrap();
+        let mut drifts = Vec::new();
+        diff_values("t", &a, &b, &mut drifts);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].contains("array length"));
+    }
+}

@@ -275,7 +275,96 @@ impl TraceOp {
     pub fn mem_addr(&self) -> Option<Addr> {
         self.is_mem().then_some(Addr(self.addr))
     }
+
+    /// Encodes the op as its canonical 16-byte little-endian record
+    /// (`pc:4 | class:1 | arg:1 | dep:2 | addr:8`) — the wire format of
+    /// the harness trace-snapshot store. [`TraceOp::from_raw`] inverts it.
+    pub fn to_raw(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&self.pc.to_le_bytes());
+        out[4] = self.class;
+        out[5] = self.arg;
+        out[6..8].copy_from_slice(&self.dep.to_le_bytes());
+        out[8..16].copy_from_slice(&self.addr.to_le_bytes());
+        out
+    }
+
+    /// Decodes a 16-byte record produced by [`TraceOp::to_raw`],
+    /// validating every field so corrupt bytes are rejected instead of
+    /// producing an op that later trips `unreachable!` in [`TraceOp::kind`].
+    pub fn from_raw(raw: [u8; 16]) -> Result<Self, RawOpError> {
+        let pc = u32::from_le_bytes(raw[0..4].try_into().expect("4-byte slice"));
+        let class = raw[4];
+        let arg = raw[5];
+        let dep = u16::from_le_bytes(raw[6..8].try_into().expect("2-byte slice"));
+        let addr = u64::from_le_bytes(raw[8..16].try_into().expect("8-byte slice"));
+        match class {
+            CLASS_INT | CLASS_FP => {
+                if arg == 0 {
+                    return Err(RawOpError::ZeroLatency);
+                }
+            }
+            CLASS_LOAD | CLASS_STORE => {
+                if !(1..=8).contains(&arg) {
+                    return Err(RawOpError::BadMemSize(arg));
+                }
+            }
+            CLASS_BRANCH => {
+                if arg > 1 {
+                    return Err(RawOpError::BadBranchFlag(arg));
+                }
+                if addr != 0 {
+                    return Err(RawOpError::NonZeroPadding);
+                }
+            }
+            CLASS_LATCH_ACQ | CLASS_LATCH_REL => {
+                if arg != 0 {
+                    return Err(RawOpError::NonZeroPadding);
+                }
+                if addr > u16::MAX as u64 {
+                    return Err(RawOpError::BadLatchId(addr));
+                }
+            }
+            other => return Err(RawOpError::BadClass(other)),
+        }
+        if matches!(class, CLASS_INT | CLASS_FP) && addr != 0 {
+            return Err(RawOpError::NonZeroPadding);
+        }
+        Ok(TraceOp { pc, class, arg, dep, addr })
+    }
 }
+
+/// Why a 16-byte record was rejected by [`TraceOp::from_raw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawOpError {
+    /// The class byte names no op class.
+    BadClass(u8),
+    /// An ALU op with latency 0 (constructors round up to 1).
+    ZeroLatency,
+    /// A load/store size outside 1..=8.
+    BadMemSize(u8),
+    /// A branch taken-flag other than 0/1.
+    BadBranchFlag(u8),
+    /// A latch id outside the `u16` range.
+    BadLatchId(u64),
+    /// A field that must be zero for this class was not.
+    NonZeroPadding,
+}
+
+impl fmt::Display for RawOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RawOpError::BadClass(c) => write!(f, "unknown op class {c}"),
+            RawOpError::ZeroLatency => write!(f, "ALU op with zero latency"),
+            RawOpError::BadMemSize(s) => write!(f, "memory access size {s} outside 1..=8"),
+            RawOpError::BadBranchFlag(b) => write!(f, "branch taken flag {b} outside 0..=1"),
+            RawOpError::BadLatchId(id) => write!(f, "latch id {id} exceeds u16"),
+            RawOpError::NonZeroPadding => write!(f, "padding field is non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for RawOpError {}
 
 impl fmt::Debug for TraceOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -357,6 +446,58 @@ mod tests {
         assert!(!alu.is_mem());
         assert_eq!(ld.mem_addr(), Some(Addr(8)));
         assert_eq!(alu.mem_addr(), None);
+    }
+
+    #[test]
+    fn raw_round_trips_every_kind() {
+        let pc = Pc::new(7, 9);
+        let cases = [
+            TraceOp::int_alu(pc, 12).with_dep(3),
+            TraceOp::fp_alu(pc, 15),
+            TraceOp::load(pc, Addr(0xDEAD_BEEF), 8).with_dep(42),
+            TraceOp::store(pc, Addr(0xABCD), 4),
+            TraceOp::branch(pc, true),
+            TraceOp::branch(pc, false),
+            TraceOp::latch_acquire(pc, LatchId(7)),
+            TraceOp::latch_release(pc, LatchId(u16::MAX)),
+        ];
+        for op in cases {
+            assert_eq!(TraceOp::from_raw(op.to_raw()), Ok(op));
+        }
+    }
+
+    #[test]
+    fn raw_rejects_corrupt_records() {
+        let bad_class = {
+            let mut r = TraceOp::int_alu(Pc::new(0, 0), 1).to_raw();
+            r[4] = 9;
+            r
+        };
+        assert_eq!(TraceOp::from_raw(bad_class), Err(RawOpError::BadClass(9)));
+        let bad_size = {
+            let mut r = TraceOp::load(Pc::new(0, 0), Addr(8), 8).to_raw();
+            r[5] = 16;
+            r
+        };
+        assert_eq!(TraceOp::from_raw(bad_size), Err(RawOpError::BadMemSize(16)));
+        let bad_flag = {
+            let mut r = TraceOp::branch(Pc::new(0, 0), true).to_raw();
+            r[5] = 2;
+            r
+        };
+        assert_eq!(TraceOp::from_raw(bad_flag), Err(RawOpError::BadBranchFlag(2)));
+        let bad_latch = {
+            let mut r = TraceOp::latch_acquire(Pc::new(0, 0), LatchId(1)).to_raw();
+            r[12] = 1; // latch id bit above u16
+            r
+        };
+        assert_eq!(TraceOp::from_raw(bad_latch), Err(RawOpError::BadLatchId(1 | (1 << 32))));
+        let zero_lat = {
+            let mut r = TraceOp::int_alu(Pc::new(0, 0), 1).to_raw();
+            r[5] = 0;
+            r
+        };
+        assert_eq!(TraceOp::from_raw(zero_lat), Err(RawOpError::ZeroLatency));
     }
 
     #[test]
