@@ -1,0 +1,261 @@
+//! Kernel microbenchmarks: host cost of the simulator's hot paths,
+//! written to `BENCH_kernel.json` so future PRs can spot kernel
+//! regressions without re-deriving a measurement protocol.
+//!
+//! Three layers are measured:
+//!
+//! 1. **`SpecL2` accesses** — ns/op for speculative reads and writes
+//!    against a resident working set (the per-memory-op cost of the
+//!    protocol engine).
+//! 2. **Commit/rewind** — ns/op for a full speculative-epoch lifecycle
+//!    (touch lines, then commit or rewind them).
+//! 3. **Whole-machine runs** — simulated Mcycles per host-second on
+//!    synthetic programs, with idle-cycle fast-forward on vs off. The
+//!    `ff_speedup` ratio is the direct before/after of the fast-forward
+//!    optimization; the reports are asserted identical both ways.
+//!
+//! Usage: `kernel [--out PATH]` (default `BENCH_kernel.json`).
+
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+use std::time::Instant;
+use tls_core::synthetic::{shared_dependences, Dependence};
+use tls_core::{AccessCtx, CmpConfig, CmpSimulator, L2Outcome, RunOptions, SpacingPolicy, SpecL2};
+use tls_trace::{Addr, OpSink, Pc, ProgramBuilder, TraceProgram};
+
+#[derive(Serialize)]
+struct OpBench {
+    name: &'static str,
+    ns_per_op: f64,
+    ops: u64,
+}
+
+#[derive(Serialize)]
+struct RunBench {
+    name: &'static str,
+    sim_cycles: u64,
+    mcycles_per_host_s_ff_on: f64,
+    mcycles_per_host_s_ff_off: f64,
+    ff_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct KernelBench {
+    ops: Vec<OpBench>,
+    runs: Vec<RunBench>,
+}
+
+fn machine() -> CmpConfig {
+    let mut c = CmpConfig::paper_default();
+    c.subthreads.spacing = SpacingPolicy::EvenDivision;
+    c.max_cycles = 500_000_000;
+    c
+}
+
+/// Median-of-samples wall time for `f`, in seconds.
+fn time_s<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            criterion_black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn criterion_black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn spec_l2(cfg: &CmpConfig) -> SpecL2 {
+    SpecL2::new(cfg.l2, cfg.mem, cfg.victim_entries, cfg.cpus, cfg.subthreads.contexts, true)
+}
+
+/// ns/op for speculative loads over a line-resident working set.
+fn bench_read(cfg: &CmpConfig) -> OpBench {
+    let mut l2 = spec_l2(cfg);
+    let lines: Vec<Addr> = (0..256u64).map(|i| Addr(0x4_0000 + i * 64)).collect();
+    let ctx = AccessCtx { cpu: 1, sub: 1, speculative: true };
+    // Warm the set so the steady state is all hits.
+    let mut out = L2Outcome::default();
+    for &a in &lines {
+        l2.read_into(0, a, 8, ctx, &mut out);
+    }
+    const ROUNDS: u64 = 2000;
+    let ops = ROUNDS * lines.len() as u64;
+    let secs = time_s(5, || {
+        for r in 0..ROUNDS {
+            for &a in &lines {
+                l2.read_into(r, a, 8, ctx, &mut out);
+            }
+        }
+    });
+    OpBench { name: "specl2_read_hit", ns_per_op: secs * 1e9 / ops as f64, ops }
+}
+
+/// ns/op for speculative stores that cross-check reader lists.
+fn bench_write(cfg: &CmpConfig) -> OpBench {
+    let mut l2 = spec_l2(cfg);
+    let lines: Vec<Addr> = (0..256u64).map(|i| Addr(0x8_0000 + i * 64)).collect();
+    let reader = AccessCtx { cpu: 2, sub: 0, speculative: true };
+    let writer = AccessCtx { cpu: 1, sub: 1, speculative: true };
+    let mut out = L2Outcome::default();
+    for &a in &lines {
+        l2.read_into(0, a, 8, reader, &mut out);
+    }
+    const ROUNDS: u64 = 2000;
+    let ops = ROUNDS * lines.len() as u64;
+    let secs = time_s(5, || {
+        for r in 0..ROUNDS {
+            for &a in &lines {
+                l2.write_into(r, a, 8, writer, &mut out);
+            }
+        }
+    });
+    OpBench { name: "specl2_write_readers", ns_per_op: secs * 1e9 / ops as f64, ops }
+}
+
+/// ns/op for a touch-then-commit / touch-then-rewind epoch lifecycle.
+fn bench_commit_rewind(cfg: &CmpConfig) -> Vec<OpBench> {
+    let ctx = AccessCtx { cpu: 1, sub: 0, speculative: true };
+    let lines: Vec<Addr> = (0..512u64).map(|i| Addr(0xC_0000 + i * 64)).collect();
+    const ROUNDS: u64 = 200;
+    let ops = ROUNDS * lines.len() as u64;
+    let mut overflow = Vec::new();
+    let mut out = L2Outcome::default();
+
+    let mut l2 = spec_l2(cfg);
+    let commit_secs = time_s(5, || {
+        for r in 0..ROUNDS {
+            for &a in &lines {
+                l2.write_into(r, a, 8, ctx, &mut out);
+            }
+            overflow.clear();
+            l2.commit_into(ctx.cpu, &mut overflow);
+        }
+    });
+
+    let mut l2 = spec_l2(cfg);
+    let rewind_secs = time_s(5, || {
+        for r in 0..ROUNDS {
+            for &a in &lines {
+                l2.write_into(r, a, 8, ctx, &mut out);
+            }
+            l2.rewind(ctx.cpu, 0);
+        }
+    });
+
+    vec![
+        OpBench { name: "specl2_touch_commit", ns_per_op: commit_secs * 1e9 / ops as f64, ops },
+        OpBench { name: "specl2_touch_rewind", ns_per_op: rewind_secs * 1e9 / ops as f64, ops },
+    ]
+}
+
+/// A dependence-free compute-heavy program (the dispatch-bound regime).
+fn compute_heavy(epochs: usize, ops: usize) -> TraceProgram {
+    let mut b = ProgramBuilder::new("kernel-compute");
+    b.begin_parallel();
+    for e in 0..epochs {
+        b.begin_epoch();
+        for i in 0..ops {
+            let pc = Pc::new(e as u16, (i % 64) as u16);
+            match i % 5 {
+                0 => b.load(pc, Addr(0x1_0000 + e as u64 * 4096 + (i as u64 % 64) * 8), 8),
+                1 => b.branch(pc, i % 3 == 0),
+                _ => b.int_alu(pc),
+            }
+        }
+        b.end_epoch();
+    }
+    b.end_parallel();
+    b.finish()
+}
+
+/// A miss-heavy program: strided loads far apart, so cores spend most
+/// cycles waiting on 75-cycle memory fills (the fast-forward regime).
+fn memory_bound(epochs: usize, loads: usize) -> TraceProgram {
+    let mut b = ProgramBuilder::new("kernel-membound");
+    b.begin_parallel();
+    for e in 0..epochs {
+        b.begin_epoch();
+        for i in 0..loads {
+            let pc = Pc::new(e as u16, (i % 64) as u16);
+            // Distinct lines, > L2 apart in the steady state.
+            b.load(pc, Addr(0x100_0000 + (e as u64 * loads as u64 + i as u64) * 4096), 8);
+            b.int_alu(pc);
+        }
+        b.end_epoch();
+    }
+    b.end_parallel();
+    b.finish()
+}
+
+fn bench_run(name: &'static str, program: &TraceProgram) -> RunBench {
+    let cfg = machine();
+    let opts_on = RunOptions { audit: false, oracle: false, ..RunOptions::default() };
+    let opts_off = RunOptions { fast_forward: false, ..opts_on.clone() };
+
+    let on = CmpSimulator::new(cfg).run_with(program, opts_on.clone());
+    let off = CmpSimulator::new(cfg).run_with(program, opts_off.clone());
+    let (a, b) =
+        (serde_json::to_string(&on).unwrap(), serde_json::to_string(&off).unwrap());
+    assert_eq!(a, b, "{name}: fast-forward changed the report");
+
+    let cycles = on.total_cycles;
+    let s_on = time_s(5, || CmpSimulator::new(cfg).run_with(program, opts_on.clone()));
+    let s_off = time_s(5, || CmpSimulator::new(cfg).run_with(program, opts_off.clone()));
+    RunBench {
+        name,
+        sim_cycles: cycles,
+        mcycles_per_host_s_ff_on: cycles as f64 / 1e6 / s_on,
+        mcycles_per_host_s_ff_off: cycles as f64 / 1e6 / s_off,
+        ff_speedup: s_off / s_on,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_kernel.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            other => {
+                eprintln!("unknown argument '{other}'\nusage: kernel [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cfg = machine();
+    let mut ops = vec![bench_read(&cfg), bench_write(&cfg)];
+    ops.extend(bench_commit_rewind(&cfg));
+
+    let runs = vec![
+        bench_run("compute_heavy_160k_ops", &compute_heavy(8, 20_000)),
+        bench_run("memory_bound_8k_misses", &memory_bound(8, 1_000)),
+        bench_run(
+            "violation_churn",
+            &shared_dependences(8, 4_000, &[Dependence::new(0.5, 0.5)]),
+        ),
+    ];
+
+    for b in &ops {
+        println!("{:<24} {:>9.1} ns/op  ({} ops)", b.name, b.ns_per_op, b.ops);
+    }
+    for r in &runs {
+        println!(
+            "{:<24} {:>7.2} Mc/s ff-on  {:>7.2} Mc/s ff-off  ({:.2}x, {} cycles)",
+            r.name, r.mcycles_per_host_s_ff_on, r.mcycles_per_host_s_ff_off, r.ff_speedup, r.sim_cycles
+        );
+    }
+
+    let mut json =
+        serde_json::to_string_pretty(&KernelBench { ops, runs }).expect("serialize kernel bench");
+    json.push('\n');
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

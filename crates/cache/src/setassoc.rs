@@ -80,6 +80,20 @@ impl<K: Copy + Eq + Debug, V> SetAssoc<K, V> {
         self.sets[set].iter().find(|e| e.key == key).map(|e| &e.value)
     }
 
+    /// Finds the first entry of `set` matching `pred` in a single scan,
+    /// refreshing its recency on hit; a miss leaves the LRU clock
+    /// untouched. Returns the matching key.
+    ///
+    /// Equivalent to a `set_iter_mut().find(...)` followed by a
+    /// [`probe`](SetAssoc::probe) of the found key, but walks the set
+    /// once instead of twice.
+    pub fn touch_where(&mut self, set: usize, mut pred: impl FnMut(&K) -> bool) -> Option<K> {
+        let entry = self.sets[set].iter_mut().find(|e| pred(&e.key))?;
+        self.tick += 1;
+        entry.stamp = self.tick;
+        Some(entry.key)
+    }
+
     /// Inserts `key → value`, evicting the least-recently-used entry for
     /// which `may_evict` returns true if the set is full.
     ///
@@ -248,6 +262,47 @@ mod tests {
         assert_eq!(c.peek(0, (5, 0)), Some(&100));
         assert_eq!(c.peek(0, (5, 1)), Some(&200));
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn touch_where_refreshes_only_on_hit() {
+        let mut c: SetAssoc<(u64, u8), u32> = SetAssoc::new(1, 3);
+        c.insert(0, (5, 0), 100);
+        c.insert(0, (5, 1), 200);
+        c.insert(0, (9, 0), 300);
+        // Hit: finds the first matching entry and makes it MRU.
+        assert_eq!(c.touch_where(0, |k| k.0 == 5), Some((5, 0)));
+        // Miss: no recency churn, so the LRU order is unchanged and the
+        // untouched (5, 1) is the next victim.
+        assert_eq!(c.touch_where(0, |k| k.0 == 77), None);
+        assert_eq!(c.insert(0, (1, 0), 400), Inserted::Evicted((5, 1), 200));
+    }
+
+    #[test]
+    fn touch_where_matches_find_plus_probe_tick_sequence() {
+        // The merged scan must bump the LRU clock exactly like the old
+        // two-pass find-then-probe: once per hit, zero per miss.
+        let mut a: SetAssoc<(u64, u8), u32> = SetAssoc::new(1, 4);
+        let mut b: SetAssoc<(u64, u8), u32> = SetAssoc::new(1, 4);
+        for c in [&mut a, &mut b] {
+            c.insert(0, (5, 0), 1);
+            c.insert(0, (5, 1), 2);
+            c.insert(0, (6, 0), 3);
+        }
+        // Old idiom on `a`.
+        for line in [5u64, 6, 7, 5] {
+            let found = a.set_iter_mut(0).find_map(|(k, _)| if k.0 == line { Some(*k) } else { None });
+            if let Some(key) = found {
+                a.probe(0, key);
+            }
+        }
+        // New idiom on `b`.
+        for line in [5u64, 6, 7, 5] {
+            b.touch_where(0, |k| k.0 == line);
+        }
+        // Same LRU state ⇒ same victim on the next two inserts.
+        assert_eq!(a.insert(0, (8, 0), 9), b.insert(0, (8, 0), 9));
+        assert_eq!(a.insert(0, (9, 0), 9), b.insert(0, (9, 0), 9));
     }
 
     #[test]

@@ -140,6 +140,16 @@ impl MshrFile {
         self.completions.len()
     }
 
+    /// The earliest fill completing strictly after `cycle`, if any.
+    ///
+    /// Entries at or before `cycle` are already logically retired (they
+    /// are dropped lazily by [`can_accept`](Self::can_accept)) and are
+    /// ignored, so this is a sound wake-up candidate for an event-driven
+    /// caller.
+    pub fn next_completion_after(&self, cycle: u64) -> Option<u64> {
+        self.completions.iter().copied().filter(|&c| c > cycle).min()
+    }
+
     /// How often a miss found the file full.
     pub fn full_rejections(&self) -> u64 {
         self.full_rejections
@@ -207,6 +217,18 @@ mod tests {
         assert!(f.can_accept(150)); // first retired
         assert_eq!(f.outstanding(), 1);
         assert_eq!(f.full_rejections(), 1);
+    }
+
+    #[test]
+    fn mshr_next_completion_skips_retired_entries() {
+        let mut f = MshrFile::new(4);
+        f.add(100);
+        f.add(40);
+        f.add(200);
+        assert_eq!(f.next_completion_after(0), Some(40));
+        assert_eq!(f.next_completion_after(40), Some(100));
+        assert_eq!(f.next_completion_after(150), Some(200));
+        assert_eq!(f.next_completion_after(200), None);
     }
 
     #[test]

@@ -163,8 +163,15 @@ impl SubThreadLedger {
 
     /// Adds one cycle of `category` to the newest bucket.
     pub fn record(&mut self, category: CycleCategory) {
+        self.record_n(category, 1);
+    }
+
+    /// Adds `cycles` cycles of `category` to the newest bucket in one
+    /// step — the bulk form used when the simulator fast-forwards over a
+    /// stretch of provably identical stall cycles.
+    pub fn record_n(&mut self, category: CycleCategory, cycles: u64) {
         let last = self.buckets.last_mut().expect("ledger always has a bucket");
-        last.add(category, 1);
+        last.add(category, cycles);
     }
 
     /// Merges bucket `m` into bucket `m-1` (sub-thread context

@@ -189,6 +189,12 @@ impl FaultInjector {
     pub fn remaining(&self) -> usize {
         self.events.len() - self.next
     }
+
+    /// Cycle of the next scheduled event, if any — the injector's
+    /// wake-up candidate for an event-driven caller.
+    pub fn next_due(&self) -> Option<u64> {
+        self.events.get(self.next).map(|e| e.at_cycle)
+    }
 }
 
 /// Options for [`crate::CmpSimulator::run_with`]: which fault plan to
@@ -209,6 +215,12 @@ pub struct RunOptions {
     /// Test-only sabotage: skip the speculative-L2 cleanup on rewind,
     /// to prove the auditor catches a broken recovery path.
     pub sabotage_rewind: bool,
+    /// Skip runs of provably event-free cycles instead of stepping
+    /// through them one by one. Cycle-exact — every report field is
+    /// identical either way (see `tests/fastforward_equivalence.rs`) —
+    /// so this is on by default; the switch exists for that equivalence
+    /// test and for debugging.
+    pub fast_forward: bool,
 }
 
 impl Default for RunOptions {
@@ -219,6 +231,7 @@ impl Default for RunOptions {
             oracle: true,
             panic_on_audit_failure: true,
             sabotage_rewind: false,
+            fast_forward: true,
         }
     }
 }
@@ -232,6 +245,15 @@ impl RunOptions {
             panic_on_audit_failure: false,
             ..RunOptions::default()
         }
+    }
+
+    /// The options [`crate::CmpSimulator::run`] uses: the invariant
+    /// auditor and the differential oracle are on in debug builds and
+    /// **off in release builds**, so the optimized hot path performs no
+    /// auditing work (asserted by `release_defaults_do_no_auditing`).
+    pub fn checked_default() -> RunOptions {
+        let checked = cfg!(debug_assertions);
+        RunOptions { audit: checked, oracle: checked, ..RunOptions::default() }
     }
 }
 
@@ -280,6 +302,39 @@ mod tests {
         assert!(!inj.exhausted());
         assert_eq!(inj.due(1_000).len(), 1);
         assert!(inj.exhausted());
+    }
+
+    #[test]
+    fn injector_reports_next_due_cycle() {
+        let plan = FaultPlan {
+            seed: 0,
+            events: vec![
+                FaultEvent { at_cycle: 10, class: FaultClass::ForcedMerge, duration: 0 },
+                FaultEvent { at_cycle: 40, class: FaultClass::LatchHazard, duration: 0 },
+            ],
+        };
+        let mut inj = FaultInjector::new(&plan);
+        assert_eq!(inj.next_due(), Some(10));
+        let _ = inj.due(10);
+        assert_eq!(inj.next_due(), Some(40));
+        let _ = inj.due(100);
+        assert_eq!(inj.next_due(), None);
+    }
+
+    /// The release-build guarantee behind the fast path: the defaults
+    /// `CmpSimulator::run` uses must not enable the auditor or the
+    /// oracle outside debug builds, so release runs pay nothing for the
+    /// chaos-harness checks.
+    #[test]
+    fn release_defaults_do_no_auditing() {
+        let opts = RunOptions::checked_default();
+        if cfg!(debug_assertions) {
+            assert!(opts.audit && opts.oracle, "debug builds keep the checks on");
+        } else {
+            assert!(!opts.audit, "release hot path must not run the auditor");
+            assert!(!opts.oracle, "release hot path must not track the oracle");
+        }
+        assert!(opts.fast_forward, "the fast path is the default");
     }
 
     #[test]

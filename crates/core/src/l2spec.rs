@@ -19,8 +19,8 @@
 //! loaded the line, which is where that thread must rewind to.
 
 use crate::config::{MAX_CPUS, MAX_SUBTHREADS};
+use crate::linemap::LineMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use tls_cache::{
     BankArray, CacheParams, CacheStats, Inserted, MemBus, MemParams, SetAssoc, VictimBuffer,
 };
@@ -79,7 +79,7 @@ pub struct PendingViolation {
 }
 
 /// Outcome of an L2 read.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct L2Outcome {
     /// Cycle the requested data is available to the core.
     pub completion: u64,
@@ -105,9 +105,16 @@ struct LineMeta {
     sl: u64,
     /// Speculatively-modified, word granularity: `sm[word]` bit `slot`.
     sm: [u64; MAX_WORDS],
+    /// Which CPUs' `touched` work lists contain this line (bit `cpu`).
+    /// Appends to the lists are gated on this mask, so a line enters each
+    /// list at most once no matter how often the epoch re-accesses it.
+    touched: u8,
 }
 
 impl LineMeta {
+    /// No speculative bits for any context. Deliberately ignores
+    /// `touched`: a line that is merely on a work list behaves exactly
+    /// like one with no metadata at all.
     fn is_clear(&self) -> bool {
         self.sl == 0 && self.sm.iter().all(|&w| w == 0)
     }
@@ -129,7 +136,7 @@ pub struct SpecL2 {
     params: CacheParams,
     entries: SetAssoc<VersionKey, ()>,
     victim: VictimBuffer<VersionKey, ()>,
-    meta: HashMap<u64, LineMeta>,
+    meta: LineMap<LineMeta>,
     banks: BankArray,
     bus: MemBus,
     stats: CacheStats,
@@ -137,9 +144,13 @@ pub struct SpecL2 {
     max_subs: u8,
     cpus: usize,
     track: bool,
-    /// Lines touched speculatively, per CPU (with duplicates): the work
-    /// lists for commit and rewind.
+    /// Lines touched speculatively, per CPU (duplicate-free — appends
+    /// are gated on [`LineMeta::touched`]): the work lists for commit
+    /// and rewind.
     touched: Vec<Vec<u64>>,
+    /// Reusable buffer for overflow victims discarded on the
+    /// victim-cache reinstall path (see [`SpecL2::line_resident`]).
+    lr_scratch: Vec<(usize, u8)>,
     /// Count of speculatively-loaded bits recorded (diagnostics).
     sl_recorded: u64,
 }
@@ -163,10 +174,12 @@ impl SpecL2 {
         assert!(cpus <= MAX_CPUS && max_subs as usize <= MAX_SUBTHREADS);
         assert!(cpus * max_subs as usize <= 64, "too many context slots");
         assert!(params.words_per_line() as usize <= MAX_WORDS, "line too long");
+        // The `LineMeta::touched` CPU mask is a u8.
+        const _: () = assert!(MAX_CPUS <= 8);
         SpecL2 {
             entries: SetAssoc::new(params.sets() as usize, params.ways as usize),
             victim: VictimBuffer::new(victim_entries),
-            meta: HashMap::new(),
+            meta: LineMap::new(),
             banks: BankArray::new(&mem, params.line_shift()),
             bus: MemBus::new(&mem),
             stats: CacheStats::default(),
@@ -175,6 +188,7 @@ impl SpecL2 {
             cpus,
             track,
             touched: vec![Vec::new(); cpus],
+            lr_scratch: Vec::new(),
             sl_recorded: 0,
             params,
         }
@@ -217,35 +231,38 @@ impl SpecL2 {
 
     /// True if `line` (any version) must not be silently dropped.
     fn line_is_spec(&self, line: u64) -> bool {
-        self.meta.get(&line).is_some_and(|m| !m.is_clear())
+        self.meta.get(line).is_some_and(|m| !m.is_clear())
     }
 
     /// Is any version of `line` resident (set or victim cache)?
     fn line_resident(&mut self, line: u64) -> Option<VersionKey> {
         let set = self.params.set_index(Addr(line));
-        let found = self.entries.set_iter_mut(set).find_map(|(k, _)| (k.0 == line).then_some(*k));
-        if let Some(key) = found {
-            // Refresh LRU for the version we found.
-            let _ = self.entries.probe(set, key);
+        // One scan finds the version and refreshes its LRU recency.
+        if let Some(key) = self.entries.touch_where(set, |k| k.0 == line) {
             return Some(key);
         }
-        // Victim hit: swap the version back into the set.
+        // Victim hit: swap the version back into the set. Overflow from
+        // the reinstall is dropped, as it always has been (the displaced
+        // version lands back in the just-vacated victim slot).
         if let Some((key, ())) = self.victim.take_where(|k| k.0 == line) {
-            self.install(key);
+            let mut scratch = std::mem::take(&mut self.lr_scratch);
+            scratch.clear();
+            self.install_into(key, &mut scratch);
+            self.lr_scratch = scratch;
             return Some(key);
         }
         None
     }
 
     /// Installs a version entry, routing displaced speculative versions to
-    /// the victim cache and collecting overflow victims.
-    fn install(&mut self, key: VersionKey) -> Vec<(usize, u8)> {
+    /// the victim cache and appending overflow victims to `overflow`.
+    fn install_into(&mut self, key: VersionKey, overflow: &mut Vec<(usize, u8)>) {
         let set = self.params.set_index(Addr(key.0));
         if self.entries.peek(set, key).is_some() {
-            return Vec::new();
+            return;
         }
         let meta = &self.meta;
-        let spec = |k: &VersionKey| k.1.is_some() || meta.get(&k.0).is_some_and(|m| !m.is_clear());
+        let spec = |k: &VersionKey| k.1.is_some() || meta.get(k.0).is_some_and(|m| !m.is_clear());
         let outcome = self.entries.insert_with(set, key, (), |k, _| !spec(k));
         let displaced = match outcome {
             Inserted::Placed => None,
@@ -265,22 +282,20 @@ impl SpecL2 {
                 }
             }
         };
-        let mut overflow = Vec::new();
         if let Some(victim_key) = displaced {
             if victim_key.1.is_some() || self.line_is_spec(victim_key.0) {
                 if let Some((lost, ())) = self.victim.insert(victim_key, ()) {
-                    overflow.extend(self.overflow_victims_of(lost));
+                    self.overflow_victims_into(lost, overflow);
                 }
             }
             // Non-speculative displaced lines are silently written back.
         }
-        overflow
     }
 
-    /// Threads whose state is unrecoverable once `lost` is dropped.
-    fn overflow_victims_of(&self, lost: VersionKey) -> Vec<(usize, u8)> {
-        let Some(meta) = self.meta.get(&lost.0) else { return Vec::new() };
-        let mut victims = Vec::new();
+    /// Appends the threads whose state is unrecoverable once `lost` is
+    /// dropped.
+    fn overflow_victims_into(&self, lost: VersionKey, victims: &mut Vec<(usize, u8)>) {
+        let Some(meta) = self.meta.get(lost.0) else { return };
         match lost.1 {
             Some(cpu) => {
                 // A speculative version died: its owner cannot commit.
@@ -300,7 +315,6 @@ impl SpecL2 {
                 }
             }
         }
-        victims
     }
 
     /// Records the speculatively-loaded bit for a load that *hit in the
@@ -318,43 +332,59 @@ impl SpecL2 {
         let slot = self.slot(ctx.cpu, ctx.sub);
         let own = self.cpu_mask(ctx.cpu);
         let (w0, w1) = self.words_of(addr, size);
-        let meta = self.meta.entry(line).or_default();
+        let meta = self.meta.entry_or_default(line);
         let exposed = (w0..=w1).any(|w| meta.sm[w as usize] & own == 0);
         if exposed {
             meta.sl |= 1 << slot;
-            self.touched[ctx.cpu].push(line);
+            if meta.touched & (1 << ctx.cpu) == 0 {
+                meta.touched |= 1 << ctx.cpu;
+                self.touched[ctx.cpu].push(line);
+            }
             self.sl_recorded += 1;
         }
         exposed
     }
 
-    /// An L1 read miss arriving at the L2 at `arrival`.
+    /// An L1 read miss arriving at the L2 at `arrival` (allocating
+    /// convenience wrapper over [`read_into`](Self::read_into)).
     pub fn read(&mut self, arrival: u64, addr: Addr, size: u8, ctx: AccessCtx) -> L2Outcome {
+        let mut out = L2Outcome::default();
+        self.read_into(arrival, addr, size, ctx, &mut out);
+        out
+    }
+
+    /// An L1 read miss arriving at the L2 at `arrival`. The outcome is
+    /// written into the caller-provided `out` (its buffers are cleared
+    /// first), so a caller that reuses one `L2Outcome` never allocates.
+    pub fn read_into(&mut self, arrival: u64, addr: Addr, size: u8, ctx: AccessCtx, out: &mut L2Outcome) {
+        out.overflow_victims.clear();
+        out.readers.clear();
         let line = self.params.line_addr(addr).0;
         let bank_start = self.banks.book(addr, arrival);
         let resident = self.line_resident(line);
         self.stats.record(resident.is_some());
-        let mut overflow = Vec::new();
-        let completion = match resident {
+        out.completion = match resident {
             Some(_) => bank_start + self.mem_cfg.l2_min_latency - 1,
             None => {
                 let mem_start = self.bus.book(bank_start);
-                overflow = self.install((line, None));
+                self.install_into((line, None), &mut out.overflow_victims);
                 mem_start + self.mem_cfg.mem_min_latency - 1
             }
         };
-        let exposed = if self.track && ctx.speculative {
+        out.hit = resident.is_some();
+        out.exposed = if self.track && ctx.speculative {
             self.record_load(line, addr, size, ctx)
         } else {
             true
         };
-        L2Outcome {
-            completion,
-            hit: resident.is_some(),
-            exposed,
-            overflow_victims: overflow,
-            readers: Vec::new(),
-        }
+    }
+
+    /// A write-through store arriving at the L2 at `arrival` (allocating
+    /// convenience wrapper over [`write_into`](Self::write_into)).
+    pub fn write(&mut self, arrival: u64, addr: Addr, size: u8, ctx: AccessCtx) -> L2Outcome {
+        let mut out = L2Outcome::default();
+        self.write_into(arrival, addr, size, ctx, &mut out);
+        out
     }
 
     /// A write-through store arriving at the L2 at `arrival`.
@@ -362,11 +392,13 @@ impl SpecL2 {
     /// Creates/updates this thread's version of the line, records
     /// word-granularity speculatively-modified bits, and reports every
     /// other thread whose speculatively-loaded bit is set on the line.
-    pub fn write(&mut self, arrival: u64, addr: Addr, size: u8, ctx: AccessCtx) -> L2Outcome {
+    /// Results are written into the caller-provided `out`.
+    pub fn write_into(&mut self, arrival: u64, addr: Addr, size: u8, ctx: AccessCtx, out: &mut L2Outcome) {
+        out.overflow_victims.clear();
+        out.readers.clear();
         let line = self.params.line_addr(addr).0;
         self.banks.book(addr, arrival);
         let owner = if ctx.speculative { Some(ctx.cpu as u8) } else { None };
-        let mut overflow = Vec::new();
         // Fetch-on-write if no version of the line is resident at all.
         if self.line_resident(line).is_none() {
             self.bus.book(arrival);
@@ -375,39 +407,37 @@ impl SpecL2 {
         let set = self.params.set_index(Addr(line));
         if self.entries.peek(set, key).is_none() {
             let _ = self.victim.take_where(|k| *k == key);
-            overflow.extend(self.install(key));
+            self.install_into(key, &mut out.overflow_victims);
         } else {
             let _ = self.entries.probe(set, key);
         }
-        let mut readers = Vec::new();
         if self.track {
             if ctx.speculative {
                 let slot = self.slot(ctx.cpu, ctx.sub);
                 let (w0, w1) = self.words_of(addr, size);
-                let meta = self.meta.entry(line).or_default();
+                let meta = self.meta.entry_or_default(line);
                 for w in w0..=w1 {
                     meta.sm[w as usize] |= 1 << slot;
                 }
-                self.touched[ctx.cpu].push(line);
+                if meta.touched & (1 << ctx.cpu) == 0 {
+                    meta.touched |= 1 << ctx.cpu;
+                    self.touched[ctx.cpu].push(line);
+                }
             }
-            if let Some(meta) = self.meta.get(&line) {
+            if let Some(meta) = self.meta.get(line) {
                 for cpu in 0..self.cpus {
                     if cpu == ctx.cpu {
                         continue;
                     }
                     if let Some(sub) = self.min_sub_in(meta.sl, cpu) {
-                        readers.push((cpu, sub));
+                        out.readers.push((cpu, sub));
                     }
                 }
             }
         }
-        L2Outcome {
-            completion: arrival, // stores drain through the store buffer
-            hit: true,
-            exposed: false,
-            overflow_victims: overflow,
-            readers,
-        }
+        out.completion = arrival; // stores drain through the store buffer
+        out.hit = true;
+        out.exposed = false;
     }
 
     /// Sub-thread context recycling: merges `cpu`'s sub-thread column `m`
@@ -422,11 +452,13 @@ impl SpecL2 {
         assert!(m >= 1 && m < self.max_subs, "cannot merge sub-thread column {m}");
         let base = cpu as u32 * self.max_subs as u32;
         let s = self.max_subs as u32;
+        // The work list is duplicate-free by construction; it is sorted
+        // so downstream set/victim operations happen in a canonical
+        // line order regardless of access order.
         let mut lines = std::mem::take(&mut self.touched[cpu]);
         lines.sort_unstable();
-        lines.dedup();
         for line in &lines {
-            if let Some(meta) = self.meta.get_mut(line) {
+            if let Some(meta) = self.meta.get_mut(*line) {
                 meta.sl = merge_column(meta.sl, base, s, m as u32);
                 for w in meta.sm.iter_mut() {
                     *w = merge_column(*w, base, s, m as u32);
@@ -442,55 +474,70 @@ impl SpecL2 {
     pub fn rewind(&mut self, cpu: usize, from_sub: u8) {
         let mask = self.cpu_mask_from(cpu, from_sub);
         let full = self.cpu_mask(cpu);
+        let own_touch = 1u8 << cpu;
         let mut lines = std::mem::take(&mut self.touched[cpu]);
         lines.sort_unstable();
-        lines.dedup();
-        for line in &lines {
-            let Some(meta) = self.meta.get_mut(line) else { continue };
-            meta.sl &= !mask;
+        let SpecL2 { meta, entries, victim, params, .. } = &mut *self;
+        // Lines with surviving (sub < from_sub) state stay on the work
+        // list for the eventual commit/rewind-to-0; dropped lines leave
+        // the per-line touched mask so a later access can re-append.
+        lines.retain(|&line| {
+            let Some(m) = meta.get_mut(line) else { return false };
+            m.sl &= !mask;
             let mut still_modifies = false;
-            for w in meta.sm.iter_mut() {
+            for w in m.sm.iter_mut() {
                 *w &= !mask;
                 still_modifies |= *w & full != 0;
             }
             if !still_modifies {
-                let set = self.params.set_index(Addr(*line));
-                let key = (*line, Some(cpu as u8));
-                let _ = self.entries.remove(set, key);
-                let _ = self.victim.take_where(|k| *k == key);
+                let set = params.set_index(Addr(line));
+                let key = (line, Some(cpu as u8));
+                let _ = entries.remove(set, key);
+                let _ = victim.take_where(|k| *k == key);
             }
-            if meta.is_clear() {
-                self.meta.remove(line);
+            if (m.sl | m.sm_any()) & full != 0 {
+                return true;
             }
-        }
-        // Lines with surviving (sub < from_sub) state stay on the work
-        // list for the eventual commit/rewind-to-0.
-        let survivors: Vec<u64> = lines
-            .into_iter()
-            .filter(|l| self.meta.get(l).is_some_and(|m| (m.sl | m.sm_any()) & full != 0))
-            .collect();
-        self.touched[cpu] = survivors;
+            m.touched &= !own_touch;
+            let dead = m.is_clear() && m.touched == 0;
+            if dead {
+                meta.remove(line);
+            }
+            false
+        });
+        self.touched[cpu] = lines;
     }
 
     /// Commits `cpu`'s speculative state: clears its loaded/modified bits
     /// and converts its versions into the architectural copy of each line.
-    /// Returns threads whose state was displaced by the re-keying.
+    /// Returns threads whose state was displaced by the re-keying
+    /// (allocating convenience wrapper over
+    /// [`commit_into`](Self::commit_into)).
     pub fn commit(&mut self, cpu: usize) -> Vec<(usize, u8)> {
+        let mut overflow = Vec::new();
+        self.commit_into(cpu, &mut overflow);
+        overflow
+    }
+
+    /// Commits `cpu`'s speculative state, appending displaced threads to
+    /// the caller-provided `overflow` buffer.
+    pub fn commit_into(&mut self, cpu: usize, overflow: &mut Vec<(usize, u8)>) {
         let full = self.cpu_mask(cpu);
+        let own_touch = 1u8 << cpu;
         let mut lines = std::mem::take(&mut self.touched[cpu]);
         lines.sort_unstable();
-        lines.dedup();
-        let mut overflow = Vec::new();
-        for line in lines {
-            let Some(meta) = self.meta.get_mut(&line) else { continue };
+        for &line in &lines {
+            let Some(meta) = self.meta.get_mut(line) else { continue };
             meta.sl &= !full;
             let mut modified = false;
             for w in meta.sm.iter_mut() {
                 modified |= *w & full != 0;
                 *w &= !full;
             }
-            if meta.is_clear() {
-                self.meta.remove(&line);
+            meta.touched &= !own_touch;
+            let dead = meta.is_clear() && meta.touched == 0;
+            if dead {
+                self.meta.remove(line);
             }
             if modified {
                 let set = self.params.set_index(Addr(line));
@@ -498,14 +545,16 @@ impl SpecL2 {
                 let in_set = self.entries.remove(set, key).is_some();
                 let in_victim = !in_set && self.victim.take(key).is_some();
                 if in_set && self.entries.peek(set, (line, None)).is_none() {
-                    overflow.extend(self.install((line, None)));
+                    self.install_into((line, None), overflow);
                 }
                 // A committed version found only in the victim cache is
                 // treated as written back to memory.
                 let _ = in_victim;
             }
         }
-        overflow
+        // The drained work list's capacity is kept for the next epoch.
+        lines.clear();
+        self.touched[cpu] = lines;
     }
 
     /// L2 access statistics (reads).
@@ -553,10 +602,10 @@ impl SpecL2 {
         let mut overflow = Vec::new();
         for (key, ()) in self.victim.set_capacity(capacity) {
             if key.1.is_some() {
-                overflow.extend(self.overflow_victims_of(key));
-            } else if self.meta.get(&key.0).is_some_and(|m| m.sl != 0) {
+                self.overflow_victims_into(key, &mut overflow);
+            } else if self.meta.get(key.0).is_some_and(|m| m.sl != 0) {
                 // A base copy with recorded speculative loads died.
-                overflow.extend(self.overflow_victims_of(key));
+                self.overflow_victims_into(key, &mut overflow);
             }
         }
         overflow.sort_unstable();

@@ -74,6 +74,7 @@ pub mod experiment;
 pub mod synthetic;
 mod l2spec;
 mod latch;
+mod linemap;
 mod predictor;
 mod profile;
 mod report;
@@ -83,7 +84,7 @@ pub use accounting::{Breakdown, CycleCategory, FaultStats, SubThreadLedger};
 pub use chaos::{FaultClass, FaultEvent, FaultInjector, FaultPlan, RunOptions, ALL_FAULT_CLASSES};
 pub use config::{CmpConfig, ExhaustionPolicy, SecondaryPolicy, SpacingPolicy, SubThreadConfig, MAX_CPUS, MAX_SUBTHREADS};
 pub use experiment::ExperimentKind;
-pub use l2spec::{L2Outcome, PendingViolation, SpecL2, ViolationKind};
+pub use l2spec::{AccessCtx, L2Outcome, PendingViolation, SpecL2, ViolationKind};
 pub use latch::{LatchError, LatchTable};
 pub use predictor::{DependencePredictor, PredictorConfig};
 pub use profile::{DependenceProfiler, ProfileEntry};

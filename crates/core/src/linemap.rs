@@ -1,0 +1,251 @@
+//! A small open-addressed hash map keyed by line address.
+//!
+//! The speculative-L2 metadata table ([`crate::SpecL2`]) is consulted on
+//! every load, store, and L1-fill notification, which made `HashMap`'s
+//! SipHash the single hottest instruction stream in the simulator.
+//! Line addresses are already well-distributed machine words, so a
+//! Fibonacci multiply-shift over a power-of-two table with linear
+//! probing is both sufficient and an order of magnitude cheaper.
+//!
+//! Deletions leave tombstones; tombstones are reclaimed on the next
+//! rehash. Iteration order is the (deterministic) table order — callers
+//! that need a canonical order sort, exactly as they did with the old
+//! `HashMap` (whose order was *not* deterministic across processes).
+
+/// Slot states. `FULL` slots hold a live key/value pair; `TOMB` slots
+/// are deleted entries that still break probe chains.
+const EMPTY: u8 = 0;
+const FULL: u8 = 1;
+const TOMB: u8 = 2;
+
+const MIN_CAPACITY: usize = 64;
+
+/// An open-addressed `u64 → V` map specialized for line addresses.
+#[derive(Debug, Clone, Default)]
+pub struct LineMap<V> {
+    keys: Vec<u64>,
+    vals: Vec<V>,
+    ctrl: Vec<u8>,
+    /// Live entries.
+    len: usize,
+    /// Live entries plus tombstones (probe-chain occupancy).
+    used: usize,
+}
+
+impl<V: Default> LineMap<V> {
+    /// An empty map; storage is allocated on first insert.
+    pub fn new() -> Self {
+        LineMap { keys: Vec::new(), vals: Vec::new(), ctrl: Vec::new(), len: 0, used: 0 }
+    }
+
+    /// Fibonacci multiply-shift start index for `line`.
+    #[inline]
+    fn index_of(&self, line: u64) -> usize {
+        debug_assert!(self.ctrl.len().is_power_of_two());
+        let h = line.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> (64 - self.ctrl.len().trailing_zeros())) as usize
+    }
+
+    /// Probes for `line`; returns the slot holding it, if present.
+    #[inline]
+    fn slot_of(&self, line: u64) -> Option<usize> {
+        if self.ctrl.is_empty() {
+            return None;
+        }
+        let mask = self.ctrl.len() - 1;
+        let mut i = self.index_of(line);
+        loop {
+            match self.ctrl[i] {
+                EMPTY => return None,
+                FULL if self.keys[i] == line => return Some(i),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value for `line`, if present.
+    #[inline]
+    pub fn get(&self, line: u64) -> Option<&V> {
+        self.slot_of(line).map(|i| &self.vals[i])
+    }
+
+    /// Mutable access to the value for `line`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, line: u64) -> Option<&mut V> {
+        self.slot_of(line).map(|i| &mut self.vals[i])
+    }
+
+    /// The value for `line`, inserting `V::default()` if absent.
+    #[inline]
+    pub fn entry_or_default(&mut self, line: u64) -> &mut V {
+        self.reserve_one();
+        let mask = self.ctrl.len() - 1;
+        let mut i = self.index_of(line);
+        let mut insert_at = None;
+        loop {
+            match self.ctrl[i] {
+                EMPTY => {
+                    // Reuse the first tombstone on the chain if we
+                    // passed one; otherwise claim this empty slot.
+                    let slot = insert_at.unwrap_or(i);
+                    if self.ctrl[slot] == EMPTY {
+                        self.used += 1;
+                    }
+                    self.ctrl[slot] = FULL;
+                    self.keys[slot] = line;
+                    self.vals[slot] = V::default();
+                    self.len += 1;
+                    return &mut self.vals[slot];
+                }
+                FULL if self.keys[i] == line => return &mut self.vals[i],
+                TOMB => {
+                    insert_at.get_or_insert(i);
+                    i = (i + 1) & mask;
+                }
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Removes and returns the value for `line`, if present.
+    pub fn remove(&mut self, line: u64) -> Option<V> {
+        let i = self.slot_of(line)?;
+        self.ctrl[i] = TOMB;
+        self.len -= 1;
+        Some(std::mem::take(&mut self.vals[i]))
+    }
+
+    /// Iterates over live `(line, value)` pairs in table order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
+        self.ctrl
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == FULL)
+            .map(move |(i, _)| (self.keys[i], &self.vals[i]))
+    }
+
+    /// Grows or rehashes so one more insert cannot exceed 7/8 occupancy
+    /// (counting tombstones, which lengthen probe chains just like live
+    /// entries).
+    fn reserve_one(&mut self) {
+        let cap = self.ctrl.len();
+        if cap > 0 && (self.used + 1) * 8 <= cap * 7 {
+            return;
+        }
+        // Double when genuinely full of live entries; same-size rehash
+        // is enough when tombstones are the problem.
+        let new_cap = if (self.len + 1) * 4 >= cap.max(1) * 3 {
+            (cap * 2).max(MIN_CAPACITY)
+        } else {
+            cap.max(MIN_CAPACITY)
+        };
+        let old_keys = std::mem::take(&mut self.keys);
+        let mut old_vals = std::mem::take(&mut self.vals);
+        let old_ctrl = std::mem::take(&mut self.ctrl);
+        self.keys = vec![0; new_cap];
+        self.vals = Vec::with_capacity(new_cap);
+        self.vals.resize_with(new_cap, V::default);
+        self.ctrl = vec![EMPTY; new_cap];
+        self.len = 0;
+        self.used = 0;
+        for (i, &c) in old_ctrl.iter().enumerate() {
+            if c == FULL {
+                let slot = self.entry_or_default(old_keys[i]);
+                *slot = std::mem::take(&mut old_vals[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut m: LineMap<u32> = LineMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(32), None);
+        *m.entry_or_default(32) = 7;
+        *m.entry_or_default(64) = 9;
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(32), Some(&7));
+        assert_eq!(m.get_mut(64).map(|v| *v), Some(9));
+        assert_eq!(m.remove(32), Some(7));
+        assert_eq!(m.remove(32), None);
+        assert_eq!(m.get(32), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn entry_is_idempotent() {
+        let mut m: LineMap<u32> = LineMap::new();
+        *m.entry_or_default(96) = 5;
+        assert_eq!(*m.entry_or_default(96), 5, "existing entry must be returned, not reset");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_after_remove_reuses_tombstones() {
+        let mut m: LineMap<u32> = LineMap::new();
+        for line in (0..2048u64).map(|i| i * 32) {
+            *m.entry_or_default(line) = line as u32;
+        }
+        for line in (0..2048u64).map(|i| i * 32) {
+            assert_eq!(m.remove(line), Some(line as u32));
+        }
+        assert!(m.is_empty());
+        // Churn through the same key repeatedly: tombstone recycling
+        // (or a rehash) must keep this from growing without bound.
+        for _ in 0..100_000 {
+            *m.entry_or_default(320) = 1;
+            m.remove(320);
+        }
+        assert!(m.ctrl.len() <= 8192, "table grew to {} on pure churn", m.ctrl.len());
+    }
+
+    #[test]
+    fn survives_growth_across_many_lines() {
+        let mut m: LineMap<u64> = LineMap::new();
+        // Line-aligned addresses (low bits zero) — the real key shape.
+        for i in 0..10_000u64 {
+            *m.entry_or_default(i * 32) = i;
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(i * 32), Some(&i), "lost line {}", i * 32);
+        }
+        assert_eq!(m.iter().count(), 10_000);
+        let mut sum = 0u64;
+        for (_, v) in m.iter() {
+            sum += *v;
+        }
+        assert_eq!(sum, 9_999 * 10_000 / 2);
+    }
+
+    #[test]
+    fn colliding_keys_coexist() {
+        // Keys engineered to collide: same multiply-shift bucket in a
+        // MIN_CAPACITY table differ only below the top log2(cap) bits.
+        let mut m: LineMap<u8> = LineMap::new();
+        let a = 0u64;
+        let b = 1u64 << 5; // tiny distance — adjacent buckets at worst
+        *m.entry_or_default(a) = 1;
+        *m.entry_or_default(b) = 2;
+        assert_eq!(m.get(a), Some(&1));
+        assert_eq!(m.get(b), Some(&2));
+        m.remove(a);
+        assert_eq!(m.get(b), Some(&2), "probe chain must survive a tombstone");
+    }
+}

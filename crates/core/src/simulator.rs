@@ -19,8 +19,8 @@
 
 use crate::accounting::{Breakdown, CycleCategory, FaultStats, SubThreadLedger};
 use crate::chaos::{FaultClass, FaultEvent, FaultInjector, RunOptions};
-use crate::config::{CmpConfig, ExhaustionPolicy, SecondaryPolicy};
-use crate::l2spec::{AccessCtx, PendingViolation, SpecL2, ViolationKind};
+use crate::config::{CmpConfig, ExhaustionPolicy, SecondaryPolicy, MAX_CPUS, MAX_SUBTHREADS};
+use crate::l2spec::{AccessCtx, L2Outcome, PendingViolation, SpecL2, ViolationKind};
 use crate::latch::{LatchError, LatchTable};
 use crate::predictor::DependencePredictor;
 use crate::profile::{DependenceProfiler, ExposedLoadTable};
@@ -30,6 +30,9 @@ use tls_cache::{CacheStats, L1Data, MshrFile};
 use tls_cpu::{Core, CoreStats, HeadStall, MemKind};
 use tls_trace::{Addr, Epoch, LatchId, OpKind, Pc, Region, TraceOp, TraceProgram};
 
+/// Sentinel for an absent [`StartTable`] cell.
+const NO_ENTRY: u8 = u8::MAX;
+
 /// One thread's record of when other threads' sub-threads began,
 /// relative to its own sub-threads (paper §2.2).
 ///
@@ -37,9 +40,20 @@ use tls_trace::{Addr, Epoch, LatchId, OpKind, Pc, Region, TraceOp, TraceProgram}
 /// logically-later threads. On receipt ... each thread records the
 /// identifier of its currently-executing sub-thread in the table-entry for
 /// the sub-thread that sent the message."
-#[derive(Debug, Clone, Default)]
+///
+/// Stored as a flat `MAX_CPUS × MAX_SUBTHREADS` byte grid (64 bytes, no
+/// hashing): the table is consulted on every secondary violation and
+/// written on every sub-thread broadcast, and hashing each `(cpu, sub)`
+/// key cost more than the lookup itself.
+#[derive(Debug, Clone)]
 pub struct StartTable {
-    entries: HashMap<(usize, u8), u8>,
+    entries: [[u8; MAX_SUBTHREADS]; MAX_CPUS],
+}
+
+impl Default for StartTable {
+    fn default() -> Self {
+        StartTable { entries: [[NO_ENTRY; MAX_SUBTHREADS]; MAX_CPUS] }
+    }
 }
 
 impl StartTable {
@@ -51,19 +65,23 @@ impl StartTable {
     /// Records that `(cpu, sub)` started while this thread was executing
     /// its sub-thread `local_sub`.
     pub fn record(&mut self, cpu: usize, sub: u8, local_sub: u8) {
-        self.entries.insert((cpu, sub), local_sub);
+        debug_assert!(local_sub != NO_ENTRY, "local sub-thread id collides with the sentinel");
+        self.entries[cpu][sub as usize] = local_sub;
     }
 
     /// The sub-thread this thread must rewind to when `(cpu, sub)` is
     /// restarted. A missing entry means this thread began after that
     /// sub-thread did, so *all* of its work is suspect: rewind to 0.
     pub fn restart_point(&self, cpu: usize, sub: u8) -> u8 {
-        self.entries.get(&(cpu, sub)).copied().unwrap_or(0)
+        match self.entries[cpu][sub as usize] {
+            NO_ENTRY => 0,
+            local => local,
+        }
     }
 
     /// Forgets entries for `cpu` (its epoch committed).
     pub fn forget_cpu(&mut self, cpu: usize) {
-        self.entries.retain(|(c, _), _| *c != cpu);
+        self.entries[cpu] = [NO_ENTRY; MAX_SUBTHREADS];
     }
 
     /// Remaps keys after `cpu` merged its sub-thread `m` into `m-1`:
@@ -71,22 +89,27 @@ impl StartTable {
     /// local restart point — the conservative choice) and higher
     /// sub-thread keys shift down.
     pub fn remap_keys_for(&mut self, cpu: usize, m: u8) {
-        let entries = std::mem::take(&mut self.entries);
-        for ((c, s), local) in entries {
-            let key = if c == cpu && s >= m { (c, s - 1) } else { (c, s) };
-            self.entries
-                .entry(key)
-                .and_modify(|v| *v = (*v).min(local))
-                .or_insert(local);
+        debug_assert!(m >= 1, "sub-thread 0 cannot merge downward");
+        let m = m as usize;
+        let row = &mut self.entries[cpu];
+        row[m - 1] = match (row[m - 1], row[m]) {
+            (NO_ENTRY, v) | (v, NO_ENTRY) => v,
+            (a, b) => a.min(b),
+        };
+        for s in m..MAX_SUBTHREADS - 1 {
+            row[s] = row[s + 1];
         }
+        row[MAX_SUBTHREADS - 1] = NO_ENTRY;
     }
 
     /// Remaps recorded local sub-threads after this thread merged its own
     /// sub-thread `m` into `m-1`.
     pub fn remap_values(&mut self, m: u8) {
-        for local in self.entries.values_mut() {
-            if *local >= m {
-                *local -= 1;
+        for row in &mut self.entries {
+            for local in row {
+                if *local != NO_ENTRY && *local >= m {
+                    *local -= 1;
+                }
             }
         }
     }
@@ -94,7 +117,12 @@ impl StartTable {
     /// All entries `((sender_cpu, sender_sub), local_sub)` — for the
     /// invariant auditor's consistency checks.
     pub fn iter(&self) -> impl Iterator<Item = ((usize, u8), u8)> + '_ {
-        self.entries.iter().map(|(&k, &v)| (k, v))
+        self.entries.iter().enumerate().flat_map(|(cpu, row)| {
+            row.iter()
+                .enumerate()
+                .filter(|&(_, &local)| local != NO_ENTRY)
+                .map(move |(sub, &local)| ((cpu, sub as u8), local))
+        })
     }
 }
 
@@ -161,6 +189,10 @@ struct MemSystem {
     mshrs: Vec<MshrFile>,
     exposed: Vec<ExposedLoadTable>,
     pending: Vec<PendingViolation>,
+    /// Reused L2-outcome buffer: accesses are serviced one at a time, so
+    /// a single buffer keeps the victim/reader vectors' capacity across
+    /// the whole run instead of allocating per access.
+    scratch: L2Outcome,
     /// Track sub-threads in the L1 (the §2.2 extension, off by default).
     l1_subthread_aware: bool,
 }
@@ -189,18 +221,22 @@ impl MemSystem {
                     }
                     return start + 1;
                 }
-                let out = self.l2.read(start + 1, addr, size, ctx);
+                let mut out = std::mem::take(&mut self.scratch);
+                self.l2.read_into(start + 1, addr, size, ctx, &mut out);
                 if ctx.speculative && out.exposed {
                     self.exposed[ctx.cpu].record(addr, op.pc());
                 }
                 self.queue_overflow(&out.overflow_victims, addr, orders);
                 self.l1s[ctx.cpu].fill_sub(addr, ctx.speculative, ctx.sub);
                 self.mshrs[ctx.cpu].add(out.completion);
-                out.completion
+                let completion = out.completion;
+                self.scratch = out;
+                completion
             }
             MemKind::Store => {
                 self.l1s[ctx.cpu].write_sub(addr, ctx.speculative, ctx.sub);
-                let out = self.l2.write(start + 1, addr, size, ctx);
+                let mut out = std::mem::take(&mut self.scratch);
+                self.l2.write_into(start + 1, addr, size, ctx, &mut out);
                 self.queue_overflow(&out.overflow_victims, addr, orders);
                 // RAW violations: only logically-later readers.
                 let my_order = orders[ctx.cpu].expect("storer is running");
@@ -218,6 +254,7 @@ impl MemSystem {
                         }
                     }
                 }
+                self.scratch = out;
                 // Aggressive update propagation: other L1 copies of the
                 // line are invalidated so later loads re-fetch from the L2.
                 for (i, l1) in self.l1s.iter_mut().enumerate() {
@@ -287,8 +324,7 @@ impl CmpSimulator {
     /// safety valve for misbehaving workloads — or, in debug builds, if
     /// an invariant audit fails.
     pub fn run(&self, program: &TraceProgram) -> SimReport {
-        let checked = cfg!(debug_assertions);
-        self.run_with(program, RunOptions { audit: checked, oracle: checked, ..RunOptions::default() })
+        self.run_with(program, RunOptions::checked_default())
     }
 
     /// Simulates `program` under explicit chaos/audit options: an
@@ -307,6 +343,11 @@ impl CmpSimulator {
 }
 
 /// Scheduling state of one CPU.
+///
+/// `Running` is kept inline rather than boxed: there are at most
+/// [`MAX_CPUS`] slots and `execute_cpu` moves the run in and out every
+/// cycle, so the indirection would cost more than the enum's size.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Slot<'p> {
     Free,
@@ -361,6 +402,14 @@ struct Machine<'p> {
     /// Restore the victim cache to this capacity at this cycle
     /// (victim-squeeze fault).
     victim_restore: Option<(u64, usize)>,
+    /// Cycle category each CPU's epoch recorded in the last step; a quiet
+    /// streak repeats it, so fast-forward replays it for skipped cycles.
+    last_category: [CycleCategory; MAX_CPUS],
+    /// Reused violation/secondary/commit-overflow buffers so stepping
+    /// allocates nothing once their capacities warm up.
+    pending_scratch: Vec<PendingViolation>,
+    later_scratch: Vec<(u32, u8)>,
+    overflow_scratch: Vec<(usize, u8)>,
     /// Sequential op-index base of each epoch by logical order, matching
     /// [`TraceProgram::iter_ops`] — the oracle's token space.
     epoch_base: Vec<u64>,
@@ -408,6 +457,7 @@ impl<'p> Machine<'p> {
                     .map(|_| ExposedLoadTable::new(cfg.exposed_load_entries, cfg.l2.line_shift()))
                     .collect(),
                 pending: Vec::new(),
+                scratch: L2Outcome::default(),
                 l1_subthread_aware: cfg.l1_subthread_aware,
             },
             latches: LatchTable::new(),
@@ -435,6 +485,10 @@ impl<'p> Machine<'p> {
             latch_hazard_active: false,
             commit_block_until: 0,
             victim_restore: None,
+            last_category: [CycleCategory::Busy; MAX_CPUS],
+            pending_scratch: Vec::new(),
+            later_scratch: Vec::new(),
+            overflow_scratch: Vec::new(),
             epoch_base,
             image: HashMap::new(),
         }
@@ -444,7 +498,7 @@ impl<'p> Machine<'p> {
         let program_ops = self.program.total_ops() as u64;
         self.schedule();
         while !self.done() {
-            self.step();
+            let quiet = !self.step();
             self.cycle += 1;
             if self.audit_aborted {
                 break;
@@ -454,6 +508,15 @@ impl<'p> Machine<'p> {
                     "simulation of '{}' exceeded {} cycles (region {}, {} committed)",
                     self.program.name, self.cfg.max_cycles, self.region_index, self.committed
                 );
+            }
+            if quiet && self.opts.fast_forward && !self.done() {
+                self.fast_forward();
+                if self.cfg.max_cycles > 0 && self.cycle > self.cfg.max_cycles {
+                    panic!(
+                        "simulation of '{}' exceeded {} cycles (region {}, {} committed)",
+                        self.program.name, self.cfg.max_cycles, self.region_index, self.committed
+                    );
+                }
             }
         }
         if self.audit_aborted {
@@ -481,42 +544,139 @@ impl<'p> Machine<'p> {
             && self.slots.iter().all(|s| matches!(s, Slot::Free))
     }
 
-    fn step(&mut self) {
-        self.apply_due_faults();
+    /// One simulated cycle. Returns whether anything *happened*: a fault
+    /// touched the machine, a CPU retired/dispatched/advanced, a
+    /// violation was pending, an epoch committed, or the scheduler placed
+    /// work. A `false` return certifies the machine is quiescent — every
+    /// subsequent cycle will be identical until the next timed event — so
+    /// the caller may [`fast_forward`](Machine::fast_forward).
+    fn step(&mut self) -> bool {
+        let mut active = self.apply_due_faults();
         let orders = self.orders_snapshot();
         for cpu in 0..self.cfg.cpus {
-            self.execute_cpu(cpu, &orders);
+            active |= self.execute_cpu(cpu, &orders);
         }
+        active |= !self.mem.pending.is_empty();
         self.apply_violations();
+        let committed = self.committed;
         self.commit_ready();
+        let scheduled = (self.next_order, self.region_index);
         self.schedule();
+        active
+            || self.committed != committed
+            || (self.next_order, self.region_index) != scheduled
     }
 
-    fn orders_snapshot(&self) -> Vec<Option<u32>> {
-        self.slots
-            .iter()
-            .map(|s| match s {
-                Slot::Free => None,
-                Slot::Running(r) => Some(r.order),
-            })
-            .collect()
+    fn orders_snapshot(&self) -> [Option<u32>; MAX_CPUS] {
+        let mut orders = [None; MAX_CPUS];
+        for (cpu, s) in self.slots.iter().enumerate() {
+            if let Slot::Running(r) = s {
+                orders[cpu] = Some(r.order);
+            }
+        }
+        orders
+    }
+
+    /// The next cycle at which a quiescent machine can change state: the
+    /// earliest of every core's ROB-head completion and fetch-stall
+    /// expiry, every MSHR fill, the homefree-token release, and the
+    /// chaos injector's next due event. `None` means no timed event is
+    /// pending (the machine would spin to `max_cycles`).
+    ///
+    /// L2 banks, the memory bus, and FU ports are deliberately absent:
+    /// they book `max(now, next_free)`, so arriving late at them is
+    /// indistinguishable from having waited.
+    fn next_event_cycle(&self) -> Option<u64> {
+        // The last *stepped* cycle is `self.cycle - 1` (the caller has
+        // already advanced the counter). Any event strictly after it —
+        // including one at `self.cycle` itself, which forbids skipping —
+        // can change the machine's answer.
+        let prev = self.cycle - 1;
+        let mut next = u64::MAX;
+        let mut consider = |at: u64| {
+            if at > prev && at < next {
+                next = at;
+            }
+        };
+        for core in &self.cores {
+            if let Some(at) = core.next_retire_cycle() {
+                consider(at);
+            }
+            consider(core.fetch_resume_cycle());
+        }
+        for mshr in &self.mem.mshrs {
+            if let Some(at) = mshr.next_completion_after(prev) {
+                consider(at);
+            }
+        }
+        consider(self.commit_block_until);
+        if let Some(at) = self.injector.next_due() {
+            consider(at);
+        }
+        if let Some((at, _)) = self.victim_restore {
+            consider(at);
+        }
+        (next != u64::MAX).then_some(next)
+    }
+
+    /// Jumps over cycles in which provably nothing can happen.
+    ///
+    /// Called only after a quiescent [`step`](Machine::step): no CPU
+    /// could retire, dispatch, or move its cursor, no violation was
+    /// pending, and neither commit nor schedule had work. Every input
+    /// that could change that answer is time-gated and enumerated by
+    /// [`next_event_cycle`](Machine::next_event_cycle), so the cycles in
+    /// between are byte-for-byte repeats of the one just simulated: each
+    /// CPU re-records the same category, and nothing else moves. They are
+    /// accounted in bulk and skipped.
+    fn fast_forward(&mut self) {
+        // Armed faults probe for an eligible target every cycle — their
+        // eligibility is state- not time-gated, so never skip past them.
+        if !self.armed.is_empty() || !self.mem.pending.is_empty() {
+            return;
+        }
+        let Some(target) = self.next_event_cycle() else { return };
+        // The overrun panic must fire at the same cycle count it would
+        // have without fast-forward (its message carries no cycle value,
+        // and a quiet streak changes no other reported state).
+        let target = if self.cfg.max_cycles > 0 {
+            target.min(self.cfg.max_cycles + 1)
+        } else {
+            target
+        };
+        if target <= self.cycle {
+            return;
+        }
+        let skipped = target - self.cycle;
+        for cpu in 0..self.cfg.cpus {
+            match &mut self.slots[cpu] {
+                Slot::Free => self.acct.add(CycleCategory::Idle, skipped),
+                Slot::Running(r) => r.ledger.record_n(self.last_category[cpu], skipped),
+            }
+        }
+        self.cycle = target;
     }
 
     /// Chaos phase (cycle start): expire timed faults and apply every
-    /// event the plan schedules at or before this cycle.
-    fn apply_due_faults(&mut self) {
+    /// event the plan schedules at or before this cycle. Returns whether
+    /// anything touched the machine (fast-forward must not skip it).
+    fn apply_due_faults(&mut self) -> bool {
+        let mut active = false;
         if let Some((at, cap)) = self.victim_restore {
             if self.cycle >= at {
                 self.victim_restore = None;
                 let displaced = self.mem.l2.set_victim_capacity(cap);
                 debug_assert!(displaced.is_empty(), "growing the victim cache displaces nothing");
+                active = true;
             }
         }
         if !self.injector.exhausted() {
+            let before = self.armed.len();
             self.armed.extend(self.injector.due(self.cycle));
+            active |= self.armed.len() != before;
         }
         if self.armed.is_empty() {
-            return;
+            return active;
         }
         // Each armed fault fires at the first cycle in its window with an
         // eligible target; a window that closes without one is skipped.
@@ -524,13 +684,16 @@ impl<'p> Machine<'p> {
         for ev in std::mem::take(&mut self.armed) {
             if self.apply_fault(ev) {
                 self.faults.record(ev.class);
+                active = true;
             } else if self.cycle >= ev.at_cycle + ev.duration.max(1) {
                 self.faults.skipped += 1;
+                active = true;
             } else {
                 still_armed.push(ev);
             }
         }
         self.armed = still_armed;
+        active
     }
 
     /// Attempts one fault; returns whether it found a target and applied.
@@ -820,14 +983,24 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn execute_cpu(&mut self, cpu: usize, orders: &[Option<u32>]) {
+    /// One CPU's execute phase. Returns whether the epoch made progress
+    /// — retired, dispatched, moved its cursor, started or merged a
+    /// sub-thread, finished, or hit a latch error. A no-progress cycle
+    /// recomputes exactly the state it inherited, which is what licenses
+    /// fast-forwarding streaks of them.
+    fn execute_cpu(&mut self, cpu: usize, orders: &[Option<u32>]) -> bool {
         let mut run = match std::mem::replace(&mut self.slots[cpu], Slot::Free) {
             Slot::Free => {
                 self.acct.add(CycleCategory::Idle, 1);
-                return;
+                return false;
             }
             Slot::Running(r) => r,
         };
+        let cursor_in = run.cursor;
+        let checkpoints_in = run.checkpoints.len();
+        let finished_in = run.finished;
+        let started_in = self.subthreads_started;
+        let merges_in = self.subthread_merges;
         let core = &mut self.cores[cpu];
         core.begin_cycle(self.cycle);
         let retired = core.retire();
@@ -975,15 +1148,31 @@ impl<'p> Machine<'p> {
             CycleCategory::Busy
         };
         run.ledger.record(category);
+        self.last_category[cpu] = category;
+        let progress = retired.retired > 0
+            || dispatched > 0
+            || run.cursor != cursor_in
+            || run.checkpoints.len() != checkpoints_in
+            || run.finished != finished_in
+            || self.subthreads_started != started_in
+            || self.subthread_merges != merges_in
+            || !latch_errors.is_empty();
         self.slots[cpu] = Slot::Running(run);
         for e in latch_errors {
             self.latch_release_error(e);
         }
+        progress
     }
 
     fn apply_violations(&mut self) {
-        let pending = std::mem::take(&mut self.mem.pending);
-        for v in pending {
+        if self.mem.pending.is_empty() {
+            return;
+        }
+        // Swap the queue with a reused scratch vector so draining it
+        // (and anything queued while we work) never reallocates.
+        let mut pending = std::mem::take(&mut self.pending_scratch);
+        std::mem::swap(&mut pending, &mut self.mem.pending);
+        for v in pending.drain(..) {
             let (order, cur_sub) = match &self.slots[v.cpu] {
                 Slot::Running(r) => (r.order, r.cur_sub()),
                 Slot::Free => continue, // epoch committed before detection
@@ -1016,23 +1205,20 @@ impl<'p> Machine<'p> {
             }
             self.rewind(v.cpu, v.sub);
             // Secondary violations for logically-later threads.
-            let later: Vec<(u32, u8)> = self
-                .slots
-                .iter()
-                .filter_map(|s| match s {
-                    Slot::Running(r) if r.order > order => {
-                        let target = match self.cfg.secondary {
-                            SecondaryPolicy::StartTable => {
-                                r.start_table.restart_point(v.cpu, v.sub)
-                            }
-                            SecondaryPolicy::RestartAll => 0,
-                        };
-                        Some((r.order, target))
-                    }
-                    _ => None,
-                })
-                .collect();
-            for (victim_order, target) in later {
+            let mut later = std::mem::take(&mut self.later_scratch);
+            later.extend(self.slots.iter().filter_map(|s| match s {
+                Slot::Running(r) if r.order > order => {
+                    let target = match self.cfg.secondary {
+                        SecondaryPolicy::StartTable => {
+                            r.start_table.restart_point(v.cpu, v.sub)
+                        }
+                        SecondaryPolicy::RestartAll => 0,
+                    };
+                    Some((r.order, target))
+                }
+                _ => None,
+            }));
+            for &(victim_order, target) in &later {
                 let Some(cpu) = self.cpu_running(victim_order) else { continue };
                 let cur = match &self.slots[cpu] {
                     Slot::Running(r) => r.cur_sub(),
@@ -1044,7 +1230,10 @@ impl<'p> Machine<'p> {
                 self.violations.secondary += 1;
                 self.rewind(cpu, target);
             }
+            later.clear();
+            self.later_scratch = later;
         }
+        self.pending_scratch = pending;
     }
 
     fn cpu_running(&self, order: u32) -> Option<usize> {
@@ -1084,17 +1273,16 @@ impl<'p> Machine<'p> {
             // rewind target sits inside) keep their latches, so the replay's
             // re-entrant acquires and the eventual releases stay balanced.
             let rewound_to = run.cursor;
-            let mut kept = Vec::with_capacity(run.held_latches.len());
-            for (latch, at) in run.held_latches.drain(..) {
+            let latches = &mut self.latches;
+            run.held_latches.retain(|&(latch, at)| {
                 if at >= rewound_to {
-                    if let Err(e) = self.latches.release(cpu, latch) {
+                    if let Err(e) = latches.release(cpu, latch) {
                         latch_errors.push(e);
                     }
-                } else {
-                    kept.push((latch, at));
+                    return false;
                 }
-            }
-            run.held_latches = kept;
+                true
+            });
             // The oracle's write log forgets the stores the rewind undid;
             // re-execution re-records them, keeping commit exactly-once.
             let keep = run.stores.partition_point(|&(c, _, _)| c < rewound_to);
@@ -1136,8 +1324,11 @@ impl<'p> Machine<'p> {
             }
             self.acct += run.ledger.commit();
             let orders = self.orders_snapshot();
-            let overflow = self.mem.l2.commit(cpu);
+            let mut overflow = std::mem::take(&mut self.overflow_scratch);
+            overflow.clear();
+            self.mem.l2.commit_into(cpu, &mut overflow);
             self.mem.queue_overflow(&overflow, Addr(0), &orders);
+            self.overflow_scratch = overflow;
             self.mem.l1s[cpu].clear_speculative_marks();
             self.mem.exposed[cpu].clear();
             self.latches.release_all(cpu);

@@ -277,6 +277,21 @@ impl Core {
         self.cur_cycle < self.fetch_stall_until
     }
 
+    /// Completion cycle of the oldest in-flight instruction, if any.
+    ///
+    /// Until that cycle an otherwise-quiescent core cannot retire (and,
+    /// with a full ROB, cannot dispatch either), so this is a wake-up
+    /// candidate for an event-driven caller.
+    pub fn next_retire_cycle(&self) -> Option<u64> {
+        self.rob.front().map(|e| e.completion)
+    }
+
+    /// The cycle at which the front end resumes fetching after the most
+    /// recent mispredict or flush (may be in the past).
+    pub fn fetch_resume_cycle(&self) -> u64 {
+        self.fetch_stall_until
+    }
+
     /// Cumulative counters.
     pub fn stats(&self) -> &CoreStats {
         &self.stats

@@ -15,12 +15,11 @@
 
 use crate::eval::{instances, Scale};
 use crate::runner::JobPool;
-use crate::store::{HarnessStore, TraceKey};
+use crate::store::{HarnessStore, KeyedProgram, StoredPrograms, TraceKey};
 use std::sync::Arc;
-use tls_core::experiment::{serialize_program, BenchmarkPrograms, ExperimentKind};
+use tls_core::experiment::ExperimentKind;
 use tls_core::{CmpConfig, SimReport};
 use tls_minidb::Transaction;
-use tls_trace::TraceProgram;
 
 /// Everything a plan needs to run.
 pub struct PlanCtx<'a> {
@@ -42,29 +41,28 @@ impl PlanCtx<'_> {
 
     /// The recorded `(plain, tls)` pair of a benchmark (recording or
     /// replaying a snapshot as needed).
-    pub fn programs(&self, txn: Transaction) -> Arc<BenchmarkPrograms> {
+    pub fn programs(&self, txn: Transaction) -> Arc<StoredPrograms> {
         self.store.programs(&self.trace_key(txn))
     }
 
     /// Runs `program` on `cfg` through the report cache.
-    pub fn sim(&self, program: &TraceProgram, cfg: &CmpConfig) -> Arc<SimReport> {
+    pub fn sim(&self, program: &KeyedProgram, cfg: &CmpConfig) -> Arc<SimReport> {
         self.store.simulate(program, cfg)
     }
 
     /// Runs one Figure-5 experiment on a benchmark — the cached
     /// equivalent of [`tls_core::experiment::run_experiment`].
-    pub fn experiment(
-        &self,
-        kind: ExperimentKind,
-        programs: &BenchmarkPrograms,
-    ) -> Arc<SimReport> {
+    pub fn experiment(&self, kind: ExperimentKind, programs: &StoredPrograms) -> Arc<SimReport> {
         let cfg = kind.configure(&self.machine);
-        let program = if kind.uses_tls_trace() { &programs.tls } else { &programs.plain };
-        if kind.serialized() {
-            self.sim(&serialize_program(program), &cfg)
+        let tls = kind.uses_tls_trace();
+        let program = if kind.serialized() {
+            programs.serialized(tls)
+        } else if tls {
+            &programs.tls
         } else {
-            self.sim(program, &cfg)
-        }
+            &programs.plain
+        };
+        self.sim(program, &cfg)
     }
 }
 

@@ -2,7 +2,7 @@
 //! sub-threads change the payoff of removing a data dependence.
 
 use crate::plan::{to_artifact_json, Job, Plan, PlanCtx, PlanOutput};
-use crate::store::TraceKey;
+use crate::store::{KeyedProgram, TraceKey};
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -57,6 +57,10 @@ fn traces(_ctx: &PlanCtx) -> Vec<TraceKey> {
 }
 
 fn run(ctx: &PlanCtx) -> PlanOutput {
+    // Build and fingerprint the two synthetic programs once; the jobs
+    // share them instead of regenerating per configuration.
+    let with = KeyedProgram::new(program(true));
+    let without = KeyedProgram::new(program(false));
     let mut jobs: Vec<Job<Arc<SimReport>>> = Vec::new();
     let mut labels: Vec<String> = Vec::new();
     for (mode, subs) in
@@ -67,18 +71,20 @@ fn run(ctx: &PlanCtx) -> PlanOutput {
                 "{mode:<15} {}",
                 if with_p { "with *p and *q" } else { "*p removed    " }
             ));
+            let prog = if with_p { with.clone() } else { without.clone() };
             jobs.push(Box::new(move || {
                 let mut cfg = ctx.machine;
                 cfg.subthreads = subs;
-                ctx.sim(&program(with_p), &cfg)
+                ctx.sim(&prog, &cfg)
             }));
         }
     }
     // Figure 2(c): idealized parallel execution.
+    let prog = with.clone();
     jobs.push(Box::new(move || {
         let mut cfg = ctx.machine;
         cfg.track_dependences = false;
-        ctx.sim(&program(true), &cfg)
+        ctx.sim(&prog, &cfg)
     }));
     let reports = ctx.pool.run(jobs);
 

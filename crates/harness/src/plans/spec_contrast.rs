@@ -3,7 +3,7 @@
 //! large/dependent database threads, on the same machine.
 
 use crate::plan::{to_artifact_json, Job, Plan, PlanCtx, PlanOutput};
-use crate::store::TraceKey;
+use crate::store::{KeyedProgram, TraceKey};
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -49,23 +49,21 @@ fn deps(n: usize) -> Vec<Dependence> {
 }
 
 fn run(ctx: &PlanCtx) -> PlanOutput {
-    // Per case: sequential reference, all-or-nothing, sub-threads.
+    // Per case: sequential reference, all-or-nothing, sub-threads. The
+    // synthetic program is generated and fingerprinted once per case and
+    // shared by its three jobs.
     let mut jobs: Vec<Job<Arc<SimReport>>> = Vec::new();
     for &(_, threads, ops, ndeps) in &CASES {
+        let p = KeyedProgram::new(shared_dependences(threads, ops, &deps(ndeps)));
+        let ser = KeyedProgram::new(serialize_program(&p));
+        jobs.push(Box::new(move || ctx.sim(&ser, &ctx.machine)));
+        let aon = p.clone();
         jobs.push(Box::new(move || {
-            let p = shared_dependences(threads, ops, &deps(ndeps));
-            ctx.sim(&serialize_program(&p), &ctx.machine)
-        }));
-        jobs.push(Box::new(move || {
-            let p = shared_dependences(threads, ops, &deps(ndeps));
             let mut cfg = ctx.machine;
             cfg.subthreads = SubThreadConfig::disabled();
-            ctx.sim(&p, &cfg)
+            ctx.sim(&aon, &cfg)
         }));
-        jobs.push(Box::new(move || {
-            let p = shared_dependences(threads, ops, &deps(ndeps));
-            ctx.sim(&p, &ctx.machine)
-        }));
+        jobs.push(Box::new(move || ctx.sim(&p, &ctx.machine)));
     }
     let reports = ctx.pool.run(jobs);
 

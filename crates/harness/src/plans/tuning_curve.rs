@@ -8,7 +8,7 @@ use crate::store::TraceKey;
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::sync::Arc;
-use tls_core::experiment::{BenchmarkPrograms, ExperimentKind};
+use tls_core::experiment::ExperimentKind;
 use tls_core::SimReport;
 use tls_minidb::{OptLevel, Transaction};
 
@@ -47,11 +47,11 @@ fn traces(ctx: &PlanCtx) -> Vec<TraceKey> {
 fn run(ctx: &PlanCtx) -> PlanOutput {
     let steps = OptLevel::tuning_steps();
     let mut jobs: Vec<Job<Arc<SimReport>>> = Vec::new();
-    // Job 0: the unmodified engine running sequentially (the reference).
+    // Job 0: the unmodified engine running sequentially (the reference):
+    // the serialized plain trace under the SEQUENTIAL configuration.
     jobs.push(Box::new(move || {
         let progs = ctx.store.programs(&step_key(ctx, OptLevel::none()));
-        let plain = BenchmarkPrograms { plain: progs.plain.clone(), tls: progs.plain.clone() };
-        ctx.experiment(ExperimentKind::Sequential, &plain)
+        ctx.sim(progs.serialized(false), &ExperimentKind::Sequential.configure(&ctx.machine))
     }));
     // Jobs 1..: one BASELINE run per cumulative optimization step.
     for (_, opts) in steps.clone() {

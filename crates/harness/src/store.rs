@@ -31,9 +31,10 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use tls_core::experiment::BenchmarkPrograms;
+use tls_core::experiment::{serialize_program, BenchmarkPrograms};
 use tls_core::{CmpConfig, CmpSimulator, SimReport};
 use tls_minidb::{Tpcc, TpccConfig, Transaction};
+use tls_trace::TraceProgram;
 
 /// Identifies one recorded benchmark: everything that influences the
 /// recorded trace pair.
@@ -104,6 +105,80 @@ impl StoreStats {
     }
 }
 
+/// A trace program bundled with the FNV-1a fingerprint of its canonical
+/// [`codec`] encoding.
+///
+/// Fingerprinting walks the entire (often multi-megabyte) program, so it
+/// happens exactly once — when the program enters the store or is wrapped
+/// by a plan — instead of on every report-cache lookup, which previously
+/// re-encoded the full trace per [`HarnessStore::simulate`] call just to
+/// derive its key. Cloning is cheap (the program is behind an `Arc`).
+#[derive(Debug, Clone)]
+pub struct KeyedProgram {
+    program: Arc<TraceProgram>,
+    fingerprint: u64,
+}
+
+impl KeyedProgram {
+    /// Wraps `program`, computing its content fingerprint.
+    pub fn new(program: TraceProgram) -> Self {
+        Self::from_arc(Arc::new(program))
+    }
+
+    /// Wraps an already-shared program, computing its content fingerprint.
+    pub fn from_arc(program: Arc<TraceProgram>) -> Self {
+        let fingerprint = fnv1a(&codec::program_bytes(&program));
+        KeyedProgram { program, fingerprint }
+    }
+
+    /// The FNV-1a hash of the program's canonical byte encoding.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+impl std::ops::Deref for KeyedProgram {
+    type Target = TraceProgram;
+    fn deref(&self) -> &TraceProgram {
+        &self.program
+    }
+}
+
+/// A benchmark's recorded `(plain, tls)` pair plus memoized derived
+/// forms: the content fingerprints the report cache keys on, and the
+/// serialized (every-region-sequential) variants that the SEQUENTIAL and
+/// TLS-SEQ experiments execute — each computed once per store entry
+/// instead of once per experiment dispatch.
+#[derive(Debug)]
+pub struct StoredPrograms {
+    /// The unmodified execution (no TLS software transformations).
+    pub plain: KeyedProgram,
+    /// The TLS-transformed execution (parallel markers + overhead).
+    pub tls: KeyedProgram,
+    plain_serialized: OnceLock<KeyedProgram>,
+    tls_serialized: OnceLock<KeyedProgram>,
+}
+
+impl StoredPrograms {
+    /// Wraps a recorded pair, fingerprinting both programs.
+    pub fn new(pair: BenchmarkPrograms) -> Self {
+        StoredPrograms {
+            plain: KeyedProgram::new(pair.plain),
+            tls: KeyedProgram::new(pair.tls),
+            plain_serialized: OnceLock::new(),
+            tls_serialized: OnceLock::new(),
+        }
+    }
+
+    /// The serialized variant (epochs concatenated onto one CPU) of the
+    /// TLS or plain trace, built and fingerprinted on first use.
+    pub fn serialized(&self, tls: bool) -> &KeyedProgram {
+        let (cell, source) =
+            if tls { (&self.tls_serialized, &self.tls) } else { (&self.plain_serialized, &self.plain) };
+        cell.get_or_init(|| KeyedProgram::new(serialize_program(source)))
+    }
+}
+
 type Slot<T> = Arc<OnceLock<Arc<T>>>;
 
 /// The process-wide snapshot store. Thread-safe; per-key initialization
@@ -112,7 +187,7 @@ type Slot<T> = Arc<OnceLock<Arc<T>>>;
 pub struct HarnessStore {
     dir: Option<PathBuf>,
     sim_cache: bool,
-    traces: Mutex<HashMap<u64, Slot<BenchmarkPrograms>>>,
+    traces: Mutex<HashMap<u64, Slot<StoredPrograms>>>,
     reports: Mutex<HashMap<u64, Slot<SimReport>>>,
     /// Cache activity counters.
     pub stats: StoreStats,
@@ -148,7 +223,7 @@ impl HarnessStore {
 
     /// The recorded `(plain, tls)` pair for `key`: from memory, else from
     /// a disk snapshot, else recorded (and persisted).
-    pub fn programs(&self, key: &TraceKey) -> Arc<BenchmarkPrograms> {
+    pub fn programs(&self, key: &TraceKey) -> Arc<StoredPrograms> {
         let hash = key.hash();
         let slot = Self::slot(&self.traces, hash);
         if let Some(hit) = slot.get() {
@@ -162,7 +237,7 @@ impl HarnessStore {
                     match codec::decode_pair_file(&bytes, hash) {
                         Ok(pair) => {
                             self.stats.trace_disk_hits.fetch_add(1, Ordering::Relaxed);
-                            return Arc::new(pair);
+                            return Arc::new(StoredPrograms::new(pair));
                         }
                         Err(e) => {
                             eprintln!(
@@ -179,20 +254,20 @@ impl HarnessStore {
             if let Some(path) = &path {
                 write_atomic(path, &codec::encode_pair_file(hash, &pair));
             }
-            Arc::new(pair)
+            Arc::new(StoredPrograms::new(pair))
         })
         .clone()
     }
 
     /// Runs `program` on the machine `cfg`, memoizing by content: the key
-    /// hashes the program's canonical byte encoding and the full machine
-    /// configuration, so any change to either re-simulates.
-    pub fn simulate(&self, program: &tls_trace::TraceProgram, cfg: &CmpConfig) -> Arc<SimReport> {
+    /// combines the program's memoized content fingerprint with the full
+    /// machine configuration, so any change to either re-simulates.
+    pub fn simulate(&self, program: &KeyedProgram, cfg: &CmpConfig) -> Arc<SimReport> {
         if !self.sim_cache {
             self.stats.report_sims.fetch_add(1, Ordering::Relaxed);
             return Arc::new(CmpSimulator::new(*cfg).run(program));
         }
-        let mut key_bytes = codec::program_bytes(program);
+        let mut key_bytes = program.fingerprint().to_le_bytes().to_vec();
         {
             use serde::Serialize;
             let mut cfg_json = String::new();
