@@ -49,9 +49,7 @@ fn bench_btree(c: &mut Criterion) {
 fn bench_load(c: &mut Criterion) {
     let mut g = c.benchmark_group("tpcc_load");
     g.sample_size(10);
-    g.bench_function("populate_test_scale", |b| {
-        b.iter(|| Tpcc::new(TpccConfig::test()))
-    });
+    g.bench_function("populate_test_scale", |b| b.iter(|| Tpcc::new(TpccConfig::test())));
     g.finish();
 }
 

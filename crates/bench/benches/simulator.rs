@@ -46,9 +46,7 @@ fn bench_experiments(c: &mut Criterion) {
     let mut g = c.benchmark_group("figure5_new_order");
     g.sample_size(10);
     for kind in ExperimentKind::ALL {
-        g.bench_function(kind.label(), |b| {
-            b.iter(|| run_experiment(kind, &machine(), &progs))
-        });
+        g.bench_function(kind.label(), |b| b.iter(|| run_experiment(kind, &machine(), &progs)));
     }
     g.finish();
 }

@@ -104,10 +104,8 @@ fn main() {
     };
 
     // Every fault class alone, plus one mixed row drawing from all of them.
-    let mut classes: Vec<(String, Vec<FaultClass>)> = ALL_FAULT_CLASSES
-        .iter()
-        .map(|&c| (c.to_string(), vec![c]))
-        .collect();
+    let mut classes: Vec<(String, Vec<FaultClass>)> =
+        ALL_FAULT_CLASSES.iter().map(|&c| (c.to_string(), vec![c])).collect();
     classes.push(("mixed".into(), ALL_FAULT_CLASSES.to_vec()));
 
     let mut machine = paper_machine();
@@ -143,10 +141,7 @@ fn main() {
             let mut cells = Vec::new();
             let mut line = format!("  {cname:<20}");
             for seed in 0..seeds as u64 {
-                let plan_seed = 0xC4A0_5EED
-                    ^ (seed << 24)
-                    ^ ((ci as u64) << 8)
-                    ^ wi as u64;
+                let plan_seed = 0xC4A0_5EED ^ (seed << 24) ^ ((ci as u64) << 8) ^ wi as u64;
                 let plan = FaultPlan::generate(plan_seed, set, horizon, events);
                 let r = catch_unwind(AssertUnwindSafe(|| {
                     sim.run_with(program, RunOptions::chaos(plan.clone()))
@@ -157,10 +152,8 @@ fn main() {
                         if !rep.audit_failures.is_empty() {
                             (false, rep.audit_failures.join("; "), Some(rep))
                         } else if rep.committed_epochs != expected {
-                            let d = format!(
-                                "committed {}/{} epochs",
-                                rep.committed_epochs, expected
-                            );
+                            let d =
+                                format!("committed {}/{} epochs", rep.committed_epochs, expected);
                             (false, d, Some(rep))
                         } else {
                             (true, String::new(), Some(rep))

@@ -12,7 +12,12 @@
 //! 3. **Whole-machine runs** — simulated Mcycles per host-second on
 //!    synthetic programs, with idle-cycle fast-forward on vs off. The
 //!    `ff_speedup` ratio is the direct before/after of the fast-forward
-//!    optimization; the reports are asserted identical both ways.
+//!    optimization; the reports are asserted identical both ways. Each
+//!    run is also timed with an [`Observer`] attached
+//!    (`mcycles_per_host_s_obs_on` / `obs_overhead`) — the observed
+//!    report is asserted identical too, and the overhead column is the
+//!    evidence behind the "<3% with the sink on" claim in
+//!    `EXPERIMENTS.md`.
 //!
 //! Usage: `kernel [--out PATH]` (default `BENCH_kernel.json`).
 
@@ -21,7 +26,9 @@
 use serde::Serialize;
 use std::time::Instant;
 use tls_core::synthetic::{shared_dependences, Dependence};
-use tls_core::{AccessCtx, CmpConfig, CmpSimulator, L2Outcome, RunOptions, SpacingPolicy, SpecL2};
+use tls_core::{
+    AccessCtx, CmpConfig, CmpSimulator, L2Outcome, Observer, RunOptions, SpacingPolicy, SpecL2,
+};
 use tls_trace::{Addr, OpSink, Pc, ProgramBuilder, TraceProgram};
 
 #[derive(Serialize)]
@@ -38,6 +45,12 @@ struct RunBench {
     mcycles_per_host_s_ff_on: f64,
     mcycles_per_host_s_ff_off: f64,
     ff_speedup: f64,
+    /// Throughput with an event sink + metrics recorder attached
+    /// (fast-forward on). The observed report is asserted identical.
+    mcycles_per_host_s_obs_on: f64,
+    /// Host-time cost of observation: obs-on wall time over plain wall
+    /// time (1.00 = free; the acceptance bar is <= 1.03).
+    obs_overhead: f64,
 }
 
 #[derive(Serialize)]
@@ -200,19 +213,34 @@ fn bench_run(name: &'static str, program: &TraceProgram) -> RunBench {
 
     let on = CmpSimulator::new(cfg).run_with(program, opts_on.clone());
     let off = CmpSimulator::new(cfg).run_with(program, opts_off.clone());
-    let (a, b) =
-        (serde_json::to_string(&on).unwrap(), serde_json::to_string(&off).unwrap());
+    let (a, b) = (serde_json::to_string(&on).unwrap(), serde_json::to_string(&off).unwrap());
     assert_eq!(a, b, "{name}: fast-forward changed the report");
+    let mut observer = Observer::with_defaults(cfg.cpus);
+    let observed =
+        CmpSimulator::new(cfg).run_observed(program, opts_on.clone(), Some(&mut observer));
+    assert_eq!(
+        a,
+        serde_json::to_string(&observed).unwrap(),
+        "{name}: observation changed the report"
+    );
 
     let cycles = on.total_cycles;
     let s_on = time_s(5, || CmpSimulator::new(cfg).run_with(program, opts_on.clone()));
     let s_off = time_s(5, || CmpSimulator::new(cfg).run_with(program, opts_off.clone()));
+    // One observer reused across samples: the ring overwrites in place,
+    // so the measurement captures the steady-state hook cost rather
+    // than a fresh 40 MB ring allocation per run.
+    let mut obs = Observer::with_defaults(cfg.cpus);
+    let s_obs =
+        time_s(5, || CmpSimulator::new(cfg).run_observed(program, opts_on.clone(), Some(&mut obs)));
     RunBench {
         name,
         sim_cycles: cycles,
         mcycles_per_host_s_ff_on: cycles as f64 / 1e6 / s_on,
         mcycles_per_host_s_ff_off: cycles as f64 / 1e6 / s_off,
         ff_speedup: s_off / s_on,
+        mcycles_per_host_s_obs_on: cycles as f64 / 1e6 / s_obs,
+        obs_overhead: s_obs / s_on,
     }
 }
 
@@ -237,10 +265,7 @@ fn main() {
     let runs = vec![
         bench_run("compute_heavy_160k_ops", &compute_heavy(8, 20_000)),
         bench_run("memory_bound_8k_misses", &memory_bound(8, 1_000)),
-        bench_run(
-            "violation_churn",
-            &shared_dependences(8, 4_000, &[Dependence::new(0.5, 0.5)]),
-        ),
+        bench_run("violation_churn", &shared_dependences(8, 4_000, &[Dependence::new(0.5, 0.5)])),
     ];
 
     for b in &ops {
@@ -248,8 +273,15 @@ fn main() {
     }
     for r in &runs {
         println!(
-            "{:<24} {:>7.2} Mc/s ff-on  {:>7.2} Mc/s ff-off  ({:.2}x, {} cycles)",
-            r.name, r.mcycles_per_host_s_ff_on, r.mcycles_per_host_s_ff_off, r.ff_speedup, r.sim_cycles
+            "{:<24} {:>7.2} Mc/s ff-on  {:>7.2} Mc/s ff-off  ({:.2}x, {} cycles)  \
+             {:>7.2} Mc/s obs-on ({:.3}x)",
+            r.name,
+            r.mcycles_per_host_s_ff_on,
+            r.mcycles_per_host_s_ff_off,
+            r.ff_speedup,
+            r.sim_cycles,
+            r.mcycles_per_host_s_obs_on,
+            r.obs_overhead
         );
     }
 

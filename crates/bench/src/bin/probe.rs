@@ -10,15 +10,20 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::parse(&args);
     let which = args.iter().find(|a| !a.starts_with("--") && *a != "test" && *a != "paper");
-    let txns: Vec<Transaction> = match which.map(String::as_str) {
-        Some("new_order") => vec![Transaction::NewOrder],
-        Some("new_order_150") => vec![Transaction::NewOrder150],
-        Some("delivery") => vec![Transaction::Delivery],
-        Some("delivery_outer") => vec![Transaction::DeliveryOuter],
-        Some("stock_level") => vec![Transaction::StockLevel],
-        Some("payment") => vec![Transaction::Payment],
-        Some("order_status") => vec![Transaction::OrderStatus],
-        _ => Transaction::ALL.to_vec(),
+    let txns: Vec<Transaction> = match which {
+        // A name was given: it must parse. Silently running all seven
+        // benchmarks on a typo wastes minutes and hides the mistake.
+        Some(name) => match Transaction::from_cli_name(name) {
+            Some(t) => vec![t],
+            None => {
+                eprintln!("unknown benchmark '{name}'; valid benchmarks:");
+                for t in Transaction::ALL {
+                    eprintln!("  {}", t.trace_name());
+                }
+                std::process::exit(2);
+            }
+        },
+        None => Transaction::ALL.to_vec(),
     };
     let machine = paper_machine();
     for txn in txns {

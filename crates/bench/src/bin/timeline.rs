@@ -1,0 +1,96 @@
+//! Observed single-benchmark run: exports a Perfetto/Chrome
+//! `trace_event` timeline plus a sampled metrics time series.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p tls-bench --bin timeline -- new_order --out results
+//! cargo run --release -p tls-bench --bin timeline -- payment --scale test
+//! ```
+//!
+//! Open the resulting `trace_<benchmark>.perfetto.json` in
+//! <https://ui.perfetto.dev> ("Open trace file"): each CPU is a track,
+//! epochs nest their sub-thread slices, violations appear as instant
+//! markers and rewound sub-thread spans sit on a separate `(rewound)`
+//! track.
+
+use std::path::PathBuf;
+use tls_harness::{observe_run, HarnessStore, ObserveRequest, Scale};
+use tls_minidb::Transaction;
+
+const USAGE: &str = "\
+usage: timeline <benchmark> [--scale paper|test] [--out DIR]
+                [--traces DIR | --no-cache]
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut txn = None;
+    let mut scale = Scale::Paper;
+    let mut out_dir = PathBuf::from("results");
+    let mut trace_dir = Some(PathBuf::from("traces"));
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().map(String::as_str) {
+                Some("paper") => scale = Scale::Paper,
+                Some("test") => scale = Scale::Test,
+                other => fail(&format!("--scale needs paper or test, got {other:?}")),
+            },
+            "--out" => match it.next() {
+                Some(v) => out_dir = PathBuf::from(v),
+                None => fail("--out needs a value"),
+            },
+            "--traces" => match it.next() {
+                Some(v) => trace_dir = Some(PathBuf::from(v)),
+                None => fail("--traces needs a value"),
+            },
+            "--no-cache" => trace_dir = None,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            name if txn.is_none() => match Transaction::from_cli_name(name) {
+                Some(t) => txn = Some(t),
+                None => {
+                    eprintln!("unknown benchmark '{name}'; valid benchmarks:");
+                    for t in Transaction::ALL {
+                        eprintln!("  {}", t.trace_name());
+                    }
+                    std::process::exit(2);
+                }
+            },
+            other => fail(&format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    let Some(txn) = txn else {
+        eprintln!("timeline: which benchmark? valid benchmarks:");
+        for t in Transaction::ALL {
+            eprintln!("  {}", t.trace_name());
+        }
+        std::process::exit(2);
+    };
+
+    let store = HarnessStore::new(trace_dir, true);
+    let req = ObserveRequest::new(txn, scale, out_dir);
+    match observe_run(&store, &req) {
+        Ok(out) => {
+            println!(
+                "{}: {} cycles, {} event(s) kept ({} dropped), report drift: none",
+                txn.label(),
+                out.report.total_cycles,
+                out.events_kept,
+                out.events_dropped
+            );
+            println!("wrote {}", out.trace_path.display());
+            println!("wrote {}", out.metrics_path.display());
+            println!("open the trace in https://ui.perfetto.dev (Open trace file)");
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

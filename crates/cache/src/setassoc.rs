@@ -291,7 +291,8 @@ mod tests {
         }
         // Old idiom on `a`.
         for line in [5u64, 6, 7, 5] {
-            let found = a.set_iter_mut(0).find_map(|(k, _)| if k.0 == line { Some(*k) } else { None });
+            let found =
+                a.set_iter_mut(0).find_map(|(k, _)| if k.0 == line { Some(*k) } else { None });
             if let Some(key) = found {
                 a.probe(0, key);
             }

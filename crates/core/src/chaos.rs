@@ -240,11 +240,7 @@ impl RunOptions {
     /// Options for a chaos sweep: faults in, audits and oracle on, and
     /// failures collected in the report instead of panicking.
     pub fn chaos(plan: FaultPlan) -> RunOptions {
-        RunOptions {
-            plan: Some(plan),
-            panic_on_audit_failure: false,
-            ..RunOptions::default()
-        }
+        RunOptions { plan: Some(plan), panic_on_audit_failure: false, ..RunOptions::default() }
     }
 
     /// The options [`crate::CmpSimulator::run`] uses: the invariant

@@ -30,9 +30,7 @@ impl SpacingPolicy {
     pub fn spacing_for(&self, epoch_ops: usize, contexts: u8) -> u64 {
         match *self {
             SpacingPolicy::Every(n) => n.max(1),
-            SpacingPolicy::EvenDivision => {
-                (epoch_ops as u64 / contexts.max(1) as u64).max(1)
-            }
+            SpacingPolicy::EvenDivision => (epoch_ops as u64 / contexts.max(1) as u64).max(1),
         }
     }
 }
@@ -175,7 +173,11 @@ impl CmpConfig {
             l2: CacheParams::new(16 * 1024, 4, 32),
             mem: MemParams::paper_default(),
             victim_entries: 16,
-            subthreads: SubThreadConfig { contexts: 4, spacing: SpacingPolicy::Every(500), exhaustion: ExhaustionPolicy::Merge },
+            subthreads: SubThreadConfig {
+                contexts: 4,
+                spacing: SpacingPolicy::Every(500),
+                exhaustion: ExhaustionPolicy::Merge,
+            },
             secondary: SecondaryPolicy::StartTable,
             track_dependences: true,
             exposed_load_entries: 256,

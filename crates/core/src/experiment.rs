@@ -147,10 +147,7 @@ pub fn run_benchmark(
     base: &CmpConfig,
     programs: &BenchmarkPrograms,
 ) -> Vec<(ExperimentKind, SimReport)> {
-    ExperimentKind::ALL
-        .iter()
-        .map(|&k| (k, run_experiment(k, base, programs)))
-        .collect()
+    ExperimentKind::ALL.iter().map(|&k| (k, run_experiment(k, base, programs))).collect()
 }
 
 #[cfg(test)]

@@ -153,6 +153,9 @@ pub struct SpecL2 {
     lr_scratch: Vec<(usize, u8)>,
     /// Count of speculatively-loaded bits recorded (diagnostics).
     sl_recorded: u64,
+    /// Lines displaced from a set into the victim cache over the whole
+    /// run (monotonic; the observer diffs it to emit spill events).
+    victim_inserts: u64,
 }
 
 impl SpecL2 {
@@ -190,6 +193,7 @@ impl SpecL2 {
             touched: vec![Vec::new(); cpus],
             lr_scratch: Vec::new(),
             sl_recorded: 0,
+            victim_inserts: 0,
             params,
         }
     }
@@ -284,6 +288,7 @@ impl SpecL2 {
         };
         if let Some(victim_key) = displaced {
             if victim_key.1.is_some() || self.line_is_spec(victim_key.0) {
+                self.victim_inserts += 1;
                 if let Some((lost, ())) = self.victim.insert(victim_key, ()) {
                     self.overflow_victims_into(lost, overflow);
                 }
@@ -356,7 +361,14 @@ impl SpecL2 {
     /// An L1 read miss arriving at the L2 at `arrival`. The outcome is
     /// written into the caller-provided `out` (its buffers are cleared
     /// first), so a caller that reuses one `L2Outcome` never allocates.
-    pub fn read_into(&mut self, arrival: u64, addr: Addr, size: u8, ctx: AccessCtx, out: &mut L2Outcome) {
+    pub fn read_into(
+        &mut self,
+        arrival: u64,
+        addr: Addr,
+        size: u8,
+        ctx: AccessCtx,
+        out: &mut L2Outcome,
+    ) {
         out.overflow_victims.clear();
         out.readers.clear();
         let line = self.params.line_addr(addr).0;
@@ -393,7 +405,14 @@ impl SpecL2 {
     /// word-granularity speculatively-modified bits, and reports every
     /// other thread whose speculatively-loaded bit is set on the line.
     /// Results are written into the caller-provided `out`.
-    pub fn write_into(&mut self, arrival: u64, addr: Addr, size: u8, ctx: AccessCtx, out: &mut L2Outcome) {
+    pub fn write_into(
+        &mut self,
+        arrival: u64,
+        addr: Addr,
+        size: u8,
+        ctx: AccessCtx,
+        out: &mut L2Outcome,
+    ) {
         out.overflow_victims.clear();
         out.readers.clear();
         let line = self.params.line_addr(addr).0;
@@ -586,6 +605,17 @@ impl SpecL2 {
     /// Count of loaded-bit recordings (for tests).
     pub fn sl_recordings(&self) -> u64 {
         self.sl_recorded
+    }
+
+    /// Lines currently buffered in the victim cache (occupancy gauge).
+    pub fn victim_len(&self) -> usize {
+        self.victim.len()
+    }
+
+    /// Monotonic count of lines displaced into the victim cache; the
+    /// observer diffs successive readings to emit spill events.
+    pub fn victim_inserts(&self) -> u64 {
+        self.victim_inserts
     }
 
     /// Current victim-cache capacity.

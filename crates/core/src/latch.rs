@@ -26,11 +26,9 @@ pub struct LatchError {
 impl fmt::Display for LatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.owner {
-            Some(o) => write!(
-                f,
-                "cpu {} released latch {:?} held by cpu {}",
-                self.cpu, self.latch, o
-            ),
+            Some(o) => {
+                write!(f, "cpu {} released latch {:?} held by cpu {}", self.cpu, self.latch, o)
+            }
             None => write!(f, "cpu {} released latch {:?} it does not hold", self.cpu, self.latch),
         }
     }

@@ -71,7 +71,6 @@ mod accounting;
 pub mod chaos;
 mod config;
 pub mod experiment;
-pub mod synthetic;
 mod l2spec;
 mod latch;
 mod linemap;
@@ -79,10 +78,14 @@ mod predictor;
 mod profile;
 mod report;
 mod simulator;
+pub mod synthetic;
 
 pub use accounting::{Breakdown, CycleCategory, FaultStats, SubThreadLedger};
 pub use chaos::{FaultClass, FaultEvent, FaultInjector, FaultPlan, RunOptions, ALL_FAULT_CLASSES};
-pub use config::{CmpConfig, ExhaustionPolicy, SecondaryPolicy, SpacingPolicy, SubThreadConfig, MAX_CPUS, MAX_SUBTHREADS};
+pub use config::{
+    CmpConfig, ExhaustionPolicy, SecondaryPolicy, SpacingPolicy, SubThreadConfig, MAX_CPUS,
+    MAX_SUBTHREADS,
+};
 pub use experiment::ExperimentKind;
 pub use l2spec::{AccessCtx, L2Outcome, PendingViolation, SpecL2, ViolationKind};
 pub use latch::{LatchError, LatchTable};
@@ -90,3 +93,11 @@ pub use predictor::{DependencePredictor, PredictorConfig};
 pub use profile::{DependenceProfiler, ProfileEntry};
 pub use report::{ProtocolError, SimReport, ViolationCounts};
 pub use simulator::{CmpSimulator, StartTable};
+
+/// The observability layer (re-exported from [`tls_obs`]): passive event
+/// sink, sampled metrics and the Perfetto exporter. Pass an
+/// [`Observer`](tls_obs::Observer) to
+/// [`CmpSimulator::run_observed`] to capture a run's timeline without
+/// perturbing it.
+pub use tls_obs as obs;
+pub use tls_obs::Observer;

@@ -191,10 +191,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_table_size_panics() {
-        let _ = DependencePredictor::new(&PredictorConfig {
-            enabled: true,
-            entries: 48,
-            threshold: 1,
-        });
+        let _ =
+            DependencePredictor::new(&PredictorConfig { enabled: true, entries: 48, threshold: 1 });
     }
 }

@@ -97,10 +97,8 @@ impl DependenceProfiler {
     pub fn attribute(&mut self, load_pc: Option<Pc>, store_pc: Option<Pc>, failed_cycles: u64) {
         if self.pairs.len() >= self.capacity && !self.pairs.contains_key(&(load_pc, store_pc)) {
             // Reclaim the entry with the least total cycles (paper §3.1).
-            if let Some((&k, _)) = self
-                .pairs
-                .iter()
-                .min_by_key(|(k, (c, _))| (*c, k.0.map(|p| p.0), k.1.map(|p| p.0)))
+            if let Some((&k, _)) =
+                self.pairs.iter().min_by_key(|(k, (c, _))| (*c, k.0.map(|p| p.0), k.1.map(|p| p.0)))
             {
                 self.pairs.remove(&k);
             }
@@ -123,11 +121,7 @@ impl DependenceProfiler {
             })
             .collect();
         out.sort_by_key(|e| {
-            (
-                std::cmp::Reverse(e.failed_cycles),
-                e.load_pc.map(|p| p.0),
-                e.store_pc.map(|p| p.0),
-            )
+            (std::cmp::Reverse(e.failed_cycles), e.load_pc.map(|p| p.0), e.store_pc.map(|p| p.0))
         });
         out
     }

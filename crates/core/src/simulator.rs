@@ -28,7 +28,42 @@ use crate::report::{ProtocolError, SimReport, ViolationCounts};
 use std::collections::{HashMap, VecDeque};
 use tls_cache::{CacheStats, L1Data, MshrFile};
 use tls_cpu::{Core, CoreStats, HeadStall, MemKind};
+use tls_obs::{CycleClass, Event, EventKind, Observer};
 use tls_trace::{Addr, Epoch, LatchId, OpKind, Pc, Region, TraceOp, TraceProgram};
+
+/// Maps an accounting category onto the observer's dispatch-time cycle
+/// class. `Failed` never appears at dispatch time — rewinds reclassify
+/// retroactively, which the observer learns via `note_failed`.
+fn cycle_class(cat: CycleCategory) -> CycleClass {
+    match cat {
+        CycleCategory::Busy | CycleCategory::Failed => CycleClass::Busy,
+        CycleCategory::CacheMiss => CycleClass::CacheMiss,
+        CycleCategory::Latch => CycleClass::Latch,
+        CycleCategory::Sync => CycleClass::Sync,
+        CycleCategory::Idle => CycleClass::Idle,
+    }
+}
+
+/// Emits one event into the attached observer, if any. A macro rather
+/// than a method so call sites holding disjoint field borrows (the
+/// core, the current run) still compile; the disabled path is the one
+/// `Option` discriminant test.
+macro_rules! emit {
+    ($self:ident, $kind:expr, $cpu:expr, $epoch:expr, $sub:expr, $a:expr, $b:expr) => {
+        if let Some(o) = $self.obs.as_deref_mut() {
+            let cycle = $self.cycle;
+            o.events.push(Event {
+                cycle,
+                a: $a,
+                b: $b,
+                epoch: $epoch,
+                kind: $kind,
+                cpu: $cpu as u8,
+                sub: $sub,
+            });
+        }
+    };
+}
 
 /// Sentinel for an absent [`StartTable`] cell.
 const NO_ENTRY: u8 = u8::MAX;
@@ -338,7 +373,30 @@ impl CmpSimulator {
     /// failures abort the run and are reported in
     /// [`SimReport::audit_failures`].
     pub fn run_with(&self, program: &TraceProgram, opts: RunOptions) -> SimReport {
-        Machine::new(&self.config, program, opts).run()
+        self.run_observed(program, opts, None)
+    }
+
+    /// Simulates `program` with an optional [`Observer`] attached: the
+    /// observer's event ring and metrics recorder fill as the run
+    /// proceeds, ready for Perfetto export and time-series plotting.
+    ///
+    /// Observation is strictly passive — the returned report is
+    /// byte-identical to an unobserved run's (enforced by
+    /// `tests/observation_neutrality.rs`), idle-cycle fast-forward stays
+    /// effective (each skipped span is recorded as one synthetic
+    /// [`tls_obs::EventKind::IdleSpan`] event), and passing `None` costs
+    /// a single predictable branch per hook.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_with`](CmpSimulator::run_with).
+    pub fn run_observed(
+        &self,
+        program: &TraceProgram,
+        opts: RunOptions,
+        obs: Option<&mut Observer>,
+    ) -> SimReport {
+        Machine::new(&self.config, program, opts, obs).run()
     }
 }
 
@@ -416,10 +474,22 @@ struct Machine<'p> {
     /// Committed symbolic memory image: byte address → global index of
     /// the last committed store writing it (oracle only).
     image: HashMap<u64, u64>,
+    /// Attached observer (event ring + metrics), or `None` for a plain
+    /// run. Observation is passive: every hook only reads machine state
+    /// and appends to the observer's own buffers.
+    obs: Option<&'p mut Observer>,
+    /// Last-seen value of the L2's victim-insert counter (observer
+    /// bookkeeping; diffed per CPU per cycle to emit spill events).
+    victim_inserts_seen: u64,
 }
 
 impl<'p> Machine<'p> {
-    fn new(cfg: &'p CmpConfig, program: &'p TraceProgram, opts: RunOptions) -> Self {
+    fn new(
+        cfg: &'p CmpConfig,
+        program: &'p TraceProgram,
+        opts: RunOptions,
+        obs: Option<&'p mut Observer>,
+    ) -> Self {
         let n = cfg.cpus;
         let injector = opts.plan.as_ref().map(FaultInjector::new).unwrap_or_default();
         let mut epoch_base = Vec::new();
@@ -491,6 +561,8 @@ impl<'p> Machine<'p> {
             overflow_scratch: Vec::new(),
             epoch_base,
             image: HashMap::new(),
+            obs,
+            victim_inserts_seen: 0,
         }
     }
 
@@ -517,6 +589,9 @@ impl<'p> Machine<'p> {
                         self.program.name, self.cfg.max_cycles, self.region_index, self.committed
                     );
                 }
+            }
+            if self.obs.is_some() {
+                self.sample_metrics();
             }
         }
         if self.audit_aborted {
@@ -555,6 +630,9 @@ impl<'p> Machine<'p> {
         let orders = self.orders_snapshot();
         for cpu in 0..self.cfg.cpus {
             active |= self.execute_cpu(cpu, &orders);
+            if self.obs.is_some() {
+                self.note_victim_spills(cpu, &orders);
+            }
         }
         active |= !self.mem.pending.is_empty();
         self.apply_violations();
@@ -562,9 +640,35 @@ impl<'p> Machine<'p> {
         self.commit_ready();
         let scheduled = (self.next_order, self.region_index);
         self.schedule();
-        active
-            || self.committed != committed
-            || (self.next_order, self.region_index) != scheduled
+        active || self.committed != committed || (self.next_order, self.region_index) != scheduled
+    }
+
+    /// Emits a victim-spill event when `cpu`'s just-executed accesses
+    /// displaced speculative lines into the victim cache (observer
+    /// attached only; the L2's monotonic insert counter is diffed so
+    /// the protocol engine needs no observer plumbing of its own).
+    fn note_victim_spills(&mut self, cpu: usize, orders: &[Option<u32>]) {
+        let total = self.mem.l2.victim_inserts();
+        let delta = total - self.victim_inserts_seen;
+        self.victim_inserts_seen = total;
+        if delta > 0 {
+            let epoch = orders[cpu].unwrap_or(u32::MAX);
+            emit!(self, EventKind::VictimSpill, cpu, epoch, 0, delta, 0);
+        }
+    }
+
+    /// Takes a due metrics sample (observer attached only): cumulative
+    /// per-CPU cycle classes plus point-in-time occupancy gauges.
+    fn sample_metrics(&mut self) {
+        let Some(o) = self.obs.as_deref_mut() else { return };
+        if !o.metrics.due(self.cycle) {
+            return;
+        }
+        let rob: Vec<u64> = self.cores.iter().map(|c| c.rob_occupancy() as u64).collect();
+        let spec_lines = self.mem.l2.spec_lines() as u64;
+        let victim_lines = self.mem.l2.victim_len() as u64;
+        let mshr: u64 = self.mem.mshrs.iter().map(|m| m.outstanding() as u64).sum();
+        o.metrics.sample(self.cycle, rob, spec_lines, victim_lines, mshr);
     }
 
     fn orders_snapshot(&self) -> [Option<u32>; MAX_CPUS] {
@@ -639,21 +743,31 @@ impl<'p> Machine<'p> {
         // The overrun panic must fire at the same cycle count it would
         // have without fast-forward (its message carries no cycle value,
         // and a quiet streak changes no other reported state).
-        let target = if self.cfg.max_cycles > 0 {
-            target.min(self.cfg.max_cycles + 1)
-        } else {
-            target
-        };
+        let target =
+            if self.cfg.max_cycles > 0 { target.min(self.cfg.max_cycles + 1) } else { target };
         if target <= self.cycle {
             return;
         }
         let skipped = target - self.cycle;
         for cpu in 0..self.cfg.cpus {
-            match &mut self.slots[cpu] {
-                Slot::Free => self.acct.add(CycleCategory::Idle, skipped),
-                Slot::Running(r) => r.ledger.record_n(self.last_category[cpu], skipped),
+            let category = match &mut self.slots[cpu] {
+                Slot::Free => {
+                    self.acct.add(CycleCategory::Idle, skipped);
+                    CycleCategory::Idle
+                }
+                Slot::Running(r) => {
+                    let c = self.last_category[cpu];
+                    r.ledger.record_n(c, skipped);
+                    c
+                }
+            };
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.metrics.tick_n(cpu, cycle_class(category), skipped);
             }
         }
+        // One synthetic record keeps the timeline truthful across the
+        // skip: every CPU repeated its category for [cycle, target).
+        emit!(self, EventKind::IdleSpan, Event::NO_CPU, u32::MAX, 0, target, 0);
         self.cycle = target;
     }
 
@@ -778,6 +892,7 @@ impl<'p> Machine<'p> {
                     cpu,
                     &mut run,
                 );
+                emit!(self, EventKind::SubThreadMerge, cpu, run.order, run.cur_sub(), 0, 0);
             }
             self.slots[cpu] = Slot::Running(run);
             if eligible {
@@ -992,6 +1107,9 @@ impl<'p> Machine<'p> {
         let mut run = match std::mem::replace(&mut self.slots[cpu], Slot::Free) {
             Slot::Free => {
                 self.acct.add(CycleCategory::Idle, 1);
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.metrics.tick(cpu, CycleClass::Idle);
+                }
                 return false;
             }
             Slot::Running(r) => r,
@@ -1050,6 +1168,7 @@ impl<'p> Machine<'p> {
                     cpu,
                     &mut run,
                 );
+                emit!(self, EventKind::SubThreadMerge, cpu, run.order, run.cur_sub(), 0, 0);
             }
             if speculative
                 && may_checkpoint
@@ -1060,6 +1179,15 @@ impl<'p> Machine<'p> {
                 run.ledger.push_subthread();
                 self.subthreads_started += 1;
                 let new_sub = run.cur_sub();
+                emit!(
+                    self,
+                    EventKind::SubThreadStart,
+                    cpu,
+                    run.order,
+                    new_sub,
+                    run.cursor as u64,
+                    0
+                );
                 for (other, order) in orders.iter().enumerate() {
                     if other != cpu && order.is_some_and(|o| o > run.order) {
                         if let Slot::Running(o) = &mut self.slots[other] {
@@ -1079,15 +1207,22 @@ impl<'p> Machine<'p> {
                     } else {
                         self.latch_retry[cpu] = Some(latch);
                         run.waiting_latch = true;
+                        emit!(
+                            self,
+                            EventKind::LatchStall,
+                            cpu,
+                            run.order,
+                            run.cur_sub(),
+                            latch.0 as u64,
+                            0
+                        );
                     }
                 }
                 OpKind::LatchRelease(latch) => {
                     if let Err(e) = self.latches.release(cpu, latch) {
                         latch_errors.push(e);
                     }
-                    if let Some(i) =
-                        run.held_latches.iter().rposition(|(l, _)| *l == latch)
-                    {
+                    if let Some(i) = run.held_latches.iter().rposition(|(l, _)| *l == latch) {
                         run.held_latches.remove(i);
                     }
                     run.cursor += 1;
@@ -1149,6 +1284,9 @@ impl<'p> Machine<'p> {
         };
         run.ledger.record(category);
         self.last_category[cpu] = category;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.metrics.tick(cpu, cycle_class(category));
+        }
         let progress = retired.retired > 0
             || dispatched > 0
             || run.cursor != cursor_in
@@ -1181,14 +1319,33 @@ impl<'p> Machine<'p> {
             if order != v.order || v.sub > cur_sub {
                 continue;
             }
+            // Looked up once (the table read is side-effect free) and
+            // shared by the event stream, predictor and profiler.
+            let raw_load_pc: Option<Pc> = if v.kind == ViolationKind::Raw {
+                self.mem.exposed[v.cpu].lookup(v.line)
+            } else {
+                None
+            };
             match v.kind {
-                ViolationKind::Raw => self.violations.primary += 1,
-                ViolationKind::Overflow => self.violations.overflow += 1,
-                ViolationKind::Secondary => self.violations.secondary += 1,
+                ViolationKind::Raw => {
+                    self.violations.primary += 1;
+                    let pcs = Event::pack_pcs(raw_load_pc.map(|p| p.0), v.store_pc.map(|p| p.0));
+                    emit!(self, EventKind::ViolationRaw, v.cpu, order, v.sub, v.line.0, pcs);
+                }
+                ViolationKind::Overflow => {
+                    self.violations.overflow += 1;
+                    emit!(self, EventKind::ViolationOverflow, v.cpu, order, v.sub, v.line.0, 0);
+                }
+                ViolationKind::Secondary => {
+                    self.violations.secondary += 1;
+                    emit!(self, EventKind::ViolationSecondary, v.cpu, order, v.sub, 0, 0);
+                }
                 // Chaos injections are counted in FaultStats, not in the
                 // machine's dependence statistics (the secondaries they
                 // cascade into are real protocol work and still count).
-                ViolationKind::Injected => {}
+                ViolationKind::Injected => {
+                    emit!(self, EventKind::ViolationInjected, v.cpu, order, v.sub, 0, 0);
+                }
             }
             // Attribute the about-to-be-discarded cycles to the dependence
             // (§3.1: the exposed-load table provides the load PC).
@@ -1197,11 +1354,10 @@ impl<'p> Machine<'p> {
                     Slot::Running(r) => r.ledger.cycles_since(v.sub as usize),
                     Slot::Free => 0,
                 };
-                let load_pc: Option<Pc> = self.mem.exposed[v.cpu].lookup(v.line);
-                if let Some(pc) = load_pc {
+                if let Some(pc) = raw_load_pc {
                     self.predictor.train(pc);
                 }
-                self.profiler.attribute(load_pc, v.store_pc, cycles);
+                self.profiler.attribute(raw_load_pc, v.store_pc, cycles);
             }
             self.rewind(v.cpu, v.sub);
             // Secondary violations for logically-later threads.
@@ -1209,9 +1365,7 @@ impl<'p> Machine<'p> {
             later.extend(self.slots.iter().filter_map(|s| match s {
                 Slot::Running(r) if r.order > order => {
                     let target = match self.cfg.secondary {
-                        SecondaryPolicy::StartTable => {
-                            r.start_table.restart_point(v.cpu, v.sub)
-                        }
+                        SecondaryPolicy::StartTable => r.start_table.restart_point(v.cpu, v.sub),
                         SecondaryPolicy::RestartAll => 0,
                     };
                     Some((r.order, target))
@@ -1228,6 +1382,15 @@ impl<'p> Machine<'p> {
                     continue;
                 }
                 self.violations.secondary += 1;
+                emit!(
+                    self,
+                    EventKind::ViolationSecondary,
+                    cpu,
+                    victim_order,
+                    target,
+                    order as u64,
+                    0
+                );
                 self.rewind(cpu, target);
             }
             later.clear();
@@ -1253,6 +1416,12 @@ impl<'p> Machine<'p> {
             debug_assert!((sub as usize) < run.checkpoints.len());
             let failed = run.ledger.rewind_to(sub as usize);
             self.acct += failed;
+            let discarded = failed.total();
+            let ops_rewound = (run.cursor - run.checkpoints[sub as usize]) as u64;
+            emit!(self, EventKind::Rewind, cpu, run.order, sub, discarded, ops_rewound);
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.metrics.note_failed(cpu, discarded);
+            }
             run.cursor = run.checkpoints[sub as usize];
             run.checkpoints.truncate(sub as usize + 1);
             run.finished = false;
@@ -1301,15 +1470,16 @@ impl<'p> Machine<'p> {
             return;
         }
         loop {
-            let ready = self.slots.iter().position(|s| {
-                matches!(s, Slot::Running(r) if r.finished && r.order == self.next_commit)
-            });
+            let ready = self.slots.iter().position(
+                |s| matches!(s, Slot::Running(r) if r.finished && r.order == self.next_commit),
+            );
             let Some(cpu) = ready else { break };
             let run = match std::mem::replace(&mut self.slots[cpu], Slot::Free) {
                 Slot::Running(r) => r,
                 Slot::Free => unreachable!(),
             };
             let order = run.order;
+            emit!(self, EventKind::Commit, cpu, order, run.cur_sub(), run.ops.len() as u64, 0);
             if self.opts.oracle {
                 // The epoch's surviving write log becomes the committed
                 // image; tokens are global op indices, so the image can be
@@ -1340,6 +1510,8 @@ impl<'p> Machine<'p> {
             self.audit_after_commit(cpu, order);
             self.committed += 1;
             self.next_commit += 1;
+            // The homefree token moves to the next-oldest epoch.
+            emit!(self, EventKind::TokenHandoff, cpu, self.next_commit, 0, self.committed, 0);
         }
     }
 
@@ -1368,6 +1540,7 @@ impl<'p> Machine<'p> {
                     .spacing_for(epoch.len(), self.cfg.subthreads.contexts);
                 let order = self.next_order;
                 self.next_order += 1;
+                emit!(self, EventKind::EpochStart, cpu, order, 0, epoch.len() as u64, 0);
                 self.slots[cpu] = Slot::Running(EpochRun::new(order, &epoch.ops, spacing));
             }
         }
@@ -1519,8 +1692,11 @@ mod tests {
         let mut no_sub = cfg();
         no_sub.subthreads = SubThreadConfig::disabled();
         let mut with_sub = cfg();
-        with_sub.subthreads =
-            SubThreadConfig { contexts: 8, spacing: SpacingPolicy::Every(500), exhaustion: ExhaustionPolicy::Merge };
+        with_sub.subthreads = SubThreadConfig {
+            contexts: 8,
+            spacing: SpacingPolicy::Every(500),
+            exhaustion: ExhaustionPolicy::Merge,
+        };
         let r0 = run_with(no_sub, &p);
         let r1 = run_with(with_sub, &p);
         assert!(r0.violations.primary >= 1 && r1.violations.primary >= 1);
@@ -1600,7 +1776,11 @@ mod tests {
 
         let mut table = cfg();
         table.secondary = SecondaryPolicy::StartTable;
-        table.subthreads = SubThreadConfig { contexts: 8, spacing: SpacingPolicy::Every(500), exhaustion: ExhaustionPolicy::Merge };
+        table.subthreads = SubThreadConfig {
+            contexts: 8,
+            spacing: SpacingPolicy::Every(500),
+            exhaustion: ExhaustionPolicy::Merge,
+        };
         let mut all = table;
         all.secondary = SecondaryPolicy::RestartAll;
 
@@ -1738,8 +1918,11 @@ mod tests {
         let p = b.finish();
 
         let mut merge = cfg();
-        merge.subthreads =
-            SubThreadConfig { contexts: 4, spacing: SpacingPolicy::Every(500), exhaustion: ExhaustionPolicy::Merge };
+        merge.subthreads = SubThreadConfig {
+            contexts: 4,
+            spacing: SpacingPolicy::Every(500),
+            exhaustion: ExhaustionPolicy::Merge,
+        };
         let mut stop = merge;
         stop.subthreads.exhaustion = ExhaustionPolicy::Stop;
         let r_merge = run_with(merge, &p);

@@ -87,11 +87,8 @@ pub fn pipeline(threads: usize, ops: usize, load_at: Position, store_at: Positio
         b.begin_epoch();
         let load_idx = (load_at.clamp(0.0, 1.0) * ops as f64) as usize;
         let store_idx = (store_at.clamp(0.0, 1.0) * ops as f64) as usize;
-        let (first, second) = if load_idx <= store_idx {
-            (load_idx, store_idx)
-        } else {
-            (store_idx, load_idx)
-        };
+        let (first, second) =
+            if load_idx <= store_idx { (load_idx, store_idx) } else { (store_idx, load_idx) };
         b.int_ops(Pc::new(t as u16, 0), first);
         let emit = |b: &mut ProgramBuilder, idx: usize| {
             if idx == load_idx && t > 0 {

@@ -107,8 +107,7 @@ impl Core {
             mem_ports: FuPorts::new(cfg.mem_ports),
             br_ports: FuPorts::new(cfg.branch_ports),
             predictor: Gshare::new(cfg.gshare_bytes, cfg.gshare_history_bits),
-            icache: (cfg.icache_bytes > 0)
-                .then(|| ICache::new(cfg.icache_bytes, cfg.icache_ways)),
+            icache: (cfg.icache_bytes > 0).then(|| ICache::new(cfg.icache_bytes, cfg.icache_ways)),
             recent: VecDeque::with_capacity(cfg.dep_window),
             fetch_stall_until: 0,
             cur_cycle: 0,
@@ -148,11 +147,7 @@ impl Core {
     ///
     /// Panics if called while [`can_dispatch`](Core::can_dispatch) is
     /// false, or on a latch op (those never reach the core).
-    pub fn dispatch(
-        &mut self,
-        op: &TraceOp,
-        mem: impl FnOnce(u64, Addr, MemKind) -> u64,
-    ) -> u64 {
+    pub fn dispatch(&mut self, op: &TraceOp, mem: impl FnOnce(u64, Addr, MemKind) -> u64) -> u64 {
         assert!(self.can_dispatch(), "dispatch while the core is stalled");
         // Instruction fetch: a miss stalls the front end for the L2
         // round trip (the op itself still dispatches this cycle — it was
@@ -292,6 +287,12 @@ impl Core {
         self.fetch_stall_until
     }
 
+    /// In-flight instructions in the reorder buffer (occupancy gauge
+    /// for the observability layer's sampled metrics).
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
     /// Cumulative counters.
     pub fn stats(&self) -> &CoreStats {
         &self.stats
@@ -344,18 +345,16 @@ mod tests {
     #[test]
     fn dependence_chain_serializes() {
         // Each op depends on the previous one: IPC 1.
-        let ops: Vec<TraceOp> = (0..100)
-            .map(|_| TraceOp::int_alu(Pc::new(0, 1), latency::INT).with_dep(1))
-            .collect();
+        let ops: Vec<TraceOp> =
+            (0..100).map(|_| TraceOp::int_alu(Pc::new(0, 1), latency::INT).with_dep(1)).collect();
         let cycles = run(CpuConfig::paper_default(), &ops, 0);
         assert!((100..=110).contains(&cycles), "got {cycles}");
     }
 
     #[test]
     fn divide_latency_dominates() {
-        let ops: Vec<TraceOp> = (0..4)
-            .map(|_| TraceOp::int_alu(Pc::new(0, 2), latency::INT_DIV).with_dep(1))
-            .collect();
+        let ops: Vec<TraceOp> =
+            (0..4).map(|_| TraceOp::int_alu(Pc::new(0, 2), latency::INT_DIV).with_dep(1)).collect();
         let cycles = run(CpuConfig::paper_default(), &ops, 0);
         assert!(cycles >= 4 * 76, "got {cycles}");
     }

@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn conflict_misses_evict_lru() {
         let mut c = ICache::new(4 * 32 * 4, 4); // 4 sets, 4 ways
-        // Five lines mapping to the same set (stride = sets * line).
+                                                // Five lines mapping to the same set (stride = sets * line).
         let stride_sites = (4 * LINE_BYTES / BYTES_PER_SITE) as u16;
         for i in 0..5u16 {
             let _ = c.fetch(Pc::new(0, i * stride_sites));

@@ -31,6 +31,6 @@ mod ports;
 
 pub use crate::core::{Core, CoreStats, HeadStall, MemKind, RetireResult};
 pub use config::CpuConfig;
-pub use icache::ICache;
 pub use gshare::Gshare;
+pub use icache::ICache;
 pub use ports::FuPorts;

@@ -27,11 +27,8 @@ impl FuPorts {
     /// `ready` and occupies the port for `occupancy` cycles. Returns the
     /// cycle execution starts.
     pub fn book(&mut self, ready: u64, occupancy: u64) -> u64 {
-        let port = self
-            .next_free
-            .iter_mut()
-            .min_by_key(|c| **c)
-            .expect("port group is never empty");
+        let port =
+            self.next_free.iter_mut().min_by_key(|c| **c).expect("port group is never empty");
         let start = ready.max(*port);
         *port = start + occupancy.max(1);
         self.booked += 1;

@@ -6,6 +6,9 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        std::process::exit(tls_harness::suite::run_trace_verb(&args[1..]));
+    }
     let opts = match tls_harness::suite::SuiteOptions::parse(&args) {
         Ok(opts) => opts,
         Err(msg) => {

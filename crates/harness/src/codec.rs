@@ -164,11 +164,7 @@ pub fn encode_container(kind: u8, key_hash: u64, payload: &[u8]) -> Vec<u8> {
 }
 
 /// Verifies a container's framing and returns its payload slice.
-pub fn decode_container(
-    bytes: &[u8],
-    kind: u8,
-    key_hash: u64,
-) -> Result<&[u8], SnapshotError> {
+pub fn decode_container(bytes: &[u8], kind: u8, key_hash: u64) -> Result<&[u8], SnapshotError> {
     if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
         return Err(SnapshotError::TooShort(bytes.len()));
     }
@@ -247,8 +243,7 @@ pub fn program_bytes(program: &TraceProgram) -> Vec<u8> {
 
 /// Serializes a `(plain, tls)` pair as a kind-1 payload.
 pub fn encode_pair(pair: &BenchmarkPrograms) -> Vec<u8> {
-    let mut out =
-        Vec::with_capacity(16 * (pair.plain.total_ops() + pair.tls.total_ops()) + 128);
+    let mut out = Vec::with_capacity(16 * (pair.plain.total_ops() + pair.tls.total_ops()) + 128);
     encode_program(&mut out, &pair.plain);
     encode_program(&mut out, &pair.tls);
     out
@@ -396,10 +391,7 @@ mod tests {
             // Either the framing/checksum rejects it, or (never, for a
             // single flip with FNV over the body) it decodes — it must
             // not silently misdecode.
-            assert!(
-                decode_pair_file(&bad, 7).is_err(),
-                "flip at byte {i} was accepted"
-            );
+            assert!(decode_pair_file(&bad, 7).is_err(), "flip at byte {i} was accepted");
         }
     }
 

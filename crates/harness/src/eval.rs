@@ -154,8 +154,14 @@ mod tests {
             assert!(test <= paper, "{txn:?} test > paper");
         }
         // The knob is live: multi-instance benchmarks genuinely shrink.
-        assert!(instances(Transaction::Payment, Scale::Test) < instances(Transaction::Payment, Scale::Paper));
-        assert!(instances(Transaction::NewOrder, Scale::Test) < instances(Transaction::NewOrder, Scale::Paper));
+        assert!(
+            instances(Transaction::Payment, Scale::Test)
+                < instances(Transaction::Payment, Scale::Paper)
+        );
+        assert!(
+            instances(Transaction::NewOrder, Scale::Test)
+                < instances(Transaction::NewOrder, Scale::Paper)
+        );
     }
 
     #[test]

@@ -20,9 +20,13 @@
 //!   comparison, and `BENCH_suite.json` throughput accounting.
 //! - [`eval`] — shared evaluation helpers (scales, instance counts, the
 //!   paper machine, text-bar rendering).
+//! - [`observe`] — observed runs behind the `suite trace` verb: a
+//!   Perfetto timeline plus a metrics time series per benchmark, with a
+//!   zero-drift guarantee against the unobserved (cached) report.
 
 pub mod codec;
 pub mod eval;
+pub mod observe;
 pub mod plan;
 pub mod plans;
 pub mod runner;
@@ -31,6 +35,7 @@ pub mod suite;
 
 pub use codec::{decode_pair, encode_pair, SnapshotError};
 pub use eval::{breakdown_row, initials, instances, paper_machine, render_stack, Scale};
+pub use observe::{observe_run, ObserveOutcome, ObserveRequest};
 pub use plan::{all_plans, find_plan, Plan, PlanCtx, PlanOutput};
 pub use runner::JobPool;
 pub use store::{HarnessStore, StoreStats, TraceKey};

@@ -63,9 +63,10 @@ fn run(ctx: &PlanCtx) -> PlanOutput {
     let without = KeyedProgram::new(program(false));
     let mut jobs: Vec<Job<Arc<SimReport>>> = Vec::new();
     let mut labels: Vec<String> = Vec::new();
-    for (mode, subs) in
-        [("all-or-nothing", SubThreadConfig::disabled()), ("sub-threads", SubThreadConfig::baseline())]
-    {
+    for (mode, subs) in [
+        ("all-or-nothing", SubThreadConfig::disabled()),
+        ("sub-threads", SubThreadConfig::baseline()),
+    ] {
         for with_p in [true, false] {
             labels.push(format!(
                 "{mode:<15} {}",

@@ -60,7 +60,8 @@ fn run(ctx: &PlanCtx) -> PlanOutput {
     let mut sim_cycles = 0u64;
     for (b, &txn) in Transaction::ALL.iter().enumerate() {
         let count = instances(txn, ctx.scale);
-        let per_bench = &reports[b * ExperimentKind::ALL.len()..(b + 1) * ExperimentKind::ALL.len()];
+        let per_bench =
+            &reports[b * ExperimentKind::ALL.len()..(b + 1) * ExperimentKind::ALL.len()];
         let seq_cycles = per_bench[0].total_cycles; // ALL[0] is SEQUENTIAL
         writeln!(text, "\nFigure 5: {} ({} transactions)", txn.label(), count).unwrap();
         writeln!(text, "{:-<120}", "").unwrap();

@@ -29,7 +29,12 @@ const CASES: [(&str, usize, usize, usize); 3] = [
 
 /// The spec_contrast plan.
 pub fn plan() -> Plan {
-    Plan { name: "spec_contrast", title: "Context — SPEC-style vs database-style threads", traces, run }
+    Plan {
+        name: "spec_contrast",
+        title: "Context — SPEC-style vs database-style threads",
+        traces,
+        run,
+    }
 }
 
 fn traces(_ctx: &PlanCtx) -> Vec<TraceKey> {

@@ -41,8 +41,7 @@ fn run(ctx: &PlanCtx) -> PlanOutput {
                 // speculatively — all of its instructions except those it
                 // runs after becoming the oldest (non-speculative) thread.
                 // We report the epoch body minus the spawn scaffolding.
-                let spec_per_thread =
-                    stats.avg_epoch_ops() - tls_minidb::SPAWN_OVERHEAD_OPS as f64;
+                let spec_per_thread = stats.avg_epoch_ops() - tls_minidb::SPAWN_OVERHEAD_OPS as f64;
                 let row = Row {
                     benchmark: txn.label(),
                     exec_mcycles: seq.total_cycles as f64 / 1e6,

@@ -42,10 +42,7 @@ impl JobPool {
     /// thread — the `--jobs 1` reference execution has no thread
     /// machinery at all. If a job panics, the panic is propagated to the
     /// caller after all workers stop.
-    pub fn run<'env, T: Send>(
-        &self,
-        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
-    ) -> Vec<T> {
+    pub fn run<'env, T: Send>(&self, jobs: Vec<Box<dyn FnOnce() -> T + Send + 'env>>) -> Vec<T> {
         let workers = self.workers.min(jobs.len());
         if workers <= 1 {
             return jobs.into_iter().map(|job| job()).collect();

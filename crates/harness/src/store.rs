@@ -173,8 +173,11 @@ impl StoredPrograms {
     /// The serialized variant (epochs concatenated onto one CPU) of the
     /// TLS or plain trace, built and fingerprinted on first use.
     pub fn serialized(&self, tls: bool) -> &KeyedProgram {
-        let (cell, source) =
-            if tls { (&self.tls_serialized, &self.tls) } else { (&self.plain_serialized, &self.plain) };
+        let (cell, source) = if tls {
+            (&self.tls_serialized, &self.tls)
+        } else {
+            (&self.plain_serialized, &self.plain)
+        };
         cell.get_or_init(|| KeyedProgram::new(serialize_program(source)))
     }
 }
@@ -394,8 +397,7 @@ mod tests {
 
     #[test]
     fn corrupt_snapshot_falls_back_to_recording() {
-        let dir =
-            std::env::temp_dir().join(format!("tls-harness-corrupt-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("tls-harness-corrupt-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cold = HarnessStore::new(Some(dir.clone()), true);
         cold.programs(&key());

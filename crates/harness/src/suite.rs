@@ -13,6 +13,7 @@ use crate::store::HarnessStore;
 use serde::{Serialize, Value};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+use tls_minidb::Transaction;
 
 /// Everything `suite` accepts on its command line.
 #[derive(Debug, Clone)]
@@ -62,6 +63,8 @@ impl Default for SuiteOptions {
 
 pub const USAGE: &str = "\
 usage: suite [options]
+       suite trace <benchmark> [--scale paper|test] [--out DIR]
+                   [--traces DIR | --no-cache]
   --scale paper|test     workload scale (default: paper)
   --jobs N               worker threads (default: available cores)
   --filter A,B           run only plans whose name contains A or B
@@ -126,10 +129,7 @@ impl SuiteOptions {
             Some(f) => {
                 let needles: Vec<&str> =
                     f.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
-                plans
-                    .into_iter()
-                    .filter(|p| needles.iter().any(|n| p.name.contains(n)))
-                    .collect()
+                plans.into_iter().filter(|p| needles.iter().any(|n| p.name.contains(n))).collect()
             }
         }
     }
@@ -175,6 +175,90 @@ struct BenchSuite {
     cache: BenchCache,
     serial_equivalent: Option<BenchSerial>,
     baseline: Option<String>,
+}
+
+/// The `suite trace <benchmark>` verb: one observed run producing a
+/// Perfetto timeline and a metrics time series. Returns the process
+/// exit code.
+pub fn run_trace_verb(args: &[String]) -> i32 {
+    let mut txn = None;
+    let mut scale = Scale::Paper;
+    let mut out_dir = PathBuf::from("results");
+    let mut trace_dir = Some(PathBuf::from("traces"));
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().map(String::as_str) {
+                Some("paper") => scale = Scale::Paper,
+                Some("test") => scale = Scale::Test,
+                other => {
+                    eprintln!("--scale needs paper or test, got {other:?}");
+                    return 2;
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => out_dir = PathBuf::from(v),
+                None => {
+                    eprintln!("--out needs a value");
+                    return 2;
+                }
+            },
+            "--traces" => match it.next() {
+                Some(v) => trace_dir = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--traces needs a value");
+                    return 2;
+                }
+            },
+            "--no-cache" => trace_dir = None,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return 0;
+            }
+            name if txn.is_none() => match Transaction::from_cli_name(name) {
+                Some(t) => txn = Some(t),
+                None => {
+                    eprintln!("unknown benchmark '{name}'; valid benchmarks:");
+                    for t in Transaction::ALL {
+                        eprintln!("  {}", t.trace_name());
+                    }
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(txn) = txn else {
+        eprintln!("suite trace: which benchmark? valid benchmarks:");
+        for t in Transaction::ALL {
+            eprintln!("  {}", t.trace_name());
+        }
+        return 2;
+    };
+    let store = HarnessStore::new(trace_dir, true);
+    let req = crate::observe::ObserveRequest::new(txn, scale, out_dir);
+    match crate::observe::observe_run(&store, &req) {
+        Ok(out) => {
+            println!(
+                "{}: {} cycles, {} event(s) kept ({} dropped), report drift: none",
+                txn.label(),
+                out.report.total_cycles,
+                out.events_kept,
+                out.events_dropped
+            );
+            println!("wrote {}", out.trace_path.display());
+            println!("wrote {}", out.metrics_path.display());
+            println!("open the trace in https://ui.perfetto.dev (Open trace file)");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
 }
 
 /// Runs the suite; returns the process exit code.
@@ -326,7 +410,11 @@ pub fn run_suite(opts: &SuiteOptions) -> i32 {
     if let Some(baseline) = &opts.baseline {
         let drifts = compare_against_baseline(&plans, &opts.out_dir, baseline);
         if !drifts.is_empty() {
-            eprintln!("regression: {} artifact difference(s) vs {}:", drifts.len(), baseline.display());
+            eprintln!(
+                "regression: {} artifact difference(s) vs {}:",
+                drifts.len(),
+                baseline.display()
+            );
             for d in drifts.iter().take(20) {
                 eprintln!("  {d}");
             }
@@ -365,7 +453,9 @@ fn compare_against_baseline(plans: &[Plan], out_dir: &Path, baseline: &Path) -> 
         match (serde::parse(&base), serde::parse(&new)) {
             (Ok(b), Ok(n)) => diff_values(plan.name, &b, &n, &mut drifts),
             (Err(e), _) => drifts.push(format!("{}: baseline is not JSON: {}", plan.name, e.0)),
-            (_, Err(e)) => drifts.push(format!("{}: fresh artifact is not JSON: {}", plan.name, e.0)),
+            (_, Err(e)) => {
+                drifts.push(format!("{}: fresh artifact is not JSON: {}", plan.name, e.0))
+            }
         }
     }
     drifts
@@ -376,9 +466,7 @@ fn compare_against_baseline(plans: &[Plan], out_dir: &Path, baseline: &Path) -> 
 fn diff_values(path: &str, a: &Value, b: &Value, drifts: &mut Vec<String>) {
     match (a, b) {
         (Value::Object(pa), Value::Object(pb)) => {
-            if pa.len() != pb.len()
-                || pa.iter().zip(pb.iter()).any(|((ka, _), (kb, _))| ka != kb)
-            {
+            if pa.len() != pb.len() || pa.iter().zip(pb.iter()).any(|((ka, _), (kb, _))| ka != kb) {
                 drifts.push(format!("{path}: object keys changed"));
                 return;
             }
@@ -431,8 +519,7 @@ pub fn run_single_plan(name: &str, args: &[String]) {
     } else {
         Some(PathBuf::from(flag("--traces").map(String::as_str).unwrap_or("traces")))
     };
-    let plan = crate::plan::find_plan(name)
-        .unwrap_or_else(|| panic!("no plan named '{name}'"));
+    let plan = crate::plan::find_plan(name).unwrap_or_else(|| panic!("no plan named '{name}'"));
     let pool = JobPool::new(jobs);
     let store = HarnessStore::new(trace_dir, true);
     let ctx = PlanCtx { scale, machine: paper_machine(), store: &store, pool: &pool };
@@ -458,8 +545,17 @@ mod tests {
     #[test]
     fn parses_a_full_command_line() {
         let o = SuiteOptions::parse(&args(&[
-            "--scale", "test", "--jobs", "8", "--filter", "fig", "--out", "r",
-            "--baseline", "old", "--quiet",
+            "--scale",
+            "test",
+            "--jobs",
+            "8",
+            "--filter",
+            "fig",
+            "--out",
+            "r",
+            "--baseline",
+            "old",
+            "--quiet",
         ]))
         .unwrap();
         assert_eq!(o.scale, Scale::Test);

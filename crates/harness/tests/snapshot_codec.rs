@@ -4,9 +4,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use tls_core::experiment::BenchmarkPrograms;
-use tls_harness::codec::{
-    decode_pair_file, encode_pair_file, program_bytes,
-};
+use tls_harness::codec::{decode_pair_file, encode_pair_file, program_bytes};
 use tls_trace::{Addr, LatchId, OpSink, Pc, ProgramBuilder, TraceOp, TraceProgram};
 
 /// A generated op: `(class, module, site, arg, addr, dep)`.
@@ -28,20 +26,18 @@ fn op(d: OpDesc) -> TraceOp {
 }
 
 fn op_desc() -> impl Strategy<Value = OpDesc> {
-    (
-        any::<u8>(),
-        any::<u16>(),
-        any::<u16>(),
-        any::<u8>(),
-        any::<u64>(),
-        any::<u16>(),
-    )
+    (any::<u8>(), any::<u16>(), any::<u16>(), any::<u8>(), any::<u64>(), any::<u16>())
 }
 
 /// Assembles `(prefix, epochs, suffix)` into a program: an optional
 /// sequential region, an optional parallel region, and an optional
 /// trailing sequential region — every shape the builder can produce.
-fn program(name: &str, prefix: &[OpDesc], epochs: &[Vec<OpDesc>], suffix: &[OpDesc]) -> TraceProgram {
+fn program(
+    name: &str,
+    prefix: &[OpDesc],
+    epochs: &[Vec<OpDesc>],
+    suffix: &[OpDesc],
+) -> TraceProgram {
     let mut b = ProgramBuilder::new(name);
     for &d in prefix {
         b.emit(op(d));

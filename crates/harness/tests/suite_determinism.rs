@@ -87,8 +87,14 @@ fn suite_driver_round_trips_through_its_own_baseline() {
     }
 
     let args: Vec<String> = [
-        "--scale", "test", "--filter", "figure2,table2", "--quiet", "--no-compare-serial",
-        "--traces", traces.to_str().unwrap(),
+        "--scale",
+        "test",
+        "--filter",
+        "figure2,table2",
+        "--quiet",
+        "--no-compare-serial",
+        "--traces",
+        traces.to_str().unwrap(),
     ]
     .iter()
     .map(|s| s.to_string())

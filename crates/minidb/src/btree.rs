@@ -442,8 +442,7 @@ impl BTree {
                     let sep = node.key_at(env, i);
                     let child_slot = node.value_addr(env, i);
                     let child = Addr(env.load_u64(self.pc(SITE_DESCEND), child_slot));
-                    let next_sep =
-                        if i + 1 < n { Some(node.key_at(env, i + 1)) } else { upper };
+                    let next_sep = if i + 1 < n { Some(node.key_at(env, i + 1)) } else { upper };
                     self.check_node(
                         env,
                         Page::open(child, self.module),

@@ -58,10 +58,7 @@ impl OptLevel {
     pub fn tuning_steps() -> Vec<(&'static str, OptLevel)> {
         vec![
             ("unoptimized", OptLevel::none()),
-            (
-                "+ remove global statistics",
-                OptLevel { no_global_stats: true, ..OptLevel::none() },
-            ),
+            ("+ remove global statistics", OptLevel { no_global_stats: true, ..OptLevel::none() }),
             (
                 "+ per-thread log buffers",
                 OptLevel { per_thread_log: true, no_global_stats: true, latch_free: false },

@@ -116,21 +116,15 @@ pub fn run(t: &mut Tpcc, variant: Variant) {
                 t.env.rec.begin_epoch(Pc::new(M, SPAWN));
             }
             let lscratch = t.env.alloc(256, 64);
-            let mut line_local = (variant == Variant::Inner
-                && t.db.opts.per_thread_log)
+            let mut line_local = (variant == Variant::Inner && t.db.opts.per_thread_log)
                 .then(|| t.db.local_log(&mut t.env));
             let env = &mut t.env;
-            let la = tb
-                .order_line
-                .get_addr(env, key::order_line(d_id, o_id, ol))
-                .expect("order line");
+            let la =
+                tb.order_line.get_addr(env, key::order_line(d_id, o_id, ol)).expect("order line");
             let amount = env.load_u64(Pc::new(M, LINE_UPD), la.offset(field::OL_AMOUNT));
             env.store_u64(Pc::new(M, LINE_UPD), la.offset(field::OL_DELIVERY_D), 1 + o_id as u64);
-            let log_target = if variant == Variant::Inner {
-                line_local.as_mut()
-            } else {
-                local.as_mut()
-            };
+            let log_target =
+                if variant == Variant::Inner { line_local.as_mut() } else { local.as_mut() };
             db.log(env, width::ORDER_LINE as u64, log_target);
             db.bump_stats(env);
             t.work(Pc::new(M, LINE_UPD), lscratch, 4);
@@ -232,11 +226,8 @@ mod tests {
         let (k, _) = t.tables.new_order.min_from(&mut t.env, key::order(1, 0)).unwrap();
         let o_id = (k & 0xFFFF_FFFF) as u32;
         t.run_one(Transaction::Delivery);
-        let la = t
-            .tables
-            .order_line
-            .get_addr(&mut t.env, key::order_line(1, o_id, 1))
-            .expect("line");
+        let la =
+            t.tables.order_line.get_addr(&mut t.env, key::order_line(1, o_id, 1)).expect("line");
         assert_ne!(t.env.mem.peek_u64(la.offset(field::OL_DELIVERY_D)), 0);
     }
 }

@@ -65,7 +65,11 @@ pub fn populate(env: &mut Env, db: &Db, tables: &Tables, cfg: &TpccConfig, rng: 
 
             let mut orow = vec![0u8; width::ORDERS as usize];
             put_u32(&mut orow, field::O_C_ID, c_id);
-            put_u32(&mut orow, field::O_CARRIER_ID, if delivered { rng.gen_range(1..=10) } else { 0 });
+            put_u32(
+                &mut orow,
+                field::O_CARRIER_ID,
+                if delivered { rng.gen_range(1..=10) } else { 0 },
+            );
             put_u64(&mut orow, field::O_ENTRY_D, o_id as u64);
             put_u32(&mut orow, field::O_OL_CNT, ol_cnt);
             tables.orders.insert(env, &db.alloc, key::order(d_id, o_id), &orow);
@@ -85,10 +89,8 @@ pub fn populate(env: &mut Env, db: &Db, tables: &Tables, cfg: &TpccConfig, rng: 
             }
 
             // Track the customer's most recent order.
-            let caddr = tables
-                .customer
-                .get_addr(env, key::customer(d_id, c_id))
-                .expect("customer loaded");
+            let caddr =
+                tables.customer.get_addr(env, key::customer(d_id, c_id)).expect("customer loaded");
             poke_u32(env, caddr.offset(field::C_LAST_ORDER), o_id);
         }
     }
@@ -139,7 +141,10 @@ mod tests {
         );
         let undelivered = cfg.initial_orders_per_district - cfg.initial_orders_per_district * 2 / 3;
         assert_eq!(tt.tables.new_order.count(env), (cfg.districts * undelivered) as u64);
-        assert!(tt.tables.order_line.count(env) >= (cfg.districts * cfg.initial_orders_per_district * 5) as u64);
+        assert!(
+            tt.tables.order_line.count(env)
+                >= (cfg.districts * cfg.initial_orders_per_district * 5) as u64
+        );
     }
 
     #[test]

@@ -165,6 +165,26 @@ impl Transaction {
             Transaction::StockLevel => "stock_level",
         }
     }
+
+    /// Parses a benchmark name as spelled on a command line.
+    ///
+    /// Accepts the [`trace_name`](Self::trace_name) spelling
+    /// (`new_order`) as well as the paper's display
+    /// [`label`](Self::label) (`NEW ORDER`) in any case, with spaces or
+    /// dashes in place of underscores. Returns `None` for anything
+    /// else — callers should list [`Transaction::ALL`] in their error
+    /// message rather than silently falling back.
+    pub fn from_cli_name(name: &str) -> Option<Transaction> {
+        let normalized: String = name
+            .trim()
+            .chars()
+            .map(|c| match c {
+                ' ' | '-' => '_',
+                c => c.to_ascii_lowercase(),
+            })
+            .collect();
+        Transaction::ALL.iter().copied().find(|t| t.trace_name() == normalized)
+    }
 }
 
 /// A loaded TPC-C database plus the machinery to run and record
@@ -403,6 +423,19 @@ mod tests {
         let labels: std::collections::HashSet<_> =
             Transaction::ALL.iter().map(|t| t.label()).collect();
         assert_eq!(labels.len(), 7);
+    }
+
+    #[test]
+    fn cli_names_round_trip() {
+        for t in Transaction::ALL {
+            assert_eq!(Transaction::from_cli_name(t.trace_name()), Some(t));
+            assert_eq!(Transaction::from_cli_name(t.label()), Some(t));
+            assert_eq!(Transaction::from_cli_name(&t.label().to_lowercase()), Some(t));
+        }
+        assert_eq!(Transaction::from_cli_name("new-order"), Some(Transaction::NewOrder));
+        assert_eq!(Transaction::from_cli_name("  NEW_ORDER_150 "), Some(Transaction::NewOrder150));
+        assert_eq!(Transaction::from_cli_name("neworder"), None);
+        assert_eq!(Transaction::from_cli_name(""), None);
     }
 
     #[test]

@@ -157,12 +157,8 @@ mod tests {
         w.append(&mut env, 16, false);
         let p = env.rec.finish();
         let tail_addr = w.tail_cell;
-        assert!(p
-            .iter_ops()
-            .any(|o| o.is_load() && o.mem_addr() == Some(tail_addr)));
-        assert!(p
-            .iter_ops()
-            .any(|o| o.is_store() && o.mem_addr() == Some(tail_addr)));
+        assert!(p.iter_ops().any(|o| o.is_load() && o.mem_addr() == Some(tail_addr)));
+        assert!(p.iter_ops().any(|o| o.is_store() && o.mem_addr() == Some(tail_addr)));
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! The compact binary event record and its taxonomy.
+
+/// Sentinel for "no PC" in a packed PC payload word (a real
+/// `tls_trace::Pc` is a `u32`, but `u32::MAX` is never a valid one —
+/// it would need epoch 65535 *and* offset 65535).
+pub const NO_PC: u32 = u32::MAX;
+
+/// What happened. One variant per lifecycle transition of the
+/// sub-threaded TLS protocol; see each variant for how the [`Event`]
+/// payload words `a`/`b` are used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// An epoch was placed on a CPU. `a` = epoch length in ops.
+    EpochStart = 0,
+    /// A sub-thread checkpoint was taken. `sub` = the new context id,
+    /// `a` = op cursor at the boundary.
+    SubThreadStart = 1,
+    /// Two adjacent sub-thread contexts were merged (context-supply
+    /// exhaustion or a chaos forced-merge). `sub` = the current
+    /// context id after the merge.
+    SubThreadMerge = 2,
+    /// A primary (RAW) violation was applied. `sub` = rewind target,
+    /// `a` = conflicting line address, `b` = packed PCs: low 32 bits
+    /// the exposed load PC, high 32 bits the offending store PC
+    /// ([`NO_PC`] when unknown).
+    ViolationRaw = 3,
+    /// A secondary violation cascaded from an older epoch's rewind.
+    /// `sub` = rewind target, `a` = the triggering epoch's order.
+    ViolationSecondary = 4,
+    /// Speculative state overflowed the L2 + victim cache. `sub` =
+    /// rewind target, `a` = displaced line address.
+    ViolationOverflow = 5,
+    /// A chaos-injected spurious violation. `sub` = rewind target.
+    ViolationInjected = 6,
+    /// A rewind ran. `sub` = target sub-thread, `a` = discarded
+    /// (failed) cycles, `b` = ops rewound.
+    Rewind = 7,
+    /// The homefree token moved on after a commit. `epoch` = the new
+    /// token holder's order, `a` = total epochs committed so far.
+    TokenHandoff = 8,
+    /// An epoch committed. `a` = its op count.
+    Commit = 9,
+    /// Speculative line(s) were displaced into the victim cache by
+    /// this CPU's accesses this cycle. `a` = how many.
+    VictimSpill = 10,
+    /// A latch acquire blocked (start of a stall episode). `a` = the
+    /// latch id.
+    LatchStall = 11,
+    /// Synthetic: idle-cycle fast-forward skipped a provably-quiescent
+    /// span. `cycle` = span start, `a` = span end (exclusive). The
+    /// machine-wide record that keeps timelines truthful — every CPU
+    /// repeated its previous cycle category for the whole span.
+    IdleSpan = 12,
+}
+
+/// Every event kind, in discriminant order (stable for count tables).
+pub const ALL_EVENT_KINDS: [EventKind; 13] = [
+    EventKind::EpochStart,
+    EventKind::SubThreadStart,
+    EventKind::SubThreadMerge,
+    EventKind::ViolationRaw,
+    EventKind::ViolationSecondary,
+    EventKind::ViolationOverflow,
+    EventKind::ViolationInjected,
+    EventKind::Rewind,
+    EventKind::TokenHandoff,
+    EventKind::Commit,
+    EventKind::VictimSpill,
+    EventKind::LatchStall,
+    EventKind::IdleSpan,
+];
+
+impl EventKind {
+    /// Stable snake_case label (JSON field names, count tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::EpochStart => "epoch_start",
+            EventKind::SubThreadStart => "subthread_start",
+            EventKind::SubThreadMerge => "subthread_merge",
+            EventKind::ViolationRaw => "violation_raw",
+            EventKind::ViolationSecondary => "violation_secondary",
+            EventKind::ViolationOverflow => "violation_overflow",
+            EventKind::ViolationInjected => "violation_injected",
+            EventKind::Rewind => "rewind",
+            EventKind::TokenHandoff => "token_handoff",
+            EventKind::Commit => "commit",
+            EventKind::VictimSpill => "victim_spill",
+            EventKind::LatchStall => "latch_stall",
+            EventKind::IdleSpan => "idle_span",
+        }
+    }
+
+    /// Is this one of the four violation kinds?
+    pub fn is_violation(self) -> bool {
+        matches!(
+            self,
+            EventKind::ViolationRaw
+                | EventKind::ViolationSecondary
+                | EventKind::ViolationOverflow
+                | EventKind::ViolationInjected
+        )
+    }
+}
+
+/// One traced occurrence: a fixed-size, copyable record (40 bytes) so a
+/// million of them ring-buffer without allocation or indirection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated cycle at which the event was emitted.
+    pub cycle: u64,
+    /// First payload word; meaning depends on [`EventKind`].
+    pub a: u64,
+    /// Second payload word; meaning depends on [`EventKind`].
+    pub b: u64,
+    /// Logical epoch order, or `u32::MAX` when no epoch is involved.
+    pub epoch: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// CPU index, or [`Event::NO_CPU`] for machine-wide events.
+    pub cpu: u8,
+    /// Sub-thread context id (0 when not meaningful).
+    pub sub: u8,
+}
+
+impl Event {
+    /// `cpu` value for machine-wide events ([`EventKind::IdleSpan`]).
+    pub const NO_CPU: u8 = u8::MAX;
+
+    /// Packs an optional load PC and an optional store PC into one
+    /// payload word ([`NO_PC`] marks absence).
+    pub fn pack_pcs(load: Option<u32>, store: Option<u32>) -> u64 {
+        let lo = load.unwrap_or(NO_PC) as u64;
+        let hi = store.unwrap_or(NO_PC) as u64;
+        lo | (hi << 32)
+    }
+
+    /// Inverse of [`Event::pack_pcs`].
+    pub fn unpack_pcs(b: u64) -> (Option<u32>, Option<u32>) {
+        let lo = (b & 0xFFFF_FFFF) as u32;
+        let hi = (b >> 32) as u32;
+        ((lo != NO_PC).then_some(lo), (hi != NO_PC).then_some(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcs_round_trip() {
+        for (l, s) in [(None, None), (Some(7u32), None), (None, Some(9)), (Some(1), Some(2))] {
+            assert_eq!(Event::unpack_pcs(Event::pack_pcs(l, s)), (l, s));
+        }
+    }
+
+    #[test]
+    fn kinds_are_distinct_and_labelled() {
+        let mut labels: Vec<&str> = ALL_EVENT_KINDS.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ALL_EVENT_KINDS.len());
+    }
+}

@@ -1,0 +1,75 @@
+//! # tls-obs — observability for the TLS simulator
+//!
+//! A structured event-tracing and metrics subsystem for the sub-threaded
+//! TLS machine: a fixed-capacity ring-buffer [`EventSink`] of compact
+//! binary [`Event`] records covering the full speculative lifecycle
+//! (spawn, sub-thread checkpoint, violation, rewind, homefree-token
+//! handoff, commit, victim-cache spill, latch stall), a sampled
+//! time-series [`MetricsRecorder`], and a Perfetto/Chrome `trace_event`
+//! exporter ([`perfetto::export`]) whose output opens directly in
+//! `ui.perfetto.dev`.
+//!
+//! The subsystem is strictly *passive*: an [`Observer`] only ever reads
+//! simulator state and appends to its own buffers, so a run produces a
+//! byte-identical `SimReport` whether observation is on, off, or
+//! overflowing (see `tests/observation_neutrality.rs` in the workspace
+//! root). When no observer is attached the simulator's hook is a single
+//! always-false `Option` check — the disabled path costs nothing.
+//!
+//! This crate deliberately sits *below* `tls-core` in the dependency
+//! graph (it knows nothing about configs or reports) so the simulator
+//! can emit into it directly; everything here speaks in primitives:
+//! cycles, CPU indices, epoch orders, sub-thread ids, and packed
+//! payload words.
+//!
+//! See `DESIGN.md` §10 for the event taxonomy and the ring-overflow
+//! policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+pub mod perfetto;
+mod sink;
+
+pub use event::{Event, EventKind, ALL_EVENT_KINDS, NO_PC};
+pub use metrics::{CycleClass, MetricsRecorder, MetricsSample, MetricsSeries};
+pub use sink::EventSink;
+
+/// Everything one observed run collects: the event ring plus the
+/// sampled metrics time series.
+///
+/// Construct one per run and pass it to the simulator's observed entry
+/// point; afterwards, export the ring with [`perfetto::export`] and the
+/// series with [`MetricsRecorder::series`].
+#[derive(Debug, Clone)]
+pub struct Observer {
+    /// Ring-buffered lifecycle events (newest kept on overflow).
+    pub events: EventSink,
+    /// Sampled per-CPU cycle classes and machine-pressure gauges.
+    pub metrics: MetricsRecorder,
+}
+
+/// Default event-ring capacity: large enough for every event of a
+/// paper-scale NEW ORDER run, small enough (~40 MB) to sit in memory.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+/// Default metrics sampling interval in cycles.
+pub const DEFAULT_METRICS_INTERVAL: u64 = 4096;
+
+impl Observer {
+    /// An observer with explicit ring capacity and sampling interval.
+    pub fn new(cpus: usize, ring_capacity: usize, metrics_interval: u64) -> Self {
+        Observer {
+            events: EventSink::with_capacity(ring_capacity),
+            metrics: MetricsRecorder::new(cpus, metrics_interval),
+        }
+    }
+
+    /// An observer sized with [`DEFAULT_RING_CAPACITY`] and
+    /// [`DEFAULT_METRICS_INTERVAL`].
+    pub fn with_defaults(cpus: usize) -> Self {
+        Observer::new(cpus, DEFAULT_RING_CAPACITY, DEFAULT_METRICS_INTERVAL)
+    }
+}

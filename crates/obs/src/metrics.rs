@@ -1,0 +1,206 @@
+//! Sampled time-series metrics for one observed run.
+
+use serde::Serialize;
+
+/// Dispatch-time classification of one CPU-cycle, mirroring the
+/// simulator's accounting categories. `Failed` never appears here —
+/// failure is assigned retroactively by a rewind — so discarded work is
+/// tracked separately via [`MetricsRecorder::note_failed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleClass {
+    /// Executing instructions.
+    Busy,
+    /// Head-of-ROB memory stall.
+    CacheMiss,
+    /// Blocked on a latch.
+    Latch,
+    /// Waiting on the homefree token (or a predictor synchronization).
+    Sync,
+    /// No epoch to run.
+    Idle,
+}
+
+/// One sample: cumulative per-CPU cycle classes plus point-in-time
+/// machine-pressure gauges.
+///
+/// The per-CPU vectors are *cumulative* counts since cycle 0, so any
+/// two samples subtract into an interval breakdown. `busy` includes
+/// work later discarded by a violation; `failed` is the running total
+/// of discarded cycles (credited at rewind time), matching how the
+/// simulator itself re-classifies retroactively.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSample {
+    /// Cycle the sample was taken at.
+    pub cycle: u64,
+    /// Per-CPU cycles spent executing.
+    pub busy: Vec<u64>,
+    /// Per-CPU cycles stalled on the memory hierarchy.
+    pub cache_miss: Vec<u64>,
+    /// Per-CPU cycles blocked on latches.
+    pub latch: Vec<u64>,
+    /// Per-CPU cycles waiting to commit or synchronized.
+    pub sync: Vec<u64>,
+    /// Per-CPU cycles with no epoch scheduled.
+    pub idle: Vec<u64>,
+    /// Per-CPU cycles discarded by rewinds so far.
+    pub failed: Vec<u64>,
+    /// Per-CPU reorder-buffer occupancy (point-in-time).
+    pub rob: Vec<u64>,
+    /// Speculative lines resident in the shared L2 (point-in-time).
+    pub spec_lines: u64,
+    /// Lines resident in the victim cache (point-in-time).
+    pub victim_lines: u64,
+    /// Outstanding data-MSHR entries across all CPUs (point-in-time).
+    pub mshr_inflight: u64,
+}
+
+/// The serialized product of a recorder: identification plus samples.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSeries {
+    /// The observed program's name.
+    pub program: String,
+    /// CPU count of the simulated machine.
+    pub cpus: usize,
+    /// Nominal cycles between samples (fast-forwarded quiescent spans
+    /// may cross several boundaries and yield a single sample — nothing
+    /// measurable changes inside such a span).
+    pub interval: u64,
+    /// The samples, in cycle order.
+    pub samples: Vec<MetricsSample>,
+}
+
+/// Accumulates per-CPU cycle classes and takes periodic samples.
+///
+/// The simulator ticks this once per CPU per simulated cycle while
+/// observing (bulk-ticked across fast-forwarded spans) and calls
+/// [`sample`](MetricsRecorder::sample) when
+/// [`due`](MetricsRecorder::due) says a boundary was crossed.
+#[derive(Debug, Clone)]
+pub struct MetricsRecorder {
+    interval: u64,
+    next_due: u64,
+    busy: Vec<u64>,
+    cache_miss: Vec<u64>,
+    latch: Vec<u64>,
+    sync: Vec<u64>,
+    idle: Vec<u64>,
+    failed: Vec<u64>,
+    samples: Vec<MetricsSample>,
+}
+
+impl MetricsRecorder {
+    /// A recorder for `cpus` CPUs sampling every `interval` cycles
+    /// (min 1).
+    pub fn new(cpus: usize, interval: u64) -> Self {
+        let interval = interval.max(1);
+        MetricsRecorder {
+            interval,
+            next_due: interval,
+            busy: vec![0; cpus],
+            cache_miss: vec![0; cpus],
+            latch: vec![0; cpus],
+            sync: vec![0; cpus],
+            idle: vec![0; cpus],
+            failed: vec![0; cpus],
+            samples: Vec::new(),
+        }
+    }
+
+    /// Credits one cycle of `class` to `cpu`.
+    #[inline]
+    pub fn tick(&mut self, cpu: usize, class: CycleClass) {
+        self.tick_n(cpu, class, 1);
+    }
+
+    /// Credits `n` cycles of `class` to `cpu` (fast-forwarded spans).
+    #[inline]
+    pub fn tick_n(&mut self, cpu: usize, class: CycleClass, n: u64) {
+        let bucket = match class {
+            CycleClass::Busy => &mut self.busy,
+            CycleClass::CacheMiss => &mut self.cache_miss,
+            CycleClass::Latch => &mut self.latch,
+            CycleClass::Sync => &mut self.sync,
+            CycleClass::Idle => &mut self.idle,
+        };
+        bucket[cpu] += n;
+    }
+
+    /// Credits `cycles` discarded by a rewind on `cpu`.
+    pub fn note_failed(&mut self, cpu: usize, cycles: u64) {
+        self.failed[cpu] += cycles;
+    }
+
+    /// Has the sampling boundary been crossed?
+    #[inline]
+    pub fn due(&self, cycle: u64) -> bool {
+        cycle >= self.next_due
+    }
+
+    /// Takes one sample at `cycle` with the given point-in-time gauges
+    /// and advances the next boundary past `cycle`.
+    pub fn sample(
+        &mut self,
+        cycle: u64,
+        rob: Vec<u64>,
+        spec_lines: u64,
+        victim_lines: u64,
+        mshr_inflight: u64,
+    ) {
+        self.samples.push(MetricsSample {
+            cycle,
+            busy: self.busy.clone(),
+            cache_miss: self.cache_miss.clone(),
+            latch: self.latch.clone(),
+            sync: self.sync.clone(),
+            idle: self.idle.clone(),
+            failed: self.failed.clone(),
+            rob,
+            spec_lines,
+            victim_lines,
+            mshr_inflight,
+        });
+        self.next_due = cycle - cycle % self.interval + self.interval;
+    }
+
+    /// Samples taken so far.
+    pub fn samples(&self) -> &[MetricsSample] {
+        &self.samples
+    }
+
+    /// Packages the samples for serialization.
+    pub fn series(&self, program: &str) -> MetricsSeries {
+        MetricsSeries {
+            program: program.to_string(),
+            cpus: self.busy.len(),
+            interval: self.interval,
+            samples: self.samples.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_cumulative() {
+        let mut m = MetricsRecorder::new(2, 100);
+        m.tick_n(0, CycleClass::Busy, 60);
+        m.tick_n(1, CycleClass::Idle, 60);
+        assert!(!m.due(99));
+        assert!(m.due(100));
+        m.sample(100, vec![3, 0], 5, 2, 1);
+        m.tick_n(0, CycleClass::CacheMiss, 100);
+        m.note_failed(0, 40);
+        assert!(m.due(207));
+        m.sample(207, vec![0, 0], 0, 0, 0);
+        assert!(!m.due(299));
+        assert!(m.due(300));
+        let s = m.series("p");
+        assert_eq!(s.samples.len(), 2);
+        assert_eq!(s.samples[0].busy, vec![60, 0]);
+        assert_eq!(s.samples[1].cache_miss, vec![100, 0]);
+        assert_eq!(s.samples[1].failed, vec![40, 0]);
+        assert_eq!(s.samples[0].spec_lines, 5);
+    }
+}

@@ -1,0 +1,125 @@
+//! The fixed-capacity event ring buffer.
+
+use crate::event::{Event, ALL_EVENT_KINDS};
+
+/// A fixed-capacity ring buffer of [`Event`]s.
+///
+/// Capacity is fixed at construction and never reallocated, so a
+/// `push` in the simulator's hot loop is an index increment and a
+/// 40-byte store. On overflow the *oldest* record is overwritten — the
+/// tail of a run (the part that explains how it ended) is always
+/// retained — and the per-kind counters keep counting, so aggregate
+/// truth survives even when individual records do not.
+#[derive(Debug, Clone)]
+pub struct EventSink {
+    buf: Vec<Event>,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+    counts: [u64; ALL_EVENT_KINDS.len()],
+}
+
+impl EventSink {
+    /// A sink holding at most `capacity` records (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventSink {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            dropped: 0,
+            counts: [0; ALL_EVENT_KINDS.len()],
+        }
+    }
+
+    /// Appends one record, overwriting the oldest when full.
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        self.counts[ev.kind as usize] += 1;
+        if self.buf.len() < self.buf.capacity() {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.buf.capacity();
+            self.dropped += 1;
+        }
+    }
+
+    /// Records currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum records the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Records overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total records ever pushed of `kind` (overflow-proof).
+    pub fn count(&self, kind: crate::EventKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Records in emission order, oldest surviving record first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let (older, newer) = self.buf.split_at(self.head);
+        newer.iter().chain(older.iter())
+    }
+
+    /// The surviving records as an owned, emission-ordered vector.
+    pub fn events(&self) -> Vec<Event> {
+        self.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    fn ev(cycle: u64) -> Event {
+        Event { cycle, a: 0, b: 0, epoch: 0, kind: EventKind::Commit, cpu: 0, sub: 0 }
+    }
+
+    #[test]
+    fn keeps_newest_on_overflow() {
+        let mut s = EventSink::with_capacity(4);
+        for c in 0..10u64 {
+            s.push(ev(c));
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dropped(), 6);
+        assert_eq!(s.count(EventKind::Commit), 10);
+        let cycles: Vec<u64> = s.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9], "oldest dropped, order kept");
+    }
+
+    #[test]
+    fn no_overflow_below_capacity() {
+        let mut s = EventSink::with_capacity(8);
+        for c in 0..5u64 {
+            s.push(ev(c));
+        }
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.events().len(), 5);
+        assert_eq!(s.capacity(), 8);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut s = EventSink::with_capacity(0);
+        s.push(ev(1));
+        s.push(ev(2));
+        assert_eq!(s.capacity(), 1);
+        assert_eq!(s.events()[0].cycle, 2);
+    }
+}

@@ -114,11 +114,13 @@ impl TraceProgram {
     /// Iterates over all ops in sequential execution order (useful for
     /// building reference memory images and for tests).
     pub fn iter_ops(&self) -> impl Iterator<Item = &TraceOp> + '_ {
-        self.regions.iter().flat_map(|r| match r {
-            Region::Sequential(e) => std::slice::from_ref(e).iter(),
-            Region::Parallel(es) => es.as_slice().iter(),
-        })
-        .flat_map(|e| e.ops.iter())
+        self.regions
+            .iter()
+            .flat_map(|r| match r {
+                Region::Sequential(e) => std::slice::from_ref(e).iter(),
+                Region::Parallel(es) => es.as_slice().iter(),
+            })
+            .flat_map(|e| e.ops.iter())
     }
 }
 

@@ -9,10 +9,13 @@ fn gen_traceop() -> impl Strategy<Value = TraceOp> {
     prop_oneof![
         (pc.clone(), 1u8..=200).prop_map(|(pc, l)| TraceOp::int_alu(pc, l)),
         (pc.clone(), 1u8..=200).prop_map(|(pc, l)| TraceOp::fp_alu(pc, l)),
-        (pc.clone(), any::<u64>(), 1u8..=8, any::<u16>())
-            .prop_map(|(pc, a, s, d)| TraceOp::load(pc, Addr(a), s).with_dep(d)),
-        (pc.clone(), any::<u64>(), 1u8..=8)
-            .prop_map(|(pc, a, s)| TraceOp::store(pc, Addr(a), s)),
+        (pc.clone(), any::<u64>(), 1u8..=8, any::<u16>()).prop_map(|(pc, a, s, d)| TraceOp::load(
+            pc,
+            Addr(a),
+            s
+        )
+        .with_dep(d)),
+        (pc.clone(), any::<u64>(), 1u8..=8).prop_map(|(pc, a, s)| TraceOp::store(pc, Addr(a), s)),
         (pc.clone(), any::<bool>()).prop_map(|(pc, t)| TraceOp::branch(pc, t)),
         (pc.clone(), any::<u16>()).prop_map(|(pc, l)| TraceOp::latch_acquire(pc, LatchId(l))),
         (pc, any::<u16>()).prop_map(|(pc, l)| TraceOp::latch_release(pc, LatchId(l))),

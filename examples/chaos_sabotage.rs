@@ -30,10 +30,8 @@ fn main() {
     assert!(healthy.audit_failures.is_empty());
     assert_eq!(healthy.faults.applied(), 1);
 
-    let sabotaged = sim.run_with(
-        &program,
-        RunOptions { sabotage_rewind: true, ..RunOptions::chaos(plan) },
-    );
+    let sabotaged =
+        sim.run_with(&program, RunOptions { sabotage_rewind: true, ..RunOptions::chaos(plan) });
     println!(
         "sabotaged rewind:   {} faults applied, {} audit failures",
         sabotaged.faults.applied(),
@@ -42,8 +40,5 @@ fn main() {
     for f in sabotaged.audit_failures.iter().take(3) {
         println!("  caught: {f}");
     }
-    assert!(
-        !sabotaged.audit_failures.is_empty(),
-        "a sabotaged rewind must not run undetected"
-    );
+    assert!(!sabotaged.audit_failures.is_empty(), "a sabotaged rewind must not run undetected");
 }

@@ -54,12 +54,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         eprintln!("benchmark group `{name}`");
-        BenchmarkGroup {
-            _criterion: self,
-            name,
-            sample_size: 10,
-            throughput: None,
-        }
+        BenchmarkGroup { _criterion: self, name, sample_size: 10, throughput: None }
     }
 
     /// Registers a benchmark outside any group.

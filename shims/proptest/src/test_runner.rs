@@ -108,8 +108,6 @@ where
                 }
             }
         }
-        panic!(
-            "proptest case #{case} failed (after {shrinks} successful shrink steps): {best}"
-        );
+        panic!("proptest case #{case} failed (after {shrinks} successful shrink steps): {best}");
     }
 }

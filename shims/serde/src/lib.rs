@@ -69,7 +69,11 @@ pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, DeError> {
 }
 
 /// Derive-support: looks up `key` in an object's pairs.
-pub fn obj_get<'a>(pairs: &'a [(String, Value)], key: &str, ty: &str) -> Result<&'a Value, DeError> {
+pub fn obj_get<'a>(
+    pairs: &'a [(String, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<&'a Value, DeError> {
     pairs
         .iter()
         .find(|(k, _)| k == key)
@@ -388,10 +392,9 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     fn deserialize(v: &Value) -> Result<Self, DeError> {
         match v {
-            Value::Object(pairs) => pairs
-                .iter()
-                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
-                .collect(),
+            Value::Object(pairs) => {
+                pairs.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+            }
             _ => Err(DeError::expected("object", "BTreeMap")),
         }
     }
@@ -400,10 +403,9 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
 impl<V: Deserialize> Deserialize for HashMap<String, V> {
     fn deserialize(v: &Value) -> Result<Self, DeError> {
         match v {
-            Value::Object(pairs) => pairs
-                .iter()
-                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
-                .collect(),
+            Value::Object(pairs) => {
+                pairs.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+            }
             _ => Err(DeError::expected("object", "HashMap")),
         }
     }

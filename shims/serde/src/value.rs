@@ -160,10 +160,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(DeError(format!(
-                "expected `{}` at byte {}",
-                b as char, self.pos
-            )))
+            Err(DeError(format!("expected `{}` at byte {}", b as char, self.pos)))
         }
     }
 

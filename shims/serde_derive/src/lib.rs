@@ -67,7 +67,8 @@ fn parse_item(input: TokenStream) -> Item {
         }
     }
     // Skip a `where` clause if one ever appears (none in this workspace).
-    while i < tokens.len() && !matches!(&tokens[i], TokenTree::Group(_))
+    while i < tokens.len()
+        && !matches!(&tokens[i], TokenTree::Group(_))
         && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ';')
     {
         i += 1;
@@ -200,9 +201,7 @@ fn gen_serialize(item: &Item) -> String {
         Item::Struct { name, fields } => {
             let body = match fields {
                 Fields::Unit => "out.push_str(\"null\");".to_string(),
-                Fields::Tuple(1) => {
-                    "::serde::Serialize::serialize(&self.0, out);".to_string()
-                }
+                Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0, out);".to_string(),
                 Fields::Tuple(n) => {
                     let mut b = String::from("out.push('[');");
                     for k in 0..*n {

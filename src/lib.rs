@@ -13,6 +13,8 @@
 //!   simulator (the paper's contribution).
 //! * [`minidb`] — the storage engine + TPC-C workload the paper evaluates
 //!   on.
+//! * [`obs`] — passive event tracing, Perfetto timeline export and
+//!   sampled per-run metrics for the simulator.
 //!
 //! # Quickstart
 //!
@@ -34,4 +36,5 @@ pub use tls_cache as cache;
 pub use tls_core as core;
 pub use tls_cpu as cpu;
 pub use tls_minidb as minidb;
+pub use tls_obs as obs;
 pub use tls_trace as trace;

@@ -7,7 +7,9 @@
 //! randomly generated programs.
 
 use proptest::prelude::*;
-use subthreads::core::synthetic::{independent, latched_rmw, pipeline, shared_dependences, Dependence};
+use subthreads::core::synthetic::{
+    independent, latched_rmw, pipeline, shared_dependences, Dependence,
+};
 use subthreads::core::{
     CmpConfig, CmpSimulator, ExhaustionPolicy, FaultPlan, RunOptions, SecondaryPolicy,
     SpacingPolicy, SubThreadConfig, ALL_FAULT_CLASSES,
@@ -31,8 +33,11 @@ fn machines() -> Vec<(&'static str, CmpConfig)> {
     let mut all_or_nothing = base;
     all_or_nothing.subthreads = SubThreadConfig::disabled();
     let mut dense_subs = base;
-    dense_subs.subthreads =
-        SubThreadConfig { contexts: 8, spacing: SpacingPolicy::Every(17), exhaustion: ExhaustionPolicy::Merge };
+    dense_subs.subthreads = SubThreadConfig {
+        contexts: 8,
+        spacing: SpacingPolicy::Every(17),
+        exhaustion: ExhaustionPolicy::Merge,
+    };
     let mut restart_all = base;
     restart_all.secondary = SecondaryPolicy::RestartAll;
     restart_all.subthreads.exhaustion = ExhaustionPolicy::Stop;
@@ -53,7 +58,10 @@ fn programs() -> Vec<(&'static str, TraceProgram)> {
         // Mid-thread read-modify-write under a latch.
         ("latched_rmw", latched_rmw(4, 400, 0.5)),
         // Two clustered dependences per thread.
-        ("shared_deps", shared_dependences(4, 600, &[Dependence::new(0.3, 0.4), Dependence::new(0.7, 0.6)])),
+        (
+            "shared_deps",
+            shared_dependences(4, 600, &[Dependence::new(0.3, 0.4), Dependence::new(0.7, 0.6)]),
+        ),
     ]
 }
 

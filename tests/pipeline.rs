@@ -34,8 +34,7 @@ fn every_benchmark_runs_all_five_experiments() {
                 kind.label()
             );
             // Every epoch committed exactly once.
-            let program =
-                if kind.uses_tls_trace() { &progs.tls } else { &progs.plain };
+            let program = if kind.uses_tls_trace() { &progs.tls } else { &progs.plain };
             let expected = if kind.serialized() {
                 program.regions.len() as u64
             } else {
@@ -44,10 +43,19 @@ fn every_benchmark_runs_all_five_experiments() {
             assert_eq!(r.committed_epochs, expected, "{} {}", txn.label(), kind.label());
             // Nothing retained was fabricated: at least the program's
             // instructions were dispatched.
-            assert!(r.dispatched_ops >= (program.total_ops() as u64).saturating_sub(
-                program.iter_ops().filter(|o| matches!(o.kind(),
-                    subthreads::trace::OpKind::LatchAcquire(_)
-                        | subthreads::trace::OpKind::LatchRelease(_))).count() as u64));
+            assert!(
+                r.dispatched_ops
+                    >= (program.total_ops() as u64).saturating_sub(
+                        program
+                            .iter_ops()
+                            .filter(|o| matches!(
+                                o.kind(),
+                                subthreads::trace::OpKind::LatchAcquire(_)
+                                    | subthreads::trace::OpKind::LatchRelease(_)
+                            ))
+                            .count() as u64
+                    )
+            );
         }
     }
 }

@@ -59,11 +59,8 @@ fn machines() -> Vec<CmpConfig> {
         for secondary in [SecondaryPolicy::StartTable, SecondaryPolicy::RestartAll] {
             for exhaustion in [ExhaustionPolicy::Merge, ExhaustionPolicy::Stop] {
                 let mut c = base;
-                c.subthreads = SubThreadConfig {
-                    contexts,
-                    spacing: SpacingPolicy::Every(17),
-                    exhaustion,
-                };
+                c.subthreads =
+                    SubThreadConfig { contexts, spacing: SpacingPolicy::Every(17), exhaustion };
                 c.secondary = secondary;
                 v.push(c);
             }
