@@ -11,11 +11,10 @@
 //!
 //! Exits non-zero unless survival is 100%.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-
 use serde::Serialize;
 use tls_bench::{json_dir, paper_machine, write_json, Scale};
 use tls_core::{CmpSimulator, FaultClass, FaultPlan, RunOptions, SpacingPolicy, ALL_FAULT_CLASSES};
+use tls_harness::runner::capture;
 use tls_minidb::{tpcc::consistency, OptLevel, Tpcc, Transaction};
 use tls_trace::TraceProgram;
 
@@ -143,11 +142,12 @@ fn main() {
             for seed in 0..seeds as u64 {
                 let plan_seed = 0xC4A0_5EED ^ (seed << 24) ^ ((ci as u64) << 8) ^ wi as u64;
                 let plan = FaultPlan::generate(plan_seed, set, horizon, events);
-                let r = catch_unwind(AssertUnwindSafe(|| {
-                    sim.run_with(program, RunOptions::chaos(plan.clone()))
-                }));
+                // One panic-capture engine for the whole workspace: the
+                // hardened runner primitive, not a local catch_unwind.
+                let key = format!("{wname}/{cname}/seed{seed}");
+                let r = capture(&key, || sim.run_with(program, RunOptions::chaos(plan.clone())));
                 let (survived, detail, report) = match r {
-                    Err(_) => (false, "panicked".to_string(), None),
+                    Err(f) => (false, format!("panicked: {}", f.message), None),
                     Ok(rep) => {
                         if !rep.audit_failures.is_empty() {
                             (false, rep.audit_failures.join("; "), Some(rep))

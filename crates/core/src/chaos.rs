@@ -221,6 +221,18 @@ pub struct RunOptions {
     /// so this is on by default; the switch exists for that equivalence
     /// test and for debugging.
     pub fast_forward: bool,
+    /// Forward-progress watchdog threshold: an epoch that rewinds this
+    /// many consecutive times without *any* epoch committing in between
+    /// is flagged as a violation storm and recorded in
+    /// [`crate::report::SimReport::livelocks`]. Detection is passive —
+    /// it never changes timing — and `0` disables it entirely.
+    pub livelock_threshold: u64,
+    /// When a storm is flagged, degrade the storming epoch to serial
+    /// execution: it stalls (as Sync) until it holds the homefree token
+    /// and then runs non-speculatively, which forecloses further
+    /// violations — the way a real TLS runtime would bound retries.
+    /// Off by default because it *does* change timing.
+    pub progress_fallback: bool,
 }
 
 impl Default for RunOptions {
@@ -232,6 +244,8 @@ impl Default for RunOptions {
             panic_on_audit_failure: true,
             sabotage_rewind: false,
             fast_forward: true,
+            livelock_threshold: 64,
+            progress_fallback: false,
         }
     }
 }

@@ -91,7 +91,7 @@ pub use l2spec::{AccessCtx, L2Outcome, PendingViolation, SpecL2, ViolationKind};
 pub use latch::{LatchError, LatchTable};
 pub use predictor::{DependencePredictor, PredictorConfig};
 pub use profile::{DependenceProfiler, ProfileEntry};
-pub use report::{ProtocolError, SimReport, ViolationCounts};
+pub use report::{LivelockReport, ProtocolError, SimReport, ViolationCounts};
 pub use simulator::{CmpSimulator, StartTable};
 
 /// The observability layer (re-exported from [`tls_obs`]): passive event

@@ -42,6 +42,28 @@ impl fmt::Display for ProtocolError {
     }
 }
 
+/// One violation storm flagged by the forward-progress watchdog: an
+/// epoch rewound [`crate::chaos::RunOptions::livelock_threshold`] or
+/// more consecutive times without any epoch committing in between. The
+/// homefree token only guarantees progress for the *oldest* epoch;
+/// younger epochs can storm indefinitely, and this is the record of it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LivelockReport {
+    /// Logical order of the storming epoch.
+    pub epoch: u32,
+    /// Cycle at which the storm crossed the threshold.
+    pub detected_at_cycle: u64,
+    /// Consecutive commit-free rewinds observed (grows while the storm
+    /// continues past detection).
+    pub storm_len: u64,
+    /// PCs implicated in the storm's RAW violations (loads and stores,
+    /// deduplicated, capped; empty when the storm was not RAW-driven).
+    pub violation_pcs: Vec<u32>,
+    /// Whether [`crate::chaos::RunOptions::progress_fallback`] kicked
+    /// in and serialized the epoch (stalled it until homefree).
+    pub serialized: bool,
+}
+
 /// Everything a simulation run produces.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
@@ -89,6 +111,9 @@ pub struct SimReport {
     /// Invariant-audit failures. Empty on a healthy run; non-empty only
     /// when auditing ran with `panic_on_audit_failure` disabled.
     pub audit_failures: Vec<String>,
+    /// Violation storms flagged by the forward-progress watchdog
+    /// (empty on a healthy run).
+    pub livelocks: Vec<LivelockReport>,
 }
 
 impl SimReport {
@@ -174,6 +199,7 @@ mod tests {
             faults: FaultStats::default(),
             protocol_errors: Vec::new(),
             audit_failures: Vec::new(),
+            livelocks: Vec::new(),
         }
     }
 

@@ -24,7 +24,7 @@ use crate::l2spec::{AccessCtx, L2Outcome, PendingViolation, SpecL2, ViolationKin
 use crate::latch::{LatchError, LatchTable};
 use crate::predictor::DependencePredictor;
 use crate::profile::{DependenceProfiler, ExposedLoadTable};
-use crate::report::{ProtocolError, SimReport, ViolationCounts};
+use crate::report::{LivelockReport, ProtocolError, SimReport, ViolationCounts};
 use std::collections::{HashMap, VecDeque};
 use tls_cache::{CacheStats, L1Data, MshrFile};
 use tls_cpu::{Core, CoreStats, HeadStall, MemKind};
@@ -191,7 +191,25 @@ struct EpochRun<'p> {
     /// store dispatched and not yet undone by a rewind. Sorted by cursor;
     /// only populated when the oracle is enabled.
     stores: Vec<(usize, Addr, u8)>,
+    /// Consecutive rewinds of this epoch with no intervening commit by
+    /// *any* epoch (forward-progress watchdog input).
+    rewind_streak: u64,
+    /// PCs implicated in the current streak's RAW violations
+    /// (deduplicated, capped at [`STORM_PC_CAP`]).
+    storm_pcs: Vec<u32>,
+    /// Packed load/store PCs of the streak's most recent RAW violation
+    /// (event payload for [`EventKind::Livelock`]).
+    last_raw_pcs: u64,
+    /// Index into `Machine::livelocks` once this streak crossed the
+    /// threshold, so continued storming updates `storm_len` in place.
+    livelock_idx: Option<usize>,
+    /// Progress fallback engaged: run serially — stall while speculative
+    /// (outside any held critical section) until homefree.
+    serialized: bool,
 }
+
+/// Bound on per-streak PC collection ([`EpochRun::storm_pcs`]).
+const STORM_PC_CAP: usize = 16;
 
 impl<'p> EpochRun<'p> {
     fn new(order: u32, ops: &'p [TraceOp], spacing: u64) -> Self {
@@ -209,6 +227,11 @@ impl<'p> EpochRun<'p> {
             last_sync_cursor: None,
             finished: false,
             stores: Vec::new(),
+            rewind_streak: 0,
+            storm_pcs: Vec::new(),
+            last_raw_pcs: Event::pack_pcs(None, None),
+            livelock_idx: None,
+            serialized: false,
         }
     }
 
@@ -448,6 +471,8 @@ struct Machine<'p> {
     faults: FaultStats,
     protocol_errors: Vec<ProtocolError>,
     audit_failures: Vec<String>,
+    /// Violation storms flagged by the forward-progress watchdog.
+    livelocks: Vec<LivelockReport>,
     /// An audit failed (non-panicking mode): finish the current step,
     /// then stop.
     audit_aborted: bool,
@@ -551,6 +576,7 @@ impl<'p> Machine<'p> {
             faults: FaultStats::default(),
             protocol_errors: Vec::new(),
             audit_failures: Vec::new(),
+            livelocks: Vec::new(),
             audit_aborted: false,
             latch_hazard_active: false,
             commit_block_until: 0,
@@ -1142,6 +1168,16 @@ impl<'p> Machine<'p> {
 
         while !run.waiting_latch && run.cursor < run.ops.len() && examined < OPS_PER_CYCLE_CAP {
             examined += 1;
+            // Progress fallback: a serialized (livelock-degraded) epoch
+            // dispatches nothing while speculative — it waits, as Sync,
+            // for the homefree token, then runs non-speculatively so no
+            // further violation can touch it. Inside an escaped critical
+            // section it keeps running: stalling while holding a latch an
+            // older epoch needs would deadlock the machine.
+            if run.serialized && speculative && run.held_latches.is_empty() {
+                run.waiting_sync = true;
+                break;
+            }
             // Sub-thread boundary: checkpoint and broadcast.
             let since = (run.cursor - *run.checkpoints.last().expect("nonempty")) as u64;
             let contexts = self.cfg.subthreads.contexts;
@@ -1331,6 +1367,16 @@ impl<'p> Machine<'p> {
                     self.violations.primary += 1;
                     let pcs = Event::pack_pcs(raw_load_pc.map(|p| p.0), v.store_pc.map(|p| p.0));
                     emit!(self, EventKind::ViolationRaw, v.cpu, order, v.sub, v.line.0, pcs);
+                    // Feed the forward-progress watchdog: remember the
+                    // PCs implicated in the victim's current storm.
+                    if let Slot::Running(r) = &mut self.slots[v.cpu] {
+                        r.last_raw_pcs = pcs;
+                        for pc in [raw_load_pc, v.store_pc].into_iter().flatten() {
+                            if r.storm_pcs.len() < STORM_PC_CAP && !r.storm_pcs.contains(&pc.0) {
+                                r.storm_pcs.push(pc.0);
+                            }
+                        }
+                    }
                 }
                 ViolationKind::Overflow => {
                     self.violations.overflow += 1;
@@ -1456,6 +1502,40 @@ impl<'p> Machine<'p> {
             // re-execution re-records them, keeping commit exactly-once.
             let keep = run.stores.partition_point(|&(c, _, _)| c < rewound_to);
             run.stores.truncate(keep);
+            // Forward-progress watchdog: commit-free consecutive rewinds
+            // of one epoch past the threshold are a violation storm. The
+            // homefree token only protects the oldest epoch; this is the
+            // detector for everyone younger.
+            run.rewind_streak += 1;
+            let threshold = self.opts.livelock_threshold;
+            if threshold > 0 && run.rewind_streak >= threshold {
+                match run.livelock_idx {
+                    // Storm already flagged: track how long it grows.
+                    Some(i) => self.livelocks[i].storm_len = run.rewind_streak,
+                    None => {
+                        emit!(
+                            self,
+                            EventKind::Livelock,
+                            cpu,
+                            run.order,
+                            sub,
+                            run.rewind_streak,
+                            run.last_raw_pcs
+                        );
+                        if self.opts.progress_fallback {
+                            run.serialized = true;
+                        }
+                        run.livelock_idx = Some(self.livelocks.len());
+                        self.livelocks.push(LivelockReport {
+                            epoch: run.order,
+                            detected_at_cycle: self.cycle,
+                            storm_len: run.rewind_streak,
+                            violation_pcs: run.storm_pcs.clone(),
+                            serialized: self.opts.progress_fallback,
+                        });
+                    }
+                }
+            }
         }
         for e in latch_errors {
             self.latch_release_error(e);
@@ -1505,6 +1585,13 @@ impl<'p> Machine<'p> {
             for s in &mut self.slots {
                 if let Slot::Running(r) = s {
                     r.start_table.forget_cpu(cpu);
+                    // A commit is forward progress: every surviving
+                    // epoch's watchdog streak restarts. (`serialized`
+                    // survives — a degraded epoch stays serial until it
+                    // commits.)
+                    r.rewind_streak = 0;
+                    r.storm_pcs.clear();
+                    r.livelock_idx = None;
                 }
             }
             self.audit_after_commit(cpu, order);
@@ -1590,6 +1677,7 @@ impl<'p> Machine<'p> {
             faults: self.faults,
             protocol_errors: self.protocol_errors,
             audit_failures: self.audit_failures,
+            livelocks: self.livelocks,
         }
     }
 }

@@ -130,6 +130,30 @@ impl fmt::Display for SnapshotError {
     }
 }
 
+impl SnapshotError {
+    /// A stable machine-greppable code for this failure class, written
+    /// into the quarantine reason files next to the human-readable
+    /// rendering (so `traces/quarantine/` can be triaged by code even
+    /// when the wording above evolves).
+    pub fn code(&self) -> &'static str {
+        match self {
+            SnapshotError::TooShort(_) => "too-short",
+            SnapshotError::BadMagic => "bad-magic",
+            SnapshotError::KindMismatch { .. } => "kind-mismatch",
+            SnapshotError::VersionMismatch { .. } => "version-mismatch",
+            SnapshotError::KeyMismatch { .. } => "key-mismatch",
+            SnapshotError::LengthMismatch { .. } => "length-mismatch",
+            SnapshotError::ChecksumMismatch => "checksum-mismatch",
+            SnapshotError::BadOp(_) => "bad-op",
+            SnapshotError::BadUtf8 => "bad-utf8",
+            SnapshotError::BadRegionTag(_) => "bad-region-tag",
+            SnapshotError::Truncated => "truncated",
+            SnapshotError::TrailingBytes(_) => "trailing-bytes",
+            SnapshotError::BadJson(_) => "bad-json",
+        }
+    }
+}
+
 impl std::error::Error for SnapshotError {}
 
 impl From<RawOpError> for SnapshotError {

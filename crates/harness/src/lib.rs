@@ -37,5 +37,5 @@ pub use codec::{decode_pair, encode_pair, SnapshotError};
 pub use eval::{breakdown_row, initials, instances, paper_machine, render_stack, Scale};
 pub use observe::{observe_run, ObserveOutcome, ObserveRequest};
 pub use plan::{all_plans, find_plan, Plan, PlanCtx, PlanOutput};
-pub use runner::JobPool;
+pub use runner::{capture, run_protected, FailureKind, JobFailure, JobPool, Protection};
 pub use store::{HarnessStore, StoreStats, TraceKey};

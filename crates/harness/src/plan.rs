@@ -81,6 +81,7 @@ pub struct PlanOutput {
 }
 
 /// One declarative artifact generator.
+#[derive(Clone, Copy)]
 pub struct Plan {
     /// Artifact name (`figure5`); also the output file stem.
     pub name: &'static str,

@@ -1,4 +1,4 @@
-//! The deterministic parallel runner.
+//! The deterministic parallel runner and the hardened job-failure path.
 //!
 //! [`JobPool::run`] fans a vector of independent jobs across scoped host
 //! threads and returns their results **in submission order**, whatever
@@ -10,9 +10,226 @@
 //! pre-partitioning, so a pool never idles while one long simulation
 //! (NEW ORDER 150 at paper scale dwarfs PAYMENT) monopolizes a stripe of
 //! the plan.
+//!
+//! On top of the infallible path sits the **quarantine engine**: one
+//! shared implementation of panic capture, deadline watchdogs and
+//! retry-with-backoff used by every host-side runner in the workspace
+//! (the suite driver's per-plan execution, [`JobPool::run_quarantined`],
+//! and the chaos binary's survival cells). A failing job becomes a
+//! structured [`JobFailure`] instead of tearing the process down, so a
+//! long campaign completes its healthy work and reports the casualties
+//! at the end.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a protected job failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The job panicked; [`JobFailure::message`] carries the payload.
+    Panicked,
+    /// The job ran past its deadline. Host threads cannot be killed, so
+    /// the overrun is detected when the attempt eventually returns (a
+    /// watchdog thread reports the overrun on stderr while it is still
+    /// in flight); the late result is discarded.
+    TimedOut,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FailureKind::Panicked => "panicked",
+            FailureKind::TimedOut => "timed out",
+        })
+    }
+}
+
+/// A structured record of one quarantined job: what failed, how, with
+/// what payload, and how long it ran. This is what the suite reports in
+/// `BENCH_suite.json` instead of crashing.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// The job's key (a plan name, a chaos cell, …).
+    pub key: String,
+    /// Panic or deadline overrun.
+    pub kind: FailureKind,
+    /// The panic payload, or a timeout description.
+    pub message: String,
+    /// Wall time of the final attempt, in seconds.
+    pub duration_s: f64,
+    /// Attempts made (1 = failed first try with no retry budget left).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} after {:.3}s (attempt {}): {}",
+            self.key, self.kind, self.duration_s, self.attempts, self.message
+        )
+    }
+}
+
+/// Retry and deadline policy for the quarantine engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Protection {
+    /// Deadline per attempt; `None` disables the watchdog.
+    pub timeout: Option<Duration>,
+    /// Extra attempts after the first failure (default 1: one retry,
+    /// then quarantine).
+    pub retries: u32,
+    /// Pause before each retry, doubling per attempt.
+    pub backoff: Duration,
+}
+
+impl Default for Protection {
+    fn default() -> Self {
+        Protection { timeout: None, retries: 1, backoff: Duration::from_millis(50) }
+    }
+}
+
+impl Protection {
+    /// No watchdog, no retries: capture panics only. What
+    /// [`JobPool::run_quarantined`] and the chaos cells use — their
+    /// jobs are deterministic, so a retry would fail identically.
+    pub fn capture_only() -> Self {
+        Protection { timeout: None, retries: 0, backoff: Duration::ZERO }
+    }
+}
+
+/// Renders a panic payload as text (the common `&str` / `String` cases;
+/// anything else gets a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `job` once, converting a panic into a [`JobFailure`]. The shared
+/// capture primitive behind every hardened runner in the workspace.
+pub fn capture<T>(key: &str, job: impl FnOnce() -> T) -> Result<T, JobFailure> {
+    let start = Instant::now();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+        Ok(value) => Ok(value),
+        Err(payload) => Err(JobFailure {
+            key: key.to_string(),
+            kind: FailureKind::Panicked,
+            message: panic_message(payload.as_ref()),
+            duration_s: start.elapsed().as_secs_f64(),
+            attempts: 1,
+        }),
+    }
+}
+
+/// Runs `job` under the full quarantine policy: panic capture, a
+/// deadline watchdog, and retry-with-backoff. Returns the first
+/// successful result, or the *last* attempt's failure once the retry
+/// budget is spent.
+///
+/// The watchdog is an observer, not an executioner: a host thread
+/// cannot be killed safely, so an attempt that overruns its deadline is
+/// reported on stderr while in flight and its (late) result is
+/// discarded when it returns. A hung job therefore still hangs its
+/// caller — but a *slow* job is quarantined instead of silently
+/// poisoning a campaign's timing.
+pub fn run_protected<T>(
+    key: &str,
+    policy: Protection,
+    job: impl Fn() -> T,
+) -> Result<T, JobFailure> {
+    let mut failure: Option<JobFailure> = None;
+    for attempt in 0..=policy.retries {
+        if attempt > 0 {
+            std::thread::sleep(policy.backoff * (1u32 << (attempt - 1).min(8)));
+        }
+        let start = Instant::now();
+        let _watchdog = policy.timeout.map(|t| Watchdog::arm(key, attempt + 1, t));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&job));
+        let duration_s = start.elapsed().as_secs_f64();
+        let fail = match result {
+            Ok(value) => match policy.timeout {
+                Some(t) if start.elapsed() > t => JobFailure {
+                    key: key.to_string(),
+                    kind: FailureKind::TimedOut,
+                    message: format!(
+                        "deadline {:.3}s exceeded; late result discarded",
+                        t.as_secs_f64()
+                    ),
+                    duration_s,
+                    attempts: attempt + 1,
+                },
+                _ => return Ok(value),
+            },
+            Err(payload) => JobFailure {
+                key: key.to_string(),
+                kind: FailureKind::Panicked,
+                message: panic_message(payload.as_ref()),
+                duration_s,
+                attempts: attempt + 1,
+            },
+        };
+        eprintln!(
+            "warning: job {fail}{}",
+            if attempt < policy.retries { "; retrying" } else { "" }
+        );
+        failure = Some(fail);
+    }
+    Err(failure.expect("at least one attempt ran"))
+}
+
+/// Background deadline reporter for one attempt: sleeps until the
+/// deadline and prints a warning if the attempt is still running.
+/// Dropping it (the attempt returned) stands the thread down.
+struct Watchdog {
+    done: Arc<AtomicBool>,
+}
+
+impl Watchdog {
+    fn arm(key: &str, attempt: u32, timeout: Duration) -> Watchdog {
+        let done = Arc::new(AtomicBool::new(false));
+        let flag = done.clone();
+        let key = key.to_string();
+        std::thread::spawn(move || {
+            // Poll in slices so a finished attempt releases the thread
+            // promptly instead of holding it for the full deadline.
+            let deadline = Instant::now() + timeout;
+            while Instant::now() < deadline {
+                if flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25).min(timeout));
+            }
+            if !flag.load(Ordering::Relaxed) {
+                eprintln!(
+                    "warning: job {key} (attempt {attempt}) exceeded its {:.3}s deadline \
+                     and is still running",
+                    timeout.as_secs_f64()
+                );
+            }
+        });
+        Watchdog { done }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A keyed, re-runnable job for [`JobPool::run_quarantined`].
+pub struct QuarantineJob<'env, T> {
+    /// Identifies the job in failure reports.
+    pub key: String,
+    /// The work; `Fn` (not `FnOnce`) so the engine may retry it.
+    pub job: Box<dyn Fn() -> T + Send + Sync + 'env>,
+}
 
 /// A fixed-width pool of scoped worker threads.
 #[derive(Debug, Clone, Copy)]
@@ -40,45 +257,101 @@ impl JobPool {
     ///
     /// A single-worker pool (or a single job) runs inline on the calling
     /// thread — the `--jobs 1` reference execution has no thread
-    /// machinery at all. If a job panics, the panic is propagated to the
-    /// caller after all workers stop.
+    /// machinery at all. Panics quarantine nothing here: every job still
+    /// runs (a panic in one does not discard the others' work), and
+    /// afterwards a single panic is re-raised with its original payload
+    /// while multiple panics are aggregated into one report naming each
+    /// — never the old silent first-panic-wins.
     pub fn run<'env, T: Send>(&self, jobs: Vec<Box<dyn FnOnce() -> T + Send + 'env>>) -> Vec<T> {
         let workers = self.workers.min(jobs.len());
-        if workers <= 1 {
-            return jobs.into_iter().map(|job| job()).collect();
-        }
-        type JobSlot<'env, T> = Mutex<Option<Box<dyn FnOnce() -> T + Send + 'env>>>;
+        let total = jobs.len();
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
+        type JobSlot<'env, T> = Mutex<Option<Box<dyn FnOnce() -> T + Send + 'env>>>;
         let jobs: Vec<JobSlot<'env, T>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        let job = jobs[i]
-                            .lock()
-                            .expect("job slot poisoned")
-                            .take()
-                            .expect("each job taken exactly once");
-                        let result = job();
-                        *slots[i].lock().expect("result slot poisoned") = Some(result);
-                    })
-                })
-                .collect();
-            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-            for handle in handles {
-                if let Err(p) = handle.join() {
-                    panic.get_or_insert(p);
+        let work = |_worker: usize| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                break;
+            }
+            let job = jobs[i]
+                .lock()
+                .expect("job slot poisoned")
+                .take()
+                .expect("each job taken exactly once");
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+                Ok(result) => *slots[i].lock().expect("result slot poisoned") = Some(result),
+                Err(p) => panics.lock().expect("panic list poisoned").push((i, p)),
+            }
+        };
+        if workers <= 1 {
+            work(0);
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers).map(|w| scope.spawn(move || work(w))).collect();
+                for handle in handles {
+                    // Workers capture every job panic themselves; a join
+                    // error would be a bug in the pool, not in a job.
+                    handle.join().expect("pool worker panicked outside a job");
                 }
+            });
+        }
+        let mut panics = panics.into_inner().expect("panic list poisoned");
+        match panics.len() {
+            0 => {}
+            1 => std::panic::resume_unwind(panics.pop().expect("nonempty").1),
+            n => {
+                panics.sort_by_key(|(i, _)| *i);
+                let lines: Vec<String> = panics
+                    .iter()
+                    .map(|(i, p)| format!("  job {i}: {}", panic_message(p.as_ref())))
+                    .collect();
+                panic!("{n} of {total} jobs panicked:\n{}", lines.join("\n"));
             }
-            if let Some(p) = panic {
-                std::panic::resume_unwind(p);
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every slot filled after join")
+            })
+            .collect()
+    }
+
+    /// Runs every job through the quarantine engine and returns per-job
+    /// `Result`s in submission order: a panicking or deadline-overrunning
+    /// job becomes a [`JobFailure`] (retried per `policy` first) while
+    /// its siblings complete normally. The pool itself never panics.
+    pub fn run_quarantined<'env, T: Send>(
+        &self,
+        jobs: Vec<QuarantineJob<'env, T>>,
+        policy: Protection,
+    ) -> Vec<Result<T, JobFailure>> {
+        let workers = self.workers.min(jobs.len());
+        let total = jobs.len();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<T, JobFailure>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let work = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                break;
             }
-        });
+            let result = run_protected(&jobs[i].key, policy, &jobs[i].job);
+            *slots[i].lock().expect("result slot poisoned") = Some(result);
+        };
+        if workers <= 1 {
+            work();
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers).map(|_| scope.spawn(work)).collect();
+                for handle in handles {
+                    handle.join().expect("quarantined worker panicked outside a job");
+                }
+            });
+        }
         slots
             .into_iter()
             .map(|slot| {
@@ -135,6 +408,107 @@ mod tests {
             .map(|i| boxed(move || if i == 5 { panic!("job 5 exploded") } else { i }))
             .collect();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run(jobs)));
-        assert!(result.is_err());
+        let payload = result.expect_err("panic must propagate");
+        assert_eq!(panic_message(payload.as_ref()), "job 5 exploded", "payload preserved");
+    }
+
+    #[test]
+    fn every_panic_is_reported_not_just_the_first() {
+        for workers in [1, 4] {
+            let pool = JobPool::new(workers);
+            let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..8)
+                .map(|i| {
+                    boxed(move || match i {
+                        2 => panic!("job 2 exploded"),
+                        6 => panic!("job 6 exploded"),
+                        _ => i,
+                    })
+                })
+                .collect();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.run(jobs)));
+            let msg = panic_message(result.expect_err("panics propagate").as_ref());
+            assert!(msg.contains("job 2 exploded"), "workers={workers}: {msg}");
+            assert!(msg.contains("job 6 exploded"), "workers={workers}: {msg}");
+            assert!(msg.contains("2 of 8 jobs panicked"), "workers={workers}: {msg}");
+        }
+    }
+
+    #[test]
+    fn capture_returns_ok_or_structured_failure() {
+        assert_eq!(capture("fine", || 42).expect("ok"), 42);
+        let f = capture("boom", || -> u32 { panic!("kapow") }).expect_err("failure");
+        assert_eq!(f.key, "boom");
+        assert_eq!(f.kind, FailureKind::Panicked);
+        assert_eq!(f.message, "kapow");
+        assert_eq!(f.attempts, 1);
+    }
+
+    #[test]
+    fn run_protected_retries_once_then_quarantines() {
+        let calls = AtomicUsize::new(0);
+        // Fails on the first attempt, succeeds on the retry.
+        let flaky = || {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            11u32
+        };
+        let policy = Protection { backoff: Duration::from_millis(1), ..Protection::default() };
+        assert_eq!(run_protected("flaky", policy, flaky).expect("retry succeeds"), 11);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+
+        // Always fails: the retry budget spends, then quarantine.
+        let calls = AtomicUsize::new(0);
+        let doomed = || -> u32 {
+            calls.fetch_add(1, Ordering::SeqCst);
+            panic!("permanent")
+        };
+        let f = run_protected("doomed", policy, doomed).expect_err("quarantined");
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "one retry, then give up");
+        assert_eq!(f.attempts, 2);
+        assert_eq!(f.message, "permanent");
+    }
+
+    #[test]
+    fn run_protected_flags_deadline_overruns() {
+        let policy = Protection {
+            timeout: Some(Duration::from_millis(5)),
+            retries: 0,
+            backoff: Duration::ZERO,
+        };
+        let f = run_protected("slow", policy, || {
+            std::thread::sleep(Duration::from_millis(30));
+            1u32
+        })
+        .expect_err("late result is discarded");
+        assert_eq!(f.kind, FailureKind::TimedOut);
+        assert_eq!(f.key, "slow");
+
+        // A fast job under the same policy is untouched.
+        assert_eq!(run_protected("fast", policy, || 2u32).expect("ok"), 2);
+    }
+
+    #[test]
+    fn run_quarantined_completes_healthy_jobs_around_failures() {
+        for workers in [1, 4] {
+            let pool = JobPool::new(workers);
+            let jobs: Vec<QuarantineJob<u32>> = (0..6)
+                .map(|i| QuarantineJob {
+                    key: format!("job-{i}"),
+                    job: Box::new(move || if i == 3 { panic!("cell {i} died") } else { i * 10 }),
+                })
+                .collect();
+            let out = pool.run_quarantined(jobs, Protection::capture_only());
+            assert_eq!(out.len(), 6);
+            for (i, r) in out.iter().enumerate() {
+                if i == 3 {
+                    let f = r.as_ref().expect_err("job 3 quarantined");
+                    assert_eq!(f.key, "job-3");
+                    assert_eq!(f.message, "cell 3 died");
+                } else {
+                    assert_eq!(*r.as_ref().expect("healthy"), i as u32 * 10, "workers={workers}");
+                }
+            }
+        }
     }
 }

@@ -11,7 +11,9 @@
 //!    once to `traces/<name>-<key>.trace` in the versioned binary format
 //!    of [`crate::codec`] and replayed by every binary and test that
 //!    asks for the same key. Corrupt, stale or truncated snapshots fail
-//!    closed: the store re-records and rewrites them.
+//!    closed *and self-heal*: the offending file is moved to
+//!    `<dir>/quarantine/` beside a reason file naming the decode
+//!    failure, and the trace is re-recorded and rewritten transparently.
 //! 2. **Simulation reports** — a simulation is likewise a pure function
 //!    of (program bytes, machine configuration). When enabled, finished
 //!    [`SimReport`]s are memoized in memory (deduplicating the many
@@ -21,8 +23,9 @@
 //!
 //! Both layers are transparent: a cache hit returns bit-identical data to
 //! a recompute, which `tests/suite_determinism.rs` checks end to end.
-//! Writes go through a temp file + atomic rename so concurrent runs never
-//! observe a half-written snapshot.
+//! Writes go through a temp file (fsynced) + atomic rename so neither a
+//! concurrent run nor a `kill -9` mid-write can ever leave a half-written
+//! TLSNAP in place of a good one.
 
 use crate::codec::{
     self, decode_container, encode_container, fnv1a, SnapshotError, KIND_SIM_REPORT,
@@ -85,6 +88,9 @@ pub struct StoreStats {
     pub report_disk_hits: AtomicU64,
     /// Simulations actually executed.
     pub report_sims: AtomicU64,
+    /// Undecodable snapshot files moved to `<dir>/quarantine/` (and then
+    /// regenerated — each quarantine implies a record or sim above).
+    pub snapshots_quarantined: AtomicU64,
 }
 
 impl StoreStats {
@@ -92,8 +98,8 @@ impl StoreStats {
         v.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of all six counters, in declaration order.
-    pub fn snapshot(&self) -> [u64; 6] {
+    /// Snapshot of all seven counters, in declaration order.
+    pub fn snapshot(&self) -> [u64; 7] {
         [
             Self::get(&self.trace_mem_hits),
             Self::get(&self.trace_disk_hits),
@@ -101,6 +107,7 @@ impl StoreStats {
             Self::get(&self.report_mem_hits),
             Self::get(&self.report_disk_hits),
             Self::get(&self.report_sims),
+            Self::get(&self.snapshots_quarantined),
         ]
     }
 }
@@ -220,6 +227,41 @@ impl HarnessStore {
         self.dir.as_deref()
     }
 
+    /// Where undecodable snapshots are set aside, if disk caching is
+    /// enabled.
+    pub fn quarantine_dir(&self) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join("quarantine"))
+    }
+
+    /// Self-healing path for an undecodable snapshot: the file is moved
+    /// to `<dir>/quarantine/` with a `.reason.txt` beside it naming the
+    /// decode failure, and the caller regenerates the data. Failure to
+    /// quarantine (e.g. a read-only tree) falls back to leaving the file
+    /// for the rewrite to replace — the store must heal, never abort.
+    fn quarantine(&self, path: &Path, err: &SnapshotError) {
+        self.stats.snapshots_quarantined.fetch_add(1, Ordering::Relaxed);
+        let Some(qdir) = self.quarantine_dir() else { return };
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_string(),
+            None => return,
+        };
+        if let Err(e) = std::fs::create_dir_all(&qdir) {
+            eprintln!("warning: cannot create {}: {e}", qdir.display());
+            return;
+        }
+        let dest = qdir.join(&name);
+        if let Err(e) = std::fs::rename(path, &dest) {
+            eprintln!("warning: cannot quarantine {}: {e}", path.display());
+            return;
+        }
+        let reason = format!(
+            "file: {name}\ncode: {}\nreason: {err}\naction: regenerated transparently\n",
+            err.code()
+        );
+        write_atomic(&qdir.join(format!("{name}.reason.txt")), reason.as_bytes());
+        eprintln!("warning: quarantined snapshot {} ({err}); regenerating", dest.display());
+    }
+
     fn slot<T>(map: &Mutex<HashMap<u64, Slot<T>>>, key: u64) -> Slot<T> {
         map.lock().expect("store map poisoned").entry(key).or_default().clone()
     }
@@ -242,12 +284,7 @@ impl HarnessStore {
                             self.stats.trace_disk_hits.fetch_add(1, Ordering::Relaxed);
                             return Arc::new(StoredPrograms::new(pair));
                         }
-                        Err(e) => {
-                            eprintln!(
-                                "warning: discarding snapshot {}: {e}; re-recording",
-                                path.display()
-                            );
-                        }
+                        Err(e) => self.quarantine(path, &e),
                     }
                 }
             }
@@ -293,12 +330,7 @@ impl HarnessStore {
                             self.stats.report_disk_hits.fetch_add(1, Ordering::Relaxed);
                             return Arc::new(report);
                         }
-                        Err(e) => {
-                            eprintln!(
-                                "warning: discarding cached report {}: {e}; re-simulating",
-                                path.display()
-                            );
-                        }
+                        Err(e) => self.quarantine(path, &e),
                     }
                 }
             }
@@ -320,9 +352,13 @@ fn decode_report(bytes: &[u8], hash: u64) -> Result<SimReport, SnapshotError> {
     serde_json::from_str(json).map_err(|e| SnapshotError::BadJson(e.to_string()))
 }
 
-/// Writes `bytes` to `path` via a unique temp file + rename, creating
-/// parent directories. Failures warn and leave the cache cold — the
-/// snapshot store is an accelerator, never a correctness dependency.
+/// Writes `bytes` to `path` via a unique temp file, an fsync, and an
+/// atomic rename, creating parent directories. A crash or `kill -9` at
+/// any point leaves either the old file or the complete new one — never
+/// a torn TLSNAP — and the fsync-before-rename ensures the renamed file
+/// has its contents on disk, not just its directory entry. Failures warn
+/// and leave the cache cold — the snapshot store is an accelerator,
+/// never a correctness dependency.
 fn write_atomic(path: &Path, bytes: &[u8]) {
     let Some(parent) = path.parent() else { return };
     if let Err(e) = std::fs::create_dir_all(parent) {
@@ -334,13 +370,25 @@ fn write_atomic(path: &Path, bytes: &[u8]) {
         path.file_name().and_then(|n| n.to_str()).unwrap_or("snapshot"),
         std::process::id()
     ));
-    if let Err(e) = std::fs::write(&tmp, bytes) {
+    let synced = std::fs::File::create(&tmp).and_then(|mut f| {
+        use std::io::Write;
+        f.write_all(bytes)?;
+        f.sync_all()
+    });
+    if let Err(e) = synced {
         eprintln!("warning: cannot write {}: {e}", tmp.display());
+        let _ = std::fs::remove_file(&tmp);
         return;
     }
     if let Err(e) = std::fs::rename(&tmp, path) {
         eprintln!("warning: cannot publish {}: {e}", path.display());
         let _ = std::fs::remove_file(&tmp);
+        return;
+    }
+    // Persist the directory entry too (best-effort; not all platforms
+    // allow opening a directory for sync).
+    if let Ok(d) = std::fs::File::open(parent) {
+        let _ = d.sync_all();
     }
 }
 
@@ -396,7 +444,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_snapshot_falls_back_to_recording() {
+    fn corrupt_snapshot_is_quarantined_and_regenerated() {
         let dir = std::env::temp_dir().join(format!("tls-harness-corrupt-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cold = HarnessStore::new(Some(dir.clone()), true);
@@ -409,7 +457,27 @@ mod tests {
         let warm = HarnessStore::new(Some(dir.clone()), true);
         let b = warm.programs(&key());
         assert_eq!(warm.stats.snapshot()[2], 1, "re-recorded after corruption");
+        assert_eq!(warm.stats.snapshot()[6], 1, "corruption was quarantined");
         assert!(b.tls.total_ops() > 0);
+
+        // The corrupt bytes were set aside with a reason file, and the
+        // snapshot in place is the regenerated (decodable) one.
+        let qdir = warm.quarantine_dir().expect("disk-backed store");
+        let qfile = qdir.join(key().file_name());
+        assert_eq!(std::fs::read(&qfile).expect("quarantined bytes"), bytes);
+        let reason =
+            std::fs::read_to_string(qdir.join(format!("{}.reason.txt", key().file_name())))
+                .expect("reason file");
+        assert!(reason.contains("code: checksum-mismatch"), "{reason}");
+        let healed = std::fs::read(&path).expect("regenerated snapshot");
+        assert!(codec::decode_pair_file(&healed, key().hash()).is_ok());
+
+        // A third store sees only the healed snapshot: no re-record, no
+        // new quarantine.
+        let again = HarnessStore::new(Some(dir.clone()), true);
+        again.programs(&key());
+        assert_eq!(again.stats.snapshot()[1], 1, "healed snapshot served from disk");
+        assert_eq!(again.stats.snapshot()[6], 0, "nothing left to quarantine");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

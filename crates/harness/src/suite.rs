@@ -8,11 +8,13 @@
 
 use crate::eval::{paper_machine, Scale};
 use crate::plan::{all_plans, Plan, PlanCtx, PlanOutput};
-use crate::runner::JobPool;
+use crate::runner::{self, JobPool, Protection};
 use crate::store::HarnessStore;
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tls_minidb::Transaction;
 
 /// Everything `suite` accepts on its command line.
@@ -42,6 +44,15 @@ pub struct SuiteOptions {
     pub quiet: bool,
     /// List plans and exit (`--list`).
     pub list: bool,
+    /// Skip plans already recorded as completed in the out-dir's run
+    /// manifest (`--resume`) — the crash-recovery path.
+    pub resume: bool,
+    /// Per-plan deadline in seconds (`--job-timeout SECS`); an
+    /// overrunning plan is retried once, then quarantined.
+    pub job_timeout: Option<f64>,
+    /// Test hook: force the named plan to panic (`--force-panic PLAN`),
+    /// exercising the quarantine path end to end.
+    pub force_panic: Option<String>,
 }
 
 impl Default for SuiteOptions {
@@ -57,6 +68,9 @@ impl Default for SuiteOptions {
             compare_serial: None,
             quiet: false,
             list: false,
+            resume: false,
+            job_timeout: None,
+            force_panic: None,
         }
     }
 }
@@ -78,6 +92,12 @@ usage: suite [options]
   --no-compare-serial    skip that measurement (default at paper scale)
   --quiet                do not print the plans' tables to stdout
   --list                 list available plans and exit
+  --resume               skip plans already completed per the out-dir's
+                         .run_manifest.jsonl (crash/interrupt recovery)
+  --job-timeout SECS     per-plan deadline; an overrunning plan is
+                         retried once, then quarantined
+  --force-panic PLAN     test hook: make the named plan panic, to
+                         exercise the quarantine path
 ";
 
 impl SuiteOptions {
@@ -114,6 +134,17 @@ impl SuiteOptions {
                 "--no-compare-serial" => opts.compare_serial = Some(false),
                 "--quiet" => opts.quiet = true,
                 "--list" => opts.list = true,
+                "--resume" => opts.resume = true,
+                "--job-timeout" => {
+                    let v = value(&mut it, "--job-timeout")?;
+                    let secs: f64 =
+                        v.parse().map_err(|_| format!("--job-timeout needs seconds, got '{v}'"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(format!("--job-timeout needs positive seconds, got '{v}'"));
+                    }
+                    opts.job_timeout = Some(secs);
+                }
+                "--force-panic" => opts.force_panic = Some(value(&mut it, "--force-panic")?),
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
             }
@@ -151,6 +182,18 @@ struct BenchCache {
     report_mem_hits: u64,
     report_disk_hits: u64,
     report_sims: u64,
+    snapshots_quarantined: u64,
+}
+
+/// One quarantined plan in `BENCH_suite.json` — the structured failure
+/// summary the suite exits non-zero with.
+#[derive(Serialize)]
+struct BenchFailure {
+    plan: String,
+    kind: String,
+    message: String,
+    duration_s: f64,
+    attempts: u32,
 }
 
 #[derive(Serialize)]
@@ -175,6 +218,80 @@ struct BenchSuite {
     cache: BenchCache,
     serial_equivalent: Option<BenchSerial>,
     baseline: Option<String>,
+    /// Plans served from the run manifest instead of re-executed.
+    resumed: Vec<String>,
+    /// Plans that panicked or overran their deadline and were
+    /// quarantined; non-empty makes the suite exit non-zero.
+    failures: Vec<BenchFailure>,
+}
+
+/// Name of the append-only completion log inside the out dir: one
+/// fsynced JSON line per completed plan, keyed by scale and a hash of
+/// the machine configuration so `--resume` never trusts stale entries.
+const MANIFEST_NAME: &str = ".run_manifest.jsonl";
+
+#[derive(Serialize, Deserialize)]
+struct ManifestEntry {
+    plan: String,
+    scale: String,
+    config_hash: String,
+    sim_cycles: u64,
+    wall_s: f64,
+}
+
+/// Content-address of the suite configuration a manifest entry is valid
+/// for (the same FNV-1a the snapshot store keys caches with).
+fn config_hash(machine: &tls_core::CmpConfig) -> String {
+    let json = serde_json::to_string(machine).expect("config serializes");
+    format!("{:016x}", crate::codec::fnv1a(json.as_bytes()))
+}
+
+/// Reads the manifest (if any), returning completed plans matching this
+/// run's scale and config hash: plan name → (sim_cycles, wall_s).
+fn load_manifest(path: &Path, scale: &str, hash: &str) -> HashMap<String, (u64, f64)> {
+    let mut done = HashMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else { return done };
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        // A torn final line (crash mid-write despite the fsync-per-line
+        // discipline) parses as an error and is simply ignored: the
+        // plan it named re-runs.
+        let Ok(value) = serde::parse(line) else { continue };
+        let Ok(entry) = ManifestEntry::deserialize(&value) else { continue };
+        if entry.scale == scale && entry.config_hash == hash {
+            done.insert(entry.plan, (entry.sim_cycles, entry.wall_s));
+        }
+    }
+    done
+}
+
+/// SIGINT flag: the handler only sets it; `run_suite` checks it between
+/// plans, so in-flight work always finishes and the manifest stays
+/// consistent. Non-unix builds never set it.
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" fn on_sigint(_: i32) {
+            INTERRUPTED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
 }
 
 /// The `suite trace <benchmark>` verb: one observed run producing a
@@ -243,11 +360,13 @@ pub fn run_trace_verb(args: &[String]) -> i32 {
     match crate::observe::observe_run(&store, &req) {
         Ok(out) => {
             println!(
-                "{}: {} cycles, {} event(s) kept ({} dropped), report drift: none",
+                "{}: {} cycles, {} event(s) kept ({} dropped), {} livelock(s), \
+                 report drift: none",
                 txn.label(),
                 out.report.total_cycles,
                 out.events_kept,
-                out.events_dropped
+                out.events_dropped,
+                out.report.livelocks.len()
             );
             println!("wrote {}", out.trace_path.display());
             println!("wrote {}", out.metrics_path.display());
@@ -274,9 +393,17 @@ pub fn run_suite(opts: &SuiteOptions) -> i32 {
         return if opts.list { 0 } else { 2 };
     }
 
+    sigint::install();
     let pool = JobPool::new(opts.jobs);
     let store = HarnessStore::new(opts.trace_dir.clone(), true);
     let ctx = PlanCtx { scale: opts.scale, machine: paper_machine(), store: &store, pool: &pool };
+    let cfg_hash = config_hash(&ctx.machine);
+    let manifest_path = opts.out_dir.join(MANIFEST_NAME);
+    let completed: HashMap<String, (u64, f64)> = if opts.resume {
+        load_manifest(&manifest_path, opts.scale.name(), &cfg_hash)
+    } else {
+        HashMap::new()
+    };
 
     let suite_start = Instant::now();
     // Pre-record every distinct workload trace through the pool so plan
@@ -309,18 +436,82 @@ pub fn run_suite(opts: &SuiteOptions) -> i32 {
         return 1;
     }
 
+    let mut manifest =
+        match std::fs::OpenOptions::new().create(true).append(true).open(&manifest_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: open {}: {e}", manifest_path.display());
+                return 1;
+            }
+        };
+    let protection = Protection {
+        timeout: opts.job_timeout.map(Duration::from_secs_f64),
+        ..Protection::default()
+    };
+
     let mut bench_plans = Vec::new();
-    let mut outputs: Vec<PlanOutput> = Vec::new();
+    let mut outputs: Vec<Option<PlanOutput>> = Vec::new();
+    let mut resumed: Vec<String> = Vec::new();
+    let mut failures: Vec<BenchFailure> = Vec::new();
+    let mut interrupted = false;
     for plan in &plans {
+        if sigint::interrupted() {
+            interrupted = true;
+            break;
+        }
+        let json_path = opts.out_dir.join(format!("{}.json", plan.name));
+        let txt_path = opts.out_dir.join(format!("{}.txt", plan.name));
+        // Crash-safe resume: a manifest entry plus both artifacts on
+        // disk means the plan's work is already done and byte-exact.
+        if let Some(&(sim_cycles, wall_s)) = completed.get(plan.name) {
+            if let (Ok(json), Ok(text)) =
+                (std::fs::read_to_string(&json_path), std::fs::read_to_string(&txt_path))
+            {
+                eprintln!("resumed {} from {}", plan.name, MANIFEST_NAME);
+                bench_plans.push(BenchPlan {
+                    name: plan.name,
+                    wall_s,
+                    sim_cycles,
+                    sim_mcycles_per_s: sim_cycles as f64 / 1e6 / wall_s.max(1e-9),
+                });
+                outputs.push(Some(PlanOutput { json, text, sim_cycles }));
+                resumed.push(plan.name.to_string());
+                continue;
+            }
+            eprintln!(
+                "note: {} is in the manifest but its artifacts are missing; re-running",
+                plan.name
+            );
+        }
         let t0 = Instant::now();
-        let out = (plan.run)(&ctx);
+        let forced = opts.force_panic.as_deref() == Some(plan.name);
+        let result = runner::run_protected(plan.name, protection, || {
+            if forced {
+                panic!("forced panic via --force-panic");
+            }
+            (plan.run)(&ctx)
+        });
         let wall_s = t0.elapsed().as_secs_f64();
+        let out = match result {
+            Ok(out) => out,
+            Err(f) => {
+                // Quarantine the plan and keep going: the rest of the
+                // campaign is still worth its wall-clock.
+                failures.push(BenchFailure {
+                    plan: f.key.clone(),
+                    kind: f.kind.to_string(),
+                    message: f.message.clone(),
+                    duration_s: f.duration_s,
+                    attempts: f.attempts,
+                });
+                outputs.push(None);
+                continue;
+            }
+        };
         if !opts.quiet {
             println!("==> {} ({})", plan.name, plan.title);
             print!("{}", out.text);
         }
-        let json_path = opts.out_dir.join(format!("{}.json", plan.name));
-        let txt_path = opts.out_dir.join(format!("{}.txt", plan.name));
         if let Err(e) = std::fs::write(&json_path, &out.json) {
             eprintln!("error: write {}: {e}", json_path.display());
             return 1;
@@ -330,13 +521,28 @@ pub fn run_suite(opts: &SuiteOptions) -> i32 {
             return 1;
         }
         eprintln!("wrote {} ({wall_s:.3}s)", json_path.display());
+        // Log completion only after both artifacts landed; one fsynced
+        // line per plan keeps the manifest torn-write-proof.
+        let entry = ManifestEntry {
+            plan: plan.name.to_string(),
+            scale: opts.scale.name().to_string(),
+            config_hash: cfg_hash.clone(),
+            sim_cycles: out.sim_cycles,
+            wall_s,
+        };
+        let mut line = serde_json::to_string(&entry).expect("manifest entry serializes");
+        line.push('\n');
+        if let Err(e) = manifest.write_all(line.as_bytes()).and_then(|()| manifest.sync_all()) {
+            eprintln!("error: append {}: {e}", manifest_path.display());
+            return 1;
+        }
         bench_plans.push(BenchPlan {
             name: plan.name,
             wall_s,
             sim_cycles: out.sim_cycles,
             sim_mcycles_per_s: out.sim_cycles as f64 / 1e6 / wall_s.max(1e-9),
         });
-        outputs.push(out);
+        outputs.push(Some(out));
     }
     let total_wall_s = suite_start.elapsed().as_secs_f64();
     let total_sim_cycles: u64 = bench_plans.iter().map(|p| p.sim_cycles).sum();
@@ -344,7 +550,7 @@ pub fn run_suite(opts: &SuiteOptions) -> i32 {
     // Optional honesty check + denominator for the speedup claim: run the
     // same plans with no cache and one worker, the way the standalone
     // per-figure binaries execute.
-    let compare_serial = opts.compare_serial.unwrap_or(opts.scale == Scale::Test);
+    let compare_serial = opts.compare_serial.unwrap_or(opts.scale == Scale::Test) && !interrupted;
     let mut serial_equivalent = None;
     if compare_serial {
         let serial_store = HarnessStore::uncached();
@@ -357,6 +563,8 @@ pub fn run_suite(opts: &SuiteOptions) -> i32 {
         };
         let serial_start = Instant::now();
         for (plan, parallel_out) in plans.iter().zip(&outputs) {
+            // Quarantined plans have no parallel output to compare.
+            let Some(parallel_out) = parallel_out else { continue };
             let out = (plan.run)(&serial_ctx);
             if out.json != parallel_out.json || out.text != parallel_out.text {
                 eprintln!(
@@ -395,9 +603,12 @@ pub fn run_suite(opts: &SuiteOptions) -> i32 {
             report_mem_hits: stats[3],
             report_disk_hits: stats[4],
             report_sims: stats[5],
+            snapshots_quarantined: stats[6],
         },
         serial_equivalent,
         baseline: opts.baseline.as_ref().map(|p| p.display().to_string()),
+        resumed,
+        failures,
     };
     let mut bench_json = serde_json::to_string_pretty(&bench).expect("serialize bench report");
     bench_json.push('\n');
@@ -407,8 +618,33 @@ pub fn run_suite(opts: &SuiteOptions) -> i32 {
     }
     eprintln!("wrote {}", opts.bench_path.display());
 
+    if interrupted {
+        eprintln!(
+            "interrupted: {} of {} plan(s) completed; manifest flushed",
+            bench.plans.len(),
+            plans.len()
+        );
+        eprintln!(
+            "resume with: suite --resume --scale {} --out {}{}",
+            opts.scale.name(),
+            opts.out_dir.display(),
+            opts.filter.as_deref().map(|f| format!(" --filter {f}")).unwrap_or_default()
+        );
+        return 130;
+    }
+
     if let Some(baseline) = &opts.baseline {
-        let drifts = compare_against_baseline(&plans, &opts.out_dir, baseline);
+        // A quarantined plan wrote no fresh artifact, so its baseline
+        // diff is meaningless — compare only what actually completed.
+        let compared: Vec<Plan> =
+            plans.iter().zip(&outputs).filter(|(_, o)| o.is_some()).map(|(p, _)| *p).collect();
+        if compared.len() < plans.len() {
+            eprintln!(
+                "note: {} quarantined plan(s) excluded from the baseline comparison",
+                plans.len() - compared.len()
+            );
+        }
+        let drifts = compare_against_baseline(&compared, &opts.out_dir, baseline);
         if !drifts.is_empty() {
             eprintln!(
                 "regression: {} artifact difference(s) vs {}:",
@@ -423,7 +659,18 @@ pub fn run_suite(opts: &SuiteOptions) -> i32 {
             }
             return 1;
         }
-        eprintln!("baseline comparison: {} artifact(s) identical", plans.len());
+        eprintln!("baseline comparison: {} artifact(s) identical", compared.len());
+    }
+
+    if !bench.failures.is_empty() {
+        eprintln!("suite completed with {} quarantined plan(s):", bench.failures.len());
+        for f in &bench.failures {
+            eprintln!(
+                "  {} {} after {:.3}s (attempt {}): {}",
+                f.plan, f.kind, f.duration_s, f.attempts, f.message
+            );
+        }
+        return 1;
     }
     0
 }

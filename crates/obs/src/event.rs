@@ -52,10 +52,16 @@ pub enum EventKind {
     /// machine-wide record that keeps timelines truthful — every CPU
     /// repeated its previous cycle category for the whole span.
     IdleSpan = 12,
+    /// The forward-progress watchdog flagged a violation storm: this
+    /// epoch rewound `a` consecutive times without any epoch committing
+    /// in between. `sub` = rewind target of the tripping rewind, `b` =
+    /// packed PCs of the most recent RAW conflict ([`NO_PC`] when the
+    /// storm was not RAW-driven).
+    Livelock = 13,
 }
 
 /// Every event kind, in discriminant order (stable for count tables).
-pub const ALL_EVENT_KINDS: [EventKind; 13] = [
+pub const ALL_EVENT_KINDS: [EventKind; 14] = [
     EventKind::EpochStart,
     EventKind::SubThreadStart,
     EventKind::SubThreadMerge,
@@ -69,6 +75,7 @@ pub const ALL_EVENT_KINDS: [EventKind; 13] = [
     EventKind::VictimSpill,
     EventKind::LatchStall,
     EventKind::IdleSpan,
+    EventKind::Livelock,
 ];
 
 impl EventKind {
@@ -88,6 +95,7 @@ impl EventKind {
             EventKind::VictimSpill => "victim_spill",
             EventKind::LatchStall => "latch_stall",
             EventKind::IdleSpan => "idle_span",
+            EventKind::Livelock => "livelock",
         }
     }
 

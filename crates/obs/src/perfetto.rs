@@ -402,6 +402,22 @@ pub fn export(meta: &TraceMeta, events: impl IntoIterator<Item = Event>) -> Stri
             EventKind::SubThreadMerge => {
                 instant(&mut w, exec_tid(cpu), "sub-thread merge", ev.cycle, None);
             }
+            EventKind::Livelock => {
+                let (load, store) = Event::unpack_pcs(ev.b);
+                instant(
+                    &mut w,
+                    exec_tid(cpu),
+                    &format!("livelock: epoch {} storming", ev.epoch),
+                    ev.cycle,
+                    Some(&format!(
+                        "{{\"storm_len\":{},\"rewind_to_sub\":{},\"load_pc\":{},\"store_pc\":{}}}",
+                        ev.a,
+                        ev.sub,
+                        pc_json(load),
+                        pc_json(store)
+                    )),
+                );
+            }
             EventKind::IdleSpan => {
                 slice(
                     &mut w,

@@ -1,0 +1,128 @@
+//! Forward-progress watchdog tests: a constructed violation storm — an
+//! older epoch repeatedly storing an address a younger epoch keeps
+//! reloading — must be detected and reported as a `LivelockReport`;
+//! detection alone must never change timing; and the
+//! `progress_fallback` degradation must cap the storm while producing
+//! oracle-identical architectural results.
+
+use subthreads::core::{CmpConfig, CmpSimulator, RunOptions};
+use subthreads::obs::{EventKind, Observer};
+use subthreads::trace::{Addr, OpSink, Pc, ProgramBuilder, TraceProgram};
+
+const HOT: Addr = Addr(0x9000);
+
+/// Epoch 0 stores the hot address a dozen times, spaced out; epoch 1
+/// loads it right away and then runs long. Every store lands after
+/// epoch 1 has re-exposed the load, so epoch 1 rewinds once per store —
+/// a commit-free streak the watchdog must flag.
+fn storm_program() -> TraceProgram {
+    let mut b = ProgramBuilder::new("storm");
+    b.begin_parallel();
+    b.begin_epoch();
+    for i in 0..12u16 {
+        b.store(Pc::new(0, i), HOT, 8);
+        b.int_ops(Pc::new(0, 100 + i), 200);
+    }
+    b.end_epoch();
+    b.begin_epoch();
+    b.load(Pc::new(1, 0), HOT, 8);
+    b.int_ops(Pc::new(1, 1), 4000);
+    b.end_epoch();
+    b.end_parallel();
+    b.finish()
+}
+
+fn machine() -> CmpConfig {
+    let mut cfg = CmpConfig::test_small();
+    cfg.max_cycles = 5_000_000;
+    cfg
+}
+
+fn opts(threshold: u64, fallback: bool) -> RunOptions {
+    RunOptions {
+        livelock_threshold: threshold,
+        progress_fallback: fallback,
+        ..RunOptions::default()
+    }
+}
+
+#[test]
+fn storm_is_detected_and_reported() {
+    let sim = CmpSimulator::new(machine());
+    let program = storm_program();
+    let r = sim.run_with(&program, opts(4, false));
+    assert_eq!(r.committed_epochs, 2, "storm must still drain: {r}");
+    assert!(r.violations.primary >= 4, "storm program produced no storm: {r}");
+    assert_eq!(r.livelocks.len(), 1, "expected exactly one storm: {:?}", r.livelocks);
+    let ll = &r.livelocks[0];
+    assert_eq!(ll.epoch, 1, "the younger epoch is the one storming");
+    assert!(ll.storm_len >= 4, "storm_len below threshold: {ll:?}");
+    assert!(!ll.serialized, "fallback was off");
+    let load_pc = Pc::new(1, 0).0;
+    assert!(
+        ll.violation_pcs.contains(&load_pc)
+            && ll.violation_pcs.iter().any(|&pc| pc != load_pc && pc < Pc::new(0, 12).0),
+        "storm PCs must implicate the hot load and at least one store: {ll:?}"
+    );
+    assert!(ll.detected_at_cycle > 0 && ll.detected_at_cycle <= r.total_cycles);
+}
+
+#[test]
+fn detection_is_passive() {
+    // Same program, watchdog off vs. on: every timing-visible field of
+    // the report must be identical — detection only ever appends to
+    // `livelocks`.
+    let sim = CmpSimulator::new(machine());
+    let program = storm_program();
+    let off = sim.run_with(&program, opts(0, false));
+    let on = sim.run_with(&program, opts(4, false));
+    assert!(off.livelocks.is_empty());
+    assert!(!on.livelocks.is_empty());
+    assert_eq!(off.total_cycles, on.total_cycles);
+    assert_eq!(off.breakdown, on.breakdown);
+    assert_eq!(off.violations, on.violations);
+    assert_eq!(off.dispatched_ops, on.dispatched_ops);
+}
+
+#[test]
+fn fallback_caps_the_storm_and_stays_oracle_identical() {
+    // `RunOptions::default()` keeps the invariant auditor and the
+    // sequential differential oracle armed with
+    // `panic_on_audit_failure`, so this run passing at all *is* the
+    // oracle-identity proof: the serialized epoch's committed memory
+    // image matched a sequential replay byte for byte.
+    let sim = CmpSimulator::new(machine());
+    let program = storm_program();
+    let stormy = sim.run_with(&program, opts(4, false));
+    let degraded = sim.run_with(&program, opts(4, true));
+    assert_eq!(degraded.committed_epochs, 2);
+    assert!(degraded.audit_failures.is_empty());
+    assert_eq!(degraded.livelocks.len(), 1);
+    assert!(degraded.livelocks[0].serialized);
+    assert!(
+        degraded.violations.primary < stormy.violations.primary,
+        "serializing the storming epoch must cut violations: {} !< {}",
+        degraded.violations.primary,
+        stormy.violations.primary
+    );
+    // The identity every run must keep, storms or not.
+    assert_eq!(degraded.breakdown.total(), degraded.total_cycles * degraded.cpus as u64);
+}
+
+#[test]
+fn storm_emits_a_livelock_event() {
+    let sim = CmpSimulator::new(machine());
+    let program = storm_program();
+    let mut obs = Observer::new(machine().cpus, 1 << 20, 1024);
+    let r = sim.run_observed(&program, opts(4, false), Some(&mut obs));
+    assert_eq!(obs.events.count(EventKind::Livelock), 1);
+    let ev = obs
+        .events
+        .events()
+        .into_iter()
+        .find(|e| e.kind == EventKind::Livelock)
+        .expect("counted above");
+    assert_eq!(ev.epoch, 1);
+    assert!(ev.a >= 4, "a = streak at detection");
+    assert!(ev.a <= r.livelocks[0].storm_len, "the report tracks the full storm");
+}
