@@ -54,9 +54,25 @@ struct RunBench {
 }
 
 #[derive(Serialize)]
+struct PagerBench {
+    /// Pool frames of the measured run.
+    frames: usize,
+    /// ns per pin (hit + miss paths combined) across the oracle
+    /// workload, pool thrashing.
+    ns_per_pin: f64,
+    /// ns per crash point for a full REDO recovery + logical diff.
+    ns_per_crash_point: f64,
+    /// Crash points checked (all green, or the bench aborts).
+    crash_points: u64,
+    /// The run's buffer-pool counters.
+    counters: tls_minidb::PagerCounters,
+}
+
+#[derive(Serialize)]
 struct KernelBench {
     ops: Vec<OpBench>,
     runs: Vec<RunBench>,
+    pager: PagerBench,
 }
 
 fn machine() -> CmpConfig {
@@ -244,6 +260,32 @@ fn bench_run(name: &'static str, program: &TraceProgram) -> RunBench {
     }
 }
 
+/// Host cost of the MiniDB buffer-pool hot paths: pin/miss/evict
+/// traffic from the recovery-oracle workload, plus full REDO recovery
+/// per crash point. Every crash point is also *checked* — a red oracle
+/// aborts the bench rather than reporting a timing for wrong results.
+fn bench_pager() -> PagerBench {
+    use tls_core::DiskFaultPlan;
+    use tls_minidb::oracle::run_workload;
+
+    const FRAMES: usize = 24;
+    const MTRS: usize = 24;
+    let secs = time_s(3, || run_workload(1, MTRS, FRAMES, DiskFaultPlan::default(), false));
+    let w = run_workload(1, MTRS, FRAMES, DiskFaultPlan::default(), false);
+    let counters = w.pager().counters();
+    let pins = (counters.hits + counters.misses).max(1);
+    let crash_points = w.last_lsn() + 1;
+    let check_secs =
+        time_s(3, || w.check_all_crash_points().expect("recovery oracle must be green"));
+    PagerBench {
+        frames: FRAMES,
+        ns_per_pin: secs * 1e9 / pins as f64,
+        ns_per_crash_point: check_secs * 1e9 / crash_points as f64,
+        crash_points,
+        counters,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_kernel.json");
@@ -285,8 +327,19 @@ fn main() {
         );
     }
 
-    let mut json =
-        serde_json::to_string_pretty(&KernelBench { ops, runs }).expect("serialize kernel bench");
+    let pager = bench_pager();
+    let c = &pager.counters;
+    println!(
+        "{:<24} {:>9.1} ns/pin  {:>9.0} ns/crash-point ({} points green)",
+        "pager_oracle", pager.ns_per_pin, pager.ns_per_crash_point, pager.crash_points
+    );
+    println!(
+        "{:<24} hits {} misses {} evictions {} flushes {} replays {} mtrs {}",
+        "pager_counters", c.hits, c.misses, c.evictions, c.flushes, c.recovery_replays, c.mtrs
+    );
+
+    let mut json = serde_json::to_string_pretty(&KernelBench { ops, runs, pager })
+        .expect("serialize kernel bench");
     json.push('\n');
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {out_path}");

@@ -1,0 +1,12 @@
+//! Extension study: buffer-pool pressure × sub-thread spacing for
+//! NEW ORDER recorded through the disk-backed MiniDB pager.
+//!
+//! Thin wrapper over the `pool_pressure` plan in `tls-harness`; the
+//! `suite` binary runs the same plan alongside every other artifact.
+//!
+//! Usage: `cargo run --release -p tls-bench --bin pool_pressure [--scale paper|test] [--json DIR]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    tls_harness::suite::run_single_plan("pool_pressure", &args);
+}

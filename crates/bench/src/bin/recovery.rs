@@ -1,0 +1,184 @@
+//! The recovery-chaos grid: the crash-recovery oracle over a seed grid,
+//! every crash point, every disk-fault class.
+//!
+//! For each seed the oracle workload runs through a thrashing buffer
+//! pool whose simulated disk injects seeded faults (torn writes, lost
+//! writes, bit flips), then REDO recovery is checked at **every**
+//! durable-log LSN: recovered logical contents must match the shadow
+//! journal byte-for-byte. Any divergence — or any page quarantined by
+//! recovery — writes evidence files under `<out>/quarantine/` and exits
+//! non-zero. CI gates on this binary: 100% oracle agreement or red.
+//!
+//! Usage: `recovery [--seeds N] [--out DIR] [--smoke]`
+//!   --seeds N   seeds in the grid (default 16)
+//!   --out DIR   report + evidence directory (default results/recovery)
+//!   --smoke     tiny grid (4 seeds, fewer mini-transactions) for quick checks
+
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+use tls_core::{DiskFaultPlan, ALL_DISK_FAULT_CLASSES};
+use tls_minidb::oracle::run_workload;
+
+const FRAMES: usize = 20;
+
+#[derive(Serialize)]
+struct SeedResult {
+    seed: u64,
+    crash_points: u64,
+    faults_injected: usize,
+    disk_writes: u64,
+    evictions: u64,
+    flushes: u64,
+    recovery_replays: u64,
+    checksum_failures: u64,
+    stale_reads: u64,
+    green: bool,
+    failure: Option<String>,
+}
+
+#[derive(Serialize)]
+struct RecoveryReport {
+    seeds: Vec<SeedResult>,
+    total_crash_points: u64,
+    total_faults: usize,
+    all_green: bool,
+    wall_s: f64,
+}
+
+fn run_seed(seed: u64, mtrs: usize) -> SeedResult {
+    // Faults dense across the write stream (a run issues a few dozen
+    // disk writes), all three classes.
+    let plan = DiskFaultPlan::generate(seed, &ALL_DISK_FAULT_CLASSES, 48, 32);
+    let w = run_workload(seed, mtrs, FRAMES, plan, false);
+    let c = w.pager().counters();
+    let faults = w.pager().disk().faults_injected().len();
+    let writes = w.pager().disk().writes_issued();
+    let (green, crash_points, failure) = match w.check_all_crash_points() {
+        Ok(points) => (true, points, None),
+        Err(e) => (false, 0, Some(e)),
+    };
+    SeedResult {
+        seed,
+        crash_points,
+        faults_injected: faults,
+        disk_writes: writes,
+        evictions: c.evictions,
+        flushes: c.flushes,
+        recovery_replays: c.recovery_replays,
+        checksum_failures: c.checksum_failures,
+        stale_reads: c.stale_reads,
+        green,
+        failure,
+    }
+}
+
+/// On a red seed, preserve the evidence: re-run recovery at every crash
+/// point and write one `page_<region>.reason.txt` per quarantined page
+/// (plus the oracle's divergence message) under `<out>/quarantine/`.
+fn write_evidence(out: &std::path::Path, r: &SeedResult, mtrs: usize) {
+    let qdir = out.join("quarantine");
+    if let Err(e) = std::fs::create_dir_all(&qdir) {
+        eprintln!("warning: cannot create {}: {e}", qdir.display());
+        return;
+    }
+    let msg = r.failure.as_deref().unwrap_or("unknown divergence");
+    let report = format!("seed: {}\nfailure: {msg}\n", r.seed);
+    let _ = std::fs::write(qdir.join(format!("seed_{}.failure.txt", r.seed)), report);
+
+    // Collect quarantined pages across the grid for this seed.
+    let plan = DiskFaultPlan::generate(r.seed, &ALL_DISK_FAULT_CLASSES, 48, 32);
+    let w = run_workload(r.seed, mtrs, FRAMES, plan, false);
+    for k in 0..=w.last_lsn() {
+        let world = w.pager().crash_point(k);
+        for q in &world.quarantined {
+            let name = format!("page_{:#x}.reason.txt", q.region);
+            let body = format!(
+                "seed: {}\ncrash_lsn: {k}\nregion: {:#x}\nreason: {}\n",
+                r.seed, q.region, q.reason
+            );
+            let _ = std::fs::write(qdir.join(name), body);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds = 16u64;
+    let mut out = PathBuf::from("results/recovery");
+    let mut mtrs = 24usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--seeds needs a number"));
+            }
+            "--out" => out = PathBuf::from(it.next().expect("--out needs a value")),
+            "--smoke" => {
+                seeds = 4;
+                mtrs = 8;
+            }
+            other => {
+                eprintln!(
+                    "unknown argument '{other}'\nusage: recovery [--seeds N] [--out DIR] [--smoke]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let t0 = Instant::now();
+    let results: Vec<SeedResult> = (0..seeds)
+        .map(|s| {
+            // Spread seeds so neighboring grids don't share fault plans.
+            let seed = s.wrapping_mul(0x9E37_79B9).wrapping_add(7);
+            let r = run_seed(seed, mtrs);
+            println!(
+                "seed {seed:>12}: {} crash points, {} faults, {} evictions, {} replays — {}",
+                r.crash_points,
+                r.faults_injected,
+                r.evictions,
+                r.recovery_replays,
+                if r.green { "green" } else { "RED" }
+            );
+            if !r.green {
+                eprintln!("  {}", r.failure.as_deref().unwrap_or(""));
+                write_evidence(&out, &r, mtrs);
+            }
+            r
+        })
+        .collect();
+
+    let all_green = results.iter().all(|r| r.green);
+    let report = RecoveryReport {
+        total_crash_points: results.iter().map(|r| r.crash_points).sum(),
+        total_faults: results.iter().map(|r| r.faults_injected).sum(),
+        all_green,
+        wall_s: t0.elapsed().as_secs_f64(),
+        seeds: results,
+    };
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("warning: cannot create {}: {e}", out.display());
+    }
+    let mut json = serde_json::to_string_pretty(&report).expect("serialize recovery report");
+    json.push('\n');
+    let path = out.join("recovery.json");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!(
+        "{} seeds, {} crash points, {} faults injected in {:.1}s — {}",
+        seeds,
+        report.total_crash_points,
+        report.total_faults,
+        report.wall_s,
+        if all_green { "oracle 100% green" } else { "ORACLE DISAGREEMENT" }
+    );
+    eprintln!("wrote {}", path.display());
+    if !all_green {
+        std::process::exit(1);
+    }
+}

@@ -149,6 +149,120 @@ impl FaultPlan {
     }
 }
 
+/// The classes of storage-level faults the disk chaos harness injects.
+///
+/// Unlike [`FaultClass`], these *do* corrupt data — they model the
+/// failure modes of a physical disk under power loss — so the recovery
+/// path (checksum detection plus WAL REDO) is what restores the "the
+/// sequential oracle must still match" guarantee after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiskFaultClass {
+    /// A page write is torn at an arbitrary byte boundary: the prefix of
+    /// the new envelope lands, the suffix keeps the old on-disk bytes.
+    /// The page checksum must reject every such mix.
+    TornWrite,
+    /// A page write is silently dropped: the old envelope stays on disk,
+    /// checksum-valid but stale. REDO must roll it forward from its
+    /// page LSN.
+    LostWrite,
+    /// One bit of the written envelope flips. The page checksum must
+    /// detect it.
+    BitFlip,
+}
+
+/// Every disk fault class, in a fixed order.
+pub const ALL_DISK_FAULT_CLASSES: [DiskFaultClass; 3] =
+    [DiskFaultClass::TornWrite, DiskFaultClass::LostWrite, DiskFaultClass::BitFlip];
+
+impl fmt::Display for DiskFaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DiskFaultClass::TornWrite => "torn-write",
+            DiskFaultClass::LostWrite => "lost-write",
+            DiskFaultClass::BitFlip => "bit-flip",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One scheduled disk fault, addressed by *write index*: the Nth page
+/// write the pager issues after its initial checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskFaultEvent {
+    /// Zero-based index of the disk write this fault corrupts.
+    pub at_write: u64,
+    /// What kind of corruption to apply.
+    pub class: DiskFaultClass,
+    /// Class-specific argument: the tear's byte boundary within the
+    /// envelope ([`DiskFaultClass::TornWrite`]) or the bit index to flip
+    /// ([`DiskFaultClass::BitFlip`]); unused for lost writes. Consumers
+    /// reduce it modulo the envelope size, so any `u64` is valid.
+    pub arg: u64,
+}
+
+/// A seeded, reproducible schedule of disk faults.
+///
+/// Same contract as [`FaultPlan`]: plans are data, and the same seed,
+/// class set, horizon and count always generate the same plan.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DiskFaultPlan {
+    /// The seed the plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+    /// Scheduled faults, sorted by [`DiskFaultEvent::at_write`], at most
+    /// one per write index.
+    pub events: Vec<DiskFaultEvent>,
+}
+
+impl DiskFaultPlan {
+    /// Generates a plan of up to `count` faults drawn from `classes`,
+    /// spread over write indices `0..horizon` (duplicate indices are
+    /// dropped, so dense plans may come out slightly short).
+    ///
+    /// Panics if `classes` is empty.
+    pub fn generate(
+        seed: u64,
+        classes: &[DiskFaultClass],
+        horizon: u64,
+        count: usize,
+    ) -> DiskFaultPlan {
+        assert!(!classes.is_empty(), "disk fault plan needs at least one class");
+        let horizon = horizon.max(1);
+        let mut state = seed ^ 0xD15C_FA17_D15C_FA17;
+        let _ = splitmix64(&mut state);
+        let mut events: Vec<DiskFaultEvent> = (0..count)
+            .map(|_| {
+                let class = classes[(splitmix64(&mut state) % classes.len() as u64) as usize];
+                let at_write = splitmix64(&mut state) % horizon;
+                let arg = splitmix64(&mut state);
+                DiskFaultEvent { at_write, class, arg }
+            })
+            .collect();
+        events.sort_by_key(|e| e.at_write);
+        events.dedup_by_key(|e| e.at_write);
+        DiskFaultPlan { seed, events }
+    }
+
+    /// A plan with a single fault — handy for targeted tests.
+    pub fn single(class: DiskFaultClass, at_write: u64, arg: u64) -> DiskFaultPlan {
+        DiskFaultPlan { seed: 0, events: vec![DiskFaultEvent { at_write, class, arg }] }
+    }
+
+    /// The fault scheduled for write index `idx`, if any.
+    pub fn for_write(&self, idx: u64) -> Option<DiskFaultEvent> {
+        self.events.binary_search_by_key(&idx, |e| e.at_write).ok().map(|i| self.events[i])
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
 /// Cursor over a plan's events during one run.
 ///
 /// The simulator drains due events at the top of each cycle; the
@@ -353,5 +467,34 @@ mod tests {
         let s = serde_json::to_string(&p).expect("serialize");
         let q: FaultPlan = serde_json::from_str(&s).expect("deserialize");
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn disk_plan_generation_is_deterministic_per_seed() {
+        let a = DiskFaultPlan::generate(7, &ALL_DISK_FAULT_CLASSES, 500, 16);
+        let b = DiskFaultPlan::generate(7, &ALL_DISK_FAULT_CLASSES, 500, 16);
+        let c = DiskFaultPlan::generate(8, &ALL_DISK_FAULT_CLASSES, 500, 16);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "nearby seeds should produce different plans");
+    }
+
+    #[test]
+    fn disk_plan_indexes_at_most_one_fault_per_write() {
+        let p = DiskFaultPlan::generate(3, &ALL_DISK_FAULT_CLASSES, 40, 64);
+        assert!(p.events.windows(2).all(|w| w[0].at_write < w[1].at_write));
+        assert!(p.events.iter().all(|e| e.at_write < 40));
+        for e in &p.events {
+            assert_eq!(p.for_write(e.at_write), Some(*e));
+        }
+        assert_eq!(p.for_write(40), None);
+    }
+
+    #[test]
+    fn disk_plan_round_trips_through_json() {
+        let p = DiskFaultPlan::generate(5, &[DiskFaultClass::TornWrite], 100, 6);
+        let s = serde_json::to_string(&p).expect("serialize");
+        let q: DiskFaultPlan = serde_json::from_str(&s).expect("deserialize");
+        assert_eq!(p, q);
+        assert!(p.events.iter().all(|e| e.class == DiskFaultClass::TornWrite));
     }
 }

@@ -81,7 +81,10 @@ mod simulator;
 pub mod synthetic;
 
 pub use accounting::{Breakdown, CycleCategory, FaultStats, SubThreadLedger};
-pub use chaos::{FaultClass, FaultEvent, FaultInjector, FaultPlan, RunOptions, ALL_FAULT_CLASSES};
+pub use chaos::{
+    DiskFaultClass, DiskFaultEvent, DiskFaultPlan, FaultClass, FaultEvent, FaultInjector,
+    FaultPlan, RunOptions, ALL_DISK_FAULT_CLASSES, ALL_FAULT_CLASSES,
+};
 pub use config::{
     CmpConfig, ExhaustionPolicy, SecondaryPolicy, SpacingPolicy, SubThreadConfig, MAX_CPUS,
     MAX_SUBTHREADS,

@@ -104,6 +104,7 @@ pub fn all_plans() -> Vec<Plan> {
         crate::plans::scalability::plan(),
         crate::plans::tuning_curve::plan(),
         crate::plans::spec_contrast::plan(),
+        crate::plans::pool_pressure::plan(),
     ]
 }
 

@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod figure2;
 pub mod figure5;
 pub mod figure6;
+pub mod pool_pressure;
 pub mod scalability;
 pub mod spec_contrast;
 pub mod table2;

@@ -91,6 +91,15 @@ pub struct StoreStats {
     /// Undecodable snapshot files moved to `<dir>/quarantine/` (and then
     /// regenerated — each quarantine implies a record or sim above).
     pub snapshots_quarantined: AtomicU64,
+    /// Buffer-pool frames evicted across every paged recording.
+    pub pager_evictions: AtomicU64,
+    /// Dirty pages written back to the simulated disk.
+    pub pager_flushes: AtomicU64,
+    /// Disk reads rejected (checksum/stale-LSN) and repaired from the
+    /// logged image.
+    pub pager_recovery_replays: AtomicU64,
+    /// Pages recovery had to quarantine as corrupt beyond repair.
+    pub pager_pages_quarantined: AtomicU64,
 }
 
 impl StoreStats {
@@ -98,8 +107,8 @@ impl StoreStats {
         v.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of all seven counters, in declaration order.
-    pub fn snapshot(&self) -> [u64; 7] {
+    /// Snapshot of all eleven counters, in declaration order.
+    pub fn snapshot(&self) -> [u64; 11] {
         [
             Self::get(&self.trace_mem_hits),
             Self::get(&self.trace_disk_hits),
@@ -108,7 +117,21 @@ impl StoreStats {
             Self::get(&self.report_disk_hits),
             Self::get(&self.report_sims),
             Self::get(&self.snapshots_quarantined),
+            Self::get(&self.pager_evictions),
+            Self::get(&self.pager_flushes),
+            Self::get(&self.pager_recovery_replays),
+            Self::get(&self.pager_pages_quarantined),
         ]
+    }
+
+    /// Folds one paged recording's buffer-pool counters into the
+    /// aggregate (quarantined pages are passed separately — they come
+    /// from recovery runs, not the live counters).
+    pub fn record_pager(&self, c: &tls_minidb::PagerCounters, pages_quarantined: u64) {
+        self.pager_evictions.fetch_add(c.evictions, Ordering::Relaxed);
+        self.pager_flushes.fetch_add(c.flushes, Ordering::Relaxed);
+        self.pager_recovery_replays.fetch_add(c.recovery_replays, Ordering::Relaxed);
+        self.pager_pages_quarantined.fetch_add(pages_quarantined, Ordering::Relaxed);
     }
 }
 

@@ -185,6 +185,16 @@ struct BenchCache {
     snapshots_quarantined: u64,
 }
 
+/// Aggregate buffer-pool activity across every paged recording of the
+/// run (the `pool_pressure` plan; zero when it didn't run).
+#[derive(Serialize)]
+struct BenchPager {
+    evictions: u64,
+    flushes: u64,
+    recovery_replays: u64,
+    pages_quarantined: u64,
+}
+
 /// One quarantined plan in `BENCH_suite.json` — the structured failure
 /// summary the suite exits non-zero with.
 #[derive(Serialize)]
@@ -216,6 +226,7 @@ struct BenchSuite {
     total_sim_cycles: u64,
     sim_mcycles_per_host_s: f64,
     cache: BenchCache,
+    pager: BenchPager,
     serial_equivalent: Option<BenchSerial>,
     baseline: Option<String>,
     /// Plans served from the run manifest instead of re-executed.
@@ -604,6 +615,12 @@ pub fn run_suite(opts: &SuiteOptions) -> i32 {
             report_disk_hits: stats[4],
             report_sims: stats[5],
             snapshots_quarantined: stats[6],
+        },
+        pager: BenchPager {
+            evictions: stats[7],
+            flushes: stats[8],
+            recovery_replays: stats[9],
+            pages_quarantined: stats[10],
         },
         serial_equivalent,
         baseline: opts.baseline.as_ref().map(|p| p.display().to_string()),

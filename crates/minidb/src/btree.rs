@@ -42,7 +42,9 @@ impl PageAlloc {
         let n = env.load_u64(pc, self.counter);
         env.alu(pc, 3);
         env.store_u64(pc, self.counter, n + 1);
-        env.alloc(PAGE_SIZE, PAGE_SIZE)
+        let addr = env.alloc(PAGE_SIZE, PAGE_SIZE);
+        env.register_page(addr);
+        addr
     }
 
     /// Pages allocated so far.
@@ -81,6 +83,27 @@ impl BTree {
         env.mem.poke_u64(meta.offset(16), root.0);
         env.mem.poke_u64(meta.offset(24), 0);
         BTree { meta, value_size, module }
+    }
+
+    /// Re-opens a tree from its meta block address — used to read a
+    /// [`RecoveredWorld`](crate::RecoveredWorld), where trees exist at
+    /// their original addresses but no catalog survived.
+    pub fn open_existing(meta: Addr, value_size: u16, module: u16) -> Self {
+        BTree { meta, value_size, module }
+    }
+
+    /// The tree's meta block as a `(base, len)` region, for registering
+    /// it with the pager as a permanent (always-resident) region.
+    pub fn meta_region(&self) -> (Addr, u64) {
+        (self.meta, 32)
+    }
+
+    /// Opens a page through the buffer pool: pins it for the current
+    /// mini-transaction (recorded frame traffic), a no-op in direct
+    /// mode.
+    fn open_page(&self, env: &mut Env, base: Addr) -> Page {
+        env.pin_page(base);
+        Page::open(base, self.module)
     }
 
     /// The profiling module id of this tree.
@@ -127,7 +150,8 @@ impl BTree {
     /// Descends to the leaf that owns `key`. When `path` is given it
     /// collects `(interior page, descent index)` pairs, root first.
     fn descend(&self, env: &mut Env, key: u64, mut path: Option<&mut Vec<(Page, u16)>>) -> Page {
-        let mut node = Page::open(self.root(env), self.module);
+        let root = self.root(env);
+        let mut node = self.open_page(env, root);
         let mut level = self.height(env);
         while level > 1 {
             let idx = match node.find(env, key) {
@@ -143,7 +167,7 @@ impl BTree {
             if let Some(p) = path.as_deref_mut() {
                 p.push((node, idx));
             }
-            node = Page::open(child, self.module);
+            node = self.open_page(env, child);
             level -= 1;
         }
         node
@@ -210,7 +234,7 @@ impl BTree {
         right.set_next(env, old_next);
         right.set_prev(env, leaf.base);
         if old_next.0 != 0 {
-            Page::open(old_next, self.module).set_prev(env, right.base);
+            self.open_page(env, old_next).set_prev(env, right.base);
         }
         leaf.set_next(env, right.base);
         (sep, right)
@@ -297,7 +321,7 @@ impl BTree {
             if next.0 == 0 {
                 return None;
             }
-            leaf = Page::open(next, self.module);
+            leaf = self.open_page(env, next);
             idx = 0;
         }
     }
@@ -327,7 +351,7 @@ impl BTree {
             if next.0 == 0 {
                 return;
             }
-            leaf = Page::open(next, self.module);
+            leaf = self.open_page(env, next);
             idx = 0;
         }
     }
@@ -343,10 +367,12 @@ impl BTree {
         let height = self.height(env);
         // 1. Recursive structure: keys sorted, children within separator
         //    bounds, uniform depth.
-        self.check_node(env, Page::open(root, self.module), height, None, None, &mut errors);
+        let root_page = self.open_page(env, root);
+        self.check_node(env, root_page, height, None, None, &mut errors);
         // 2. The leaf chain visits every entry in global order and links
         //    back correctly.
-        let mut leaf = Page::open(self.first_leaf(env), self.module);
+        let first = self.first_leaf(env);
+        let mut leaf = self.open_page(env, first);
         let mut prev_base = Addr(0);
         let mut last_key: Option<u64> = None;
         let mut chained = 0u64;
@@ -375,7 +401,7 @@ impl BTree {
                 break;
             }
             prev_base = leaf.base;
-            leaf = Page::open(next, self.module);
+            leaf = self.open_page(env, next);
         }
         // 3. The maintained count matches the chain.
         let counted = self.entry_count(env);
@@ -430,27 +456,15 @@ impl BTree {
                 // Leftmost child: keys below cell 0's separator.
                 let first_sep = (n > 0).then(|| node.key_at(env, 0));
                 let leftmost = node.next(env);
-                self.check_node(
-                    env,
-                    Page::open(leftmost, self.module),
-                    l - 1,
-                    lower,
-                    first_sep.or(upper),
-                    errors,
-                );
+                let leftmost_page = self.open_page(env, leftmost);
+                self.check_node(env, leftmost_page, l - 1, lower, first_sep.or(upper), errors);
                 for i in 0..n {
                     let sep = node.key_at(env, i);
                     let child_slot = node.value_addr(env, i);
                     let child = Addr(env.load_u64(self.pc(SITE_DESCEND), child_slot));
                     let next_sep = if i + 1 < n { Some(node.key_at(env, i + 1)) } else { upper };
-                    self.check_node(
-                        env,
-                        Page::open(child, self.module),
-                        l - 1,
-                        Some(sep),
-                        next_sep,
-                        errors,
-                    );
+                    let child_page = self.open_page(env, child);
+                    self.check_node(env, child_page, l - 1, Some(sep), next_sep, errors);
                 }
             }
         }
@@ -459,14 +473,15 @@ impl BTree {
     /// Entry count via a full scan (test/debug helper; O(n)).
     pub fn count(&self, env: &mut Env) -> u64 {
         let mut n = 0;
-        let mut leaf = Page::open(self.first_leaf(env), self.module);
+        let first = self.first_leaf(env);
+        let mut leaf = self.open_page(env, first);
         loop {
             n += leaf.ncells(env) as u64;
             let next = leaf.next(env);
             if next.0 == 0 {
                 return n;
             }
-            leaf = Page::open(next, self.module);
+            leaf = self.open_page(env, next);
         }
     }
 }

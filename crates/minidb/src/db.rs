@@ -15,6 +15,8 @@ pub enum LatchName {
     PageAlloc,
     /// Protects the global statistics counters.
     Stats,
+    /// Protects the buffer-pool frame directory.
+    Pager,
 }
 
 impl LatchName {
@@ -24,6 +26,7 @@ impl LatchName {
             LatchName::Log => 0,
             LatchName::PageAlloc => 1,
             LatchName::Stats => 2,
+            LatchName::Pager => 3,
         })
     }
 }
@@ -109,19 +112,36 @@ impl Db {
     /// Logs a row modification of `payload` bytes, honoring the
     /// optimization level: per-thread buffer if available and enabled,
     /// otherwise the shared tail (latched unless latch-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single record cannot fit the shared log buffer — row
+    /// payloads are bounded well below the 1 MiB buffer, so an oversized
+    /// record is an engine bug, not a runtime condition.
     pub fn log(&self, env: &mut Env, payload: u64, local: Option<&mut LocalLog>) {
         match (self.opts.per_thread_log, local) {
             (true, Some(buf)) => buf.append(env, payload),
-            _ => self.wal.append(env, payload, !self.opts.latch_free),
+            _ => self
+                .wal
+                .append(env, payload, !self.opts.latch_free)
+                .unwrap_or_else(|e| panic!("row log append failed: {e}")),
         }
     }
 
     /// Commits a speculative thread's private log buffer: one shared LSN
     /// reservation covering everything it appended. Call at the end of
     /// each epoch body when `per_thread_log` is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer's contents exceed the shared log capacity
+    /// (local buffers are 16 KiB against a 1 MiB shared log, so this is
+    /// unreachable absent an engine bug).
     pub fn log_commit(&self, env: &mut Env, local: &LocalLog) {
         if self.opts.per_thread_log {
-            self.wal.reserve(env, local.used().max(8), !self.opts.latch_free);
+            self.wal
+                .reserve(env, local.used().max(8), !self.opts.latch_free)
+                .unwrap_or_else(|e| panic!("log commit reservation failed: {e}"));
         }
     }
 

@@ -1,0 +1,245 @@
+//! The simulated disk: the crash-durable image the pager flushes to.
+//!
+//! A real buffer pool sits between volatile memory and a disk that
+//! survives crashes but fails in its own ways — writes tear at sector
+//! boundaries, queued writes get dropped, media flips bits. [`SimDisk`]
+//! models exactly that surface, host-side (its contents are *not* part
+//! of the simulated address space — disk bytes are only observable to
+//! the engine through the pager, which reads them back into simulated
+//! memory and records those accesses).
+//!
+//! Every write after the bootstrap checkpoint is numbered and consults a
+//! [`DiskFaultPlan`]; the journal of `(wal-lsn-at-write, region, bytes)`
+//! entries makes any crash point reconstructible: a crash at LSN `k`
+//! exposes exactly the writes issued while the durable log held ≤ `k`
+//! records ([`SimDisk::crash_image`]).
+
+use std::collections::HashMap;
+use tls_core::{DiskFaultClass, DiskFaultPlan};
+
+/// One applied fault, for evidence files and assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedFault {
+    /// Post-checkpoint write index the fault hit.
+    pub at_write: u64,
+    /// What went wrong.
+    pub class: DiskFaultClass,
+    /// Region the faulted write targeted.
+    pub region: u64,
+    /// Class argument (tear boundary / flipped bit index).
+    pub arg: u64,
+}
+
+#[derive(Debug, Clone)]
+struct JournalEntry {
+    /// [`DurableWal::last_lsn`](crate::DurableWal::last_lsn) when the
+    /// write was issued — write-ahead means every record covering this
+    /// write already had an LSN ≤ this.
+    lsn_at_write: u64,
+    region: u64,
+    /// The bytes that actually landed (post-fault).
+    bytes: Vec<u8>,
+}
+
+/// The simulated disk image: one envelope-encoded blob per region, plus
+/// the write journal that reconstructs the image at any crash point.
+#[derive(Debug, Default)]
+pub struct SimDisk {
+    /// Bootstrap checkpoint: region → envelope bytes, written fault-free
+    /// when the pager attaches (a clean `mkfs`, before any faults can
+    /// fire).
+    checkpoint: HashMap<u64, Vec<u8>>,
+    journal: Vec<JournalEntry>,
+    plan: DiskFaultPlan,
+    faults: Vec<AppliedFault>,
+    /// Post-checkpoint writes issued, including lost ones — the fault
+    /// plan indexes this, not the journal (a lost write leaves no
+    /// journal entry but still consumes its write slot).
+    writes: u64,
+}
+
+impl SimDisk {
+    /// An empty disk with no fault plan.
+    pub fn new() -> Self {
+        SimDisk::default()
+    }
+
+    /// Installs the fault plan consulted by subsequent writes.
+    pub fn set_plan(&mut self, plan: DiskFaultPlan) {
+        self.plan = plan;
+    }
+
+    /// Writes the bootstrap copy of a region. Exempt from faults and the
+    /// journal: it models the initial database files, already durable
+    /// before the measured run (a faulted checkpoint would make pages
+    /// unrecoverable through no fault of the recovery protocol).
+    pub fn bootstrap(&mut self, region: u64, envelope: Vec<u8>) {
+        self.checkpoint.insert(region, envelope);
+    }
+
+    /// Writes a region's envelope, applying any planned fault for this
+    /// write index. `lsn_at_write` stamps the journal entry with the
+    /// durable log position, so crash images can be cut at any LSN.
+    pub fn write(&mut self, region: u64, envelope: Vec<u8>, lsn_at_write: u64) {
+        let idx = self.writes;
+        self.writes += 1;
+        let bytes = match self.plan.for_write(idx) {
+            None => envelope,
+            Some(ev) => {
+                self.faults.push(AppliedFault {
+                    at_write: idx,
+                    class: ev.class,
+                    region,
+                    arg: ev.arg,
+                });
+                match ev.class {
+                    // A lost write never reaches the platter: no journal
+                    // entry, the previous image persists.
+                    DiskFaultClass::LostWrite => return,
+                    DiskFaultClass::TornWrite => {
+                        // Prefix of the new write lands; the tail keeps
+                        // the previous contents (zero-filled where the
+                        // old image was shorter or absent).
+                        let cut = (ev.arg as usize) % envelope.len().max(1);
+                        let old = self.image_of(region).unwrap_or_default();
+                        let mut torn = envelope[..cut].to_vec();
+                        if old.len() > cut {
+                            torn.extend_from_slice(&old[cut..]);
+                        } else {
+                            torn.resize(envelope.len(), 0);
+                        }
+                        torn
+                    }
+                    DiskFaultClass::BitFlip => {
+                        let mut bad = envelope;
+                        let nbits = (bad.len() as u64 * 8).max(1);
+                        let bit = ev.arg % nbits;
+                        bad[(bit / 8) as usize] ^= 1 << (bit % 8);
+                        bad
+                    }
+                }
+            }
+        };
+        self.journal.push(JournalEntry { lsn_at_write, region, bytes });
+    }
+
+    /// The current (latest) image of a region, if any write or bootstrap
+    /// copy exists.
+    pub fn image_of(&self, region: u64) -> Option<Vec<u8>> {
+        self.journal
+            .iter()
+            .rev()
+            .find(|e| e.region == region)
+            .map(|e| e.bytes.clone())
+            .or_else(|| self.checkpoint.get(&region).cloned())
+    }
+
+    /// The disk as a crash at durable-log position `k` would leave it:
+    /// bootstrap checkpoint plus every journaled write issued at
+    /// `lsn_at_write <= k`, in order.
+    pub fn crash_image(&self, k: u64) -> HashMap<u64, Vec<u8>> {
+        let mut image = self.checkpoint.clone();
+        for e in self.journal.iter().filter(|e| e.lsn_at_write <= k) {
+            image.insert(e.region, e.bytes.clone());
+        }
+        image
+    }
+
+    /// The latest full image (no crash cut).
+    pub fn full_image(&self) -> HashMap<u64, Vec<u8>> {
+        self.crash_image(u64::MAX)
+    }
+
+    /// Number of post-checkpoint writes issued (including lost ones —
+    /// a lost write still consumes a write index).
+    pub fn writes_issued(&self) -> u64 {
+        self.writes
+    }
+
+    /// Faults applied so far, in write order.
+    pub fn faults_injected(&self) -> &[AppliedFault] {
+        &self.faults
+    }
+
+    /// Regions present on disk (checkpoint or journaled).
+    pub fn regions(&self) -> Vec<u64> {
+        let mut rs: Vec<u64> = self.full_image().into_keys().collect();
+        rs.sort_unstable();
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tls_core::DiskFaultPlan;
+
+    #[test]
+    fn journal_replays_to_any_crash_point() {
+        let mut d = SimDisk::new();
+        d.bootstrap(0x1000, vec![0; 8]);
+        d.write(0x1000, vec![1; 8], 3);
+        d.write(0x2000, vec![2; 8], 5);
+        d.write(0x1000, vec![3; 8], 9);
+
+        let at2 = d.crash_image(2);
+        assert_eq!(at2[&0x1000], vec![0; 8], "write at lsn 3 not yet durable");
+        assert!(!at2.contains_key(&0x2000));
+
+        let at5 = d.crash_image(5);
+        assert_eq!(at5[&0x1000], vec![1; 8]);
+        assert_eq!(at5[&0x2000], vec![2; 8]);
+
+        let full = d.full_image();
+        assert_eq!(full[&0x1000], vec![3; 8]);
+        assert_eq!(d.image_of(0x1000), Some(vec![3; 8]));
+    }
+
+    #[test]
+    fn lost_write_leaves_the_previous_image() {
+        let mut d = SimDisk::new();
+        d.set_plan(DiskFaultPlan::single(DiskFaultClass::LostWrite, 0, 0));
+        d.bootstrap(0x1000, vec![7; 4]);
+        d.write(0x1000, vec![9; 4], 1);
+        assert_eq!(d.image_of(0x1000), Some(vec![7; 4]));
+        assert_eq!(d.faults_injected().len(), 1);
+        // The lost write consumed index 0; the next write is index 1 and
+        // lands cleanly.
+        d.write(0x1000, vec![9; 4], 2);
+        assert_eq!(d.image_of(0x1000), Some(vec![9; 4]));
+    }
+
+    #[test]
+    fn torn_write_mixes_new_prefix_with_old_tail() {
+        let mut d = SimDisk::new();
+        d.set_plan(DiskFaultPlan::single(DiskFaultClass::TornWrite, 0, 3));
+        d.bootstrap(0x1000, vec![7; 8]);
+        d.write(0x1000, vec![9; 8], 1);
+        assert_eq!(d.image_of(0x1000), Some(vec![9, 9, 9, 7, 7, 7, 7, 7]));
+    }
+
+    #[test]
+    fn torn_write_with_no_prior_image_zero_fills() {
+        let mut d = SimDisk::new();
+        d.set_plan(DiskFaultPlan::single(DiskFaultClass::TornWrite, 0, 2));
+        d.write(0x3000, vec![9; 4], 1);
+        assert_eq!(d.image_of(0x3000), Some(vec![9, 9, 0, 0]));
+    }
+
+    #[test]
+    fn bit_flip_flips_exactly_one_bit() {
+        let mut d = SimDisk::new();
+        d.set_plan(DiskFaultPlan::single(DiskFaultClass::BitFlip, 0, 13));
+        d.write(0x1000, vec![0; 4], 1);
+        assert_eq!(d.image_of(0x1000), Some(vec![0, 1 << 5, 0, 0]));
+    }
+
+    #[test]
+    fn bootstrap_writes_are_fault_exempt() {
+        let mut d = SimDisk::new();
+        d.set_plan(DiskFaultPlan::single(DiskFaultClass::BitFlip, 0, 0));
+        d.bootstrap(0x1000, vec![5; 4]);
+        assert_eq!(d.image_of(0x1000), Some(vec![5; 4]));
+        assert!(d.faults_injected().is_empty());
+    }
+}

@@ -5,6 +5,7 @@
 //! corresponding [`TraceOp`]s. The database engine is written exclusively
 //! against `Env`, so the recorded trace is exactly what the engine did.
 
+use crate::pager::Pager;
 use crate::SimMemory;
 use tls_trace::{latency, Addr, LatchId, OpSink, Pc, ProgramBuilder, TraceOp, TraceProgram};
 
@@ -131,12 +132,113 @@ pub struct Env {
     pub mem: SimMemory,
     /// The trace recorder.
     pub rec: Recorder,
+    /// The attached buffer pool, if any. `None` (direct mode) emits
+    /// zero extra ops, so existing traces stay byte-identical.
+    pager: Option<Box<Pager>>,
+    /// Every page ever allocated, in allocation order — maintained
+    /// host-side from the start so a pager can be attached at any point.
+    page_registry: Vec<Addr>,
 }
 
 impl Env {
     /// A fresh environment.
     pub fn new() -> Self {
-        Env { mem: SimMemory::new(), rec: Recorder::new() }
+        Env::default()
+    }
+
+    /// Attaches a buffer pool: registers every allocated page and the
+    /// given permanent regions (tree meta blocks), then writes the
+    /// fault-exempt bootstrap checkpoint. Subsequent [`Self::pin_page`]
+    /// calls emit recorded frame traffic and all durability machinery
+    /// engages.
+    pub fn attach_pager(&mut self, mut pager: Box<Pager>, permanents: &[(Addr, u64)]) {
+        assert!(self.pager.is_none(), "a pager is already attached");
+        for addr in &self.page_registry {
+            pager.register_page(&self.mem, *addr);
+        }
+        for (addr, len) in permanents {
+            pager.register_permanent(&self.mem, *addr, *len);
+        }
+        pager.bootstrap_checkpoint();
+        self.pager = Some(pager);
+    }
+
+    /// Detaches and returns the pager (direct mode resumes).
+    pub fn detach_pager(&mut self) -> Option<Box<Pager>> {
+        self.pager.take()
+    }
+
+    /// Restores a pager previously taken with [`Self::detach_pager`]
+    /// without re-registering pages or re-bootstrapping the disk — the
+    /// exact inverse of detaching. Used to run read-only host-side
+    /// audits (consistency checks, invariant scans) in direct mode
+    /// without pinning whole tables through a small pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pager is already attached.
+    pub fn restore_pager(&mut self, pager: Box<Pager>) {
+        assert!(self.pager.is_none(), "a pager is already attached");
+        self.pager = Some(pager);
+    }
+
+    /// How many pages have been registered for paging (resident or
+    /// not). Plans size pools as fractions of this.
+    pub fn registered_pages(&self) -> usize {
+        self.page_registry.len()
+    }
+
+    /// Whether a buffer pool is attached.
+    pub fn paged(&self) -> bool {
+        self.pager.is_some()
+    }
+
+    /// The attached pager, if any.
+    pub fn pager(&self) -> Option<&Pager> {
+        self.pager.as_deref()
+    }
+
+    /// Mutable access to the attached pager (counters, disk, crash
+    /// points).
+    pub fn pager_mut(&mut self) -> Option<&mut Pager> {
+        self.pager.as_deref_mut()
+    }
+
+    /// Records a freshly allocated page. Host-side only in direct mode;
+    /// with a pager attached the page is registered resident and pinned
+    /// for the current mini-transaction.
+    pub fn register_page(&mut self, addr: Addr) {
+        self.page_registry.push(addr);
+        if let Some(mut p) = self.pager.take() {
+            p.register_new_page(self, addr);
+            self.pager = Some(p);
+        }
+    }
+
+    /// Pins a page before access. A no-op in direct mode; with a pager
+    /// attached this is the recorded frame-directory probe (and, on a
+    /// miss, eviction plus read-in).
+    pub fn pin_page(&mut self, addr: Addr) {
+        if let Some(mut p) = self.pager.take() {
+            p.pin(self, addr);
+            self.pager = Some(p);
+        }
+    }
+
+    /// Opens a mini-transaction (no-op in direct mode).
+    pub fn mtr_begin(&mut self) {
+        if let Some(p) = self.pager.as_deref_mut() {
+            p.mtr_begin();
+        }
+    }
+
+    /// Commits the current mini-transaction, logging every change made
+    /// under it (no-op in direct mode).
+    pub fn mtr_end(&mut self) {
+        if let Some(mut p) = self.pager.take() {
+            p.mtr_end(self);
+            self.pager = Some(p);
+        }
     }
 
     /// Allocates simulated memory (never recorded — allocation itself is

@@ -41,16 +41,24 @@
 
 mod btree;
 mod db;
+mod disk;
 mod env;
+pub mod oracle;
 mod page;
+mod pager;
 mod simmem;
 pub mod tpcc;
 mod wal;
 
 pub use btree::{BTree, PageAlloc};
 pub use db::{Db, LatchName, OptLevel};
+pub use disk::{AppliedFault, SimDisk};
 pub use env::{Env, Recorder, SPAWN_OVERHEAD_OPS};
-pub use page::{Page, PageError, PageKind, PAGE_SIZE};
+pub use page::{
+    envelope_decode, envelope_encode, fnv1a64, EnvelopeError, Page, PageError, PageKind,
+    ENVELOPE_HEADER, PAGE_SIZE,
+};
+pub use pager::{recover, Pager, PagerCounters, QuarantinedPage, RecoveredWorld, PAGER_MODULE};
 pub use simmem::SimMemory;
 pub use tpcc::{Tpcc, TpccConfig, Transaction};
-pub use wal::{LocalLog, Wal};
+pub use wal::{DurableWal, LocalLog, Wal, WalFull, WalPayload, WalRecord};

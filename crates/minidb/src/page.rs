@@ -52,6 +52,105 @@ impl PageKind {
     }
 }
 
+// ---------------------------------------------------------------------
+// The on-disk page envelope.
+//
+// When the pager writes a page (or any registered region) to the
+// simulated disk it wraps the payload in a 16-byte envelope:
+//
+// | offset | field |
+// |---|---|
+// | 0 | page LSN (u64 LE) — last WAL record applied to this image |
+// | 8 | FNV-1a-64 checksum of `LSN bytes ‖ payload` |
+// | 16 | payload (`PAGE_SIZE` bytes for pages) |
+//
+// The checksum covers the LSN so a write torn *inside the header* is
+// caught too: a tear is undetectable only if it reproduces a fully
+// consistent `(lsn, payload, checksum)` triple, i.e. the all-old or
+// all-new envelope. The in-memory page layout above is unchanged — the
+// envelope exists only on the disk side of a flush.
+
+/// Bytes of envelope header preceding the payload on disk.
+pub const ENVELOPE_HEADER: usize = 16;
+
+/// FNV-1a-64 — the same checksum the harness snapshot store uses, kept
+/// inline so `tls-minidb` needs no extra dependency.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Wraps `payload` in a checksummed envelope stamped with `lsn`.
+pub fn envelope_encode(lsn: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENVELOPE_HEADER + payload.len());
+    out.extend_from_slice(&lsn.to_le_bytes());
+    let mut sum = lsn.to_le_bytes().to_vec();
+    sum.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a64(&sum).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Why an on-disk envelope failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// Shorter than the 16-byte header.
+    TooShort {
+        /// Bytes actually present.
+        len: usize,
+    },
+    /// The stored checksum does not match the stored LSN + payload — a
+    /// torn write, a bit flip, or any other corruption.
+    Checksum {
+        /// Checksum found in the header.
+        stored: u64,
+        /// Checksum recomputed over the stored LSN and payload.
+        computed: u64,
+    },
+}
+
+impl fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvelopeError::TooShort { len } => {
+                write!(f, "page envelope too short: {len} bytes")
+            }
+            EnvelopeError::Checksum { stored, computed } => {
+                write!(
+                    f,
+                    "page checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+/// Decodes an envelope, returning `(page LSN, payload)` only if the
+/// checksum verifies. Corrupt envelopes are **never** silently served —
+/// every caller must handle the error (repair from the WAL or
+/// quarantine).
+pub fn envelope_decode(bytes: &[u8]) -> Result<(u64, &[u8]), EnvelopeError> {
+    if bytes.len() < ENVELOPE_HEADER {
+        return Err(EnvelopeError::TooShort { len: bytes.len() });
+    }
+    let lsn = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+    let stored = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let payload = &bytes[ENVELOPE_HEADER..];
+    let mut sum = bytes[..8].to_vec();
+    sum.extend_from_slice(payload);
+    let computed = fnv1a64(&sum);
+    if stored != computed {
+        return Err(EnvelopeError::Checksum { stored, computed });
+    }
+    Ok((lsn, payload))
+}
+
 /// A structurally corrupt page: its header does not decode. Surfaced as
 /// a typed error so integrity checks can report corruption instead of
 /// crashing mid-scan.
@@ -380,6 +479,38 @@ mod tests {
         for k in 0..=cap as u64 {
             p.insert_at(&mut env, k as u16, k, &v);
         }
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let payload = vec![7u8; PAGE_SIZE as usize];
+        let env = envelope_encode(42, &payload);
+        assert_eq!(env.len(), ENVELOPE_HEADER + PAGE_SIZE as usize);
+        let (lsn, body) = envelope_decode(&env).expect("clean envelope decodes");
+        assert_eq!(lsn, 42);
+        assert_eq!(body, &payload[..]);
+    }
+
+    #[test]
+    fn envelope_rejects_every_single_bit_flip_in_a_sample() {
+        let payload: Vec<u8> = (0..64u32).map(|i| i as u8).collect();
+        let env = envelope_encode(9, &payload);
+        // Flip one bit per byte across the whole envelope.
+        for byte in 0..env.len() {
+            let mut bad = env.clone();
+            bad[byte] ^= 1 << (byte % 8);
+            assert!(
+                matches!(envelope_decode(&bad), Err(EnvelopeError::Checksum { .. })),
+                "flip in byte {byte} must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_too_short_is_typed() {
+        assert_eq!(envelope_decode(&[0u8; 3]), Err(EnvelopeError::TooShort { len: 3 }));
+        let e = envelope_decode(&[]).unwrap_err();
+        assert!(format!("{e}").contains("too short"));
     }
 
     #[test]

@@ -49,14 +49,45 @@ impl SimMemory {
         self.brk - BASE
     }
 
+    /// Extends the image so addresses below `end` are valid — used by
+    /// recovery, which rebuilds a memory image from a disk snapshot at
+    /// the original addresses instead of re-running the allocator.
+    pub fn grow(&mut self, end: u64) {
+        self.brk = self.brk.max(end);
+        self.ensure(self.brk);
+    }
+
+    /// Diagnosable bounds check shared by [`Self::bytes`] and
+    /// [`Self::write_bytes`]: chaos failures (a faulted pointer chased
+    /// off a corrupt page) must name the access, not die in a bare
+    /// slice index.
+    #[track_caller]
+    fn check_range(&self, what: &str, addr: Addr, len: usize) {
+        let end = (addr.0 as usize).saturating_add(len);
+        if addr.0 < BASE || end > self.data.len() {
+            panic!(
+                "simulated memory {what} out of range: addr {:#x} len {} \
+                 (allocated {:#x}..{:#x}, {} bytes)",
+                addr.0,
+                len,
+                BASE,
+                self.brk,
+                self.allocated()
+            );
+        }
+    }
+
     /// Reads `N` bytes at `addr` (little-endian helpers below build on
     /// this).
     ///
     /// # Panics
     ///
     /// Panics on out-of-bounds access — the engine never reads memory it
-    /// did not allocate.
+    /// did not allocate — naming the address, length and allocated
+    /// extent.
+    #[track_caller]
     pub fn bytes(&self, addr: Addr, len: usize) -> &[u8] {
+        self.check_range("read", addr, len);
         let start = addr.0 as usize;
         &self.data[start..start + len]
     }
@@ -65,8 +96,11 @@ impl SimMemory {
     ///
     /// # Panics
     ///
-    /// Panics on out-of-bounds access.
+    /// Panics on out-of-bounds access, naming the address, length and
+    /// allocated extent.
+    #[track_caller]
     pub fn write_bytes(&mut self, addr: Addr, src: &[u8]) {
+        self.check_range("write", addr, src.len());
         let start = addr.0 as usize;
         self.data[start..start + src.len()].copy_from_slice(src);
     }
@@ -156,5 +190,45 @@ mod tests {
     fn out_of_bounds_read_panics() {
         let m = SimMemory::new();
         let _ = m.peek_u64(Addr(1 << 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "read out of range: addr 0x10000000000 len 8")]
+    fn out_of_bounds_read_names_the_access() {
+        let m = SimMemory::new();
+        let _ = m.peek_u64(Addr(1 << 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "write out of range")]
+    fn out_of_bounds_write_names_the_access() {
+        let mut m = SimMemory::new();
+        m.alloc(16, 8);
+        m.write_bytes(Addr(80), &[0u8; 16]);
+    }
+
+    #[test]
+    fn oob_panic_reports_the_allocated_extent() {
+        let mut m = SimMemory::new();
+        m.alloc(100, 8);
+        let err = std::panic::catch_unwind(|| {
+            let _ = m.bytes(Addr(200), 8);
+        })
+        .expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("allocated 0x40..0xa4"), "{msg}");
+        assert!(msg.contains("100 bytes"), "{msg}");
+    }
+
+    #[test]
+    fn grow_extends_the_addressable_image() {
+        let mut m = SimMemory::new();
+        m.grow(4096);
+        m.write_bytes(Addr(4000), b"tail");
+        assert_eq!(m.bytes(Addr(4000), 4), b"tail");
+        // grow never shrinks.
+        m.alloc(64, 8);
+        m.grow(10);
+        assert!(m.allocated() >= 4096 - 64);
     }
 }

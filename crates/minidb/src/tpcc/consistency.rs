@@ -16,12 +16,19 @@ use super::Tpcc;
 /// pollute the trace).
 pub fn check(t: &mut Tpcc) -> Result<(), Vec<String>> {
     assert!(!t.env.rec.recording(), "consistency checks must not be recorded");
+    // The checks scan whole tables; run them direct (the pager is a
+    // residency layer — the bytes are in simulated memory either way)
+    // rather than pinning entire trees through a small pool.
+    let pager = t.env.detach_pager();
     let mut errors = Vec::new();
     condition_1_warehouse_ytd(t, &mut errors);
     condition_2_order_ids(t, &mut errors);
     condition_3_new_order_subset(t, &mut errors);
     condition_4_order_line_counts(t, &mut errors);
     condition_5_delivery_stamps(t, &mut errors);
+    if let Some(p) = pager {
+        t.env.restore_pager(p);
+    }
     if errors.is_empty() {
         Ok(())
     } else {

@@ -168,7 +168,9 @@ pub fn run(t: &mut Tpcc, variant: Variant) {
     // Merge per-thread log buffers at commit (non-speculative).
     if db.opts.per_thread_log {
         for _ in 0..districts {
-            db.wal.reserve(&mut t.env, 256, !db.opts.latch_free);
+            db.wal
+                .reserve(&mut t.env, 256, !db.opts.latch_free)
+                .expect("reservation fits the shared log");
         }
     }
     t.work(Pc::new(M, COMMIT), scratch, 3);

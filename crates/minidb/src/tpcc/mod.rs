@@ -21,10 +21,12 @@ mod payment;
 pub mod schema;
 mod stock_level;
 
-use crate::{Db, Env, OptLevel};
+use crate::pager::Pager;
+use crate::{Db, Env, OptLevel, PagerCounters};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use tls_core::DiskFaultPlan;
 use tls_trace::{Addr, Pc, TraceProgram};
 
 pub use schema::Tables;
@@ -241,8 +243,35 @@ impl Tpcc {
         self.env.rec.finish()
     }
 
-    /// Executes one transaction (recording optional).
+    /// Attaches a disk-backed buffer pool under the engine: every table
+    /// page becomes evictable through a pool of `frames` frames whose
+    /// simulated disk applies `plan`. The current database contents
+    /// become the fault-exempt bootstrap checkpoint; each subsequent
+    /// [`Self::run_one`] executes as one logged mini-transaction, so the
+    /// run is crash-recoverable at any durable-log LSN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pager is already attached, or (later, on first
+    /// eviction) if `frames` is smaller than one transaction's pinned
+    /// working set.
+    pub fn attach_pager(&mut self, frames: usize, plan: DiskFaultPlan, observe: bool) {
+        let permanents: Vec<(Addr, u64)> =
+            self.tables.all().iter().map(|t| t.meta_region()).collect();
+        let pager = Box::new(Pager::new(&mut self.env, frames, plan, observe));
+        self.env.attach_pager(pager, &permanents);
+    }
+
+    /// Buffer-pool counters, if a pool is attached.
+    pub fn pager_counters(&self) -> Option<PagerCounters> {
+        self.env.pager().map(|p| p.counters())
+    }
+
+    /// Executes one transaction (recording optional). With a buffer pool
+    /// attached the transaction runs as one mini-transaction: its pages
+    /// stay pinned until the end, then the WAL logs every change.
     pub fn run_one(&mut self, txn: Transaction) {
+        self.env.mtr_begin();
         match txn {
             Transaction::NewOrder => new_order::run(self, 5, 15),
             Transaction::NewOrder150 => new_order::run(self, 50, 150),
@@ -252,6 +281,7 @@ impl Tpcc {
             Transaction::DeliveryOuter => delivery::run(self, delivery::Variant::Outer),
             Transaction::StockLevel => stock_level::run(self),
         }
+        self.env.mtr_end();
     }
 
     /// Draws the next transaction type per the TPC-C mix weights

@@ -139,7 +139,9 @@ pub fn run(t: &mut Tpcc, min_lines: u32, max_lines: u32) {
     // performed while holding the homefree token). ----
     if db.opts.per_thread_log {
         for _ in 0..n_lines {
-            db.wal.reserve(&mut t.env, 64, !db.opts.latch_free);
+            db.wal
+                .reserve(&mut t.env, 64, !db.opts.latch_free)
+                .expect("reservation fits the shared log");
         }
     }
     t.work(Pc::new(M, COMMIT), scratch, 7);

@@ -206,6 +206,22 @@ pub struct Tables {
 }
 
 impl Tables {
+    /// All ten trees, in catalog order.
+    pub fn all(&self) -> [BTree; 10] {
+        [
+            self.item,
+            self.warehouse,
+            self.district,
+            self.customer,
+            self.customer_name,
+            self.stock,
+            self.orders,
+            self.new_order,
+            self.order_line,
+            self.history,
+        ]
+    }
+
     /// Creates all tables (empty).
     pub fn create(env: &mut Env, db: &Db) -> Tables {
         Tables {

@@ -1,19 +1,49 @@
 //! The write-ahead log.
 //!
-//! In the unoptimized engine every row modification appends to a single
-//! log buffer through a shared tail pointer — the textbook cross-thread
-//! dependence that makes speculative parallelization of transactions
-//! fail. The TLS-optimized engine gives each speculative thread a
-//! [`LocalLog`] buffer instead (merged at commit, outside the parallel
-//! loop), the very optimization the paper's tuning methodology discovers
-//! first.
+//! Two layers live here:
+//!
+//! * The **simulated** log ([`Wal`]/[`LocalLog`]): recorded stores into
+//!   the simulated address space whose shared tail pointer is the
+//!   textbook cross-thread dependence that makes speculative
+//!   parallelization of transactions fail. The TLS-optimized engine
+//!   gives each speculative thread a [`LocalLog`] buffer instead (merged
+//!   at commit, outside the parallel loop), the very optimization the
+//!   paper's tuning methodology discovers first.
+//! * The **durable** log ([`DurableWal`]): the LSN-stamped, checksummed
+//!   record stream the pager writes ahead of every dirty-page flush.
+//!   It models the bytes that survive a crash, so it lives host-side
+//!   (like the simulated disk) and is replayed by REDO recovery.
 
 use crate::Env;
+use std::fmt;
 use tls_trace::{Addr, LatchId, Pc};
 
 const SITE_TAIL_R: u16 = 0;
 const SITE_TAIL_W: u16 = 1;
 const SITE_PAYLOAD: u16 = 2;
+
+/// A record too large for the log buffer: the append was refused before
+/// touching any shared state. Returned (never panicked) so chaos paths
+/// that generate oversized records stay diagnosable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalFull {
+    /// Bytes the append needed (payload + 8-byte record header).
+    pub requested: u64,
+    /// Capacity of the log buffer.
+    pub capacity: u64,
+}
+
+impl fmt::Display for WalFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wal record of {} bytes cannot fit a {}-byte log buffer",
+            self.requested, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for WalFull {}
 
 /// The shared, chip-wide log.
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +67,16 @@ impl Wal {
     /// Appends a record of `payload` bytes at the shared tail. When
     /// `latched` the tail update sits in a latch-protected critical
     /// section (the unoptimized engine).
-    pub fn append(&self, env: &mut Env, payload: u64, latched: bool) {
+    ///
+    /// A record that cannot fit the buffer at all is refused with
+    /// [`WalFull`] before any shared state is touched — the old
+    /// behavior wrapped the write position modulo a (possibly
+    /// underflowed) capacity and died deep inside [`Env`].
+    pub fn append(&self, env: &mut Env, payload: u64, latched: bool) -> Result<(), WalFull> {
+        let need = payload + 8;
+        if need >= self.capacity {
+            return Err(WalFull { requested: need, capacity: self.capacity });
+        }
         let pc_r = Pc::new(self.module, SITE_TAIL_R);
         let pc_w = Pc::new(self.module, SITE_TAIL_W);
         let pc_p = Pc::new(self.module, SITE_PAYLOAD);
@@ -53,6 +92,7 @@ impl Wal {
         if latched {
             env.latch_release(pc_r, self.latch);
         }
+        Ok(())
     }
 
     /// Reserves `len` bytes of LSN space: a recorded read-modify-write of
@@ -65,7 +105,12 @@ impl Wal {
     /// *end* of each speculative thread, it is exactly the kind of late
     /// dependence that makes all-or-nothing TLS restart entire threads
     /// while sub-threads rewind almost nothing.
-    pub fn reserve(&self, env: &mut Env, len: u64, latched: bool) {
+    ///
+    /// Refuses a reservation larger than the buffer with [`WalFull`].
+    pub fn reserve(&self, env: &mut Env, len: u64, latched: bool) -> Result<(), WalFull> {
+        if len >= self.capacity {
+            return Err(WalFull { requested: len, capacity: self.capacity });
+        }
         let pc_r = Pc::new(self.module, SITE_TAIL_R);
         let pc_w = Pc::new(self.module, SITE_TAIL_W);
         if latched {
@@ -77,6 +122,7 @@ impl Wal {
         if latched {
             env.latch_release(pc_r, self.latch);
         }
+        Ok(())
     }
 
     /// Current tail offset (unrecorded, for tests).
@@ -104,10 +150,20 @@ impl LocalLog {
 
     /// Appends a record of `payload` bytes. The cursor lives in a
     /// register (Rust state), so nothing shared is touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single record cannot fit the buffer even when empty
+    /// (the wrap below would write past the region).
     pub fn append(&mut self, env: &mut Env, payload: u64) {
         let pc = Pc::new(self.module, SITE_PAYLOAD);
         env.alu(pc, 4);
         let need = payload + 8;
+        assert!(
+            need <= self.capacity,
+            "local log record of {need} bytes cannot fit a {}-byte buffer",
+            self.capacity
+        );
         if self.used + need > self.capacity {
             self.used = 0; // wrap: older records were already merged
         }
@@ -123,6 +179,134 @@ impl LocalLog {
     }
 }
 
+// ---------------------------------------------------------------------
+// The durable record stream.
+
+/// What a durable WAL record carries. Physiological REDO: images and
+/// byte-range deltas are scoped to one registered region (page or meta
+/// block); commits delimit mini-transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalPayload {
+    /// A full image of the region — always the region's *first* record,
+    /// so any corrupt disk copy can be rebuilt from the log alone.
+    Image {
+        /// Region id (its base address in simulated memory).
+        region: u64,
+        /// The full region contents at this LSN.
+        bytes: Vec<u8>,
+    },
+    /// Byte ranges that changed since the region's previous record.
+    Delta {
+        /// Region id (its base address in simulated memory).
+        region: u64,
+        /// `(offset within region, replacement bytes)`, ascending,
+        /// non-overlapping.
+        ranges: Vec<(u32, Vec<u8>)>,
+    },
+    /// A mini-transaction commit: every record since the previous commit
+    /// is atomically durable. REDO ignores a trailing run of records
+    /// with no commit (a crash mid-mtr).
+    Commit {
+        /// Mini-transaction sequence number (1-based).
+        mtr: u64,
+    },
+}
+
+impl WalPayload {
+    /// The region a record applies to (`None` for commits).
+    pub fn region(&self) -> Option<u64> {
+        match self {
+            WalPayload::Image { region, .. } | WalPayload::Delta { region, .. } => Some(*region),
+            WalPayload::Commit { .. } => None,
+        }
+    }
+}
+
+/// One durable, checksummed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Log sequence number: 1-based record index. Page LSNs and
+    /// crash-at-LSN points index this stream.
+    pub lsn: u64,
+    /// The payload.
+    pub payload: WalPayload,
+    /// FNV-1a-64 over the canonical encoding of `(lsn, payload)`;
+    /// recovery drops any record that fails it (a torn log tail).
+    pub crc: u64,
+}
+
+impl WalRecord {
+    fn checksum(lsn: u64, payload: &WalPayload) -> u64 {
+        let mut buf = lsn.to_le_bytes().to_vec();
+        match payload {
+            WalPayload::Image { region, bytes } => {
+                buf.push(1);
+                buf.extend_from_slice(&region.to_le_bytes());
+                buf.extend_from_slice(bytes);
+            }
+            WalPayload::Delta { region, ranges } => {
+                buf.push(2);
+                buf.extend_from_slice(&region.to_le_bytes());
+                for (off, bytes) in ranges {
+                    buf.extend_from_slice(&off.to_le_bytes());
+                    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(bytes);
+                }
+            }
+            WalPayload::Commit { mtr } => {
+                buf.push(3);
+                buf.extend_from_slice(&mtr.to_le_bytes());
+            }
+        }
+        crate::page::fnv1a64(&buf)
+    }
+
+    /// True when the stored checksum matches the payload.
+    pub fn verify(&self) -> bool {
+        self.crc == Self::checksum(self.lsn, &self.payload)
+    }
+}
+
+/// The durable, host-side WAL: an append-only record stream with strict
+/// write-ahead discipline (the pager asserts every disk write is covered
+/// by records already in this stream).
+#[derive(Debug, Default)]
+pub struct DurableWal {
+    records: Vec<WalRecord>,
+}
+
+impl DurableWal {
+    /// An empty log.
+    pub fn new() -> Self {
+        DurableWal::default()
+    }
+
+    /// Appends a record, returning its LSN (1-based).
+    pub fn append(&mut self, payload: WalPayload) -> u64 {
+        let lsn = self.records.len() as u64 + 1;
+        let crc = WalRecord::checksum(lsn, &payload);
+        self.records.push(WalRecord { lsn, payload, crc });
+        lsn
+    }
+
+    /// LSN of the most recent record (0 when empty).
+    pub fn last_lsn(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[WalRecord] {
+        &self.records
+    }
+
+    /// The durable prefix a crash at LSN `k` leaves behind: every record
+    /// with `lsn <= k`. REDO additionally drops a trailing uncommitted
+    /// run, so crashing mid-mtr recovers to the previous commit.
+    pub fn crash_prefix(&self, k: u64) -> &[WalRecord] {
+        &self.records[..(k.min(self.records.len() as u64)) as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,8 +316,8 @@ mod tests {
     fn shared_appends_advance_the_tail() {
         let mut env = Env::new();
         let w = Wal::new(&mut env, 1 << 16, 3, LatchId(0));
-        w.append(&mut env, 40, false);
-        w.append(&mut env, 40, false);
+        w.append(&mut env, 40, false).unwrap();
+        w.append(&mut env, 40, false).unwrap();
         assert_eq!(w.tail(&env), 96);
     }
 
@@ -142,7 +326,7 @@ mod tests {
         let mut env = Env::new();
         let w = Wal::new(&mut env, 1 << 16, 3, LatchId(5));
         env.rec.start("t", false);
-        w.append(&mut env, 16, true);
+        w.append(&mut env, 16, true).unwrap();
         let p = env.rec.finish();
         let kinds: Vec<_> = p.iter_ops().map(|o| o.kind()).collect();
         assert!(matches!(kinds[0], OpKind::LatchAcquire(LatchId(5))));
@@ -154,7 +338,7 @@ mod tests {
         let mut env = Env::new();
         let w = Wal::new(&mut env, 1 << 16, 3, LatchId(0));
         env.rec.start("t", false);
-        w.append(&mut env, 16, false);
+        w.append(&mut env, 16, false).unwrap();
         let p = env.rec.finish();
         let tail_addr = w.tail_cell;
         assert!(p.iter_ops().any(|o| o.is_load() && o.mem_addr() == Some(tail_addr)));
@@ -166,7 +350,7 @@ mod tests {
         let mut env = Env::new();
         let w = Wal::new(&mut env, 1 << 16, 3, LatchId(0));
         env.rec.start("t", false);
-        w.reserve(&mut env, 128, false);
+        w.reserve(&mut env, 128, false).unwrap();
         let p = env.rec.finish();
         assert_eq!(w.tail(&env), 128);
         let stores = p.iter_ops().filter(|o| o.is_store()).count();
@@ -179,11 +363,38 @@ mod tests {
         let mut env = Env::new();
         let w = Wal::new(&mut env, 1 << 16, 3, LatchId(4));
         env.rec.start("t", false);
-        w.reserve(&mut env, 64, true);
+        w.reserve(&mut env, 64, true).unwrap();
         let p = env.rec.finish();
         let kinds: Vec<_> = p.iter_ops().map(|o| o.kind()).collect();
         assert!(matches!(kinds[0], OpKind::LatchAcquire(LatchId(4))));
         assert!(matches!(kinds.last().unwrap(), OpKind::LatchRelease(LatchId(4))));
+    }
+
+    #[test]
+    fn oversized_append_is_a_typed_error_touching_nothing() {
+        let mut env = Env::new();
+        let w = Wal::new(&mut env, 1 << 10, 3, LatchId(0));
+        env.rec.start("t", false);
+        let err = w.append(&mut env, 1 << 10, false).unwrap_err();
+        assert_eq!(err, WalFull { requested: (1 << 10) + 8, capacity: 1 << 10 });
+        assert!(format!("{err}").contains("1032 bytes"));
+        // The boundary case: payload + header exactly == capacity is
+        // still refused (the ring math needs strictly positive slack).
+        assert!(w.append(&mut env, (1 << 10) - 8, false).is_err());
+        assert!(w.append(&mut env, (1 << 10) - 9, false).is_ok());
+        let p = env.rec.finish();
+        // Only the successful append recorded anything.
+        assert!(p.iter_ops().any(|o| o.is_store()));
+        assert_eq!(w.tail(&env), (1 << 10) - 1, "only the successful append advanced the tail");
+    }
+
+    #[test]
+    fn oversized_reserve_is_a_typed_error() {
+        let mut env = Env::new();
+        let w = Wal::new(&mut env, 256, 3, LatchId(0));
+        assert_eq!(w.reserve(&mut env, 300, false), Err(WalFull { requested: 300, capacity: 256 }));
+        assert_eq!(w.tail(&env), 0);
+        assert!(w.reserve(&mut env, 255, false).is_ok());
     }
 
     #[test]
@@ -210,5 +421,33 @@ mod tests {
             l.append(&mut env, 32);
         }
         assert!(l.used() <= 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn local_log_refuses_records_larger_than_the_buffer() {
+        let mut env = Env::new();
+        let mut l = LocalLog::new(&mut env, 64, 3);
+        l.append(&mut env, 64);
+    }
+
+    #[test]
+    fn durable_records_verify_and_crash_prefix_truncates() {
+        let mut wal = DurableWal::new();
+        let l1 = wal.append(WalPayload::Image { region: 0x1000, bytes: vec![1, 2, 3] });
+        let l2 = wal.append(WalPayload::Delta { region: 0x1000, ranges: vec![(1, vec![9])] });
+        let l3 = wal.append(WalPayload::Commit { mtr: 1 });
+        assert_eq!((l1, l2, l3), (1, 2, 3));
+        assert_eq!(wal.last_lsn(), 3);
+        assert!(wal.records().iter().all(WalRecord::verify));
+        assert_eq!(wal.crash_prefix(2).len(), 2);
+        assert_eq!(wal.crash_prefix(99).len(), 3);
+
+        // A flipped byte fails record verification.
+        let mut bad = wal.records()[0].clone();
+        if let WalPayload::Image { bytes, .. } = &mut bad.payload {
+            bytes[0] ^= 0xFF;
+        }
+        assert!(!bad.verify());
     }
 }

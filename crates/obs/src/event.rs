@@ -58,10 +58,23 @@ pub enum EventKind {
     /// packed PCs of the most recent RAW conflict ([`NO_PC`] when the
     /// storm was not RAW-driven).
     Livelock = 13,
+    /// A buffer-pool frame was evicted. `a` = the evicted region's base
+    /// address, `b` = 1 if the eviction flushed a dirty page first.
+    /// Emitted by the MiniDB pager (`cycle` is its event sequence
+    /// number, not a simulated cycle — pager events are recorded at
+    /// workload-recording time, before simulation).
+    FrameEvict = 14,
+    /// A dirty page was written to the simulated disk. `a` = region
+    /// base address, `b` = the page LSN stamped into the envelope.
+    FrameFlush = 15,
+    /// Recovery (or a live read-repair after a checksum/LSN mismatch)
+    /// replayed log state onto a page. `a` = region base address,
+    /// `b` = the LSN recovered to.
+    RecoveryReplay = 16,
 }
 
 /// Every event kind, in discriminant order (stable for count tables).
-pub const ALL_EVENT_KINDS: [EventKind; 14] = [
+pub const ALL_EVENT_KINDS: [EventKind; 17] = [
     EventKind::EpochStart,
     EventKind::SubThreadStart,
     EventKind::SubThreadMerge,
@@ -76,6 +89,9 @@ pub const ALL_EVENT_KINDS: [EventKind; 14] = [
     EventKind::LatchStall,
     EventKind::IdleSpan,
     EventKind::Livelock,
+    EventKind::FrameEvict,
+    EventKind::FrameFlush,
+    EventKind::RecoveryReplay,
 ];
 
 impl EventKind {
@@ -96,6 +112,9 @@ impl EventKind {
             EventKind::LatchStall => "latch_stall",
             EventKind::IdleSpan => "idle_span",
             EventKind::Livelock => "livelock",
+            EventKind::FrameEvict => "frame_evict",
+            EventKind::FrameFlush => "frame_flush",
+            EventKind::RecoveryReplay => "recovery_replay",
         }
     }
 

@@ -275,7 +275,14 @@ pub fn export(meta: &TraceMeta, events: impl IntoIterator<Item = Event>) -> Stri
 
     for ev in events {
         let cpu = ev.cpu as usize;
-        if ev.kind != EventKind::IdleSpan && cpu >= meta.cpus {
+        let machine_wide = matches!(
+            ev.kind,
+            EventKind::IdleSpan
+                | EventKind::FrameEvict
+                | EventKind::FrameFlush
+                | EventKind::RecoveryReplay
+        );
+        if !machine_wide && cpu >= meta.cpus {
             continue; // corrupt record; skip rather than panic
         }
         match ev.kind {
@@ -426,6 +433,33 @@ pub fn export(meta: &TraceMeta, events: impl IntoIterator<Item = Event>) -> Stri
                     ev.cycle,
                     ev.a.saturating_sub(ev.cycle),
                     Some(&format!("{{\"skipped_cycles\":{}}}", ev.a.saturating_sub(ev.cycle))),
+                );
+            }
+            EventKind::FrameEvict => {
+                instant(
+                    &mut w,
+                    mtid,
+                    "frame evict",
+                    ev.cycle,
+                    Some(&format!("{{\"region\":\"{:#x}\",\"flushed\":{}}}", ev.a, ev.b)),
+                );
+            }
+            EventKind::FrameFlush => {
+                instant(
+                    &mut w,
+                    mtid,
+                    "frame flush",
+                    ev.cycle,
+                    Some(&format!("{{\"region\":\"{:#x}\",\"page_lsn\":{}}}", ev.a, ev.b)),
+                );
+            }
+            EventKind::RecoveryReplay => {
+                instant(
+                    &mut w,
+                    mtid,
+                    "recovery replay",
+                    ev.cycle,
+                    Some(&format!("{{\"region\":\"{:#x}\",\"to_lsn\":{}}}", ev.a, ev.b)),
                 );
             }
         }
