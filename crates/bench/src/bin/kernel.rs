@@ -69,10 +69,29 @@ struct PagerBench {
 }
 
 #[derive(Serialize)]
+struct WorkloadCompilerBench {
+    /// Spec compiled (the example spec the suite's `workload` plan runs).
+    spec: &'static str,
+    /// Host ms for one full compile (two recordings: plain + TLS).
+    compile_ms: f64,
+    /// Recorded ops per host-second across both recordings.
+    ops_per_host_s: f64,
+    /// Total ops of the `(plain, tls)` pair.
+    program_ops: u64,
+    /// Speculative scan epochs the TLS recording carries.
+    scan_epochs: u64,
+    /// Ops inside those epochs.
+    scan_epoch_ops: u64,
+    /// Simulated Mcycles per host-second running the TLS recording.
+    sim_mcycles_per_host_s: f64,
+}
+
+#[derive(Serialize)]
 struct KernelBench {
     ops: Vec<OpBench>,
     runs: Vec<RunBench>,
     pager: PagerBench,
+    workload: WorkloadCompilerBench,
 }
 
 fn machine() -> CmpConfig {
@@ -286,6 +305,37 @@ fn bench_pager() -> PagerBench {
     }
 }
 
+/// Host cost of the declarative-workload compiler: spec → `(plain, tls)`
+/// trace pair, plus the simulator's throughput on the compiled TLS
+/// recording. The scan-epoch counters are asserted non-zero — a compile
+/// that stopped parallelizing scans would report a timing for the wrong
+/// program.
+fn bench_workload_compiler() -> WorkloadCompilerBench {
+    use tls_harness::workload::{compile, WorkloadSpec};
+    use tls_trace::SCAN_LOOP_MODULE;
+
+    let spec = WorkloadSpec::example();
+    let compile_secs = time_s(3, || compile(&spec));
+    let c = compile(&spec);
+    let program_ops = (c.plain.total_ops() + c.tls.total_ops()) as u64;
+    let (scan_epochs, scan_epoch_ops) = c.tls.epochs_of_module(SCAN_LOOP_MODULE);
+    assert!(scan_epochs > 0, "example spec must compile speculative scan epochs");
+
+    let cfg = machine();
+    let opts = RunOptions { audit: false, oracle: false, ..RunOptions::default() };
+    let rep = CmpSimulator::new(cfg).run_with(&c.tls, opts.clone());
+    let sim_secs = time_s(3, || CmpSimulator::new(cfg).run_with(&c.tls, opts.clone()));
+    WorkloadCompilerBench {
+        spec: "example",
+        compile_ms: compile_secs * 1e3,
+        ops_per_host_s: program_ops as f64 / compile_secs,
+        program_ops,
+        scan_epochs,
+        scan_epoch_ops,
+        sim_mcycles_per_host_s: rep.total_cycles as f64 / 1e6 / sim_secs,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_kernel.json");
@@ -338,7 +388,20 @@ fn main() {
         "pager_counters", c.hits, c.misses, c.evictions, c.flushes, c.recovery_replays, c.mtrs
     );
 
-    let mut json = serde_json::to_string_pretty(&KernelBench { ops, runs, pager })
+    let workload = bench_workload_compiler();
+    println!(
+        "{:<24} {:>9.2} ms/compile  {:>7.2} Mops/s  ({} ops, {} scan epochs, {} scan ops)  \
+         {:>7.2} Mc/s sim",
+        "workload_compiler",
+        workload.compile_ms,
+        workload.ops_per_host_s / 1e6,
+        workload.program_ops,
+        workload.scan_epochs,
+        workload.scan_epoch_ops,
+        workload.sim_mcycles_per_host_s
+    );
+
+    let mut json = serde_json::to_string_pretty(&KernelBench { ops, runs, pager, workload })
         .expect("serialize kernel bench");
     json.push('\n');
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));

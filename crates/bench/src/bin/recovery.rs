@@ -20,13 +20,17 @@ use serde::Serialize;
 use std::path::PathBuf;
 use std::time::Instant;
 use tls_core::{DiskFaultPlan, ALL_DISK_FAULT_CLASSES};
-use tls_minidb::oracle::run_workload;
+use tls_minidb::oracle::{run_indexed_workload, run_workload, OracleWorkload};
 
 const FRAMES: usize = 20;
 
 #[derive(Serialize)]
 struct SeedResult {
     seed: u64,
+    /// Whether this seed ran the indexed workload variant (a secondary
+    /// index maintained in every mini-transaction, its contents part of
+    /// the crash-point diff).
+    indexed: bool,
     crash_points: u64,
     faults_injected: usize,
     disk_writes: u64,
@@ -48,11 +52,22 @@ struct RecoveryReport {
     wall_s: f64,
 }
 
-fn run_seed(seed: u64, mtrs: usize) -> SeedResult {
+/// The seed's workload: even grid positions run the two-tree base
+/// workload, odd ones the indexed variant whose crash-point diff also
+/// covers recovered secondary-index contents.
+fn workload_for(seed: u64, indexed: bool, mtrs: usize) -> OracleWorkload {
     // Faults dense across the write stream (a run issues a few dozen
     // disk writes), all three classes.
     let plan = DiskFaultPlan::generate(seed, &ALL_DISK_FAULT_CLASSES, 48, 32);
-    let w = run_workload(seed, mtrs, FRAMES, plan, false);
+    if indexed {
+        run_indexed_workload(seed, mtrs, FRAMES, plan, false)
+    } else {
+        run_workload(seed, mtrs, FRAMES, plan, false)
+    }
+}
+
+fn run_seed(seed: u64, indexed: bool, mtrs: usize) -> SeedResult {
+    let w = workload_for(seed, indexed, mtrs);
     let c = w.pager().counters();
     let faults = w.pager().disk().faults_injected().len();
     let writes = w.pager().disk().writes_issued();
@@ -62,6 +77,7 @@ fn run_seed(seed: u64, mtrs: usize) -> SeedResult {
     };
     SeedResult {
         seed,
+        indexed,
         crash_points,
         faults_injected: faults,
         disk_writes: writes,
@@ -89,8 +105,7 @@ fn write_evidence(out: &std::path::Path, r: &SeedResult, mtrs: usize) {
     let _ = std::fs::write(qdir.join(format!("seed_{}.failure.txt", r.seed)), report);
 
     // Collect quarantined pages across the grid for this seed.
-    let plan = DiskFaultPlan::generate(r.seed, &ALL_DISK_FAULT_CLASSES, 48, 32);
-    let w = run_workload(r.seed, mtrs, FRAMES, plan, false);
+    let w = workload_for(r.seed, r.indexed, mtrs);
     for k in 0..=w.last_lsn() {
         let world = w.pager().crash_point(k);
         for q in &world.quarantined {
@@ -135,11 +150,13 @@ fn main() {
     let t0 = Instant::now();
     let results: Vec<SeedResult> = (0..seeds)
         .map(|s| {
-            // Spread seeds so neighboring grids don't share fault plans.
+            // Spread seeds so neighboring grids don't share fault plans;
+            // odd positions run the indexed workload variant.
             let seed = s.wrapping_mul(0x9E37_79B9).wrapping_add(7);
-            let r = run_seed(seed, mtrs);
+            let r = run_seed(seed, s % 2 == 1, mtrs);
             println!(
-                "seed {seed:>12}: {} crash points, {} faults, {} evictions, {} replays — {}",
+                "seed {seed:>12}{}: {} crash points, {} faults, {} evictions, {} replays — {}",
+                if r.indexed { " (indexed)" } else { "" },
                 r.crash_points,
                 r.faults_injected,
                 r.evictions,

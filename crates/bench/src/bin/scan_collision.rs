@@ -1,0 +1,12 @@
+//! Extension study: long speculative range scans colliding with Zipfian
+//! point updates, swept over key skew × sub-thread spacing.
+//!
+//! Thin wrapper over the `scan_collision` plan in `tls-harness`; the
+//! `suite` binary runs the same plan alongside every other artifact.
+//!
+//! Usage: `cargo run --release -p tls-bench --bin scan_collision [--scale paper|test] [--json DIR]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    tls_harness::suite::run_single_plan("scan_collision", &args);
+}

@@ -1,0 +1,14 @@
+//! Extension study: the checked-in example workload spec run through
+//! record → simulate → report (sequential reference, TLS baseline, and a
+//! sub-thread spacing sweep).
+//!
+//! Thin wrapper over the `workload` plan in `tls-harness`. To run an
+//! arbitrary spec file instead of the example, use the suite verb:
+//! `suite workload <spec.json>`.
+//!
+//! Usage: `cargo run --release -p tls-bench --bin workload [--scale paper|test] [--json DIR]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    tls_harness::suite::run_single_plan("workload", &args);
+}

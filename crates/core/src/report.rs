@@ -83,6 +83,12 @@ pub struct SimReport {
     pub subthreads_started: u64,
     /// Sub-thread context merges (recycling events).
     pub subthread_merges: u64,
+    /// Committed epochs spawned by a declarative scan loop (first-op PC
+    /// module is [`tls_trace::SCAN_LOOP_MODULE`]); zero for programs
+    /// without compiled scan regions.
+    pub scan_epochs: u64,
+    /// Dynamic instructions inside scan-loop epochs (each counted once).
+    pub scan_epoch_ops: u64,
     /// Dynamic instructions dispatched, including re-executions.
     pub dispatched_ops: u64,
     /// Dynamic instructions in the program (each counted once).
@@ -186,6 +192,8 @@ mod tests {
             committed_epochs: 1,
             subthreads_started: 0,
             subthread_merges: 0,
+            scan_epochs: 0,
+            scan_epoch_ops: 0,
             dispatched_ops: 100,
             program_ops: 80,
             l1: CacheStats::default(),

@@ -1655,6 +1655,11 @@ impl<'p> Machine<'p> {
             self.cycle * self.cfg.cpus as u64,
             "accounting identity: every CPU-cycle is categorized exactly once"
         );
+        // Scan-epoch accounting: every epoch commits by the end of the
+        // run, so the committed scan epochs are exactly the program's
+        // scan-module epochs.
+        let (scan_epochs, scan_epoch_ops) =
+            self.program.epochs_of_module(tls_trace::SCAN_LOOP_MODULE);
         SimReport {
             name: self.program.name.clone(),
             total_cycles: self.cycle,
@@ -1664,6 +1669,8 @@ impl<'p> Machine<'p> {
             committed_epochs: self.committed,
             subthreads_started: self.subthreads_started,
             subthread_merges: self.subthread_merges,
+            scan_epochs,
+            scan_epoch_ops,
             dispatched_ops: core.dispatched,
             program_ops,
             l1,

@@ -12,10 +12,10 @@
 //! - [`runner`] — a deterministic scoped-thread job pool: results come
 //!   back in submission order regardless of worker count, so every
 //!   artifact is byte-identical for any `--jobs` value.
-//! - [`plan`] / [`plans`] — the eight evaluation artifacts
+//! - [`plan`] / [`plans`] — the evaluation artifacts
 //!   (figure2/figure5/figure6/table2/ablations/scalability/
-//!   tuning_curve/spec_contrast) as declarative [`plan::Plan`]s over the
-//!   shared runner and store.
+//!   tuning_curve/spec_contrast/pool_pressure/scan_collision/workload)
+//!   as declarative [`plan::Plan`]s over the shared runner and store.
 //! - [`suite`] — the unified driver: filtering, baseline regression
 //!   comparison, and `BENCH_suite.json` throughput accounting.
 //! - [`eval`] — shared evaluation helpers (scales, instance counts, the
@@ -23,6 +23,11 @@
 //! - [`observe`] — observed runs behind the `suite trace` verb: a
 //!   Perfetto timeline plus a metrics time series per benchmark, with a
 //!   zero-drift guarantee against the unobserved (cached) report.
+//! - [`workload`] — the declarative workload language: JSON specs
+//!   (operation mix, Zipfian key skew, scan lengths) compiled into
+//!   `(plain, tls)` trace pairs with range scans speculatively
+//!   parallelized, behind the `suite workload` verb and the
+//!   `scan_collision` / `workload` plans.
 
 pub mod codec;
 pub mod eval;
@@ -32,6 +37,7 @@ pub mod plans;
 pub mod runner;
 pub mod store;
 pub mod suite;
+pub mod workload;
 
 pub use codec::{decode_pair, encode_pair, SnapshotError};
 pub use eval::{breakdown_row, initials, instances, paper_machine, render_stack, Scale};
@@ -39,3 +45,4 @@ pub use observe::{observe_run, ObserveOutcome, ObserveRequest};
 pub use plan::{all_plans, find_plan, Plan, PlanCtx, PlanOutput};
 pub use runner::{capture, run_protected, FailureKind, JobFailure, JobPool, Protection};
 pub use store::{HarnessStore, StoreStats, TraceKey};
+pub use workload::{compile, CompiledWorkload, MixWeights, SpecError, WorkloadSpec, Zipf};

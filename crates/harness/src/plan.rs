@@ -105,6 +105,8 @@ pub fn all_plans() -> Vec<Plan> {
         crate::plans::tuning_curve::plan(),
         crate::plans::spec_contrast::plan(),
         crate::plans::pool_pressure::plan(),
+        crate::plans::scan_collision::plan(),
+        crate::plans::workload::plan(),
     ]
 }
 

@@ -6,6 +6,8 @@ pub mod figure5;
 pub mod figure6;
 pub mod pool_pressure;
 pub mod scalability;
+pub mod scan_collision;
 pub mod spec_contrast;
 pub mod table2;
 pub mod tuning_curve;
+pub mod workload;

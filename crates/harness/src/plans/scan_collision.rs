@@ -1,0 +1,168 @@
+//! The **scan_collision** plan: long speculative range scans colliding
+//! with Zipfian point updates, swept over key skew × sub-thread spacing.
+//!
+//! Each point of the sweep compiles a scan-heavy [`WorkloadSpec`] whose
+//! scan epochs read a chunk of the key range *and* fire point updates at
+//! Zipfian-drawn keys; updates that cross a category boundary also
+//! rewrite the secondary-index pages sibling epochs probe. The skew
+//! sweep moves the collision mass around: uniform updates sprinkle
+//! conflicts across every sibling chunk, while rising skew concentrates
+//! both the updates and the scan windows (whose starts are Zipfian-drawn
+//! too) onto a hot set — colliding heavily when the hot set sits under a
+//! scan window and hardly at all when it does not. That is the
+//! scan-vs-OLTP interference the paper's sub-threads are built to
+//! tolerate. Every skew level is simulated against its own SEQUENTIAL
+//! reference across a sweep of sub-thread spacings.
+//!
+//! Compiled workloads bypass the `TraceKey` snapshot cache (the key
+//! cannot express a spec); compilations run as jobs in the pool and
+//! results assemble positionally, so output is byte-identical for any
+//! `--jobs`. Simulations flow through the content-addressed report cache
+//! via `KeyedProgram` fingerprints, exactly like `pool_pressure`.
+
+use crate::eval::Scale;
+use crate::plan::{to_artifact_json, Job, Plan, PlanCtx, PlanOutput};
+use crate::store::StoredPrograms;
+use crate::workload::{compile, MixWeights, WorkloadSpec};
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tls_core::experiment::{BenchmarkPrograms, ExperimentKind};
+use tls_core::{SimReport, SpacingPolicy};
+use tls_trace::SCAN_LOOP_MODULE;
+
+/// The skew sweep: uniform, the TPC-C-ish moderate skew, and a hot-key
+/// regime.
+const THETAS: [(&str, f64); 3] = [("uniform", 0.0), ("zipf_080", 0.8), ("zipf_099", 0.99)];
+
+/// Sub-thread spacings (speculative instructions between checkpoints).
+const SPACINGS: [u64; 3] = [500, 2000, 8000];
+
+// Per theta: 1 SEQUENTIAL reference job, then one TLS job per spacing.
+const JOBS_PER_THETA: usize = 1 + SPACINGS.len();
+
+#[derive(Serialize)]
+struct Point {
+    skew: &'static str,
+    zipf_theta: f64,
+    spacing: u64,
+    cycles: u64,
+    speedup_vs_sequential: f64,
+    violations: u64,
+    scan_epochs: u64,
+    scan_epoch_ops: u64,
+    subthreads_started: u64,
+}
+
+/// The scan_collision plan.
+pub fn plan() -> Plan {
+    Plan {
+        name: "scan_collision",
+        title: "Extension — scan/update collisions × key skew × sub-thread spacing",
+        traces: |_| Vec::new(),
+        run,
+    }
+}
+
+/// The swept spec: scans only, with the colliders doing all the writing
+/// (point transactions would dilute the parallel coverage).
+fn collision_spec(name: &str, theta: f64, scale: Scale) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::example();
+    spec.name = name.to_string();
+    spec.zipf_theta = theta;
+    spec.mix = MixWeights { point_read: 1, point_update: 2, range_scan: 5 };
+    spec.colliders_per_epoch = 4;
+    if scale == Scale::Test {
+        spec = spec.scaled_down();
+    }
+    spec.validate("").expect("swept spec is valid");
+    spec
+}
+
+fn run(ctx: &PlanCtx) -> PlanOutput {
+    // Phase 1: compile one workload per skew level, fanned across the
+    // pool (pure: the spec determines every byte).
+    let comp_jobs: Vec<Job<Arc<StoredPrograms>>> = THETAS
+        .iter()
+        .map(|&(name, theta)| {
+            let spec = collision_spec(name, theta, ctx.scale);
+            Box::new(move || {
+                let c = compile(&spec);
+                Arc::new(StoredPrograms::new(BenchmarkPrograms { plain: c.plain, tls: c.tls }))
+            }) as Job<Arc<StoredPrograms>>
+        })
+        .collect();
+    let compiled = ctx.pool.run(comp_jobs);
+
+    // Phase 2: simulations, assembled positionally.
+    let mut jobs: Vec<Job<Arc<SimReport>>> = Vec::new();
+    for progs in &compiled {
+        {
+            let progs = progs.clone();
+            jobs.push(Box::new(move || ctx.experiment(ExperimentKind::Sequential, &progs)));
+        }
+        for &spacing in &SPACINGS {
+            let progs = progs.clone();
+            jobs.push(Box::new(move || {
+                let mut cfg = ctx.machine;
+                cfg.subthreads.spacing = SpacingPolicy::Every(spacing);
+                ctx.sim(&progs.tls, &cfg)
+            }));
+        }
+    }
+    let reports = ctx.pool.run(jobs);
+
+    let mut text = String::new();
+    writeln!(
+        text,
+        "{:<10} {:>6} {:>8} {:>12} {:>9} {:>6} {:>7} {:>10} {:>6}",
+        "skew", "theta", "spacing", "cycles", "speedup", "viol", "scans", "scan_ops", "subs"
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    let mut sim_cycles = 0u64;
+    for (t, &(name, theta)) in THETAS.iter().enumerate() {
+        let scan_static = compiled[t].tls.epochs_of_module(SCAN_LOOP_MODULE);
+        let base = t * JOBS_PER_THETA;
+        let seq = reports[base].total_cycles;
+        sim_cycles += seq;
+        for (s, &spacing) in SPACINGS.iter().enumerate() {
+            let r = &reports[base + 1 + s];
+            sim_cycles += r.total_cycles;
+            // The simulator attributes scan epochs from the program, so
+            // the report must agree with the static count.
+            assert_eq!(
+                (r.scan_epochs, r.scan_epoch_ops),
+                scan_static,
+                "scan-epoch accounting must match the compiled program"
+            );
+            let point = Point {
+                skew: name,
+                zipf_theta: theta,
+                spacing,
+                cycles: r.total_cycles,
+                speedup_vs_sequential: seq as f64 / r.total_cycles as f64,
+                violations: r.violations.total(),
+                scan_epochs: r.scan_epochs,
+                scan_epoch_ops: r.scan_epoch_ops,
+                subthreads_started: r.subthreads_started,
+            };
+            writeln!(
+                text,
+                "{:<10} {:>6.2} {:>8} {:>12} {:>8.2}x {:>6} {:>7} {:>10} {:>6}",
+                point.skew,
+                point.zipf_theta,
+                point.spacing,
+                point.cycles,
+                point.speedup_vs_sequential,
+                point.violations,
+                point.scan_epochs,
+                point.scan_epoch_ops,
+                point.subthreads_started
+            )
+            .unwrap();
+            rows.push(point);
+        }
+    }
+    PlanOutput { json: to_artifact_json(&rows), text, sim_cycles }
+}

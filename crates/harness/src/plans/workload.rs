@@ -1,0 +1,164 @@
+//! The **workload** plan: run a declarative workload spec end to end —
+//! record → simulate → report.
+//!
+//! The plan drives the checked-in example spec
+//! (`crates/harness/specs/example.json`); the `suite workload
+//! <spec.json>` verb routes any user spec through the same
+//! [`run_spec`] engine. The spec compiles to a `(plain, tls)` trace
+//! pair (scans speculatively parallelized), which is then simulated as
+//! the SEQUENTIAL reference, the TLS baseline machine, and a small
+//! sub-thread spacing sweep. At test scale the spec is shrunk with
+//! [`WorkloadSpec::scaled_down`] so the fast path stays fast.
+
+use crate::eval::Scale;
+use crate::plan::{to_artifact_json, Job, Plan, PlanCtx, PlanOutput};
+use crate::store::StoredPrograms;
+use crate::workload::{compile, WorkloadSpec};
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tls_core::experiment::{BenchmarkPrograms, ExperimentKind};
+use tls_core::{SimReport, SpacingPolicy};
+
+/// The checked-in example spec the plan runs (also exercised by CI's
+/// suite-smoke workload leg).
+pub const EXAMPLE_SPEC: &str = include_str!("../../specs/example.json");
+
+/// Sub-thread spacings swept after the baseline machine.
+const SPACINGS: [u64; 2] = [500, 8000];
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    cycles: u64,
+    speedup_vs_sequential: f64,
+    violations: u64,
+    committed_epochs: u64,
+    scan_epochs: u64,
+    scan_epoch_ops: u64,
+    subthreads_started: u64,
+}
+
+#[derive(Serialize)]
+struct Artifact {
+    spec: WorkloadSpec,
+    scan_transactions: usize,
+    point_transactions: usize,
+    program_ops: usize,
+    rows: Vec<Row>,
+}
+
+/// The workload plan.
+pub fn plan() -> Plan {
+    Plan {
+        name: "workload",
+        title: "Extension — declarative workload specs through record/simulate/report",
+        traces: |_| Vec::new(),
+        run: |ctx| {
+            let spec = WorkloadSpec::parse(EXAMPLE_SPEC).expect("checked-in example spec parses");
+            run_spec(ctx, &spec)
+        },
+    }
+}
+
+/// Runs one spec through record → simulate → report. Shared by the plan
+/// (example spec) and the `suite workload` verb (user specs). At test
+/// scale the spec is scaled down first.
+pub fn run_spec(ctx: &PlanCtx, spec: &WorkloadSpec) -> PlanOutput {
+    let spec = match ctx.scale {
+        Scale::Paper => spec.clone(),
+        Scale::Test => spec.scaled_down(),
+    };
+
+    // Record (one pool job; pure function of the spec).
+    let spec_for_job = spec.clone();
+    let rec_jobs: Vec<Job<(Arc<StoredPrograms>, usize, usize)>> = vec![Box::new(move || {
+        let c = compile(&spec_for_job);
+        (
+            Arc::new(StoredPrograms::new(BenchmarkPrograms { plain: c.plain, tls: c.tls })),
+            c.scan_transactions,
+            c.point_transactions,
+        )
+    })];
+    let (progs, scan_txns, point_txns) = ctx.pool.run(rec_jobs).remove(0);
+
+    // Simulate: SEQUENTIAL reference, TLS baseline, spacing sweep.
+    let mut jobs: Vec<Job<Arc<SimReport>>> = Vec::new();
+    {
+        let progs = progs.clone();
+        jobs.push(Box::new(move || ctx.experiment(ExperimentKind::Sequential, &progs)));
+    }
+    {
+        let progs = progs.clone();
+        jobs.push(Box::new(move || ctx.sim(&progs.tls, &ctx.machine)));
+    }
+    for &spacing in &SPACINGS {
+        let progs = progs.clone();
+        jobs.push(Box::new(move || {
+            let mut cfg = ctx.machine;
+            cfg.subthreads.spacing = SpacingPolicy::Every(spacing);
+            ctx.sim(&progs.tls, &cfg)
+        }));
+    }
+    let reports = ctx.pool.run(jobs);
+    let labels: Vec<String> = std::iter::once("SEQUENTIAL".to_string())
+        .chain(std::iter::once("TLS baseline".to_string()))
+        .chain(SPACINGS.iter().map(|s| format!("TLS spacing {s}")))
+        .collect();
+
+    let seq = reports[0].total_cycles;
+    let mut text = String::new();
+    writeln!(
+        text,
+        "workload '{}': {} txns ({} scans, {} point), {} program ops",
+        spec.name,
+        spec.transactions,
+        scan_txns,
+        point_txns,
+        progs.tls.total_ops()
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "{:<16} {:>12} {:>9} {:>6} {:>7} {:>7} {:>10} {:>6}",
+        "config", "cycles", "speedup", "viol", "epochs", "scans", "scan_ops", "subs"
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    let mut sim_cycles = 0u64;
+    for (label, r) in labels.into_iter().zip(&reports) {
+        sim_cycles += r.total_cycles;
+        let row = Row {
+            config: label,
+            cycles: r.total_cycles,
+            speedup_vs_sequential: seq as f64 / r.total_cycles as f64,
+            violations: r.violations.total(),
+            committed_epochs: r.committed_epochs,
+            scan_epochs: r.scan_epochs,
+            scan_epoch_ops: r.scan_epoch_ops,
+            subthreads_started: r.subthreads_started,
+        };
+        writeln!(
+            text,
+            "{:<16} {:>12} {:>8.2}x {:>6} {:>7} {:>7} {:>10} {:>6}",
+            row.config,
+            row.cycles,
+            row.speedup_vs_sequential,
+            row.violations,
+            row.committed_epochs,
+            row.scan_epochs,
+            row.scan_epoch_ops,
+            row.subthreads_started
+        )
+        .unwrap();
+        rows.push(row);
+    }
+    let artifact = Artifact {
+        spec,
+        scan_transactions: scan_txns,
+        point_transactions: point_txns,
+        program_ops: progs.tls.total_ops(),
+        rows,
+    };
+    PlanOutput { json: to_artifact_json(&artifact), text, sim_cycles }
+}

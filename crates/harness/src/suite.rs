@@ -79,6 +79,8 @@ pub const USAGE: &str = "\
 usage: suite [options]
        suite trace <benchmark> [--scale paper|test] [--out DIR]
                    [--traces DIR | --no-cache]
+       suite workload <spec.json> [--scale paper|test] [--jobs N]
+                   [--out DIR] [--traces DIR | --no-cache]
   --scale paper|test     workload scale (default: paper)
   --jobs N               worker threads (default: available cores)
   --filter A,B           run only plans whose name contains A or B
@@ -389,6 +391,109 @@ pub fn run_trace_verb(args: &[String]) -> i32 {
             1
         }
     }
+}
+
+/// The `suite workload <spec.json>` verb: parse a declarative workload
+/// spec, compile it to a `(plain, tls)` trace pair and run it through
+/// record → simulate → report. A malformed spec exits 2 with the typed
+/// field/line error and the list of valid fields (the same convention
+/// the probe binary uses for unknown benchmarks). Returns the process
+/// exit code.
+pub fn run_workload_verb(args: &[String]) -> i32 {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut scale = Scale::Paper;
+    let mut out_dir = PathBuf::from("results");
+    let mut trace_dir = Some(PathBuf::from("traces"));
+    let mut jobs = JobPool::available();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().map(String::as_str) {
+                Some("paper") => scale = Scale::Paper,
+                Some("test") => scale = Scale::Test,
+                other => {
+                    eprintln!("--scale needs paper or test, got {other:?}");
+                    return 2;
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => out_dir = PathBuf::from(v),
+                None => {
+                    eprintln!("--out needs a value");
+                    return 2;
+                }
+            },
+            "--traces" => match it.next() {
+                Some(v) => trace_dir = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--traces needs a value");
+                    return 2;
+                }
+            },
+            "--no-cache" => trace_dir = None,
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => jobs = n,
+                None => {
+                    eprintln!("--jobs needs a number");
+                    return 2;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return 0;
+            }
+            path if spec_path.is_none() && !path.starts_with("--") => {
+                spec_path = Some(PathBuf::from(path));
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(spec_path) = spec_path else {
+        eprintln!("suite workload: which spec file?\n{USAGE}");
+        return 2;
+    };
+    let src = match std::fs::read_to_string(&spec_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: read {}: {e}", spec_path.display());
+            return 1;
+        }
+    };
+    let spec = match crate::workload::WorkloadSpec::parse(&src) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{}: {e}", spec_path.display());
+            eprintln!("valid fields:");
+            for (name, what) in crate::workload::WorkloadSpec::valid_fields() {
+                eprintln!("  {name:<20} {what}");
+            }
+            return 2;
+        }
+    };
+    let pool = JobPool::new(jobs);
+    let store = HarnessStore::new(trace_dir, true);
+    let ctx = PlanCtx { scale, machine: paper_machine(), store: &store, pool: &pool };
+    let out = crate::plans::workload::run_spec(&ctx, &spec);
+    print!("{}", out.text);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create {}: {e}", out_dir.display());
+        return 1;
+    }
+    let stem = format!("workload_{}", spec.name);
+    let json_path = out_dir.join(format!("{stem}.json"));
+    let txt_path = out_dir.join(format!("{stem}.txt"));
+    for (path, body) in [(&json_path, &out.json), (&txt_path, &out.text)] {
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: write {}: {e}", path.display());
+            return 1;
+        }
+    }
+    eprintln!("wrote {}", json_path.display());
+    eprintln!("wrote {}", txt_path.display());
+    0
 }
 
 /// Runs the suite; returns the process exit code.

@@ -20,6 +20,10 @@
 //!   removable dependence (and whose per-thread buffering is the classic
 //!   fix, toggled by [`OptLevel`]);
 //! * [`Db`] — the catalog tying trees, log and latches together;
+//! * [`query`] — the query front end: predicate-filtered range scans,
+//!   secondary indexes (maintained inside mini-transactions, so paging,
+//!   WAL logging and REDO recovery cover them), and an index-nested-loop
+//!   join operator;
 //! * [`tpcc`] — the five TPC-C transactions (plus the paper's two
 //!   variants), parameterized per the TPC-C run rules, recording either a
 //!   plain trace or a TLS-parallelized trace.
@@ -46,6 +50,7 @@ mod env;
 pub mod oracle;
 mod page;
 mod pager;
+pub mod query;
 mod simmem;
 pub mod tpcc;
 mod wal;
@@ -59,6 +64,7 @@ pub use page::{
     ENVELOPE_HEADER, PAGE_SIZE,
 };
 pub use pager::{recover, Pager, PagerCounters, QuarantinedPage, RecoveredWorld, PAGER_MODULE};
+pub use query::{index_nested_loop_join, CmpOp, FieldPred, FieldWidth, RangeScan, SecondaryIndex};
 pub use simmem::SimMemory;
 pub use tpcc::{Tpcc, TpccConfig, Transaction};
 pub use wal::{DurableWal, LocalLog, Wal, WalFull, WalPayload, WalRecord};

@@ -21,6 +21,9 @@ use tls_core::DiskFaultPlan;
 use tls_trace::{Addr, Pc};
 
 const TREE_SPECS: [(u16, u16); 2] = [(16, 0x30), (40, 0x31)]; // (value_size, module)
+/// The secondary-index tree of the indexed workload: 8-byte entries
+/// mapping `index_key(k)` back to `k` for every row of tree 0.
+const INDEX_SPEC: (u16, u16) = (8, 0x32);
 const UPDATE_PC: Pc = Pc::new(0x3F, 0);
 const OPS_PER_MTR: usize = 8;
 const INITIAL_ROWS: u64 = 1500;
@@ -36,6 +39,12 @@ fn splitmix64(state: &mut u64) -> u64 {
 fn row(tree: usize, bits: u64) -> Vec<u8> {
     let len = TREE_SPECS[tree].0 as usize;
     bits.to_le_bytes().iter().cycle().take(len).copied().collect()
+}
+
+/// The index key of base key `k`: an odd-multiplier bijection, so index
+/// order is unrelated to base order and index leaves churn independently.
+fn index_key(k: u64) -> u64 {
+    k.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// One logical operation of the shadow journal.
@@ -72,22 +81,65 @@ pub fn run_workload(
     plan: DiskFaultPlan,
     observe: bool,
 ) -> OracleWorkload {
+    run_with_index(seed, mtrs, frames, plan, observe, false)
+}
+
+/// The indexed variant of [`run_workload`]: a third tree acts as a
+/// secondary index over tree 0 (`index_key(k) → k`), maintained in the
+/// same mini-transaction as every base insert and delete. Its entries
+/// join the shadow journal, so every crash-point check diffs REDO replay
+/// *including* the recovered secondary-index contents.
+pub fn run_indexed_workload(
+    seed: u64,
+    mtrs: usize,
+    frames: usize,
+    plan: DiskFaultPlan,
+    observe: bool,
+) -> OracleWorkload {
+    run_with_index(seed, mtrs, frames, plan, observe, true)
+}
+
+fn run_with_index(
+    seed: u64,
+    mtrs: usize,
+    frames: usize,
+    plan: DiskFaultPlan,
+    observe: bool,
+    indexed: bool,
+) -> OracleWorkload {
     let mut env = Env::new();
     let alloc = PageAlloc::new(&mut env, 0x2F);
+    let mut specs: Vec<(u16, u16)> = TREE_SPECS.to_vec();
+    if indexed {
+        specs.push(INDEX_SPEC);
+    }
     let trees: Vec<BTree> =
-        TREE_SPECS.iter().map(|&(vs, m)| BTree::create(&mut env, &alloc, vs, m)).collect();
+        specs.iter().map(|&(vs, m)| BTree::create(&mut env, &alloc, vs, m)).collect();
     let tree_meta: Vec<(Addr, u16, u16)> =
-        trees.iter().zip(TREE_SPECS).map(|(t, (vs, m))| (t.meta_region().0, vs, m)).collect();
+        trees.iter().zip(&specs).map(|(t, &(vs, m))| (t.meta_region().0, vs, m)).collect();
+    // Random operations target the base trees only; the index (when
+    // present) is maintained, never targeted. Keeping the draw modulus at
+    // the base count keeps the unindexed workload byte-identical to what
+    // it recorded before the index existed.
+    let base = TREE_SPECS.len();
+    let idx = indexed.then(|| trees[base]);
 
     // Initial load (direct mode: becomes the bootstrap checkpoint).
     let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0AC1_E0FF_5EED_0001;
     let mut model: BTreeMap<(usize, u64), Vec<u8>> = BTreeMap::new();
     for i in 0..INITIAL_ROWS {
-        for (ti, tree) in trees.iter().enumerate() {
+        for (ti, tree) in trees.iter().take(base).enumerate() {
             let key = i * 7 + ti as u64;
             let val = row(ti, splitmix64(&mut rng));
             assert!(tree.insert(&mut env, &alloc, key, &val));
             model.insert((ti, key), val);
+            if ti == 0 {
+                if let Some(ix) = &idx {
+                    let entry = key.to_le_bytes().to_vec();
+                    assert!(ix.insert(&mut env, &alloc, index_key(key), &entry));
+                    model.insert((base, index_key(key)), entry);
+                }
+            }
         }
     }
     let initial = model.clone();
@@ -102,7 +154,7 @@ pub fn run_workload(
         env.mtr_begin();
         let mut batch = Vec::with_capacity(OPS_PER_MTR);
         for _ in 0..OPS_PER_MTR {
-            let ti = (splitmix64(&mut rng) % trees.len() as u64) as usize;
+            let ti = (splitmix64(&mut rng) % base as u64) as usize;
             let tree = trees[ti];
             let kind = splitmix64(&mut rng) % 10;
             if kind < 5 {
@@ -116,6 +168,14 @@ pub fn run_workload(
                 } else {
                     assert!(tree.insert(&mut env, &alloc, key, &val));
                     batch.push(ShadowOp::Insert(ti, key, val));
+                    if ti == 0 {
+                        if let Some(ix) = &idx {
+                            let entry = key.to_le_bytes().to_vec();
+                            assert!(ix.insert(&mut env, &alloc, index_key(key), &entry));
+                            model.insert((base, index_key(key)), entry.clone());
+                            batch.push(ShadowOp::Insert(base, index_key(key), entry));
+                        }
+                    }
                 }
             } else if kind < 8 {
                 // Update an existing key of this tree.
@@ -141,6 +201,13 @@ pub fn run_workload(
                 assert!(tree.delete(&mut env, key));
                 model.remove(&(ti, key));
                 batch.push(ShadowOp::Delete(ti, key));
+                if ti == 0 {
+                    if let Some(ix) = &idx {
+                        assert!(ix.delete(&mut env, index_key(key)));
+                        model.remove(&(base, index_key(key)));
+                        batch.push(ShadowOp::Delete(base, index_key(key)));
+                    }
+                }
             }
         }
         env.mtr_end();

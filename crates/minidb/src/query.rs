@@ -1,0 +1,384 @@
+//! Query primitives over MiniDB B+-trees: predicate-filtered range
+//! scans, secondary indexes, and an index-nested-loop join.
+//!
+//! These are the building blocks of the declarative query front end.
+//! Everything here executes through [`Env`] accessors, so every byte a
+//! scan or probe touches emits a recorded trace operation — and because
+//! index maintenance runs through ordinary [`BTree`] operations inside
+//! the caller's mini-transaction, paged mode, WAL logging and REDO
+//! recovery cover secondary indexes with no extra machinery.
+//!
+//! The TPC-C transactions route real queries through these operators
+//! (ORDER STATUS's customer-by-last-name lookup, STOCK LEVEL's district
+//! scan and its ORDER-LINE ⋈ STOCK join), and the harness workload
+//! compiler lowers declarative specs onto the same primitives.
+
+use crate::{BTree, Env, PageAlloc};
+use tls_trace::{Addr, Pc};
+
+/// Width of the row field a predicate inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldWidth {
+    /// A little-endian `u32` field.
+    U32,
+    /// A little-endian `u64` field.
+    U64,
+}
+
+/// Comparison operator of a [`FieldPred`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `field < value`
+    Lt,
+    /// `field >= value`
+    Ge,
+    /// `field == value`
+    Eq,
+    /// `field != value`
+    Ne,
+}
+
+/// A residual predicate over one fixed-offset field of a row.
+///
+/// Evaluation is recorded: one load of the field plus one conditional
+/// branch with the observed outcome — exactly what a compiled filter
+/// would execute.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldPred {
+    /// Byte offset of the field within the row.
+    pub offset: u64,
+    /// Field width.
+    pub width: FieldWidth,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand-side constant.
+    pub value: u64,
+}
+
+impl FieldPred {
+    /// Evaluates the predicate against the row at `row`, emitting the
+    /// recorded load and branch at `pc`.
+    pub fn matches(&self, env: &mut Env, pc: Pc, row: Addr) -> bool {
+        let field = row.offset(self.offset);
+        let v = match self.width {
+            FieldWidth::U32 => env.load_u32(pc, field) as u64,
+            FieldWidth::U64 => env.load_u64(pc, field),
+        };
+        let hit = match self.op {
+            CmpOp::Lt => v < self.value,
+            CmpOp::Ge => v >= self.value,
+            CmpOp::Eq => v == self.value,
+            CmpOp::Ne => v != self.value,
+        };
+        env.cmp_branch(pc, hit);
+        hit
+    }
+}
+
+/// A half-open key range `[lo, hi)` with an optional residual predicate,
+/// executable over any [`BTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct RangeScan {
+    /// First key of the range (inclusive).
+    pub lo: u64,
+    /// End of the range (exclusive).
+    pub hi: u64,
+    /// Residual row filter, applied to every key-qualifying row.
+    pub pred: Option<FieldPred>,
+}
+
+impl RangeScan {
+    /// An unfiltered scan of `[lo, hi)`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        RangeScan { lo, hi, pred: None }
+    }
+
+    /// Adds a residual predicate.
+    pub fn filter(mut self, pred: FieldPred) -> Self {
+        self.pred = Some(pred);
+        self
+    }
+
+    /// Runs the scan over `tree`: one descent to `lo`, then a leaf-chain
+    /// walk until `hi`. Rows failing the predicate are skipped (the
+    /// filter's load/branch is still recorded); `f` runs for every
+    /// qualifying row and may stop the scan by returning `false`.
+    /// Returns the number of qualifying rows visited.
+    pub fn run(
+        &self,
+        tree: &BTree,
+        env: &mut Env,
+        pc: Pc,
+        mut f: impl FnMut(&mut Env, u64, Addr) -> bool,
+    ) -> u64 {
+        let mut matched = 0u64;
+        tree.scan_from(env, self.lo, |env, k, addr| {
+            if k >= self.hi {
+                return false;
+            }
+            if let Some(p) = &self.pred {
+                if !p.matches(env, pc, addr) {
+                    return true;
+                }
+            }
+            matched += 1;
+            f(env, k, addr)
+        });
+        matched
+    }
+}
+
+/// A secondary index: a B+-tree whose fixed 8-byte entries map an index
+/// key to the primary key of a base-table row.
+///
+/// The index is an ordinary tree in the catalog — created through
+/// [`Db::create_tree`](crate::Db::create_tree), registered with the
+/// pager alongside every other table — so maintenance performed inside a
+/// mini-transaction is WAL-logged and REDO-recovered exactly like base
+/// table writes.
+#[derive(Debug, Clone, Copy)]
+pub struct SecondaryIndex {
+    tree: BTree,
+}
+
+impl SecondaryIndex {
+    /// Wraps an index tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tree's value size is 8 (one primary key).
+    pub fn new(tree: BTree) -> Self {
+        assert_eq!(tree.value_size(), 8, "index entries hold one 8-byte primary key");
+        SecondaryIndex { tree }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &BTree {
+        &self.tree
+    }
+
+    /// Inserts the entry `index_key → primary_key`. Returns `false` if
+    /// the index key already exists.
+    pub fn insert(
+        &self,
+        env: &mut Env,
+        alloc: &PageAlloc,
+        index_key: u64,
+        primary_key: u64,
+    ) -> bool {
+        self.tree.insert(env, alloc, index_key, &primary_key.to_le_bytes())
+    }
+
+    /// Removes the entry at `index_key`. Returns `false` if absent.
+    pub fn remove(&self, env: &mut Env, index_key: u64) -> bool {
+        self.tree.delete(env, index_key)
+    }
+
+    /// Probes the index at `index_key` and returns the stored primary
+    /// key (a recorded load at `pc`).
+    pub fn probe(&self, env: &mut Env, pc: Pc, index_key: u64) -> Option<u64> {
+        let entry = self.tree.get_addr(env, index_key)?;
+        Some(env.load_u64(pc, entry))
+    }
+
+    /// Range-scans the index over `[lo, hi)`, loading each entry's
+    /// primary key (a recorded load at `pc`) and passing it to `f` along
+    /// with the index key. Returns the number of entries visited.
+    pub fn scan(
+        &self,
+        env: &mut Env,
+        pc: Pc,
+        lo: u64,
+        hi: u64,
+        mut f: impl FnMut(&mut Env, u64, u64) -> bool,
+    ) -> u64 {
+        RangeScan::new(lo, hi).run(&self.tree, env, pc, |env, ikey, entry| {
+            let pkey = env.load_u64(pc, entry);
+            f(env, ikey, pkey)
+        })
+    }
+
+    /// Index lookup join: range-scans the index over `[lo, hi)` and
+    /// resolves every entry's primary key against `base`, invoking `f`
+    /// with the index key, primary key and base-row address. Entries
+    /// whose base row is missing are a corrupt index — the lookup
+    /// panics, because transactions maintain index and base row in the
+    /// same mini-transaction.
+    pub fn lookup(
+        &self,
+        env: &mut Env,
+        pc: Pc,
+        base: &BTree,
+        lo: u64,
+        hi: u64,
+        mut f: impl FnMut(&mut Env, u64, u64, Addr) -> bool,
+    ) -> u64 {
+        self.scan(env, pc, lo, hi, |env, ikey, pkey| {
+            let row = base.get_addr(env, pkey).expect("index entry points at a live row");
+            f(env, ikey, pkey, row)
+        })
+    }
+}
+
+/// Index-nested-loop join: runs `scan` over `outer`, computes an inner
+/// key for every qualifying outer row with `inner_key` (which should
+/// emit the recorded loads it performs), probes `inner` with it, and
+/// invokes `f` for every matching pair. Outer rows with no inner match
+/// are recorded as a not-taken branch and skipped. Returns the number of
+/// joined pairs.
+pub fn index_nested_loop_join(
+    env: &mut Env,
+    pc: Pc,
+    outer: &BTree,
+    scan: &RangeScan,
+    inner: &BTree,
+    mut inner_key: impl FnMut(&mut Env, u64, Addr) -> u64,
+    mut f: impl FnMut(&mut Env, u64, Addr, u64, Addr) -> bool,
+) -> u64 {
+    let mut joined = 0u64;
+    scan.run(outer, env, pc, |env, ok, oaddr| {
+        let ik = inner_key(env, ok, oaddr);
+        let hit = inner.get_addr(env, ik);
+        env.cmp_branch(pc, hit.is_some());
+        match hit {
+            Some(iaddr) => {
+                joined += 1;
+                f(env, ok, oaddr, ik, iaddr)
+            }
+            None => true,
+        }
+    });
+    joined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Db, OptLevel};
+
+    fn setup(value_size: u16) -> (Env, Db, BTree) {
+        let mut env = Env::new();
+        let db = Db::new(&mut env, OptLevel::none());
+        let tree = db.create_tree(&mut env, value_size, 0x60);
+        (env, db, tree)
+    }
+
+    fn row16(bits: u64) -> [u8; 16] {
+        let mut r = [0u8; 16];
+        r[..8].copy_from_slice(&bits.to_le_bytes());
+        r[8..12].copy_from_slice(&((bits as u32) & 0xFFFF).to_le_bytes());
+        r
+    }
+
+    #[test]
+    fn range_scan_respects_bounds_and_predicate() {
+        let (mut env, db, tree) = setup(16);
+        for k in 0..200u64 {
+            tree.insert(&mut env, &db.alloc, k, &row16(k * 3));
+        }
+        let pc = Pc::new(0x61, 0);
+        // Keys in [50, 120) whose u64 field is >= 210 (k >= 70).
+        let scan = RangeScan::new(50, 120).filter(FieldPred {
+            offset: 0,
+            width: FieldWidth::U64,
+            op: CmpOp::Ge,
+            value: 210,
+        });
+        let mut seen = Vec::new();
+        let n = scan.run(&tree, &mut env, pc, |_, k, _| {
+            seen.push(k);
+            true
+        });
+        assert_eq!(n, 50);
+        assert_eq!(seen.first(), Some(&70));
+        assert_eq!(seen.last(), Some(&119));
+    }
+
+    #[test]
+    fn range_scan_early_stop_counts_visited_rows() {
+        let (mut env, db, tree) = setup(16);
+        for k in 0..50u64 {
+            tree.insert(&mut env, &db.alloc, k, &row16(k));
+        }
+        let mut seen = 0;
+        let n = RangeScan::new(10, 40).run(&tree, &mut env, Pc::new(0x61, 1), |_, _, _| {
+            seen += 1;
+            seen < 5
+        });
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn secondary_index_round_trips_and_joins_to_base() {
+        let (mut env, db, base) = setup(16);
+        let idx = SecondaryIndex::new(db.create_tree(&mut env, 8, 0x62));
+        let pc = Pc::new(0x63, 0);
+        for k in 0..100u64 {
+            base.insert(&mut env, &db.alloc, k, &row16(k));
+            // Index key reverses the ordering so index order != base order.
+            idx.insert(&mut env, &db.alloc, 1000 - k, k);
+        }
+        assert_eq!(idx.probe(&mut env, pc, 1000 - 42), Some(42));
+        assert_eq!(idx.probe(&mut env, pc, 5000), None);
+        let mut pairs = Vec::new();
+        // Index holds keys 901..=1000; [900, 905) sees 901..=904.
+        let n = idx.lookup(&mut env, pc, &base, 900, 905, |env, ikey, pkey, row| {
+            pairs.push((ikey, pkey, env.load_u64(pc, row)));
+            true
+        });
+        assert_eq!(n, 4);
+        assert_eq!(pairs[0], (901, 99, 99));
+        assert!(pairs.iter().all(|&(i, p, v)| i == 1000 - p && v == p));
+        assert!(idx.remove(&mut env, 1000 - 42));
+        assert_eq!(idx.probe(&mut env, pc, 1000 - 42), None);
+    }
+
+    #[test]
+    fn index_nested_loop_join_skips_unmatched_outer_rows() {
+        let (mut env, db, outer) = setup(16);
+        let inner = db.create_tree(&mut env, 16, 0x64);
+        let pc = Pc::new(0x65, 0);
+        for k in 0..60u64 {
+            outer.insert(&mut env, &db.alloc, k, &row16(k % 7));
+        }
+        for k in 0..4u64 {
+            inner.insert(&mut env, &db.alloc, k, &row16(k * 100));
+        }
+        // Outer field (k % 7) is the inner key: only rows with k % 7 < 4 join.
+        let scan = RangeScan::new(0, 60);
+        let mut joined = Vec::new();
+        let n = index_nested_loop_join(
+            &mut env,
+            pc,
+            &outer,
+            &scan,
+            &inner,
+            |env, _, oaddr| env.load_u64(pc, oaddr),
+            |env, ok, _, ik, iaddr| {
+                joined.push((ok, ik, env.load_u64(pc, iaddr)));
+                true
+            },
+        );
+        let expect = (0..60u64).filter(|k| k % 7 < 4).count() as u64;
+        assert_eq!(n, expect);
+        assert_eq!(n, joined.len() as u64);
+        assert!(joined.iter().all(|&(ok, ik, v)| ik == ok % 7 && v == ik * 100));
+    }
+
+    #[test]
+    fn predicate_operators_cover_all_cases() {
+        let (mut env, db, tree) = setup(16);
+        tree.insert(&mut env, &db.alloc, 1, &row16(10));
+        let pc = Pc::new(0x66, 0);
+        let row = tree.get_addr(&mut env, 1).unwrap();
+        let pred = |op, value| FieldPred { offset: 0, width: FieldWidth::U64, op, value };
+        assert!(pred(CmpOp::Lt, 11).matches(&mut env, pc, row));
+        assert!(!pred(CmpOp::Lt, 10).matches(&mut env, pc, row));
+        assert!(pred(CmpOp::Ge, 10).matches(&mut env, pc, row));
+        assert!(pred(CmpOp::Eq, 10).matches(&mut env, pc, row));
+        assert!(pred(CmpOp::Ne, 9).matches(&mut env, pc, row));
+        // u32 width reads only the low half.
+        let p32 = FieldPred { offset: 8, width: FieldWidth::U32, op: CmpOp::Eq, value: 10 };
+        assert!(p32.matches(&mut env, pc, row));
+    }
+}

@@ -26,6 +26,7 @@ pub fn check(t: &mut Tpcc) -> Result<(), Vec<String>> {
     condition_3_new_order_subset(t, &mut errors);
     condition_4_order_line_counts(t, &mut errors);
     condition_5_delivery_stamps(t, &mut errors);
+    condition_6_secondary_indexes(t, &mut errors);
     if let Some(p) = pager {
         t.env.restore_pager(p);
     }
@@ -170,6 +171,97 @@ fn condition_5_delivery_stamps(t: &mut Tpcc, errors: &mut Vec<String>) {
     }
 }
 
+/// Secondary indexes are exact: every index entry points at a live row
+/// whose indexed fields match the entry, and every row is reachable
+/// through each of its indexes (customer-name and order-by-customer).
+fn condition_6_secondary_indexes(t: &mut Tpcc, errors: &mut Vec<String>) {
+    // Customer-name index: entry → customer.
+    let mut name_entries: Vec<(u64, u64)> = Vec::new();
+    t.tables.customer_name.scan_from(&mut t.env, 0, |env, k, v| {
+        name_entries.push((k, env.mem.peek_u64(v)));
+        true
+    });
+    for (k, stored) in name_entries {
+        let d = (k >> 56) as u32;
+        let c = (k & 0xFFFF) as u32;
+        if stored != c as u64 {
+            errors.push(format!("C6: name entry {k:#x} stores c_id {stored}, key says {c}"));
+            continue;
+        }
+        match t.tables.customer.get_addr(&mut t.env, key::customer(d, c)) {
+            None => errors.push(format!("C6: name entry {k:#x} has no customer row")),
+            Some(ca) => {
+                let last = t.env.mem.peek_u64(ca.offset(field::C_LAST_HASH));
+                if last & 0xFF_FFFF_FFFF != (k >> 16) & 0xFF_FFFF_FFFF {
+                    errors.push(format!("C6: name entry {k:#x} last-name hash mismatch"));
+                }
+            }
+        }
+    }
+    // Customer → entry.
+    let mut customers: Vec<u64> = Vec::new();
+    t.tables.customer.scan_from(&mut t.env, 0, |_, k, _| {
+        customers.push(k);
+        true
+    });
+    for k in customers {
+        let (d, c) = ((k >> 32) as u32, (k & 0xFFFF_FFFF) as u32);
+        let ca = t.tables.customer.get_addr(&mut t.env, k).expect("scanned row");
+        let last = t.env.mem.peek_u64(ca.offset(field::C_LAST_HASH));
+        if t.tables.customer_name.get_addr(&mut t.env, key::customer_name(d, last, c)).is_none() {
+            errors.push(format!("C6: customer ({d},{c}) unreachable via the name index"));
+        }
+    }
+    // Order-by-customer index: entry → order.
+    let mut oc_entries: Vec<(u64, u64)> = Vec::new();
+    t.tables.order_customer.scan_from(&mut t.env, 0, |env, k, v| {
+        oc_entries.push((k, env.mem.peek_u64(v)));
+        true
+    });
+    for (k, pkey) in oc_entries {
+        let d = (k >> 48) as u32;
+        let c = ((k >> 32) & 0xFFFF) as u32;
+        let o = (k & 0xFFFF_FFFF) as u32;
+        if pkey != key::order(d, o) {
+            errors.push(format!("C6: order-customer entry {k:#x} stores wrong key {pkey:#x}"));
+            continue;
+        }
+        match t.tables.orders.get_addr(&mut t.env, pkey) {
+            None => errors.push(format!("C6: order-customer entry {k:#x} has no order row")),
+            Some(oa) => {
+                let oc = t.env.mem.peek_u32(oa.offset(field::O_C_ID));
+                if oc != c {
+                    errors.push(format!(
+                        "C6: order ({d},{o}) belongs to customer {oc}, indexed under {c}"
+                    ));
+                }
+            }
+        }
+    }
+    // Order → entry.
+    let mut orders: Vec<u64> = Vec::new();
+    t.tables.orders.scan_from(&mut t.env, 0, |_, k, _| {
+        orders.push(k);
+        true
+    });
+    for k in orders {
+        let (d, o) = ((k >> 32) as u32, (k & 0xFFFF_FFFF) as u32);
+        let oa = t.tables.orders.get_addr(&mut t.env, k).expect("scanned row");
+        let c = t.env.mem.peek_u32(oa.offset(field::O_C_ID));
+        let ik = key::order_customer(d, c, o);
+        match t.tables.order_customer.get_addr(&mut t.env, ik) {
+            None => {
+                errors.push(format!("C6: order ({d},{o}) unreachable via order-customer index"));
+            }
+            Some(va) => {
+                if t.env.mem.peek_u64(va) != k {
+                    errors.push(format!("C6: order ({d},{o}) index entry stores a foreign key"));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::{Tpcc, TpccConfig, Transaction};
@@ -190,6 +282,31 @@ mod tests {
                 panic!("after {}: {:?}", txn.label(), es);
             }
         }
+    }
+
+    #[test]
+    fn secondary_indexes_stay_consistent_direct_and_paged() {
+        use tls_core::DiskFaultPlan;
+        // Direct mode: the standard mix, then the full check (which
+        // includes condition 6's both-direction index audit).
+        let mut direct = Tpcc::new(TpccConfig::test());
+        for _ in 0..20 {
+            let txn = direct.next_mix_transaction();
+            direct.run_one(txn);
+        }
+        check(&mut direct).expect("index consistency after the mix, direct");
+
+        // Paged mode: same mix through a thrashing pool. `check` detaches
+        // the pager for its scans and restores it afterwards.
+        let mut paged = Tpcc::new(TpccConfig::test());
+        let pages = paged.env.registered_pages();
+        paged.attach_pager(pages * 3 / 5, DiskFaultPlan::default(), false);
+        for _ in 0..20 {
+            let txn = paged.next_mix_transaction();
+            paged.run_one(txn);
+        }
+        check(&mut paged).expect("index consistency after the mix, paged");
+        assert!(paged.env.paged(), "pager restored after the check");
     }
 
     #[test]

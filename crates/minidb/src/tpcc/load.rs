@@ -73,6 +73,12 @@ pub fn populate(env: &mut Env, db: &Db, tables: &Tables, cfg: &TpccConfig, rng: 
             put_u64(&mut orow, field::O_ENTRY_D, o_id as u64);
             put_u32(&mut orow, field::O_OL_CNT, ol_cnt);
             tables.orders.insert(env, &db.alloc, key::order(d_id, o_id), &orow);
+            tables.order_customer.insert(
+                env,
+                &db.alloc,
+                key::order_customer(d_id, c_id, o_id),
+                &key::order(d_id, o_id).to_le_bytes(),
+            );
 
             for ol in 1..=ol_cnt {
                 let mut lrow = vec![0u8; width::ORDER_LINE as usize];
@@ -139,6 +145,7 @@ mod tests {
             tt.tables.orders.count(env),
             (cfg.districts * cfg.initial_orders_per_district) as u64
         );
+        assert_eq!(tt.tables.order_customer.count(env), tt.tables.orders.count(env));
         let undelivered = cfg.initial_orders_per_district - cfg.initial_orders_per_district * 2 / 3;
         assert_eq!(tt.tables.new_order.count(env), (cfg.districts * undelivered) as u64);
         assert!(

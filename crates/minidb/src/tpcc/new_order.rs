@@ -73,6 +73,18 @@ pub fn run(t: &mut Tpcc, min_lines: u32, max_lines: u32) {
     tb.new_order.insert(env, &db.alloc, key::order(d_id, o_id), &[0u8; 8]);
     db.log(env, width::NEW_ORDER as u64, None);
     db.bump_stats(env);
+    // Maintain the order-by-customer secondary index in the same
+    // mini-transaction: its page writes are logged and recovered exactly
+    // like the base-table insert above.
+    let order_by_customer = crate::query::SecondaryIndex::new(tb.order_customer);
+    assert!(order_by_customer.insert(
+        env,
+        &db.alloc,
+        key::order_customer(d_id, c_id, o_id),
+        key::order(d_id, o_id),
+    ));
+    db.log(env, width::ORDER_CUSTOMER as u64, None);
+    db.bump_stats(env);
     t.work(Pc::new(M, ORDER_INS), scratch, 7);
 
     // ---- The parallelized order-line loop. ----

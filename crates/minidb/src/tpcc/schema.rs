@@ -31,6 +31,8 @@ pub mod module {
     pub const ORDER_LINE: u16 = 0x18;
     /// The HISTORY table.
     pub const HISTORY: u16 = 0x19;
+    /// The order-by-customer secondary index.
+    pub const ORDER_CUSTOMER: u16 = 0x1A;
     /// NEW ORDER transaction code.
     pub const TXN_NEW_ORDER: u16 = 0x20;
     /// PAYMENT transaction code.
@@ -67,6 +69,8 @@ pub mod width {
     pub const ORDER_LINE: u16 = 80;
     /// HISTORY row.
     pub const HISTORY: u16 = 40;
+    /// Order-by-customer index entry (one primary key).
+    pub const ORDER_CUSTOMER: u16 = 8;
 }
 
 /// Field offsets within rows.
@@ -168,6 +172,13 @@ pub mod key {
         ((d_id as u64) << 32) | o_id as u64
     }
 
+    /// Order-by-customer index key: `(d_id, c_id, o_id)`. Entries of one
+    /// customer are adjacent, ordered by order id; the stored value is
+    /// the [`order`] primary key.
+    pub fn order_customer(d_id: u32, c_id: u32, o_id: u32) -> u64 {
+        ((d_id as u64) << 48) | ((c_id as u64) << 32) | o_id as u64
+    }
+
     /// ORDER-LINE key: `(d_id, o_id, ol_number)`.
     pub fn order_line(d_id: u32, o_id: u32, ol: u32) -> u64 {
         ((d_id as u64) << 40) | ((o_id as u64) << 8) | ol as u64
@@ -203,11 +214,13 @@ pub struct Tables {
     pub order_line: BTree,
     /// HISTORY (append-only).
     pub history: BTree,
+    /// Order-by-customer secondary index.
+    pub order_customer: BTree,
 }
 
 impl Tables {
-    /// All ten trees, in catalog order.
-    pub fn all(&self) -> [BTree; 10] {
+    /// All eleven trees, in catalog order.
+    pub fn all(&self) -> [BTree; 11] {
         [
             self.item,
             self.warehouse,
@@ -219,6 +232,7 @@ impl Tables {
             self.new_order,
             self.order_line,
             self.history,
+            self.order_customer,
         ]
     }
 
@@ -235,6 +249,7 @@ impl Tables {
             new_order: db.create_tree(env, width::NEW_ORDER, module::NEW_ORDER),
             order_line: db.create_tree(env, width::ORDER_LINE, module::ORDER_LINE),
             history: db.create_tree(env, width::HISTORY, module::HISTORY),
+            order_customer: db.create_tree(env, width::ORDER_CUSTOMER, module::ORDER_CUSTOMER),
         }
     }
 }
@@ -252,6 +267,9 @@ mod tests {
         assert!(key::order_line(2, 7, 1) < key::order_line(2, 7, 2));
         assert!(key::order_line(2, 7, 255) < key::order_line(2, 8, 1));
         assert!(key::order_line(2, 0xFF_FFFF, 255) < key::order_line(3, 0, 1));
+        assert!(key::order_customer(1, 5, 10) < key::order_customer(1, 5, 11));
+        assert!(key::order_customer(1, 5, u32::MAX) < key::order_customer(1, 6, 0));
+        assert!(key::order_customer(1, 65_535, u32::MAX) < key::order_customer(2, 0, 0));
     }
 
     #[test]
@@ -281,6 +299,7 @@ mod tests {
             t.new_order.module(),
             t.order_line.module(),
             t.history.module(),
+            t.order_customer.module(),
         ];
         let set: std::collections::HashSet<_> = modules.iter().collect();
         assert_eq!(set.len(), modules.len());

@@ -7,9 +7,16 @@
 //! epochs — is the transaction's hard-to-remove cross-thread dependence:
 //! the paper notes STOCK LEVEL's remaining failed speculation comes from
 //! "actual data dependences ... difficult to optimize away".
+//!
+//! The district scan routes through the query front end: each epoch runs
+//! a [`RangeScan`] over its ORDER chunk (one descent, then a leaf-chain
+//! walk), and the per-order line→stock step is an
+//! [`index_nested_loop_join`] with the below-threshold test expressed as
+//! a [`FieldPred`] on the joined STOCK row.
 
 use super::schema::{field, key, module};
 use super::Tpcc;
+use crate::query::{index_nested_loop_join, CmpOp, FieldPred, FieldWidth, RangeScan};
 use tls_trace::Pc;
 
 const M: u16 = module::TXN_STOCK_LEVEL;
@@ -49,50 +56,71 @@ pub fn run(t: &mut Tpcc) {
     let lo = next_o.saturating_sub(ORDERS_SCANNED).max(1);
     t.work_frac(Pc::new(M, DIST_READ), scratch, 1, 4);
 
+    // The below-threshold test, as a residual predicate on the joined
+    // STOCK row (one recorded load + branch, as before).
+    let below = FieldPred {
+        offset: field::S_QUANTITY,
+        width: FieldWidth::U32,
+        op: CmpOp::Lt,
+        value: threshold as u64,
+    };
+    let line_groups = t.cfg.work_scale.div_ceil(20) as usize;
+
     t.env.rec.begin_parallel();
     let mut o = lo;
     while o < next_o {
         let hi = (o + CHUNK).min(next_o);
         t.env.rec.begin_epoch(Pc::new(M, SPAWN));
         let cscratch = t.env.alloc(256, 64);
-        for o_id in o..hi {
-            let env = &mut t.env;
-            let Some(oa) = tb.orders.get_addr(env, key::order(d_id, o_id)) else { continue };
-            let ol_cnt = env.load_u32(Pc::new(M, LINE_READ), oa.offset(field::O_OL_CNT));
-            for ol in 1..=ol_cnt {
-                let env = &mut t.env;
-                let la = tb
-                    .order_line
-                    .get_addr(env, key::order_line(d_id, o_id, ol))
-                    .expect("order line");
-                let i_id = env.load_u32(Pc::new(M, LINE_READ), la.offset(field::OL_I_ID));
-                let sa = tb.stock.get_addr(env, key::item(i_id)).expect("stock");
-                let qty = env.load_u32(Pc::new(M, STOCK_READ), sa.offset(field::S_QUANTITY));
-                env.cmp_branch(Pc::new(M, STOCK_READ), qty < threshold);
-                // Distinct-set membership probe on every joined line (the
-                // DISTINCT aggregation), inserting when below threshold.
-                // Probes are exposed loads of the shared table; inserts
-                // violate later probes of the same bucket — the
-                // transaction's hard-to-remove dependence.
-                let mut b = (i_id as u64).wrapping_mul(0x9E37_79B9) % SEEN_BUCKETS;
-                loop {
-                    let slot = seen.offset(8 * b);
-                    let cur = env.load_u64(Pc::new(M, SEEN_SET), slot);
-                    env.cmp_branch(Pc::new(M, SEEN_SET), cur != 0);
-                    if cur == i_id as u64 {
-                        break;
-                    }
-                    if cur == 0 {
-                        if qty < threshold {
-                            env.store_u64(Pc::new(M, SEEN_SET), slot, i_id as u64);
+        let env = &mut t.env;
+        // One range scan per chunk: a single descent to the chunk's first
+        // order, then a leaf-chain walk (missing orders simply don't
+        // appear in the range).
+        let chunk = RangeScan::new(key::order(d_id, o), key::order(d_id, hi));
+        chunk.run(&tb.orders, env, Pc::new(M, LINE_READ), |env, ok, oa| {
+            let o_id = (ok & 0xFFFF_FFFF) as u32;
+            let _ol_cnt = env.load_u32(Pc::new(M, LINE_READ), oa.offset(field::O_OL_CNT));
+            // ORDER-LINE ⋈ STOCK through the item key.
+            let lines =
+                RangeScan::new(key::order_line(d_id, o_id, 0), key::order_line(d_id, o_id + 1, 0));
+            index_nested_loop_join(
+                env,
+                Pc::new(M, STOCK_READ),
+                &tb.order_line,
+                &lines,
+                &tb.stock,
+                |env, _, la| env.load_u32(Pc::new(M, LINE_READ), la.offset(field::OL_I_ID)) as u64,
+                |env, _, _, ik, sa| {
+                    let i_id = ik;
+                    let is_low = below.matches(env, Pc::new(M, STOCK_READ), sa);
+                    // Distinct-set membership probe on every joined line
+                    // (the DISTINCT aggregation), inserting when below
+                    // threshold. Probes are exposed loads of the shared
+                    // table; inserts violate later probes of the same
+                    // bucket — the transaction's hard-to-remove
+                    // dependence.
+                    let mut b = i_id.wrapping_mul(0x9E37_79B9) % SEEN_BUCKETS;
+                    loop {
+                        let slot = seen.offset(8 * b);
+                        let cur = env.load_u64(Pc::new(M, SEEN_SET), slot);
+                        env.cmp_branch(Pc::new(M, SEEN_SET), cur != 0);
+                        if cur == i_id {
+                            break;
                         }
-                        break;
+                        if cur == 0 {
+                            if is_low {
+                                env.store_u64(Pc::new(M, SEEN_SET), slot, i_id);
+                            }
+                            break;
+                        }
+                        b = (b + 1) % SEEN_BUCKETS;
                     }
-                    b = (b + 1) % SEEN_BUCKETS;
-                }
-                t.work_frac(Pc::new(M, STOCK_READ), cscratch, 1, 20);
-            }
-        }
+                    env.overhead(Pc::new(M, STOCK_READ), cscratch, line_groups);
+                    true
+                },
+            );
+            true
+        });
         t.env.rec.end_epoch();
         o = hi;
     }

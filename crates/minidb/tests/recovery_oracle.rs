@@ -5,7 +5,7 @@
 //! seed grid through `cargo run --bin recovery`.)
 
 use tls_core::{DiskFaultClass, DiskFaultPlan, ALL_DISK_FAULT_CLASSES};
-use tls_minidb::oracle::run_workload;
+use tls_minidb::oracle::{run_indexed_workload, run_workload};
 use tls_minidb::{recover, BTree, Env, PageAlloc, Pager};
 
 const FRAMES: usize = 20;
@@ -36,6 +36,20 @@ fn every_fault_class_recovers_at_every_crash_point() {
         w.check_all_crash_points()
             .unwrap_or_else(|e| panic!("seed {seed} classes {classes:?}: {e}"));
     }
+}
+
+#[test]
+fn indexed_workload_recovers_index_contents_at_every_crash_point() {
+    // The indexed workload maintains a secondary index over tree 0 in
+    // the same mini-transaction as every base insert/delete; the shadow
+    // journal models the index too, so every crash-point diff covers
+    // recovered index contents byte-for-byte — under the full fault mix.
+    let plan = DiskFaultPlan::generate(13, &ALL_DISK_FAULT_CLASSES, 400, 24);
+    let w = run_indexed_workload(13, MTRS, FRAMES, plan, false);
+    assert_eq!(w.trees().len(), 3, "two base trees plus the index");
+    let c = w.pager().counters();
+    assert!(c.evictions > 0, "index pages must join the eviction traffic: {c:?}");
+    w.check_all_crash_points().expect("indexed oracle green");
 }
 
 #[test]

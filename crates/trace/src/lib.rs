@@ -52,6 +52,6 @@ mod program;
 mod stats;
 
 pub use builder::{OpSink, ProgramBuilder};
-pub use op::{latency, Addr, LatchId, OpKind, Pc, RawOpError, TraceOp};
+pub use op::{latency, Addr, LatchId, OpKind, Pc, RawOpError, TraceOp, SCAN_LOOP_MODULE};
 pub use program::{Epoch, EpochId, Region, TraceProgram};
 pub use stats::TraceStats;

@@ -44,6 +44,14 @@ impl Pc {
     }
 }
 
+/// The module id reserved for declarative scan loops: the harness
+/// workload compiler stamps every op of a parallelized range-scan
+/// iteration with this module, and the simulator attributes epochs whose
+/// first op carries it to the report's scan-epoch accounting
+/// (`scan_epochs` / `scan_epoch_ops`). Chosen above the MiniDB table and
+/// transaction module ranges.
+pub const SCAN_LOOP_MODULE: u16 = 0x7C;
+
 impl fmt::Display for Pc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "pc:{:04x}:{:04x}", self.module(), self.site())

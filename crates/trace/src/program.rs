@@ -111,6 +111,27 @@ impl TraceProgram {
         TraceStats::of(self)
     }
 
+    /// Counts the parallel epochs attributed to `module` — epochs whose
+    /// first op's PC carries that module — and their total dynamic
+    /// instructions. The simulator uses this with
+    /// [`SCAN_LOOP_MODULE`](crate::SCAN_LOOP_MODULE) to report scan-loop
+    /// epoch accounting separately from the rest of the program.
+    pub fn epochs_of_module(&self, module: u16) -> (u64, u64) {
+        let mut epochs = 0u64;
+        let mut ops = 0u64;
+        for r in &self.regions {
+            if let Region::Parallel(es) = r {
+                for e in es {
+                    if e.ops.first().is_some_and(|o| o.pc().module() == module) {
+                        epochs += 1;
+                        ops += e.len() as u64;
+                    }
+                }
+            }
+        }
+        (epochs, ops)
+    }
+
     /// Iterates over all ops in sequential execution order (useful for
     /// building reference memory images and for tests).
     pub fn iter_ops(&self) -> impl Iterator<Item = &TraceOp> + '_ {
