@@ -87,11 +87,39 @@ struct WorkloadCompilerBench {
 }
 
 #[derive(Serialize)]
+struct TraceStoreBench {
+    /// Dynamic ops of the measured snapshot (both programs of the pair).
+    trace_ops: u64,
+    /// Snapshot size on disk in bytes.
+    trace_bytes: u64,
+    /// ns per op for the owned warm path: read the file, parse the
+    /// structure, copy every record into heap programs, fingerprint both
+    /// (what every warm store open cost before the zero-copy store).
+    decode_ns_per_op: f64,
+    /// Ops per host-second through the owned decode path.
+    decode_ops_per_s: f64,
+    /// ns per op for the zero-copy warm path: map the file, validate the
+    /// container + bank once, stream both fingerprints — no op copies.
+    mmap_ns_per_op: f64,
+    /// Ops per host-second through the mapped path.
+    mmap_ops_per_s: f64,
+    /// decode time over map time for the same snapshot.
+    mmap_speedup: f64,
+    /// Grid points of the timed warm sweep below.
+    sweep_points: usize,
+    /// Batched sweep throughput at test scale, trace snapshots warm but
+    /// report cache cold — so this times map-once + simulate, the
+    /// engine's steady state on new grids.
+    sweep_points_per_hour: f64,
+}
+
+#[derive(Serialize)]
 struct KernelBench {
     ops: Vec<OpBench>,
     runs: Vec<RunBench>,
     pager: PagerBench,
     workload: WorkloadCompilerBench,
+    trace_store: TraceStoreBench,
 }
 
 fn machine() -> CmpConfig {
@@ -336,6 +364,95 @@ fn bench_workload_compiler() -> WorkloadCompilerBench {
     }
 }
 
+/// Host cost of the snapshot read paths, owned decode vs zero-copy map,
+/// on a real recorded benchmark — plus the batched sweep engine's
+/// points/hour at test scale. Both decoders are verified against each
+/// other before timing: a fast path serving different ops would be a
+/// timing for the wrong data.
+fn bench_trace_store() -> TraceStoreBench {
+    use std::sync::Arc;
+    use tls_harness::codec::{decode_pair_file, program_bytes};
+    use tls_harness::mapped::{MapOutcome, TraceView};
+    use tls_harness::store::{HarnessStore, StoredPrograms, TraceKey};
+    use tls_harness::sweep::{run_sweep, SweepOptions, SweepPlan, SweepSpec};
+    use tls_harness::Scale;
+    use tls_minidb::Transaction;
+
+    let dir = std::env::temp_dir().join(format!("tls-kernel-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let traces = dir.join("traces");
+    let store = HarnessStore::new(Some(traces.clone()), true);
+    // A big-enough recording that per-op cost dominates per-open cost
+    // (the syscall + container validation amortize away, as they do on
+    // the multi-megabyte paper-scale snapshots).
+    let key = TraceKey { cfg: Scale::Test.tpcc(), txn: Transaction::Payment, count: 128 };
+    store.programs(&key);
+    let path = traces.join(key.file_name());
+    let hash = key.hash();
+    let bytes = std::fs::read(&path).expect("snapshot written");
+    let trace_bytes = bytes.len() as u64;
+
+    // Cross-check the two read paths before timing either.
+    let owned = decode_pair_file(&bytes, hash).expect("owned decode");
+    let MapOutcome::Mapped(view) = TraceView::open(&path, hash) else {
+        panic!("fresh snapshot must map");
+    };
+    assert_eq!(program_bytes(&view.tls().to_program()), program_bytes(&owned.tls));
+    let trace_ops = (owned.plain.view().total_ops() + owned.tls.view().total_ops()) as u64;
+
+    // Both timings produce the same end state — a StoredPrograms with
+    // both fingerprints computed, ready for report-cache lookups.
+    let decode_secs = time_s(7, || {
+        let bytes = std::fs::read(&path).expect("read snapshot");
+        StoredPrograms::new(decode_pair_file(&bytes, hash).expect("owned decode"))
+    });
+    let mmap_secs = time_s(7, || match TraceView::open(&path, hash) {
+        MapOutcome::Mapped(v) => StoredPrograms::from_view(Arc::new(*v)),
+        other => panic!("snapshot stopped mapping: {other:?}"),
+    });
+
+    // Sweep throughput: snapshots warm, report cache cold — every point
+    // simulates, no point re-decodes.
+    let grid = r#"{
+        "name": "kernel",
+        "benchmark": "payment",
+        "count": 1,
+        "seeds": [1, 2],
+        "spacings": [1000, 2500, 5000, 10000],
+        "contexts": [2, 4],
+        "mem_latencies": [50, 75]
+    }"#;
+    let plan = SweepPlan::new(SweepSpec::parse(grid).expect("grid parses"), Scale::Test);
+    let opts = SweepOptions {
+        scale: Scale::Test,
+        jobs: 1,
+        out_dir: dir.join("out"),
+        trace_dir: Some(traces.clone()),
+        baseline_sample: 0,
+        quiet: true,
+        ..SweepOptions::default()
+    };
+    run_sweep(&plan, &opts).expect("prewarm sweep"); // record both seeds
+    let _ = std::fs::remove_dir_all(traces.join("reports"));
+    let _ = std::fs::remove_file(opts.out_dir.join("sweep_kernel.jsonl"));
+    let out = run_sweep(&plan, &opts).expect("timed sweep");
+    let sweep_points = out.executed_points;
+    let sweep_pph = 3600.0 * sweep_points as f64 / out.wall_s.max(1e-9);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    TraceStoreBench {
+        trace_ops,
+        trace_bytes,
+        decode_ns_per_op: decode_secs * 1e9 / trace_ops as f64,
+        decode_ops_per_s: trace_ops as f64 / decode_secs,
+        mmap_ns_per_op: mmap_secs * 1e9 / trace_ops as f64,
+        mmap_ops_per_s: trace_ops as f64 / mmap_secs,
+        mmap_speedup: decode_secs / mmap_secs,
+        sweep_points,
+        sweep_points_per_hour: sweep_pph,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_kernel.json");
@@ -401,8 +518,24 @@ fn main() {
         workload.sim_mcycles_per_host_s
     );
 
-    let mut json = serde_json::to_string_pretty(&KernelBench { ops, runs, pager, workload })
-        .expect("serialize kernel bench");
+    let trace_store = bench_trace_store();
+    println!(
+        "{:<24} {:>9.2} ns/op decode  {:>9.3} ns/op mmap  ({:.2}x; {} ops, {} bytes)",
+        "trace_store",
+        trace_store.decode_ns_per_op,
+        trace_store.mmap_ns_per_op,
+        trace_store.mmap_speedup,
+        trace_store.trace_ops,
+        trace_store.trace_bytes
+    );
+    println!(
+        "{:<24} {:>9.0} points/hour warm ({} points, test scale)",
+        "sweep_engine", trace_store.sweep_points_per_hour, trace_store.sweep_points
+    );
+
+    let mut json =
+        serde_json::to_string_pretty(&KernelBench { ops, runs, pager, workload, trace_store })
+            .expect("serialize kernel bench");
     json.push('\n');
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {out_path}");

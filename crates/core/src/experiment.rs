@@ -18,7 +18,7 @@
 use crate::{CmpConfig, CmpSimulator, SimReport, SubThreadConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use tls_trace::{Epoch, Region, TraceProgram};
+use tls_trace::{Epoch, ProgramView, Region, RegionView, TraceProgram};
 
 /// One bar of Figure 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -98,18 +98,25 @@ impl fmt::Display for ExperimentKind {
 /// Rewrites a program so every region is sequential (epochs concatenated
 /// in order): the TLS-SEQ and SEQUENTIAL executions.
 pub fn serialize_program(program: &TraceProgram) -> TraceProgram {
-    let regions = program
+    serialize_view(&program.view())
+}
+
+/// As [`serialize_program`], from a borrowed view — the form the
+/// memory-mapped trace store serves, where no owned source program
+/// exists to clone from.
+pub fn serialize_view(view: &ProgramView<'_>) -> TraceProgram {
+    let regions = view
         .regions
         .iter()
         .map(|r| match r {
-            Region::Sequential(e) => Region::Sequential(e.clone()),
-            Region::Parallel(es) => {
-                let ops = es.iter().flat_map(|e| e.ops.iter().copied()).collect();
+            RegionView::Sequential(e) => Region::Sequential(Epoch::new(e.to_vec())),
+            RegionView::Parallel(es) => {
+                let ops = es.iter().flat_map(|e| e.iter().copied()).collect();
                 Region::Sequential(Epoch::new(ops))
             }
         })
         .collect();
-    TraceProgram::new(program.name.clone(), regions)
+    TraceProgram::new(view.name, regions)
 }
 
 /// The two recorded traces of one benchmark.

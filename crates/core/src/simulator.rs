@@ -29,7 +29,7 @@ use std::collections::{HashMap, VecDeque};
 use tls_cache::{CacheStats, L1Data, MshrFile};
 use tls_cpu::{Core, CoreStats, HeadStall, MemKind};
 use tls_obs::{CycleClass, Event, EventKind, Observer};
-use tls_trace::{Addr, Epoch, LatchId, OpKind, Pc, Region, TraceOp, TraceProgram};
+use tls_trace::{Addr, LatchId, OpKind, Pc, ProgramView, RegionView, TraceOp, TraceProgram};
 
 /// Maps an accounting category onto the observer's dispatch-time cycle
 /// class. `Failed` never appears at dispatch time — rewinds reclassify
@@ -419,7 +419,25 @@ impl CmpSimulator {
         opts: RunOptions,
         obs: Option<&mut Observer>,
     ) -> SimReport {
-        Machine::new(&self.config, program, opts, obs).run()
+        self.run_view(&program.view(), opts, obs)
+    }
+
+    /// Simulates a borrowed [`ProgramView`] — the entry point every other
+    /// `run*` method funnels into. Views cost nothing to build from an
+    /// owned program and are also what the harness's memory-mapped trace
+    /// store serves, so a multi-gigabyte trace corpus can be simulated
+    /// without ever materializing an owned `TraceProgram`.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_with`](CmpSimulator::run_with).
+    pub fn run_view(
+        &self,
+        view: &ProgramView<'_>,
+        opts: RunOptions,
+        obs: Option<&mut Observer>,
+    ) -> SimReport {
+        Machine::new(&self.config, view, opts, obs).run()
     }
 }
 
@@ -442,14 +460,15 @@ const OPS_PER_CYCLE_CAP: usize = 64;
 
 struct Machine<'p> {
     cfg: &'p CmpConfig,
-    program: &'p TraceProgram,
+    program: &'p ProgramView<'p>,
     cores: Vec<Core>,
     mem: MemSystem,
     latches: LatchTable,
     slots: Vec<Slot<'p>>,
     latch_retry: Vec<Option<LatchId>>,
-    /// Epochs of the current region not yet started.
-    region_queue: VecDeque<&'p Epoch>,
+    /// Epochs of the current region not yet started, as contiguous op
+    /// runs (borrowed straight from the view — owned or memory-mapped).
+    region_queue: VecDeque<&'p [TraceOp]>,
     region_index: usize,
     next_order: u32,
     next_commit: u32,
@@ -511,7 +530,7 @@ struct Machine<'p> {
 impl<'p> Machine<'p> {
     fn new(
         cfg: &'p CmpConfig,
-        program: &'p TraceProgram,
+        program: &'p ProgramView<'p>,
         opts: RunOptions,
         obs: Option<&'p mut Observer>,
     ) -> Self {
@@ -521,11 +540,11 @@ impl<'p> Machine<'p> {
         let mut base = 0u64;
         for region in &program.regions {
             match region {
-                Region::Sequential(e) => {
+                RegionView::Sequential(e) => {
                     epoch_base.push(base);
                     base += e.len() as u64;
                 }
-                Region::Parallel(es) => {
+                RegionView::Parallel(es) => {
                     for e in es {
                         epoch_base.push(base);
                         base += e.len() as u64;
@@ -1609,8 +1628,8 @@ impl<'p> Machine<'p> {
             && self.region_index < self.program.regions.len()
         {
             match &self.program.regions[self.region_index] {
-                Region::Sequential(e) => self.region_queue.push_back(e),
-                Region::Parallel(es) => self.region_queue.extend(es.iter()),
+                RegionView::Sequential(e) => self.region_queue.push_back(*e),
+                RegionView::Parallel(es) => self.region_queue.extend(es.iter().copied()),
             }
             self.region_index += 1;
             if !self.region_queue.is_empty() {
@@ -1628,7 +1647,7 @@ impl<'p> Machine<'p> {
                 let order = self.next_order;
                 self.next_order += 1;
                 emit!(self, EventKind::EpochStart, cpu, order, 0, epoch.len() as u64, 0);
-                self.slots[cpu] = Slot::Running(EpochRun::new(order, &epoch.ops, spacing));
+                self.slots[cpu] = Slot::Running(EpochRun::new(order, epoch, spacing));
             }
         }
     }
@@ -1661,7 +1680,7 @@ impl<'p> Machine<'p> {
         let (scan_epochs, scan_epoch_ops) =
             self.program.epochs_of_module(tls_trace::SCAN_LOOP_MODULE);
         SimReport {
-            name: self.program.name.clone(),
+            name: self.program.name.to_string(),
             total_cycles: self.cycle,
             cpus: self.cfg.cpus,
             breakdown: self.acct,

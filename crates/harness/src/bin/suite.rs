@@ -12,6 +12,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("workload") {
         std::process::exit(tls_harness::suite::run_workload_verb(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("sweep") {
+        std::process::exit(tls_harness::sweep::run_sweep_verb(&args[1..]));
+    }
     let opts = match tls_harness::suite::SuiteOptions::parse(&args) {
         Ok(opts) => opts,
         Err(msg) => {

@@ -28,21 +28,29 @@
 //!   `(plain, tls)` trace pairs with range scans speculatively
 //!   parallelized, behind the `suite workload` verb and the
 //!   `scan_collision` / `workload` plans.
+//! - [`sweep`] — the batched multi-seed parameter-sweep engine behind
+//!   the `suite sweep` verb: seed-major grids over (spacing × contexts ×
+//!   memory latency), one zero-copy map per seed, interned machine
+//!   configs, deterministic JSONL row streams with crash `--resume`.
 
 pub mod codec;
 pub mod eval;
+pub mod mapped;
 pub mod observe;
 pub mod plan;
 pub mod plans;
 pub mod runner;
 pub mod store;
 pub mod suite;
+pub mod sweep;
 pub mod workload;
 
 pub use codec::{decode_pair, encode_pair, SnapshotError};
 pub use eval::{breakdown_row, initials, instances, paper_machine, render_stack, Scale};
+pub use mapped::{MapOutcome, Mapping, TraceView};
 pub use observe::{observe_run, ObserveOutcome, ObserveRequest};
 pub use plan::{all_plans, find_plan, Plan, PlanCtx, PlanOutput};
 pub use runner::{capture, run_protected, FailureKind, JobFailure, JobPool, Protection};
 pub use store::{HarnessStore, StoreStats, TraceKey};
+pub use sweep::{run_sweep, run_sweep_verb, SweepOptions, SweepPlan, SweepPoint, SweepSpec};
 pub use workload::{compile, CompiledWorkload, MixWeights, SpecError, WorkloadSpec, Zipf};

@@ -79,8 +79,8 @@ pub fn observe_run(store: &HarnessStore, req: &ObserveRequest) -> Result<Observe
     let baseline = store.simulate(&programs.tls, &machine);
 
     let mut observer = Observer::new(machine.cpus, req.ring_capacity, req.metrics_interval);
-    let observed = CmpSimulator::new(machine).run_observed(
-        &programs.tls,
+    let observed = CmpSimulator::new(machine).run_view(
+        &programs.tls.view(),
         RunOptions::checked_default(),
         Some(&mut observer),
     );
@@ -100,7 +100,7 @@ pub fn observe_run(store: &HarnessStore, req: &ObserveRequest) -> Result<Observe
         .map_err(|e| format!("cannot create {}: {e}", req.out_dir.display()))?;
 
     let meta = TraceMeta {
-        program: programs.tls.name.clone(),
+        program: programs.tls.name().to_string(),
         cpus: observed.cpus,
         total_cycles: observed.total_cycles,
     };
@@ -109,7 +109,7 @@ pub fn observe_run(store: &HarnessStore, req: &ObserveRequest) -> Result<Observe
     std::fs::write(&trace_path, &trace_json)
         .map_err(|e| format!("write {}: {e}", trace_path.display()))?;
 
-    let series = observer.metrics.series(&programs.tls.name);
+    let series = observer.metrics.series(programs.tls.name());
     let mut metrics_json =
         serde_json::to_string_pretty(&series).map_err(|e| format!("serialize metrics: {e:?}"))?;
     metrics_json.push('\n');

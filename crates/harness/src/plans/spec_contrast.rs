@@ -7,7 +7,7 @@ use crate::store::{KeyedProgram, TraceKey};
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::sync::Arc;
-use tls_core::experiment::serialize_program;
+use tls_core::experiment::serialize_view;
 use tls_core::synthetic::{shared_dependences, Dependence};
 use tls_core::{SimReport, SubThreadConfig};
 
@@ -60,7 +60,7 @@ fn run(ctx: &PlanCtx) -> PlanOutput {
     let mut jobs: Vec<Job<Arc<SimReport>>> = Vec::new();
     for &(_, threads, ops, ndeps) in &CASES {
         let p = KeyedProgram::new(shared_dependences(threads, ops, &deps(ndeps)));
-        let ser = KeyedProgram::new(serialize_program(&p));
+        let ser = KeyedProgram::new(serialize_view(&p.view()));
         jobs.push(Box::new(move || ctx.sim(&ser, &ctx.machine)));
         let aon = p.clone();
         jobs.push(Box::new(move || {

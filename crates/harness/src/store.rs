@@ -28,16 +28,18 @@
 //! TLSNAP in place of a good one.
 
 use crate::codec::{
-    self, decode_container, encode_container, fnv1a, SnapshotError, KIND_SIM_REPORT,
+    self, decode_container, encode_container, fingerprint_view, fnv1a, Fnv, SnapshotError,
+    KIND_SIM_REPORT,
 };
+use crate::mapped::{MapOutcome, TraceView};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use tls_core::experiment::{serialize_program, BenchmarkPrograms};
-use tls_core::{CmpConfig, CmpSimulator, SimReport};
+use tls_core::experiment::{serialize_view, BenchmarkPrograms};
+use tls_core::{CmpConfig, CmpSimulator, RunOptions, SimReport};
 use tls_minidb::{Tpcc, TpccConfig, Transaction};
-use tls_trace::TraceProgram;
+use tls_trace::{ProgramView, TraceProgram, TraceStats};
 
 /// Identifies one recorded benchmark: everything that influences the
 /// recorded trace pair.
@@ -135,17 +137,36 @@ impl StoreStats {
     }
 }
 
+/// Where a [`KeyedProgram`]'s ops live.
+#[derive(Debug, Clone)]
+enum ProgramRepr {
+    /// An owned, heap-decoded program.
+    Owned(Arc<TraceProgram>),
+    /// One side of a memory-mapped snapshot: the ops are served in place
+    /// from the page cache, never copied.
+    Mapped {
+        view: Arc<TraceView>,
+        /// Which program of the pair (`true` = TLS-transformed).
+        tls: bool,
+    },
+}
+
 /// A trace program bundled with the FNV-1a fingerprint of its canonical
-/// [`codec`] encoding.
+/// [`codec`] encoding — backed either by an owned program or by a
+/// memory-mapped snapshot (the representations are interchangeable;
+/// every consumer goes through [`KeyedProgram::view`]).
 ///
-/// Fingerprinting walks the entire (often multi-megabyte) program, so it
-/// happens exactly once — when the program enters the store or is wrapped
-/// by a plan — instead of on every report-cache lookup, which previously
-/// re-encoded the full trace per [`HarnessStore::simulate`] call just to
-/// derive its key. Cloning is cheap (the program is behind an `Arc`).
+/// Fingerprinting streams the entire (often multi-megabyte) program, so
+/// it happens exactly once — when the program enters the store or is
+/// wrapped by a plan — instead of on every report-cache lookup, which
+/// previously re-encoded the full trace per [`HarnessStore::simulate`]
+/// call just to derive its key. (It no longer materializes the encoded
+/// bytes either: [`fingerprint_view`] hashes the canonical stream with
+/// zero allocation.) Cloning is cheap (both representations are behind
+/// `Arc`s).
 #[derive(Debug, Clone)]
 pub struct KeyedProgram {
-    program: Arc<TraceProgram>,
+    repr: ProgramRepr,
     fingerprint: u64,
 }
 
@@ -157,20 +178,74 @@ impl KeyedProgram {
 
     /// Wraps an already-shared program, computing its content fingerprint.
     pub fn from_arc(program: Arc<TraceProgram>) -> Self {
-        let fingerprint = fnv1a(&codec::program_bytes(&program));
-        KeyedProgram { program, fingerprint }
+        let fingerprint = fingerprint_view(&program.view());
+        KeyedProgram { repr: ProgramRepr::Owned(program), fingerprint }
+    }
+
+    /// Wraps one side of a mapped snapshot (fingerprints were computed at
+    /// map time, streamed over the mapped bank).
+    pub fn from_mapped(view: Arc<TraceView>, tls: bool) -> Self {
+        let fingerprint = if tls { view.tls_fingerprint } else { view.plain_fingerprint };
+        KeyedProgram { repr: ProgramRepr::Mapped { view, tls }, fingerprint }
     }
 
     /// The FNV-1a hash of the program's canonical byte encoding.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
     }
-}
 
-impl std::ops::Deref for KeyedProgram {
-    type Target = TraceProgram;
-    fn deref(&self) -> &TraceProgram {
-        &self.program
+    /// A borrowed view of the program — the form the simulator executes.
+    /// Free for both representations (slice borrows, no op copies).
+    pub fn view(&self) -> ProgramView<'_> {
+        match &self.repr {
+            ProgramRepr::Owned(p) => p.view(),
+            ProgramRepr::Mapped { view, tls } => {
+                if *tls {
+                    view.tls()
+                } else {
+                    view.plain()
+                }
+            }
+        }
+    }
+
+    /// The program's benchmark name.
+    pub fn name(&self) -> &str {
+        match &self.repr {
+            ProgramRepr::Owned(p) => &p.name,
+            ProgramRepr::Mapped { view, tls } => {
+                if *tls {
+                    view.tls_name()
+                } else {
+                    view.plain_name()
+                }
+            }
+        }
+    }
+
+    /// Total dynamic instructions.
+    pub fn total_ops(&self) -> usize {
+        self.view().total_ops()
+    }
+
+    /// Static trace statistics (Table 2 quantities).
+    pub fn stats(&self) -> TraceStats {
+        self.view().stats()
+    }
+
+    /// `(epochs, ops)` attributed to `module` (see
+    /// [`ProgramView::epochs_of_module`]).
+    pub fn epochs_of_module(&self, module: u16) -> (u64, u64) {
+        self.view().epochs_of_module(module)
+    }
+
+    /// Materializes an owned copy (tests and the healing path; the hot
+    /// paths never need one).
+    pub fn to_program(&self) -> TraceProgram {
+        match &self.repr {
+            ProgramRepr::Owned(p) => (**p).clone(),
+            ProgramRepr::Mapped { .. } => self.view().to_program(),
+        }
     }
 }
 
@@ -200,15 +275,28 @@ impl StoredPrograms {
         }
     }
 
+    /// Wraps a mapped snapshot: both programs are served in place from
+    /// the shared map, zero op bytes copied.
+    pub fn from_view(view: Arc<TraceView>) -> Self {
+        StoredPrograms {
+            plain: KeyedProgram::from_mapped(view.clone(), false),
+            tls: KeyedProgram::from_mapped(view, true),
+            plain_serialized: OnceLock::new(),
+            tls_serialized: OnceLock::new(),
+        }
+    }
+
     /// The serialized variant (epochs concatenated onto one CPU) of the
-    /// TLS or plain trace, built and fingerprinted on first use.
+    /// TLS or plain trace, built and fingerprinted on first use. (This
+    /// one is owned by construction — serialization rewrites the region
+    /// structure, so there is nothing to borrow in place.)
     pub fn serialized(&self, tls: bool) -> &KeyedProgram {
         let (cell, source) = if tls {
             (&self.tls_serialized, &self.tls)
         } else {
             (&self.plain_serialized, &self.plain)
         };
-        cell.get_or_init(|| KeyedProgram::new(serialize_program(source)))
+        cell.get_or_init(|| KeyedProgram::new(serialize_view(&source.view())))
     }
 }
 
@@ -289,8 +377,13 @@ impl HarnessStore {
         map.lock().expect("store map poisoned").entry(key).or_default().clone()
     }
 
-    /// The recorded `(plain, tls)` pair for `key`: from memory, else from
-    /// a disk snapshot, else recorded (and persisted).
+    /// The recorded `(plain, tls)` pair for `key`: from memory, else
+    /// served in place from a memory-mapped disk snapshot, else recorded
+    /// (and persisted in the mappable format).
+    ///
+    /// A snapshot in the legacy inline format still decodes (owned) and
+    /// is transparently rewritten as version 2, so the *next* open maps;
+    /// a corrupt snapshot is quarantined and re-recorded as before.
     pub fn programs(&self, key: &TraceKey) -> Arc<StoredPrograms> {
         let hash = key.hash();
         let slot = Self::slot(&self.traces, hash);
@@ -301,14 +394,30 @@ impl HarnessStore {
         slot.get_or_init(|| {
             let path = self.dir.as_ref().map(|d| d.join(key.file_name()));
             if let Some(path) = &path {
-                if let Ok(bytes) = std::fs::read(path) {
-                    match codec::decode_pair_file(&bytes, hash) {
-                        Ok(pair) => {
-                            self.stats.trace_disk_hits.fetch_add(1, Ordering::Relaxed);
-                            return Arc::new(StoredPrograms::new(pair));
-                        }
-                        Err(e) => self.quarantine(path, &e),
+                match TraceView::open(path, hash) {
+                    MapOutcome::Mapped(view) => {
+                        self.stats.trace_disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Arc::new(StoredPrograms::from_view(Arc::new(*view)));
                     }
+                    MapOutcome::Legacy(pair) => {
+                        // Upgrade in place so the next open maps; the
+                        // fingerprint encoding is version-independent,
+                        // so downstream artifacts are unchanged.
+                        self.stats.trace_disk_hits.fetch_add(1, Ordering::Relaxed);
+                        write_atomic(path, &codec::encode_pair_file(hash, &pair));
+                        return Arc::new(StoredPrograms::new(*pair));
+                    }
+                    MapOutcome::Unsupported(pair) => {
+                        // Decoded owned (big-endian host); the snapshot
+                        // bytes are fine — leave them be.
+                        self.stats.trace_disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Arc::new(StoredPrograms::new(*pair));
+                    }
+                    MapOutcome::Bad(e) => self.quarantine(path, &e),
+                    MapOutcome::Io(e) => {
+                        eprintln!("warning: cannot read {}: {e}", path.display());
+                    }
+                    MapOutcome::Missing => {}
                 }
             }
             self.stats.trace_records.fetch_add(1, Ordering::Relaxed);
@@ -316,6 +425,12 @@ impl HarnessStore {
             let pair = BenchmarkPrograms { plain, tls };
             if let Some(path) = &path {
                 write_atomic(path, &codec::encode_pair_file(hash, &pair));
+                // Serve the freshly written snapshot in place too: the
+                // recording already cost seconds, and mapping now frees
+                // the owned copy for the rest of the run.
+                if let MapOutcome::Mapped(view) = TraceView::open(path, hash) {
+                    return Arc::new(StoredPrograms::from_view(Arc::new(*view)));
+                }
             }
             Arc::new(StoredPrograms::new(pair))
         })
@@ -328,16 +443,43 @@ impl HarnessStore {
     pub fn simulate(&self, program: &KeyedProgram, cfg: &CmpConfig) -> Arc<SimReport> {
         if !self.sim_cache {
             self.stats.report_sims.fetch_add(1, Ordering::Relaxed);
-            return Arc::new(CmpSimulator::new(*cfg).run(program));
+            return Arc::new(CmpSimulator::new(*cfg).run_view(
+                &program.view(),
+                RunOptions::checked_default(),
+                None,
+            ));
         }
-        let mut key_bytes = program.fingerprint().to_le_bytes().to_vec();
+        let mut cfg_json = String::new();
         {
             use serde::Serialize;
-            let mut cfg_json = String::new();
             cfg.serialize(&mut cfg_json);
-            key_bytes.extend_from_slice(cfg_json.as_bytes());
         }
-        let hash = fnv1a(&key_bytes);
+        self.simulate_keyed(program, cfg, &cfg_json)
+    }
+
+    /// As [`HarnessStore::simulate`], with the machine configuration's
+    /// canonical JSON supplied by the caller — the sweep engine interns
+    /// each grid point's JSON once and reuses it across every seed,
+    /// instead of re-serializing the config per simulation. The cache key
+    /// streams through FNV (no intermediate key buffer).
+    pub fn simulate_keyed(
+        &self,
+        program: &KeyedProgram,
+        cfg: &CmpConfig,
+        cfg_json: &str,
+    ) -> Arc<SimReport> {
+        if !self.sim_cache {
+            self.stats.report_sims.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(CmpSimulator::new(*cfg).run_view(
+                &program.view(),
+                RunOptions::checked_default(),
+                None,
+            ));
+        }
+        let mut key = Fnv::new();
+        key.update(&program.fingerprint().to_le_bytes());
+        key.update(cfg_json.as_bytes());
+        let hash = key.finish();
         let slot = Self::slot(&self.reports, hash);
         if let Some(hit) = slot.get() {
             self.stats.report_mem_hits.fetch_add(1, Ordering::Relaxed);
@@ -358,7 +500,11 @@ impl HarnessStore {
                 }
             }
             self.stats.report_sims.fetch_add(1, Ordering::Relaxed);
-            let report = CmpSimulator::new(*cfg).run(program);
+            let report = CmpSimulator::new(*cfg).run_view(
+                &program.view(),
+                RunOptions::checked_default(),
+                None,
+            );
             if let Some(path) = &path {
                 let json = serde_json::to_string(&report).expect("serialize report");
                 write_atomic(path, &encode_container(KIND_SIM_REPORT, hash, json.as_bytes()));
@@ -458,9 +604,10 @@ mod tests {
         assert_eq!(warm.stats.snapshot()[1], 1, "served from disk");
         assert_eq!(warm.stats.snapshot()[2], 0, "no re-record");
         assert_eq!(a.tls.total_ops(), b.tls.total_ops());
+        assert_eq!(a.tls.fingerprint(), b.tls.fingerprint(), "same content fingerprint");
         assert_eq!(
-            crate::codec::program_bytes(&a.tls),
-            crate::codec::program_bytes(&b.tls),
+            crate::codec::program_bytes(&a.tls.to_program()),
+            crate::codec::program_bytes(&b.tls.to_program()),
             "decoded trace is bit-identical"
         );
         let _ = std::fs::remove_dir_all(&dir);

@@ -81,6 +81,9 @@ usage: suite [options]
                    [--traces DIR | --no-cache]
        suite workload <spec.json> [--scale paper|test] [--jobs N]
                    [--out DIR] [--traces DIR | --no-cache]
+       suite sweep <grid.json> [--scale paper|test] [--jobs N]
+                   [--filter KEYS] [--out DIR] [--traces DIR | --no-cache]
+                   [--resume] [--bench PATH] [--baseline-sample N] [--quiet]
   --scale paper|test     workload scale (default: paper)
   --jobs N               worker threads (default: available cores)
   --filter A,B           run only plans whose name contains A or B
@@ -95,7 +98,11 @@ usage: suite [options]
   --quiet                do not print the plans' tables to stdout
   --list                 list available plans and exit
   --resume               skip plans already completed per the out-dir's
-                         .run_manifest.jsonl (crash/interrupt recovery)
+                         .run_manifest.jsonl (crash/interrupt recovery);
+                         for sweep: keep the row file's valid prefix and
+                         run only the remaining grid points
+  --baseline-sample N    (sweep) points to time one-simulation-per-job
+                         for the speedup comparison (default: 8)
   --job-timeout SECS     per-plan deadline; an overrunning plan is
                          retried once, then quarantined
   --force-panic PLAN     test hook: make the named plan panic, to
@@ -734,6 +741,21 @@ pub fn run_suite(opts: &SuiteOptions) -> i32 {
     };
     let mut bench_json = serde_json::to_string_pretty(&bench).expect("serialize bench report");
     bench_json.push('\n');
+    // A prior `suite sweep` run may have merged its section into this
+    // file; carry it across instead of clobbering it.
+    if let Some(serde::Value::Object(old)) =
+        std::fs::read_to_string(&opts.bench_path).ok().and_then(|t| serde::parse(&t).ok())
+    {
+        if let Some((_, sweep)) = old.into_iter().find(|(k, _)| k == "sweep") {
+            if let Ok(serde::Value::Object(mut pairs)) = serde::parse(&bench_json) {
+                pairs.push(("sweep".to_string(), sweep));
+                let mut merged = String::new();
+                serde::Value::Object(pairs).write(&mut merged, Some(2), 0);
+                merged.push('\n');
+                bench_json = merged;
+            }
+        }
+    }
     if let Err(e) = std::fs::write(&opts.bench_path, bench_json) {
         eprintln!("error: write {}: {e}", opts.bench_path.display());
         return 1;

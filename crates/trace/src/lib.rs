@@ -50,8 +50,10 @@ mod builder;
 mod op;
 mod program;
 mod stats;
+mod view;
 
 pub use builder::{OpSink, ProgramBuilder};
 pub use op::{latency, Addr, LatchId, OpKind, Pc, RawOpError, TraceOp, SCAN_LOOP_MODULE};
 pub use program::{Epoch, EpochId, Region, TraceProgram};
 pub use stats::TraceStats;
+pub use view::{ProgramView, RegionView};

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use zerocopy::{FromBytes, Immutable, IntoBytes, KnownLayout};
 
 /// A synthetic program counter.
 ///
@@ -174,7 +175,29 @@ const CLASS_LATCH_REL: u8 = 6;
 /// instructions earlier its producer ran. The core timing model uses this to
 /// keep issue from being embarrassingly parallel; distance 0 means "no
 /// modeled register dependence".
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The struct is `#[repr(C)]` with all-integer fields in descending
+/// alignment order after `pc`, so its in-memory layout on a little-endian
+/// target is byte-for-byte the canonical wire record of
+/// [`TraceOp::to_raw`] (`pc:4 | class:1 | arg:1 | dep:2 | addr:8`, no
+/// padding). The harness trace store exploits this to serve ops straight
+/// out of memory-mapped snapshot files via the zerocopy casts — see the
+/// layout assertions below, which pin size, alignment and every field
+/// offset at compile time.
+#[derive(
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    Serialize,
+    Deserialize,
+    FromBytes,
+    IntoBytes,
+    Immutable,
+    KnownLayout,
+)]
+#[repr(C)]
 pub struct TraceOp {
     pc: u32,
     class: u8,
@@ -184,6 +207,19 @@ pub struct TraceOp {
     /// address (mem) or latch id (latch ops); unused otherwise
     addr: u64,
 }
+
+// The zerocopy read path is only sound if the compiler lays `TraceOp`
+// out exactly as the 16-byte wire record; `repr(C)` guarantees field
+// order, and these assertions pin the absence of padding.
+const _: () = {
+    assert!(std::mem::size_of::<TraceOp>() == 16);
+    assert!(std::mem::align_of::<TraceOp>() == 8);
+    assert!(std::mem::offset_of!(TraceOp, pc) == 0);
+    assert!(std::mem::offset_of!(TraceOp, class) == 4);
+    assert!(std::mem::offset_of!(TraceOp, arg) == 5);
+    assert!(std::mem::offset_of!(TraceOp, dep) == 6);
+    assert!(std::mem::offset_of!(TraceOp, addr) == 8);
+};
 
 impl TraceOp {
     /// An integer ALU op. `lat` of 0 is rounded up to 1.
@@ -301,44 +337,55 @@ impl TraceOp {
     /// validating every field so corrupt bytes are rejected instead of
     /// producing an op that later trips `unreachable!` in [`TraceOp::kind`].
     pub fn from_raw(raw: [u8; 16]) -> Result<Self, RawOpError> {
-        let pc = u32::from_le_bytes(raw[0..4].try_into().expect("4-byte slice"));
-        let class = raw[4];
-        let arg = raw[5];
-        let dep = u16::from_le_bytes(raw[6..8].try_into().expect("2-byte slice"));
-        let addr = u64::from_le_bytes(raw[8..16].try_into().expect("8-byte slice"));
-        match class {
+        let op = TraceOp {
+            pc: u32::from_le_bytes(raw[0..4].try_into().expect("4-byte slice")),
+            class: raw[4],
+            arg: raw[5],
+            dep: u16::from_le_bytes(raw[6..8].try_into().expect("2-byte slice")),
+            addr: u64::from_le_bytes(raw[8..16].try_into().expect("8-byte slice")),
+        };
+        op.validate()?;
+        Ok(op)
+    }
+
+    /// Checks the semantic field invariants [`TraceOp::from_raw`]
+    /// enforces, for ops obtained by reinterpreting raw memory (the
+    /// zerocopy mmap path) rather than by field-wise decoding. An op
+    /// that passes is safe to hand to [`TraceOp::kind`].
+    pub fn validate(&self) -> Result<(), RawOpError> {
+        match self.class {
             CLASS_INT | CLASS_FP => {
-                if arg == 0 {
+                if self.arg == 0 {
                     return Err(RawOpError::ZeroLatency);
+                }
+                if self.addr != 0 {
+                    return Err(RawOpError::NonZeroPadding);
                 }
             }
             CLASS_LOAD | CLASS_STORE => {
-                if !(1..=8).contains(&arg) {
-                    return Err(RawOpError::BadMemSize(arg));
+                if !(1..=8).contains(&self.arg) {
+                    return Err(RawOpError::BadMemSize(self.arg));
                 }
             }
             CLASS_BRANCH => {
-                if arg > 1 {
-                    return Err(RawOpError::BadBranchFlag(arg));
+                if self.arg > 1 {
+                    return Err(RawOpError::BadBranchFlag(self.arg));
                 }
-                if addr != 0 {
+                if self.addr != 0 {
                     return Err(RawOpError::NonZeroPadding);
                 }
             }
             CLASS_LATCH_ACQ | CLASS_LATCH_REL => {
-                if arg != 0 {
+                if self.arg != 0 {
                     return Err(RawOpError::NonZeroPadding);
                 }
-                if addr > u16::MAX as u64 {
-                    return Err(RawOpError::BadLatchId(addr));
+                if self.addr > u16::MAX as u64 {
+                    return Err(RawOpError::BadLatchId(self.addr));
                 }
             }
             other => return Err(RawOpError::BadClass(other)),
         }
-        if matches!(class, CLASS_INT | CLASS_FP) && addr != 0 {
-            return Err(RawOpError::NonZeroPadding);
-        }
-        Ok(TraceOp { pc, class, arg, dep, addr })
+        Ok(())
     }
 }
 

@@ -132,6 +132,25 @@ impl TraceProgram {
         (epochs, ops)
     }
 
+    /// A borrowed [`ProgramView`](crate::ProgramView) of this program —
+    /// the form the simulator consumes, shared with the harness store's
+    /// memory-mapped traces.
+    pub fn view(&self) -> crate::ProgramView<'_> {
+        crate::ProgramView {
+            name: &self.name,
+            regions: self
+                .regions
+                .iter()
+                .map(|r| match r {
+                    Region::Sequential(e) => crate::RegionView::Sequential(e.ops.as_slice()),
+                    Region::Parallel(es) => {
+                        crate::RegionView::Parallel(es.iter().map(|e| e.ops.as_slice()).collect())
+                    }
+                })
+                .collect(),
+        }
+    }
+
     /// Iterates over all ops in sequential execution order (useful for
     /// building reference memory images and for tests).
     pub fn iter_ops(&self) -> impl Iterator<Item = &TraceOp> + '_ {

@@ -1,7 +1,7 @@
 //! Static trace statistics (the quantities reported in Table 2 of the
 //! paper, minus the cycle counts which come from the timing model).
 
-use crate::{Region, TraceProgram};
+use crate::{ProgramView, RegionView, TraceProgram};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -36,10 +36,17 @@ pub struct TraceStats {
 impl TraceStats {
     /// Computes statistics for `program`.
     pub fn of(program: &TraceProgram) -> Self {
+        Self::of_view(&program.view())
+    }
+
+    /// Computes statistics for a borrowed [`ProgramView`] (the same
+    /// quantities as [`TraceStats::of`], without requiring an owned
+    /// program — used by the memory-mapped trace store).
+    pub fn of_view(view: &ProgramView<'_>) -> Self {
         let mut s = TraceStats { min_epoch_ops: usize::MAX, ..Default::default() };
-        for region in &program.regions {
+        for region in &view.regions {
             s.total_ops += region.ops();
-            if let Region::Parallel(epochs) = region {
+            if let RegionView::Parallel(epochs) = region {
                 s.parallel_regions += 1;
                 s.parallel_ops += region.ops();
                 for e in epochs {
@@ -48,7 +55,7 @@ impl TraceStats {
                     if !e.is_empty() {
                         s.min_epoch_ops = s.min_epoch_ops.min(e.len());
                     }
-                    for op in &e.ops {
+                    for op in *e {
                         if op.is_load() {
                             s.spec_loads += 1;
                         } else if op.is_store() {

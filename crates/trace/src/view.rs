@@ -1,0 +1,154 @@
+//! Borrowed, zero-copy views over trace programs.
+//!
+//! The CMP simulator is a pure consumer of a program's structure: it
+//! never mutates ops and only ever walks epochs as contiguous op runs.
+//! [`ProgramView`] captures exactly that access pattern — a name plus
+//! per-region `&[TraceOp]` slices — so the same simulator entry point can
+//! run either an owned [`TraceProgram`] (via [`TraceProgram::view`]) or
+//! ops served directly out of a memory-mapped snapshot file (the harness
+//! store's `TraceView`), without the mmap path ever materializing the
+//! multi-megabyte `Vec<TraceOp>` hierarchy.
+//!
+//! A view's structural skeleton (the region/epoch vectors) is owned and
+//! tiny — a handful of pointers per epoch — while the op payloads, which
+//! dominate memory, stay borrowed.
+
+use crate::stats::TraceStats;
+use crate::{Epoch, Region, TraceOp, TraceProgram};
+
+/// One region of a [`ProgramView`]: the borrowed counterpart of
+/// [`Region`].
+#[derive(Debug, Clone)]
+pub enum RegionView<'a> {
+    /// A sequential region's single epoch.
+    Sequential(&'a [TraceOp]),
+    /// A parallel region: one op run per epoch, in iteration order.
+    Parallel(Vec<&'a [TraceOp]>),
+}
+
+impl<'a> RegionView<'a> {
+    /// Total dynamic instructions in the region.
+    pub fn ops(&self) -> usize {
+        match self {
+            RegionView::Sequential(e) => e.len(),
+            RegionView::Parallel(es) => es.iter().map(|e| e.len()).sum(),
+        }
+    }
+
+    /// Number of epochs (1 for sequential regions).
+    pub fn epochs(&self) -> usize {
+        match self {
+            RegionView::Sequential(_) => 1,
+            RegionView::Parallel(es) => es.len(),
+        }
+    }
+}
+
+/// A borrowed view of a complete program: the simulator's input type.
+#[derive(Debug, Clone)]
+pub struct ProgramView<'a> {
+    /// Human-readable benchmark name.
+    pub name: &'a str,
+    /// The regions, in execution order.
+    pub regions: Vec<RegionView<'a>>,
+}
+
+impl<'a> ProgramView<'a> {
+    /// Total dynamic instructions across all regions.
+    pub fn total_ops(&self) -> usize {
+        self.regions.iter().map(RegionView::ops).sum()
+    }
+
+    /// Computes the Table-2 style static statistics of this view.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::of_view(self)
+    }
+
+    /// Counts the parallel epochs attributed to `module` and their total
+    /// dynamic instructions (see [`TraceProgram::epochs_of_module`]).
+    pub fn epochs_of_module(&self, module: u16) -> (u64, u64) {
+        let mut epochs = 0u64;
+        let mut ops = 0u64;
+        for r in &self.regions {
+            if let RegionView::Parallel(es) = r {
+                for e in es {
+                    if e.first().is_some_and(|o| o.pc().module() == module) {
+                        epochs += 1;
+                        ops += e.len() as u64;
+                    }
+                }
+            }
+        }
+        (epochs, ops)
+    }
+
+    /// Iterates over all ops in sequential execution order.
+    pub fn iter_ops(&self) -> impl Iterator<Item = &'a TraceOp> + '_ {
+        self.regions
+            .iter()
+            .flat_map(|r| match r {
+                RegionView::Sequential(e) => std::slice::from_ref(e).iter(),
+                RegionView::Parallel(es) => es.as_slice().iter(),
+            })
+            .flat_map(|e| e.iter())
+    }
+
+    /// Materializes the view into an owned program (copies the ops);
+    /// used when a borrowed source must outlive its backing storage,
+    /// e.g. healing a mapped snapshot into a rewritten file.
+    pub fn to_program(&self) -> TraceProgram {
+        let regions = self
+            .regions
+            .iter()
+            .map(|r| match r {
+                RegionView::Sequential(e) => Region::Sequential(Epoch::new(e.to_vec())),
+                RegionView::Parallel(es) => {
+                    Region::Parallel(es.iter().map(|e| Epoch::new(e.to_vec())).collect())
+                }
+            })
+            .collect();
+        TraceProgram::new(self.name, regions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, OpSink, Pc, ProgramBuilder};
+
+    fn sample() -> TraceProgram {
+        let mut b = ProgramBuilder::new("v");
+        b.int_ops(Pc::new(1, 0), 4);
+        b.begin_parallel();
+        for i in 0..3u64 {
+            b.begin_epoch();
+            b.load(Pc::new(2, 0), Addr(64 * i), 8);
+            b.int_ops(Pc::new(2, 1), 5);
+            b.end_epoch();
+        }
+        b.end_parallel();
+        b.finish()
+    }
+
+    #[test]
+    fn view_mirrors_program() {
+        let p = sample();
+        let v = p.view();
+        assert_eq!(v.name, p.name);
+        assert_eq!(v.total_ops(), p.total_ops());
+        assert_eq!(v.regions.len(), p.regions.len());
+        assert_eq!(v.stats(), p.stats());
+        assert_eq!(v.epochs_of_module(2), p.epochs_of_module(2));
+        assert!(v.iter_ops().zip(p.iter_ops()).all(|(a, b)| a == b));
+        assert_eq!(v.iter_ops().count(), p.iter_ops().count());
+    }
+
+    #[test]
+    fn view_round_trips_to_owned() {
+        let p = sample();
+        let back = p.view().to_program();
+        assert_eq!(back.name, p.name);
+        assert_eq!(back.total_ops(), p.total_ops());
+        assert!(back.iter_ops().zip(p.iter_ops()).all(|(a, b)| a == b));
+    }
+}

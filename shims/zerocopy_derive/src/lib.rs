@@ -1,0 +1,116 @@
+//! Hand-rolled derives for the offline `zerocopy` shim.
+//!
+//! No `syn`/`quote` (nothing can be downloaded in this environment), so
+//! each macro walks the `proc_macro::TokenStream` directly. The shim's
+//! marker traits are safe traits whose soundness contract is "only
+//! derive them", so the derives enforce the restrictions that make the
+//! casting helpers in the `zerocopy` shim sound:
+//!
+//! * non-generic `struct` items only (no enums: their discriminant
+//!   encodings have invalid bit patterns);
+//! * the struct must carry an explicit `#[repr(C)]` (possibly with other
+//!   repr arguments, e.g. `#[repr(C, align(8))]`).
+//!
+//! Field-level padding/validity analysis is out of reach without type
+//! resolution; deriving types back the derive with compile-time
+//! size/alignment/offset assertions next to their definitions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the `zerocopy::FromBytes` marker.
+#[proc_macro_derive(FromBytes)]
+pub fn derive_from_bytes(input: TokenStream) -> TokenStream {
+    derive_marker(input, "FromBytes")
+}
+
+/// Derives the `zerocopy::IntoBytes` marker.
+#[proc_macro_derive(IntoBytes)]
+pub fn derive_into_bytes(input: TokenStream) -> TokenStream {
+    derive_marker(input, "IntoBytes")
+}
+
+/// Derives the `zerocopy::Immutable` marker.
+#[proc_macro_derive(Immutable)]
+pub fn derive_immutable(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Immutable")
+}
+
+/// Derives the `zerocopy::KnownLayout` marker.
+#[proc_macro_derive(KnownLayout)]
+pub fn derive_known_layout(input: TokenStream) -> TokenStream {
+    derive_marker(input, "KnownLayout")
+}
+
+fn derive_marker(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = parse_repr_c_struct_name(input, trait_name);
+    format!("impl ::zerocopy::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("zerocopy_derive: generated invalid marker impl")
+}
+
+/// Walks the item, checking it is a non-generic `#[repr(C)]` struct, and
+/// returns its name.
+fn parse_repr_c_struct_name(input: TokenStream, trait_name: &str) -> String {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut saw_repr_c = false;
+    // Leading attributes (doc comments arrive as `#[doc = ...]`) and
+    // visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if attr_is_repr_c(&g.stream()) {
+                        saw_repr_c = true;
+                    }
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        other => {
+            panic!("zerocopy_derive: {trait_name} can only be derived on structs, found {other:?}")
+        }
+    }
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("zerocopy_derive: expected struct name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.get(i + 1) {
+        if p.as_char() == '<' {
+            panic!("zerocopy_derive shim does not support generic types (deriving on {name})");
+        }
+    }
+    if !saw_repr_c {
+        panic!("zerocopy_derive: {trait_name} requires an explicit #[repr(C)] on {name}");
+    }
+    name
+}
+
+/// True if the attribute group body is `repr(C)` or `repr(C, ...)`.
+fn attr_is_repr_c(body: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "repr" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .next()
+                .is_some_and(|t| matches!(t, TokenTree::Ident(ref id) if id.to_string() == "C"))
+        }
+        _ => false,
+    }
+}
