@@ -114,12 +114,38 @@ struct TraceStoreBench {
 }
 
 #[derive(Serialize)]
+struct VpredictBench {
+    /// ns per predictor training (tag match, confidence update).
+    ns_per_train: f64,
+    /// ns per prediction probe against a warm table.
+    ns_per_probe: f64,
+    /// ns per commit-time validation (synthetic value-model evaluation
+    /// plus the predicted-value comparison).
+    ns_per_validate: f64,
+    /// Simulated cycles of the collider program, predictor off.
+    sim_cycles_off: u64,
+    /// Simulated cycles with the Prophet-style predictor on (lower:
+    /// suppressed RAWs stop burning failed cycles).
+    sim_cycles_on: u64,
+    mcycles_per_host_s_off: f64,
+    mcycles_per_host_s_on: f64,
+    /// Host wall-time ratio on/off for the same program (the price of
+    /// probe + train + validate inside the simulation loop).
+    host_overhead: f64,
+    /// Suppressed RAWs that validated at commit in the measured run.
+    predicted_hits: u64,
+    /// Suppressions that failed validation and rewound.
+    value_mispredicts: u64,
+}
+
+#[derive(Serialize)]
 struct KernelBench {
     ops: Vec<OpBench>,
     runs: Vec<RunBench>,
     pager: PagerBench,
     workload: WorkloadCompilerBench,
     trace_store: TraceStoreBench,
+    vpredict: VpredictBench,
 }
 
 fn machine() -> CmpConfig {
@@ -453,6 +479,92 @@ fn bench_trace_store() -> TraceStoreBench {
     }
 }
 
+/// Host cost of the value-prediction paths: the predictor's train and
+/// probe table operations, the commit-time validation kernel, and the
+/// whole-machine throughput delta on a cross-epoch RMW collider whose
+/// shared value the last-value predictor learns. The collider run
+/// asserts `predicted_hits > 0` — a predictor that stopped suppressing
+/// would make the on/off delta a timing of nothing.
+fn bench_vpredict() -> VpredictBench {
+    use tls_core::{value_model, VPredictConfig, ValuePredictor};
+
+    // Table micro-ops over a 256-PC working set (warm, steady state).
+    let pcs: Vec<Pc> = (0..256u16).map(|i| Pc::new(i / 64 + 1, i % 64)).collect();
+    let mut p = ValuePredictor::new(&VPredictConfig::prophet());
+    for &pc in &pcs {
+        p.train(pc, 7);
+        p.train(pc, 7);
+    }
+    const ROUNDS: u64 = 4000;
+    let ops = ROUNDS * pcs.len() as u64;
+    let train_secs = time_s(5, || {
+        for _ in 0..ROUNDS {
+            for &pc in &pcs {
+                p.train(pc, 7);
+            }
+        }
+    });
+    let probe_secs = time_s(5, || {
+        let mut hits = 0u64;
+        for _ in 0..ROUNDS {
+            for &pc in &pcs {
+                hits += p.probe(pc).is_some() as u64;
+            }
+        }
+        hits
+    });
+    let validate_secs = time_s(5, || {
+        let mut wrong = 0u64;
+        for r in 0..ROUNDS {
+            for (i, _) in pcs.iter().enumerate() {
+                let addr = Addr(0x4_0000 + i as u64 * 8);
+                wrong += (value_model(addr, r) != 7) as u64;
+            }
+        }
+        wrong
+    });
+
+    // Whole-machine delta: every epoch read-modify-writes one shared
+    // word at a constant-class address (0xC000 hashes to the constant
+    // value model), so a warm table turns the RAW chain into silent
+    // hits.
+    let mut b = ProgramBuilder::new("kernel-vpredict");
+    b.begin_parallel();
+    for e in 0..16u16 {
+        b.begin_epoch();
+        b.int_ops(Pc::new(e, 0), 2000);
+        b.load(Pc::new(99, 1), Addr(0xC000), 8);
+        b.store(Pc::new(99, 2), Addr(0xC000), 8);
+        b.int_ops(Pc::new(e, 3), 2000);
+        b.end_epoch();
+    }
+    b.end_parallel();
+    let program = b.finish();
+
+    let cfg_off = machine();
+    let mut cfg_on = cfg_off;
+    cfg_on.vpredict = VPredictConfig::prophet();
+    let opts = RunOptions { audit: false, oracle: false, ..RunOptions::default() };
+    let off = CmpSimulator::new(cfg_off).run_with(&program, opts.clone());
+    let on = CmpSimulator::new(cfg_on).run_with(&program, opts.clone());
+    assert!(on.predicted_hits > 0, "collider must exercise suppression");
+    let s_off = time_s(5, || CmpSimulator::new(cfg_off).run_with(&program, opts.clone()));
+    let s_on = time_s(5, || CmpSimulator::new(cfg_on).run_with(&program, opts.clone()));
+
+    VpredictBench {
+        ns_per_train: train_secs * 1e9 / ops as f64,
+        ns_per_probe: probe_secs * 1e9 / ops as f64,
+        ns_per_validate: validate_secs * 1e9 / ops as f64,
+        sim_cycles_off: off.total_cycles,
+        sim_cycles_on: on.total_cycles,
+        mcycles_per_host_s_off: off.total_cycles as f64 / 1e6 / s_off,
+        mcycles_per_host_s_on: on.total_cycles as f64 / 1e6 / s_on,
+        host_overhead: s_on / s_off,
+        predicted_hits: on.predicted_hits,
+        value_mispredicts: on.value_mispredicts,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_kernel.json");
@@ -533,9 +645,30 @@ fn main() {
         "sweep_engine", trace_store.sweep_points_per_hour, trace_store.sweep_points
     );
 
-    let mut json =
-        serde_json::to_string_pretty(&KernelBench { ops, runs, pager, workload, trace_store })
-            .expect("serialize kernel bench");
+    let vpredict = bench_vpredict();
+    println!(
+        "{:<24} {:>6.1} ns/train  {:>6.1} ns/probe  {:>6.1} ns/validate  \
+         {:>7.2} Mc/s off  {:>7.2} Mc/s on ({:.3}x host, {} hits, {} mispredicts)",
+        "vpredict",
+        vpredict.ns_per_train,
+        vpredict.ns_per_probe,
+        vpredict.ns_per_validate,
+        vpredict.mcycles_per_host_s_off,
+        vpredict.mcycles_per_host_s_on,
+        vpredict.host_overhead,
+        vpredict.predicted_hits,
+        vpredict.value_mispredicts
+    );
+
+    let mut json = serde_json::to_string_pretty(&KernelBench {
+        ops,
+        runs,
+        pager,
+        workload,
+        trace_store,
+        vpredict,
+    })
+    .expect("serialize kernel bench");
     json.push('\n');
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {out_path}");

@@ -1,0 +1,13 @@
+//! Extension study: sub-threads vs dependence synchronization vs value
+//! prediction (and value + sub-threads combined), over NEW ORDER and a
+//! skewed scan-collision workload × checkpoint spacing.
+//!
+//! Thin wrapper over the `prediction_frontier` plan in `tls-harness`;
+//! the `suite` binary runs the same plan alongside every other artifact.
+//!
+//! Usage: `cargo run --release -p tls-bench --bin prediction_frontier [--scale paper|test] [--json DIR]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    tls_harness::suite::run_single_plan("prediction_frontier", &args);
+}

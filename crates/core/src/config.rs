@@ -1,6 +1,7 @@
 //! Machine configuration.
 
 use crate::predictor::PredictorConfig;
+use crate::vpredict::VPredictConfig;
 use serde::{Deserialize, Serialize};
 use tls_cache::{CacheParams, MemParams};
 use tls_cpu::CpuConfig;
@@ -131,6 +132,11 @@ pub struct CmpConfig {
     /// that synchronizes predicted-violating loads. Off in the paper's
     /// design (they found it ineffective; sub-threads subsume it).
     pub predictor: PredictorConfig,
+    /// The Prophet alternative: a PC-indexed value predictor on exposed
+    /// speculative loads — a correct prediction suppresses the RAW
+    /// violation (validated at commit time), a wrong one rewinds. Off by
+    /// default; measured by the `prediction_frontier` plan.
+    pub vpredict: VPredictConfig,
     /// Extend the L1 to track sub-threads so violation recovery
     /// invalidates only lines the rewind could have dirtied. The paper
     /// evaluated this and found it "not worthwhile" (§2.2); off by
@@ -158,6 +164,7 @@ impl CmpConfig {
             track_dependences: true,
             exposed_load_entries: 4096,
             predictor: PredictorConfig::disabled(),
+            vpredict: VPredictConfig::disabled(),
             l1_subthread_aware: false,
             max_cycles: 0,
         }
@@ -182,6 +189,7 @@ impl CmpConfig {
             track_dependences: true,
             exposed_load_entries: 256,
             predictor: PredictorConfig::disabled(),
+            vpredict: VPredictConfig::disabled(),
             l1_subthread_aware: false,
             max_cycles: 50_000_000,
         }
@@ -209,6 +217,10 @@ impl CmpConfig {
         assert!(
             self.predictor.entries.is_power_of_two() && self.predictor.entries > 0,
             "predictor table size"
+        );
+        assert!(
+            self.vpredict.entries.is_power_of_two() && self.vpredict.entries > 0,
+            "value-predictor table size"
         );
         assert_eq!(self.l1.line_bytes, self.l2.line_bytes, "L1/L2 line sizes must match");
     }

@@ -56,6 +56,10 @@ pub enum ViolationKind {
     /// ([`crate::chaos::FaultClass`]); exercises the recovery machinery
     /// but is counted separately from genuine dependences.
     Injected,
+    /// A value prediction that suppressed a RAW violation turned out
+    /// wrong at commit-time validation; the epoch rewinds to the
+    /// earliest sub-thread that consumed the mispredicted value.
+    ValueMispredict,
 }
 
 /// A violation detected by the memory system, to be applied by the

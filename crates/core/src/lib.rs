@@ -79,6 +79,7 @@ mod profile;
 mod report;
 mod simulator;
 pub mod synthetic;
+mod vpredict;
 
 pub use accounting::{Breakdown, CycleCategory, FaultStats, SubThreadLedger};
 pub use chaos::{
@@ -96,6 +97,7 @@ pub use predictor::{DependencePredictor, PredictorConfig};
 pub use profile::{DependenceProfiler, ProfileEntry};
 pub use report::{LivelockReport, ProtocolError, SimReport, ViolationCounts};
 pub use simulator::{CmpSimulator, StartTable};
+pub use vpredict::{value_model, VPredictConfig, ValuePredictor};
 
 /// The observability layer (re-exported from [`tls_obs`]): passive event
 /// sink, sampled metrics and the Perfetto exporter. Pass an

@@ -107,6 +107,13 @@ pub struct SimReport {
     pub latch_acquisitions: u64,
     /// Loads stalled by the dependence predictor (§1.2 mechanism).
     pub predictor_synchronizations: u64,
+    /// RAW violations suppressed by a value prediction that validated
+    /// correct at commit time (the Prophet mechanism; zero unless
+    /// [`crate::VPredictConfig`] is enabled).
+    pub predicted_hits: u64,
+    /// Value predictions that validated *wrong* at commit time and
+    /// rewound through the sub-thread path instead.
+    pub value_mispredicts: u64,
     /// The dependence profile, most damaging first (§3.1).
     pub profile: Vec<ProfileEntry>,
     /// Chaos-fault counters (all zero unless a plan was injected).
@@ -203,6 +210,8 @@ mod tests {
             core: CoreStats::default(),
             latch_acquisitions: 0,
             predictor_synchronizations: 0,
+            predicted_hits: 0,
+            value_mispredicts: 0,
             profile: Vec::new(),
             faults: FaultStats::default(),
             protocol_errors: Vec::new(),

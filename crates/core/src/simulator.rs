@@ -25,6 +25,7 @@ use crate::latch::{LatchError, LatchTable};
 use crate::predictor::DependencePredictor;
 use crate::profile::{DependenceProfiler, ExposedLoadTable};
 use crate::report::{LivelockReport, ProtocolError, SimReport, ViolationCounts};
+use crate::vpredict::{value_model, ValuePredictor};
 use std::collections::{HashMap, VecDeque};
 use tls_cache::{CacheStats, L1Data, MshrFile};
 use tls_cpu::{Core, CoreStats, HeadStall, MemKind};
@@ -189,8 +190,14 @@ struct EpochRun<'p> {
     finished: bool,
     /// Differential-oracle write log: `(op cursor, addr, size)` of every
     /// store dispatched and not yet undone by a rewind. Sorted by cursor;
-    /// only populated when the oracle is enabled.
+    /// populated when the oracle is enabled, and also when value
+    /// prediction is on (the commit-time store counts drive the
+    /// synthetic value model).
     stores: Vec<(usize, Addr, u8)>,
+    /// Exposed speculative loads tracked for value prediction, sorted by
+    /// cursor and truncated on rewind exactly like `stores`. Empty
+    /// unless [`crate::VPredictConfig`] is enabled.
+    vloads: Vec<VLoad>,
     /// Consecutive rewinds of this epoch with no intervening commit by
     /// *any* epoch (forward-progress watchdog input).
     rewind_streak: u64,
@@ -211,6 +218,27 @@ struct EpochRun<'p> {
 /// Bound on per-streak PC collection ([`EpochRun::storm_pcs`]).
 const STORM_PC_CAP: usize = 16;
 
+/// One exposed speculative load tracked by the value predictor: where
+/// it happened, what was predicted for it, and whether a conflicting
+/// store arrived (so the prediction is actually load-bearing and must
+/// validate at commit).
+#[derive(Debug, Clone, Copy)]
+struct VLoad {
+    /// Op index of the load within its epoch.
+    cursor: usize,
+    /// The load's L2 line (violations report lines, not byte addresses).
+    line: Addr,
+    /// The exact byte address — the value model's key.
+    addr: Addr,
+    /// The load's PC (commit-time training key).
+    pc: Pc,
+    /// The predicted value, or `None` when the predictor declined.
+    predicted: Option<u64>,
+    /// A logically-earlier store hit this line after the load: the RAW
+    /// violation was suppressed on the strength of the prediction.
+    conflicted: bool,
+}
+
 impl<'p> EpochRun<'p> {
     fn new(order: u32, ops: &'p [TraceOp], spacing: u64) -> Self {
         EpochRun {
@@ -227,6 +255,7 @@ impl<'p> EpochRun<'p> {
             last_sync_cursor: None,
             finished: false,
             stores: Vec::new(),
+            vloads: Vec::new(),
             rewind_streak: 0,
             storm_pcs: Vec::new(),
             last_raw_pcs: Event::pack_pcs(None, None),
@@ -253,6 +282,10 @@ struct MemSystem {
     scratch: L2Outcome,
     /// Track sub-threads in the L1 (the §2.2 extension, off by default).
     l1_subthread_aware: bool,
+    /// Whether the most recent access was an exposure-recorded load
+    /// (read by the value predictor's tracking hook right after the
+    /// dispatch callback returns; accesses are serviced one at a time).
+    last_exposed: bool,
 }
 
 impl MemSystem {
@@ -270,12 +303,14 @@ impl MemSystem {
             OpKind::Load { addr, size } | OpKind::Store { addr, size } => (addr, size),
             _ => unreachable!("memory callback on a non-memory op"),
         };
+        self.last_exposed = false;
         match kind {
             MemKind::Load => {
                 let l1 = self.l1s[ctx.cpu].read_sub(addr, ctx.speculative, ctx.sub);
                 if l1.hit {
                     if l1.newly_spec_loaded && self.l2.note_l1_load(addr, size, ctx) {
                         self.exposed[ctx.cpu].record(addr, op.pc());
+                        self.last_exposed = true;
                     }
                     return start + 1;
                 }
@@ -283,6 +318,7 @@ impl MemSystem {
                 self.l2.read_into(start + 1, addr, size, ctx, &mut out);
                 if ctx.speculative && out.exposed {
                     self.exposed[ctx.cpu].record(addr, op.pc());
+                    self.last_exposed = true;
                 }
                 self.queue_overflow(&out.overflow_victims, addr, orders);
                 self.l1s[ctx.cpu].fill_sub(addr, ctx.speculative, ctx.sub);
@@ -481,6 +517,15 @@ struct Machine<'p> {
     subthread_merges: u64,
     profiler: DependenceProfiler,
     predictor: DependencePredictor,
+    /// The Prophet value predictor (inert unless `cfg.vpredict.enabled`).
+    vpredict: ValuePredictor,
+    /// Committed stores per exact byte address — the synthetic value
+    /// model's clock (populated only when value prediction is on).
+    commit_counts: HashMap<u64, u64>,
+    /// Suppressed RAW violations whose predictions validated correct.
+    predicted_hits: u64,
+    /// Predictions that validated wrong and rewound instead.
+    value_mispredicts: u64,
     // --- chaos harness ---
     opts: RunOptions,
     injector: FaultInjector,
@@ -573,6 +618,7 @@ impl<'p> Machine<'p> {
                 pending: Vec::new(),
                 scratch: L2Outcome::default(),
                 l1_subthread_aware: cfg.l1_subthread_aware,
+                last_exposed: false,
             },
             latches: LatchTable::new(),
             slots: (0..n).map(|_| Slot::Free).collect(),
@@ -589,6 +635,10 @@ impl<'p> Machine<'p> {
             subthread_merges: 0,
             profiler: DependenceProfiler::new(1024),
             predictor: DependencePredictor::new(&cfg.predictor),
+            vpredict: ValuePredictor::new(&cfg.vpredict),
+            commit_counts: HashMap::new(),
+            predicted_hits: 0,
+            value_mispredicts: 0,
             opts,
             injector,
             armed: Vec::new(),
@@ -1308,7 +1358,7 @@ impl<'p> Machine<'p> {
                             break;
                         }
                     }
-                    if self.opts.oracle {
+                    if self.opts.oracle || self.cfg.vpredict.enabled {
                         if let OpKind::Store { addr, size } = kind {
                             run.stores.push((run.cursor, addr, size));
                         }
@@ -1316,6 +1366,23 @@ impl<'p> Machine<'p> {
                     let ctx = AccessCtx { cpu, sub: run.cur_sub(), speculative };
                     let mem = &mut self.mem;
                     core.dispatch(op, |start, _, mk| mem.access(op, ctx, orders, start, mk));
+                    // Value prediction covers exposed speculative loads:
+                    // the access callback (synchronous) just flagged
+                    // whether this load recorded an exposure. Tracking is
+                    // timing-passive — the probe neither stalls nor
+                    // accelerates the load.
+                    if self.cfg.vpredict.enabled && speculative && self.mem.last_exposed {
+                        if let OpKind::Load { addr, .. } = kind {
+                            run.vloads.push(VLoad {
+                                cursor: run.cursor,
+                                line: addr.align_down(self.cfg.l2.line_shift()),
+                                addr,
+                                pc: op.pc(),
+                                predicted: self.vpredict.probe(op.pc()),
+                                conflicted: false,
+                            });
+                        }
+                    }
                     run.cursor += 1;
                     dispatched += 1;
                 }
@@ -1376,11 +1443,45 @@ impl<'p> Machine<'p> {
             }
             // Looked up once (the table read is side-effect free) and
             // shared by the event stream, predictor and profiler.
-            let raw_load_pc: Option<Pc> = if v.kind == ViolationKind::Raw {
-                self.mem.exposed[v.cpu].lookup(v.line)
-            } else {
-                None
-            };
+            let raw_load_pc: Option<Pc> =
+                if matches!(v.kind, ViolationKind::Raw | ViolationKind::ValueMispredict) {
+                    self.mem.exposed[v.cpu].lookup(v.line)
+                } else {
+                    None
+                };
+            // Value prediction: a RAW violation whose line was consumed
+            // only through predicted loads is suppressed — the victim
+            // keeps running on the predicted values, and the guess is
+            // settled at commit time. One unpredicted load on the line
+            // and the violation stands (the thread consumed a value
+            // nobody vouched for).
+            if v.kind == ViolationKind::Raw && self.cfg.vpredict.enabled {
+                let suppressed = match &mut self.slots[v.cpu] {
+                    Slot::Running(r) => {
+                        let line = v.line.align_down(self.cfg.l2.line_shift());
+                        let mut on_line = 0usize;
+                        let mut covered = 0usize;
+                        for vl in r.vloads.iter().filter(|vl| vl.line == line) {
+                            on_line += 1;
+                            covered += vl.predicted.is_some() as usize;
+                        }
+                        if on_line > 0 && covered == on_line {
+                            for vl in r.vloads.iter_mut().filter(|vl| vl.line == line) {
+                                vl.conflicted = true;
+                            }
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    Slot::Free => false,
+                };
+                if suppressed {
+                    let pcs = Event::pack_pcs(raw_load_pc.map(|p| p.0), v.store_pc.map(|p| p.0));
+                    emit!(self, EventKind::ValuePredicted, v.cpu, order, v.sub, v.line.0, pcs);
+                    continue;
+                }
+            }
             match v.kind {
                 ViolationKind::Raw => {
                     self.violations.primary += 1;
@@ -1411,10 +1512,18 @@ impl<'p> Machine<'p> {
                 ViolationKind::Injected => {
                     emit!(self, EventKind::ViolationInjected, v.cpu, order, v.sub, 0, 0);
                 }
+                // A suppressed RAW whose prediction failed commit-time
+                // validation: the deferred rewind lands here, through
+                // the same sub-thread machinery as a direct violation.
+                ViolationKind::ValueMispredict => {
+                    self.value_mispredicts += 1;
+                    let pcs = Event::pack_pcs(raw_load_pc.map(|p| p.0), None);
+                    emit!(self, EventKind::ValueMispredict, v.cpu, order, v.sub, v.line.0, pcs);
+                }
             }
             // Attribute the about-to-be-discarded cycles to the dependence
             // (§3.1: the exposed-load table provides the load PC).
-            if v.kind == ViolationKind::Raw {
+            if matches!(v.kind, ViolationKind::Raw | ViolationKind::ValueMispredict) {
                 let cycles = match &self.slots[v.cpu] {
                     Slot::Running(r) => r.ledger.cycles_since(v.sub as usize),
                     Slot::Free => 0,
@@ -1521,6 +1630,11 @@ impl<'p> Machine<'p> {
             // re-execution re-records them, keeping commit exactly-once.
             let keep = run.stores.partition_point(|&(c, _, _)| c < rewound_to);
             run.stores.truncate(keep);
+            // Tracked value-predicted loads past the rewind point are
+            // discarded the same way (their predictions were never
+            // consumed by anything that survives).
+            let keep = run.vloads.partition_point(|vl| vl.cursor < rewound_to);
+            run.vloads.truncate(keep);
             // Forward-progress watchdog: commit-free consecutive rewinds
             // of one epoch past the threshold are a violation storm. The
             // homefree token only protects the oldest epoch; this is the
@@ -1562,6 +1676,37 @@ impl<'p> Machine<'p> {
         self.audit_after_rewind(cpu, sub);
     }
 
+    /// Checks `cpu`'s (next-to-commit, finished) epoch's load-bearing
+    /// value predictions against the synthetic value model. Returns the
+    /// deferred violation for the *earliest* wrong one, targeting the
+    /// sub-thread that performed the load — everything before it
+    /// consumed validated values and survives the rewind.
+    fn validate_predictions(&self, cpu: usize) -> Option<PendingViolation> {
+        let run = match &self.slots[cpu] {
+            Slot::Running(r) => r,
+            Slot::Free => return None,
+        };
+        for vl in &run.vloads {
+            if !vl.conflicted {
+                continue; // no conflicting store arrived: nothing consumed the guess
+            }
+            let predicted = vl.predicted.expect("conflicted implies predicted");
+            let k = self.commit_counts.get(&vl.addr.0).copied().unwrap_or(0);
+            if predicted != value_model(vl.addr, k) {
+                let sub = (run.checkpoints.partition_point(|&c| c <= vl.cursor) - 1) as u8;
+                return Some(PendingViolation {
+                    cpu,
+                    sub,
+                    order: run.order,
+                    kind: ViolationKind::ValueMispredict,
+                    line: vl.line,
+                    store_pc: None,
+                });
+            }
+        }
+        None
+    }
+
     fn commit_ready(&mut self) {
         // Delayed-token fault: the homefree token is withheld; finished
         // epochs accrue Sync time until it is released.
@@ -1573,11 +1718,42 @@ impl<'p> Machine<'p> {
                 |s| matches!(s, Slot::Running(r) if r.finished && r.order == self.next_commit),
             );
             let Some(cpu) = ready else { break };
+            // Value-prediction settlement: the epoch is next-to-commit,
+            // so every older store is architecturally visible and the
+            // synthetic value model is exact. A prediction that carried
+            // a suppressed violation and turns out wrong becomes a
+            // deferred violation through the ordinary rewind path — the
+            // commit is withheld this cycle and the epoch re-executes
+            // from the implicated sub-thread (non-speculatively, since
+            // it holds the token, so the replay cannot mispredict again).
+            if self.cfg.vpredict.enabled {
+                if let Some(v) = self.validate_predictions(cpu) {
+                    self.mem.pending.push(v);
+                    break;
+                }
+            }
             let run = match std::mem::replace(&mut self.slots[cpu], Slot::Free) {
                 Slot::Running(r) => r,
                 Slot::Free => unreachable!(),
             };
             let order = run.order;
+            if self.cfg.vpredict.enabled {
+                // Every conflicted prediction validated correct: the
+                // would-be RAW violations are now silent hits. Train on
+                // all tracked loads (hits and untaken predictions alike)
+                // and advance the value model's per-address store counts.
+                for vl in &run.vloads {
+                    let k = self.commit_counts.get(&vl.addr.0).copied().unwrap_or(0);
+                    let actual = value_model(vl.addr, k);
+                    self.vpredict.train(vl.pc, actual);
+                    if vl.conflicted {
+                        self.predicted_hits += 1;
+                    }
+                }
+                for &(_, addr, _) in &run.stores {
+                    *self.commit_counts.entry(addr.0).or_insert(0) += 1;
+                }
+            }
             emit!(self, EventKind::Commit, cpu, order, run.cur_sub(), run.ops.len() as u64, 0);
             if self.opts.oracle {
                 // The epoch's surviving write log becomes the committed
@@ -1699,6 +1875,8 @@ impl<'p> Machine<'p> {
             core,
             latch_acquisitions: self.latches.acquisitions(),
             predictor_synchronizations: self.predictor.synchronizations(),
+            predicted_hits: self.predicted_hits,
+            value_mispredicts: self.value_mispredicts,
             profile: self.profiler.report(),
             faults: self.faults,
             protocol_errors: self.protocol_errors,
@@ -2005,6 +2183,84 @@ mod tests {
         assert!(r_on.breakdown.sync > 0);
         // Both terminate and commit everything (no sync deadlock).
         assert_eq!(r_on.committed_epochs, 8);
+    }
+
+    /// The RMW-chain collider of the predictor test, parameterised by
+    /// the shared address (whose hash picks the value-model class).
+    fn rmw_chain(addr: Addr, epochs: u16) -> TraceProgram {
+        let mut b = ProgramBuilder::new("rmw-chain");
+        b.begin_parallel();
+        for e in 0..epochs {
+            b.begin_epoch();
+            b.int_ops(Pc::new(e, 0), 2000);
+            b.load(Pc::new(9, 1), addr, 8); // same PC across epochs
+            b.store(Pc::new(9, 2), addr, 8);
+            b.int_ops(Pc::new(e, 3), 2000);
+            b.end_epoch();
+        }
+        b.end_parallel();
+        b.finish()
+    }
+
+    #[test]
+    fn value_prediction_suppresses_constant_class_raws() {
+        // 0xC000 hashes to the constant value-model class: every commit
+        // trains the same value, so once the table warms up the exposed
+        // load is predicted, the RAW is suppressed, and validation at
+        // commit time always passes.
+        let p = rmw_chain(Addr(0xC000), 8);
+        let off = cfg();
+        let mut on = off;
+        on.vpredict = crate::VPredictConfig::prophet();
+        let r_off = run_with(off, &p);
+        let r_on = run_with(on, &p);
+        assert_eq!(r_off.predicted_hits, 0);
+        assert_eq!(r_off.value_mispredicts, 0);
+        assert!(r_on.predicted_hits > 0, "warm table must suppress RAWs");
+        assert_eq!(r_on.value_mispredicts, 0, "constant class never validates wrong");
+        assert!(
+            r_on.violations.primary < r_off.violations.primary,
+            "suppression avoids violations: {} vs {}",
+            r_on.violations.primary,
+            r_off.violations.primary
+        );
+        assert_eq!(r_on.committed_epochs, 8);
+        assert_eq!(r_off.committed_epochs, 8);
+    }
+
+    #[test]
+    fn value_misprediction_rewinds_instead_of_committing() {
+        // 0xC080 hashes to the noisy class: the value changes with every
+        // committed store, so an eager (threshold-1) predictor keeps
+        // predicting stale values. Every such suppression must be caught
+        // by commit-time validation and converted into a rewind — never
+        // a wrong commit.
+        let p = rmw_chain(Addr(0xC080), 8);
+        let mut on = cfg();
+        on.vpredict = crate::VPredictConfig { enabled: true, entries: 1024, threshold: 1 };
+        let r = run_with(on, &p);
+        assert!(r.value_mispredicts > 0, "noisy class must mispredict");
+        assert_eq!(r.committed_epochs, 8, "mispredicts rewind, not wedge");
+        assert!(r.audit_failures.is_empty(), "{:?}", r.audit_failures);
+        assert!(r.protocol_errors.is_empty(), "{:?}", r.protocol_errors);
+    }
+
+    #[test]
+    fn disabled_value_predictor_changes_nothing() {
+        // Table geometry must not leak into timing when the predictor is
+        // off: a disabled config with exotic sizing produces the same
+        // report as the default, byte for byte.
+        let p = rmw_chain(Addr(0xC000), 8);
+        let mut exotic = cfg();
+        exotic.vpredict = crate::VPredictConfig { enabled: false, entries: 8192, threshold: 3 };
+        let r_default = run_with(cfg(), &p);
+        let r_exotic = run_with(exotic, &p);
+        assert_eq!(
+            serde_json::to_string(&r_default).unwrap(),
+            serde_json::to_string(&r_exotic).unwrap()
+        );
+        assert_eq!(r_default.predicted_hits, 0);
+        assert_eq!(r_default.value_mispredicts, 0);
     }
 
     #[test]

@@ -106,6 +106,7 @@ pub fn all_plans() -> Vec<Plan> {
         crate::plans::spec_contrast::plan(),
         crate::plans::pool_pressure::plan(),
         crate::plans::scan_collision::plan(),
+        crate::plans::prediction_frontier::plan(),
         crate::plans::workload::plan(),
     ]
 }

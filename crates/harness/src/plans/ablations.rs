@@ -9,6 +9,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use tls_core::{
     CmpConfig, ExhaustionPolicy, PredictorConfig, SecondaryPolicy, SimReport, SubThreadConfig,
+    VPredictConfig,
 };
 use tls_minidb::Transaction;
 
@@ -21,6 +22,8 @@ struct Entry {
     failed: u64,
     violations_secondary: u64,
     violations_overflow: u64,
+    predicted_hits: u64,
+    value_mispredicts: u64,
 }
 
 /// Which counters a section's text rows show.
@@ -94,17 +97,37 @@ fn specs(base: &CmpConfig) -> Vec<Spec> {
             });
         }
     }
-    // --- 4. The §1.2 alternative: dependence prediction + synchronization. ---
+    // --- 4. The §1.2 alternatives: dependence prediction (synchronize)
+    // and value prediction (suppress + validate) vs sub-threads. ---
     for txn in [Transaction::NewOrder, Transaction::NewOrder150] {
-        let variants: [(&str, SubThreadConfig, PredictorConfig); 3] = [
-            ("sub-threads (baseline)", SubThreadConfig::baseline(), PredictorConfig::disabled()),
-            ("predictor only", SubThreadConfig::disabled(), PredictorConfig::aggressive()),
-            ("both", SubThreadConfig::baseline(), PredictorConfig::aggressive()),
+        let off = VPredictConfig::disabled();
+        let variants: [(&str, SubThreadConfig, PredictorConfig, VPredictConfig); 5] = [
+            (
+                "sub-threads (baseline)",
+                SubThreadConfig::baseline(),
+                PredictorConfig::disabled(),
+                off,
+            ),
+            ("predictor only", SubThreadConfig::disabled(), PredictorConfig::aggressive(), off),
+            ("both", SubThreadConfig::baseline(), PredictorConfig::aggressive(), off),
+            (
+                "value predictor only",
+                SubThreadConfig::disabled(),
+                PredictorConfig::disabled(),
+                VPredictConfig::prophet(),
+            ),
+            (
+                "value + sub-threads",
+                SubThreadConfig::baseline(),
+                PredictorConfig::disabled(),
+                VPredictConfig::prophet(),
+            ),
         ];
-        for (name, subs, pred) in variants {
+        for (name, subs, pred, vp) in variants {
             let mut cfg = *base;
             cfg.subthreads = subs;
             cfg.predictor = pred;
+            cfg.vpredict = vp;
             out.push(Spec {
                 ablation: "dependence-predictor",
                 benchmark: txn,
@@ -135,7 +158,7 @@ const SECTION_HEADERS: [(&str, &str); 5] = [
     ("secondary-policy", "Ablation 1: secondary violations (Figure 4a vs 4b)"),
     ("victim-capacity", "\nAblation 2: speculative victim-cache capacity"),
     ("exhaustion-policy", "\nAblation 3: context exhaustion (merge-and-recycle vs stop)"),
-    ("dependence-predictor", "\nAblation 4: dependence predictor vs sub-threads (§1.2)"),
+    ("dependence-predictor", "\nAblation 4: dependence/value prediction vs sub-threads (§1.2)"),
     ("l1-subthread-aware", "\nAblation 5: sub-thread-aware L1 invalidation (§2.2)"),
 ];
 
@@ -189,13 +212,16 @@ fn run(ctx: &PlanCtx) -> PlanOutput {
             ),
             Style::Predictor => writeln!(
                 text,
-                "  {:<16} {:<22} {:>10} cycles, {:>9} failed, {:>9} sync cyc, {:>4} stalled loads",
+                "  {:<16} {:<22} {:>10} cycles, {:>9} failed, {:>9} sync cyc, {:>4} stalled \
+                 loads, {:>5} pred hits, {:>4} mispredicts",
                 label,
                 spec.variant,
                 r.total_cycles,
                 r.breakdown.failed,
                 r.breakdown.sync,
-                r.predictor_synchronizations
+                r.predictor_synchronizations,
+                r.predicted_hits,
+                r.value_mispredicts
             ),
             Style::L1 => writeln!(
                 text,
@@ -216,6 +242,8 @@ fn run(ctx: &PlanCtx) -> PlanOutput {
             failed: r.breakdown.failed,
             violations_secondary: r.violations.secondary,
             violations_overflow: r.violations.overflow,
+            predicted_hits: r.predicted_hits,
+            value_mispredicts: r.value_mispredicts,
         });
     }
     PlanOutput { json: to_artifact_json(&rows), text, sim_cycles }

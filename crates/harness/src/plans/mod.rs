@@ -5,6 +5,7 @@ pub mod figure2;
 pub mod figure5;
 pub mod figure6;
 pub mod pool_pressure;
+pub mod prediction_frontier;
 pub mod scalability;
 pub mod scan_collision;
 pub mod spec_contrast;

@@ -1,0 +1,225 @@
+//! The **prediction_frontier** plan: the repo's four dependence-
+//! tolerance mechanisms side by side, over both a TPC-C transaction and
+//! the scan-collision workload.
+//!
+//! The paper's §1.2 argues that dependence *prediction* alone cannot
+//! tolerate the dozens of unpredictable dependences in a DBMS thread,
+//! and builds sub-threads instead; Prophet-style *value* prediction is
+//! the third option — turn the violated load into a silent hit and
+//! validate the guessed value at commit. This plan puts all of them on
+//! one grid:
+//!
+//! * **sub-threads** — checkpoint/rewind only (the paper's mechanism),
+//!   swept over checkpoint spacing;
+//! * **sync-predictor** — all-or-nothing TLS plus an aggressive
+//!   Moshovos-style synchronizing dependence predictor;
+//! * **value-predictor** — all-or-nothing TLS plus the Prophet-style
+//!   value predictor (a mispredict rewinds the whole thread);
+//! * **value + sub-threads** — both mechanisms, swept over spacing (a
+//!   mispredict rewinds only to the containing sub-thread).
+//!
+//! Each workload is normalized to its own SEQUENTIAL reference. Rows
+//! report the suppression economy: predicted hits (RAW violations that
+//! became silent hits) and value mispredicts (suppressions that failed
+//! commit-time validation and rewound).
+
+use crate::plan::{to_artifact_json, Job, Plan, PlanCtx, PlanOutput};
+use crate::plans::scan_collision::collision_spec;
+use crate::store::{StoredPrograms, TraceKey};
+use crate::workload::compile;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tls_core::experiment::{BenchmarkPrograms, ExperimentKind};
+use tls_core::{
+    CmpConfig, PredictorConfig, SimReport, SpacingPolicy, SubThreadConfig, VPredictConfig,
+};
+use tls_minidb::Transaction;
+
+/// The TPC-C side of the grid.
+const TXN: Transaction = Transaction::NewOrder;
+
+/// Checkpoint spacings swept for the mechanisms that take checkpoints.
+const SPACINGS: [u64; 3] = [500, 2000, 8000];
+
+/// A tolerance mechanism: which of the three hardware knobs are on.
+struct Mechanism {
+    name: &'static str,
+    subthreads: bool,
+    predictor: PredictorConfig,
+    vpredict: VPredictConfig,
+}
+
+fn mechanisms() -> [Mechanism; 4] {
+    [
+        Mechanism {
+            name: "sub-threads",
+            subthreads: true,
+            predictor: PredictorConfig::disabled(),
+            vpredict: VPredictConfig::disabled(),
+        },
+        Mechanism {
+            name: "sync-predictor",
+            subthreads: false,
+            predictor: PredictorConfig::aggressive(),
+            vpredict: VPredictConfig::disabled(),
+        },
+        Mechanism {
+            name: "value-predictor",
+            subthreads: false,
+            predictor: PredictorConfig::disabled(),
+            vpredict: VPredictConfig::prophet(),
+        },
+        Mechanism {
+            name: "value+sub-threads",
+            subthreads: true,
+            predictor: PredictorConfig::disabled(),
+            vpredict: VPredictConfig::prophet(),
+        },
+    ]
+}
+
+/// One grid point's machine configuration. Spacing only reaches the
+/// config when the mechanism checkpoints; spacing-less mechanisms run
+/// all-or-nothing TLS (one context) so their single row is honest.
+fn configure(base: &CmpConfig, m: &Mechanism, spacing: Option<u64>) -> CmpConfig {
+    let mut cfg = *base;
+    cfg.subthreads = match spacing {
+        Some(s) if m.subthreads => {
+            SubThreadConfig { spacing: SpacingPolicy::Every(s), ..SubThreadConfig::baseline() }
+        }
+        _ => SubThreadConfig::disabled(),
+    };
+    cfg.predictor = m.predictor;
+    cfg.vpredict = m.vpredict;
+    cfg
+}
+
+#[derive(Serialize)]
+struct Point {
+    workload: &'static str,
+    mechanism: &'static str,
+    /// Checkpoint spacing; 0 for mechanisms that never checkpoint.
+    spacing: u64,
+    cycles: u64,
+    speedup_vs_sequential: f64,
+    violations_primary: u64,
+    predicted_hits: u64,
+    value_mispredicts: u64,
+    predictor_synchronizations: u64,
+    subthreads_started: u64,
+}
+
+/// The prediction_frontier plan.
+pub fn plan() -> Plan {
+    Plan {
+        name: "prediction_frontier",
+        title: "Extension — sub-threads vs dependence vs value prediction",
+        traces,
+        run,
+    }
+}
+
+fn traces(ctx: &PlanCtx) -> Vec<TraceKey> {
+    vec![ctx.trace_key(TXN)]
+}
+
+/// The per-mechanism job count: one per spacing when checkpointing,
+/// one flat run otherwise.
+fn variants(m: &Mechanism) -> Vec<Option<u64>> {
+    if m.subthreads {
+        SPACINGS.iter().map(|&s| Some(s)).collect()
+    } else {
+        vec![None]
+    }
+}
+
+fn run(ctx: &PlanCtx) -> PlanOutput {
+    // The scan-collision workload at the moderate (TPC-C-ish) skew.
+    let compiled: Vec<Arc<StoredPrograms>> = ctx.pool.run(vec![Box::new(move || {
+        let spec = collision_spec("zipf_080", 0.8, ctx.scale);
+        let c = compile(&spec);
+        Arc::new(StoredPrograms::new(BenchmarkPrograms { plain: c.plain, tls: c.tls }))
+    }) as Job<Arc<StoredPrograms>>]);
+    let scan_progs = compiled.into_iter().next().expect("one compile job");
+
+    // Per workload: 1 SEQUENTIAL reference, then every mechanism point.
+    let workloads: [(&'static str, Arc<StoredPrograms>); 2] =
+        [("neworder", ctx.programs(TXN)), ("scan_collision", scan_progs)];
+    let mut jobs: Vec<Job<Arc<SimReport>>> = Vec::new();
+    for (_, progs) in &workloads {
+        {
+            let progs = progs.clone();
+            jobs.push(Box::new(move || ctx.experiment(ExperimentKind::Sequential, &progs)));
+        }
+        for m in mechanisms() {
+            for spacing in variants(&m) {
+                let progs = progs.clone();
+                let cfg = configure(&ctx.machine, &m, spacing);
+                jobs.push(Box::new(move || ctx.sim(&progs.tls, &cfg)));
+            }
+        }
+    }
+    let reports = ctx.pool.run(jobs);
+
+    let mut text = String::new();
+    writeln!(
+        text,
+        "{:<15} {:<18} {:>8} {:>12} {:>9} {:>6} {:>9} {:>10} {:>6} {:>6}",
+        "workload",
+        "mechanism",
+        "spacing",
+        "cycles",
+        "speedup",
+        "raw",
+        "pred_hit",
+        "mispredict",
+        "sync",
+        "subs"
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    let mut sim_cycles = 0u64;
+    let mut cursor = 0usize;
+    for (workload, _) in &workloads {
+        let seq = reports[cursor].total_cycles;
+        sim_cycles += seq;
+        cursor += 1;
+        for m in mechanisms() {
+            for spacing in variants(&m) {
+                let r = &reports[cursor];
+                cursor += 1;
+                sim_cycles += r.total_cycles;
+                let point = Point {
+                    workload,
+                    mechanism: m.name,
+                    spacing: spacing.unwrap_or(0),
+                    cycles: r.total_cycles,
+                    speedup_vs_sequential: seq as f64 / r.total_cycles as f64,
+                    violations_primary: r.violations.primary,
+                    predicted_hits: r.predicted_hits,
+                    value_mispredicts: r.value_mispredicts,
+                    predictor_synchronizations: r.predictor_synchronizations,
+                    subthreads_started: r.subthreads_started,
+                };
+                writeln!(
+                    text,
+                    "{:<15} {:<18} {:>8} {:>12} {:>8.2}x {:>6} {:>9} {:>10} {:>6} {:>6}",
+                    point.workload,
+                    point.mechanism,
+                    point.spacing,
+                    point.cycles,
+                    point.speedup_vs_sequential,
+                    point.violations_primary,
+                    point.predicted_hits,
+                    point.value_mispredicts,
+                    point.predictor_synchronizations,
+                    point.subthreads_started
+                )
+                .unwrap();
+                rows.push(point);
+            }
+        }
+    }
+    PlanOutput { json: to_artifact_json(&rows), text, sim_cycles }
+}

@@ -65,8 +65,9 @@ pub fn plan() -> Plan {
 }
 
 /// The swept spec: scans only, with the colliders doing all the writing
-/// (point transactions would dilute the parallel coverage).
-fn collision_spec(name: &str, theta: f64, scale: Scale) -> WorkloadSpec {
+/// (point transactions would dilute the parallel coverage). Shared with
+/// the `prediction_frontier` plan so both measure the same workload.
+pub(crate) fn collision_spec(name: &str, theta: f64, scale: Scale) -> WorkloadSpec {
     let mut spec = WorkloadSpec::example();
     spec.name = name.to_string();
     spec.zipf_theta = theta;

@@ -162,14 +162,25 @@ impl SuiteOptions {
     }
 
     /// The plans selected by `--filter` (all of them without a filter).
-    pub fn selected_plans(&self) -> Vec<Plan> {
+    /// Needles substring-match plan names; a needle that matches no
+    /// plan is a typed error (a misspelled plan name used to silently
+    /// select nothing) naming the offender.
+    pub fn selected_plans(&self) -> Result<Vec<Plan>, String> {
         let plans = all_plans();
         match &self.filter {
-            None => plans,
+            None => Ok(plans),
             Some(f) => {
                 let needles: Vec<&str> =
                     f.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
-                plans.into_iter().filter(|p| needles.iter().any(|n| p.name.contains(n))).collect()
+                if let Some(bad) =
+                    needles.iter().find(|n| !plans.iter().any(|p| p.name.contains(*n)))
+                {
+                    return Err(format!("--filter '{bad}' matches no plan"));
+                }
+                Ok(plans
+                    .into_iter()
+                    .filter(|p| needles.iter().any(|n| p.name.contains(n)))
+                    .collect())
             }
         }
     }
@@ -505,7 +516,17 @@ pub fn run_workload_verb(args: &[String]) -> i32 {
 
 /// Runs the suite; returns the process exit code.
 pub fn run_suite(opts: &SuiteOptions) -> i32 {
-    let plans = opts.selected_plans();
+    let plans = match opts.selected_plans() {
+        Ok(plans) => plans,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("valid plans:");
+            for p in all_plans() {
+                eprintln!("  {:<20} {}", p.name, p.title);
+            }
+            return 2;
+        }
+    };
     if opts.list || plans.is_empty() {
         if plans.is_empty() {
             eprintln!("no plan matches --filter {:?}", opts.filter.as_deref().unwrap_or(""));
@@ -954,8 +975,26 @@ mod tests {
         assert_eq!(o.out_dir, PathBuf::from("r"));
         assert_eq!(o.baseline, Some(PathBuf::from("old")));
         assert!(o.quiet);
-        let names: Vec<_> = o.selected_plans().iter().map(|p| p.name).collect();
+        let names: Vec<_> =
+            o.selected_plans().expect("filter matches").iter().map(|p| p.name).collect();
         assert_eq!(names, vec!["figure2", "figure5", "figure6"]);
+    }
+
+    #[test]
+    fn unknown_filter_needle_is_a_typed_error() {
+        let mut o = SuiteOptions::parse(&args(&["--filter", "figure9"])).unwrap();
+        let err = o.selected_plans().err().expect("no plan is figure9");
+        assert!(err.contains("figure9"), "{err}");
+        // A mix of one good and one bad needle still errors: the bad
+        // needle names a plan the user wanted and did not get.
+        o.filter = Some("figure2,predection".to_string());
+        let err = o.selected_plans().err().expect("typo'd needle");
+        assert!(err.contains("predection"), "{err}");
+        // Matching needles keep their substring semantics.
+        o.filter = Some("prediction_frontier".to_string());
+        let names: Vec<_> =
+            o.selected_plans().expect("exact name").iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["prediction_frontier"]);
     }
 
     #[test]

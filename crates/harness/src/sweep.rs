@@ -39,7 +39,9 @@ use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
-use tls_core::{CmpConfig, CmpSimulator, RunOptions, SimReport, SpacingPolicy, MAX_SUBTHREADS};
+use tls_core::{
+    CmpConfig, CmpSimulator, RunOptions, SimReport, SpacingPolicy, VPredictConfig, MAX_SUBTHREADS,
+};
 use tls_minidb::Transaction;
 
 /// A declarative sweep grid: what `suite sweep <grid.json>` consumes.
@@ -64,6 +66,11 @@ pub struct SweepSpec {
     pub contexts: Vec<u8>,
     /// Minimum L1-miss-to-memory latencies in cycles.
     pub mem_latencies: Vec<u64>,
+    /// Value-predictor table sizes (powers of two; 0 = predictor off).
+    /// Empty leaves the axis out entirely: point keys, config grid and
+    /// row bytes are identical to a grid written before the axis
+    /// existed.
+    pub vpredict_entries: Vec<usize>,
 }
 
 /// A typed sweep-spec failure: which field, what is wrong.
@@ -97,6 +104,7 @@ impl SweepSpec {
             ("spacings", "array of sub-thread spacings in instructions, >= 1"),
             ("contexts", "array of sub-thread context counts, 1..=8"),
             ("mem_latencies", "array of memory latencies in cycles, >= 1"),
+            ("vpredict_entries", "array of value-predictor table sizes (2^k; 0 = off); optional"),
         ]
     }
 
@@ -133,6 +141,7 @@ impl SweepSpec {
             spacings: Vec::new(),
             contexts: Vec::new(),
             mem_latencies: Vec::new(),
+            vpredict_entries: Vec::new(),
         };
         let mut saw_benchmark = false;
         for (key, v) in pairs {
@@ -181,6 +190,10 @@ impl SweepSpec {
                         .collect::<Result<_, _>>()?
                 }
                 "mem_latencies" => spec.mem_latencies = u64s("mem_latencies", v)?,
+                "vpredict_entries" => {
+                    spec.vpredict_entries =
+                        u64s("vpredict_entries", v)?.into_iter().map(|n| n as usize).collect()
+                }
                 other => {
                     return Err(SweepError {
                         field: Some(other.to_string()),
@@ -222,12 +235,32 @@ impl SweepSpec {
         if self.mem_latencies.is_empty() || self.mem_latencies.contains(&0) {
             return err("mem_latencies", "need at least one latency, all >= 1".to_string());
         }
+        if let Some(bad) = self.vpredict_entries.iter().find(|&&n| n != 0 && !n.is_power_of_two()) {
+            return err(
+                "vpredict_entries",
+                format!("table sizes must be powers of two (or 0 = off), got {bad}"),
+            );
+        }
         Ok(())
+    }
+
+    /// The value-predictor axis as grid values: `[None]` when the axis
+    /// is absent (so the product and keys match the pre-axis layout).
+    fn vpredict_axis(&self) -> Vec<Option<usize>> {
+        if self.vpredict_entries.is_empty() {
+            vec![None]
+        } else {
+            self.vpredict_entries.iter().map(|&n| Some(n)).collect()
+        }
     }
 
     /// Points in the grid (before filtering).
     pub fn total_points(&self) -> usize {
-        self.seeds.len() * self.spacings.len() * self.contexts.len() * self.mem_latencies.len()
+        self.seeds.len()
+            * self.spacings.len()
+            * self.contexts.len()
+            * self.mem_latencies.len()
+            * self.vpredict_axis().len()
     }
 }
 
@@ -242,16 +275,24 @@ pub struct SweepPoint {
     pub contexts: u8,
     /// Minimum memory latency in cycles.
     pub mem_latency: u64,
+    /// Value-predictor table size (`None` when the grid has no
+    /// `vpredict_entries` axis; `Some(0)` = axis present, predictor off).
+    pub vpredict_entries: Option<usize>,
 }
 
 impl SweepPoint {
     /// The point's stable key — what `--filter` substring-matches and
-    /// what each JSONL row carries.
+    /// what each JSONL row carries. Grids without a `vpredict_entries`
+    /// axis keep the pre-axis key shape, byte for byte.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "seed={}/spacing={}/ctx={}/mem={}",
             self.seed, self.spacing, self.contexts, self.mem_latency
-        )
+        );
+        if let Some(vp) = self.vpredict_entries {
+            key.push_str(&format!("/vp={vp}"));
+        }
+        key
     }
 }
 
@@ -275,17 +316,23 @@ impl SweepPlan {
     /// points out seed-major.
     pub fn new(spec: SweepSpec, scale: Scale) -> SweepPlan {
         let base = paper_machine();
+        let vp_axis = spec.vpredict_axis();
         let mut configs = Vec::new();
         for &spacing in &spec.spacings {
             for &contexts in &spec.contexts {
                 for &mem_latency in &spec.mem_latencies {
-                    let mut cfg = base;
-                    cfg.subthreads.spacing = SpacingPolicy::Every(spacing);
-                    cfg.subthreads.contexts = contexts;
-                    cfg.mem.mem_min_latency = mem_latency;
-                    let mut json = String::new();
-                    cfg.serialize(&mut json);
-                    configs.push((cfg, json));
+                    for &vp in &vp_axis {
+                        let mut cfg = base;
+                        cfg.subthreads.spacing = SpacingPolicy::Every(spacing);
+                        cfg.subthreads.contexts = contexts;
+                        cfg.mem.mem_min_latency = mem_latency;
+                        if let Some(entries) = vp.filter(|&n| n > 0) {
+                            cfg.vpredict = VPredictConfig { entries, ..VPredictConfig::prophet() };
+                        }
+                        let mut json = String::new();
+                        cfg.serialize(&mut json);
+                        configs.push((cfg, json));
+                    }
                 }
             }
         }
@@ -295,8 +342,19 @@ impl SweepPlan {
             for &spacing in &spec.spacings {
                 for &contexts in &spec.contexts {
                     for &mem_latency in &spec.mem_latencies {
-                        points.push((ci, SweepPoint { seed, spacing, contexts, mem_latency }));
-                        ci += 1;
+                        for &vp in &vp_axis {
+                            points.push((
+                                ci,
+                                SweepPoint {
+                                    seed,
+                                    spacing,
+                                    contexts,
+                                    mem_latency,
+                                    vpredict_entries: vp,
+                                },
+                            ));
+                            ci += 1;
+                        }
                     }
                 }
             }
@@ -970,6 +1028,40 @@ mod tests {
         assert_eq!(validate_rows(&text, &pts).rows, 0);
         // Garbage is rejected outright.
         assert_eq!(validate_rows("nonsense\n", &pts).rows, 0);
+    }
+
+    #[test]
+    fn vpredict_axis_is_opt_in() {
+        // Absent axis: keys and point count match the pre-axis layout.
+        let plan = SweepPlan::new(SweepSpec::parse(grid_src()).unwrap(), Scale::Test);
+        assert!(plan.selected(None).iter().all(|(_, p)| !p.key().contains("/vp=")));
+
+        // Present axis: the product grows and keys carry the suffix.
+        let src = grid_src().replace(
+            "\"mem_latencies\": [75]",
+            "\"mem_latencies\": [75],\n\"vpredict_entries\": [0, 1024]",
+        );
+        let spec = SweepSpec::parse(&src).expect("parse with axis");
+        assert_eq!(spec.total_points(), 16);
+        let plan = SweepPlan::new(spec, Scale::Test);
+        let pts = plan.selected(None);
+        assert!(pts.iter().all(|(_, p)| p.key().contains("/vp=")));
+        let filtered = plan.selected(Some("/vp=1024"));
+        assert_eq!(filtered.len(), 8);
+        // vp=0 leaves the predictor off; vp=1024 turns it on.
+        let off = pts.iter().find(|(_, p)| p.vpredict_entries == Some(0)).unwrap();
+        let on = pts.iter().find(|(_, p)| p.vpredict_entries == Some(1024)).unwrap();
+        assert!(!plan.config(off.0).0.vpredict.enabled);
+        let on_cfg = plan.config(on.0).0;
+        assert!(on_cfg.vpredict.enabled);
+        assert_eq!(on_cfg.vpredict.entries, 1024);
+
+        // Non-power-of-two sizes are rejected.
+        let bad = grid_src().replace(
+            "\"mem_latencies\": [75]",
+            "\"mem_latencies\": [75],\n\"vpredict_entries\": [48]",
+        );
+        assert!(SweepSpec::parse(&bad).is_err());
     }
 
     #[test]

@@ -71,10 +71,20 @@ pub enum EventKind {
     /// replayed log state onto a page. `a` = region base address,
     /// `b` = the LSN recovered to.
     RecoveryReplay = 16,
+    /// A RAW violation was suppressed because every exposed load on the
+    /// conflicting line carried a value prediction (settled at commit).
+    /// `sub` = the sub-thread the violation would have rewound to, `a` =
+    /// conflicting line address, `b` = packed load/store PCs as in
+    /// [`EventKind::ViolationRaw`].
+    ValuePredicted = 17,
+    /// A value prediction validated wrong at commit time; the epoch
+    /// rewinds instead of committing. `sub` = rewind target, `a` = the
+    /// mispredicted line address, `b` = packed PCs (store [`NO_PC`]).
+    ValueMispredict = 18,
 }
 
 /// Every event kind, in discriminant order (stable for count tables).
-pub const ALL_EVENT_KINDS: [EventKind; 17] = [
+pub const ALL_EVENT_KINDS: [EventKind; 19] = [
     EventKind::EpochStart,
     EventKind::SubThreadStart,
     EventKind::SubThreadMerge,
@@ -92,6 +102,8 @@ pub const ALL_EVENT_KINDS: [EventKind; 17] = [
     EventKind::FrameEvict,
     EventKind::FrameFlush,
     EventKind::RecoveryReplay,
+    EventKind::ValuePredicted,
+    EventKind::ValueMispredict,
 ];
 
 impl EventKind {
@@ -115,10 +127,14 @@ impl EventKind {
             EventKind::FrameEvict => "frame_evict",
             EventKind::FrameFlush => "frame_flush",
             EventKind::RecoveryReplay => "recovery_replay",
+            EventKind::ValuePredicted => "value_predicted",
+            EventKind::ValueMispredict => "value_mispredict",
         }
     }
 
-    /// Is this one of the four violation kinds?
+    /// Is this a violation that actually rewound a thread? (A
+    /// [`EventKind::ValueMispredict`] rewinds; a suppressed-and-settled
+    /// [`EventKind::ValuePredicted`] does not.)
     pub fn is_violation(self) -> bool {
         matches!(
             self,
@@ -126,6 +142,7 @@ impl EventKind {
                 | EventKind::ViolationSecondary
                 | EventKind::ViolationOverflow
                 | EventKind::ViolationInjected
+                | EventKind::ValueMispredict
         )
     }
 }

@@ -379,6 +379,37 @@ pub fn export(meta: &TraceMeta, events: impl IntoIterator<Item = Event>) -> Stri
                     Some(&format!("{{\"rewind_to_sub\":{}}}", ev.sub)),
                 );
             }
+            EventKind::ValuePredicted => {
+                let (load, store) = Event::unpack_pcs(ev.b);
+                instant(
+                    &mut w,
+                    exec_tid(cpu),
+                    "RAW suppressed (value predicted)",
+                    ev.cycle,
+                    Some(&format!(
+                        "{{\"line\":\"{:#x}\",\"load_pc\":{},\"store_pc\":{},\"would_rewind_to_sub\":{}}}",
+                        ev.a,
+                        pc_json(load),
+                        pc_json(store),
+                        ev.sub
+                    )),
+                );
+            }
+            EventKind::ValueMispredict => {
+                let (load, _) = Event::unpack_pcs(ev.b);
+                instant(
+                    &mut w,
+                    exec_tid(cpu),
+                    "value mispredict",
+                    ev.cycle,
+                    Some(&format!(
+                        "{{\"line\":\"{:#x}\",\"load_pc\":{},\"rewind_to_sub\":{}}}",
+                        ev.a,
+                        pc_json(load),
+                        ev.sub
+                    )),
+                );
+            }
             EventKind::TokenHandoff => {
                 instant(
                     &mut w,

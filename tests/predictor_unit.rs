@@ -1,0 +1,149 @@
+//! Dedicated tests for the synchronizing dependence predictor (§1.2's
+//! prior-art alternative to sub-threads): aliasing behavior through the
+//! public API, confidence saturation vs displacement, and — the paper's
+//! actual finding — the over-serialization trade-off when a hot load PC
+//! has mostly-independent dynamic instances.
+
+use subthreads::core::{
+    CmpConfig, CmpSimulator, DependencePredictor, PredictorConfig, SubThreadConfig,
+};
+use subthreads::trace::{Addr, OpSink, Pc, ProgramBuilder, TraceProgram};
+
+fn predictor(entries: usize, threshold: u8) -> DependencePredictor {
+    DependencePredictor::new(&PredictorConfig { enabled: true, entries, threshold })
+}
+
+/// Finds a PC that aliases `a` in a table of `entries` slots, probing
+/// purely through the public API: train a fresh predictor on `a` until
+/// it predicts, train the candidate once, and see whether `a` was
+/// displaced.
+fn find_alias(a: Pc, entries: usize) -> Pc {
+    for m in 0..128u16 {
+        for s in 0..64u16 {
+            let cand = Pc::new(m, s);
+            if cand == a {
+                continue;
+            }
+            let mut p = predictor(entries, 1);
+            p.train(a);
+            assert!(p.predicts_violation(a));
+            p.train(cand);
+            if !p.predicts_violation(a) {
+                return cand;
+            }
+        }
+    }
+    panic!("no alias of {a:?} in a {entries}-entry table within the search bound");
+}
+
+#[test]
+fn aliased_pcs_steal_each_others_entry() {
+    let a = Pc::new(3, 5);
+    let b = find_alias(a, 16);
+    let mut p = predictor(16, 2);
+    p.train(a);
+    p.train(a);
+    assert!(p.predicts_violation(a));
+    assert!(!p.predicts_violation(b), "the alias must not inherit confidence");
+    // One training of the alias takes the whole entry over.
+    p.train(b);
+    assert!(!p.predicts_violation(a), "displaced by the alias");
+    assert!(!p.predicts_violation(b), "takeover starts at confidence 1 < threshold 2");
+    p.train(b);
+    assert!(p.predicts_violation(b));
+}
+
+#[test]
+fn saturated_confidence_still_loses_to_one_displacement() {
+    // Confidence saturates at 3: a PC trained a thousand times holds no
+    // more ground against a direct-mapped alias than one trained three
+    // times. That bounded memory is what keeps the table small — and
+    // what makes hot aliased sites thrash.
+    let a = Pc::new(7, 1);
+    let b = find_alias(a, 16);
+    let mut p = predictor(16, 3);
+    for _ in 0..1000 {
+        p.train(a);
+    }
+    assert!(p.predicts_violation(a));
+    p.train(b);
+    assert!(!p.predicts_violation(a), "one alias training evicts a saturated entry");
+    assert_eq!(p.trainings(), 1001);
+}
+
+/// The paper's §1.2 objection, reproduced: one load PC with many dynamic
+/// instances, of which exactly one (epoch 1 reading epoch 0's store)
+/// carries a real dependence. Every other epoch uses the same PC on
+/// private lines. A PC-indexed predictor cannot tell the instances
+/// apart, so once the single real violation trains the PC, later epochs
+/// with no dependence at all stall their first instance too.
+fn hot_pc_mostly_independent(epochs: u16, independent_loads: usize) -> TraceProgram {
+    let hot = Pc::new(40, 1);
+    let mut b = ProgramBuilder::new("hot-pc");
+    b.begin_parallel();
+    for e in 0..epochs {
+        b.begin_epoch();
+        if e == 0 {
+            b.int_ops(Pc::new(e, 0), 2000);
+            b.store(Pc::new(40, 2), Addr(0xE000), 8);
+        }
+        // Independent instances of the same PC, each on a private line.
+        for i in 0..independent_loads {
+            b.int_ops(Pc::new(e, 3), 50);
+            b.load(hot, Addr(0x10_0000 + e as u64 * 0x10_000 + i as u64 * 64), 8);
+        }
+        if e == 1 {
+            // The one real dependence: reads epoch 0's store too early.
+            // Last in the epoch so the finite exposed-load table still
+            // holds this line when the store arrives — but the epoch
+            // must stay short enough that the load still beats the
+            // store, or there is no violation to train on at all.
+            b.load(hot, Addr(0xE000), 8);
+        }
+        b.int_ops(Pc::new(e, 4), 500);
+        b.end_epoch();
+    }
+    b.end_parallel();
+    b.finish()
+}
+
+#[test]
+fn predictor_over_serializes_independent_instances_of_a_hot_pc() {
+    let p = hot_pc_mostly_independent(8, 12);
+
+    let mut subthreads_only = CmpConfig::test_small();
+    subthreads_only.predictor = PredictorConfig::disabled();
+
+    let mut predictor_only = CmpConfig::test_small();
+    predictor_only.subthreads = SubThreadConfig::disabled();
+    predictor_only.predictor = PredictorConfig::aggressive();
+
+    let r_subs = CmpSimulator::new(subthreads_only).run(&p);
+    let r_pred = CmpSimulator::new(predictor_only).run(&p);
+
+    // Both are correct and complete.
+    assert_eq!(r_subs.committed_epochs, 8);
+    assert_eq!(r_pred.committed_epochs, 8);
+
+    // The predictor stalls more epochs than have real dependences:
+    // after the one real violation trains the hot PC, dependence-free
+    // later epochs synchronize their first instance of it anyway.
+    let real_dependences = 1; // epoch 1 reading epoch 0's store
+    assert!(
+        r_pred.predictor_synchronizations > real_dependences,
+        "expected over-serialization, got {} synchronizations for {} real dependence",
+        r_pred.predictor_synchronizations,
+        real_dependences
+    );
+    assert!(r_pred.breakdown.sync > 0, "synchronization must cost stall cycles");
+
+    // And that over-serialization is the trade-off the paper reports:
+    // sub-threads tolerate the single real dependence without stalling
+    // the independent instances, finishing no later.
+    assert!(
+        r_subs.total_cycles <= r_pred.total_cycles,
+        "sub-threads ({} cycles) should beat the over-serializing predictor ({} cycles)",
+        r_subs.total_cycles,
+        r_pred.total_cycles
+    );
+}

@@ -1,0 +1,137 @@
+//! Correctness anchors for the value-prediction subsystem.
+//!
+//! Three properties, each over randomized programs with real cross-epoch
+//! dependences:
+//!
+//! 1. **Oracle identity** — with prediction on, every committed memory
+//!    image still matches the sequential differential oracle (suppressed
+//!    RAWs must be validated, never waved through), and every epoch
+//!    commits.
+//! 2. **Disabled is invisible** — `VPredictConfig::disabled()` produces
+//!    a byte-identical `SimReport` JSON regardless of table geometry,
+//!    with both prediction counters zero.
+//! 3. **Chaos survival** — with prediction enabled, seeded fault plans
+//!    across all six fault classes still commit everything with a silent
+//!    auditor and a balanced cycle ledger.
+
+use proptest::prelude::*;
+use subthreads::core::{
+    CmpConfig, CmpSimulator, FaultPlan, RunOptions, VPredictConfig, ALL_FAULT_CLASSES,
+};
+use subthreads::trace::{Addr, OpSink, Pc, ProgramBuilder, TraceProgram};
+
+#[derive(Debug, Clone)]
+enum GenOp {
+    Alu(u8),
+    Load(u8),
+    Store(u8),
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        4 => (1u8..=4).prop_map(GenOp::Alu),
+        2 => (0u8..16).prop_map(GenOp::Load),
+        1 => (0u8..16).prop_map(GenOp::Store),
+    ]
+}
+
+/// Random programs over a 16-slot shared pool — dependences (and thus
+/// suppression opportunities across all four value-model classes) are
+/// common. Loads reuse a per-slot PC so the predictor's table actually
+/// trains across epochs, the way a hot program-counter site would.
+fn gen_program() -> impl Strategy<Value = TraceProgram> {
+    proptest::collection::vec(proptest::collection::vec(gen_op(), 10..120), 2..5).prop_map(
+        |epochs| {
+            let mut b = ProgramBuilder::new("vpredict-random");
+            b.begin_parallel();
+            for (e, ops) in epochs.iter().enumerate() {
+                b.begin_epoch();
+                for (i, op) in ops.iter().enumerate() {
+                    match op {
+                        GenOp::Alu(n) => b.int_ops(Pc::new(e as u16, i as u16), *n as usize),
+                        GenOp::Load(slot) => {
+                            b.load(Pc::new(99, *slot as u16), Addr(0x7000 + 8 * *slot as u64), 8)
+                        }
+                        GenOp::Store(slot) => {
+                            b.store(Pc::new(98, *slot as u16), Addr(0x7000 + 8 * *slot as u64), 8)
+                        }
+                    }
+                }
+                b.end_epoch();
+            }
+            b.end_parallel();
+            b.finish()
+        },
+    )
+}
+
+fn machine(vpredict: VPredictConfig) -> CmpConfig {
+    let mut cfg = CmpConfig::test_small();
+    cfg.vpredict = vpredict;
+    cfg.max_cycles = 5_000_000;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn prediction_on_commits_oracle_identical_results(program in gen_program()) {
+        // RunOptions::default() keeps the sequential differential oracle
+        // armed and panics on audit failure: a suppression that escaped
+        // commit-time validation fails this property loudly.
+        let epochs = program.stats().epochs as u64;
+        for threshold in [1u8, 2] {
+            let cfg = machine(VPredictConfig {
+                enabled: true,
+                entries: 256,
+                threshold,
+            });
+            let r = CmpSimulator::new(cfg).run_with(&program, RunOptions::default());
+            prop_assert!(r.audit_failures.is_empty(), "{:?}", r.audit_failures);
+            prop_assert_eq!(r.committed_epochs, epochs);
+            prop_assert_eq!(r.breakdown.total(), r.total_cycles * r.cpus as u64);
+        }
+    }
+
+    #[test]
+    fn disabled_predictor_is_byte_invisible(program in gen_program()) {
+        let base = CmpSimulator::new(machine(VPredictConfig::disabled()))
+            .run_with(&program, RunOptions::default());
+        prop_assert_eq!(base.predicted_hits, 0);
+        prop_assert_eq!(base.value_mispredicts, 0);
+        let base_json = serde_json::to_string(&base).expect("report serializes");
+        // Table geometry must not leak when disabled.
+        for exotic in [
+            VPredictConfig { enabled: false, entries: 16, threshold: 1 },
+            VPredictConfig { enabled: false, entries: 8192, threshold: 3 },
+        ] {
+            let r = CmpSimulator::new(machine(exotic))
+                .run_with(&program, RunOptions::default());
+            let json = serde_json::to_string(&r).expect("report serializes");
+            prop_assert_eq!(&json, &base_json, "disabled geometry changed the report");
+        }
+    }
+
+    #[test]
+    fn prediction_survives_seeded_fault_plans(program in gen_program()) {
+        let epochs = program.stats().epochs as u64;
+        let cfg = machine(VPredictConfig::prophet());
+        let sim = CmpSimulator::new(cfg);
+        let baseline = sim.run_with(
+            &program,
+            RunOptions { panic_on_audit_failure: false, ..RunOptions::default() },
+        );
+        prop_assert!(baseline.audit_failures.is_empty(), "{:?}", baseline.audit_failures);
+        for seed in 0..16u64 {
+            let plan = FaultPlan::generate(seed, &ALL_FAULT_CLASSES, baseline.total_cycles, 4);
+            let n = plan.len() as u64;
+            let r = sim.run_with(&program, RunOptions::chaos(plan));
+            prop_assert!(r.audit_failures.is_empty(),
+                "seed {seed}: auditor tripped with prediction on: {:?}", r.audit_failures);
+            prop_assert_eq!(r.committed_epochs, epochs, "seed {} lost epochs", seed);
+            prop_assert_eq!(r.breakdown.total(), r.total_cycles * r.cpus as u64);
+            prop_assert_eq!(r.faults.applied() + r.faults.skipped, n);
+        }
+    }
+}
