@@ -1,19 +1,36 @@
 //! Chaos sweep: deterministic fault injection × seeds → survival matrix.
 //!
-//! Records scaled-down TPC-C transactions, then replays each program under
-//! every fault class (plus a mixed-class row) across N seeded fault plans.
-//! A run *survives* when it neither panics nor trips the invariant
-//! auditor, the sequential differential oracle matches, and every epoch
-//! commits. Latch-hazard protocol errors are expected degradation, not
-//! failures — they are reported per cell but do not fail the run.
+//! Records scaled-down TPC-C transactions, then replays each program
+//! under every fault class (plus a mixed row) across N seeded fault
+//! plans. Each row carries an **expectation**:
+//!
+//! * `survive` — the run neither panics nor trips the invariant
+//!   auditor, the sequential differential oracle matches, every epoch
+//!   commits, and the serializability auditor stays silent. Latch-hazard
+//!   protocol errors are expected degradation, not failures.
+//! * `detect` — the fault corrupts state the protocol *cannot* mask
+//!   (today: a silently dropped store-buffer entry), so the cell passes
+//!   only when at least one fault applied **and** the commit-time
+//!   serializability auditor reported it as a structured store-flow
+//!   protocol error — never a panic — while every epoch still committed.
+//!   Plans whose events all miss the workload's store-active region are
+//!   rejection-resampled (bounded, deterministic): an ineffective drop
+//!   tests nothing, and a cell that stays ineffective still fails.
+//!
+//! The six protocol fault classes run on the SC baseline machine; the
+//! three store-buffer classes (and the mixed row) run under
+//! `MemoryModel::Tso` so drains exist to sabotage.
 //!
 //! Usage: `cargo run --release -p tls-bench --bin chaos -- [--smoke] [--seeds N] [--json DIR]`
 //!
-//! Exits non-zero unless survival is 100%.
+//! Exits non-zero unless every cell meets its row's expectation.
 
 use serde::Serialize;
 use tls_bench::{json_dir, paper_machine, write_json, Scale};
-use tls_core::{CmpSimulator, FaultClass, FaultPlan, RunOptions, SpacingPolicy, ALL_FAULT_CLASSES};
+use tls_core::{
+    CmpSimulator, FaultClass, FaultPlan, MemoryModel, RunOptions, SpacingPolicy, ALL_FAULT_CLASSES,
+    STORE_BUFFER_FAULT_CLASSES,
+};
 use tls_harness::runner::capture;
 use tls_minidb::{tpcc::consistency, OptLevel, Tpcc, Transaction};
 use tls_trace::TraceProgram;
@@ -23,10 +40,12 @@ use tls_trace::TraceProgram;
 struct Cell {
     seed: u64,
     plan_seed: u64,
+    /// Whether the cell met its row's expectation.
     survived: bool,
     faults_applied: u64,
     faults_skipped: u64,
     protocol_errors: u64,
+    serializability_breaches: u64,
     violations: u64,
     total_cycles: u64,
     detail: String,
@@ -37,6 +56,10 @@ struct Cell {
 struct Row {
     workload: String,
     class: String,
+    /// `sc` or `tso<N>`: the machine the row ran on.
+    memory_model: String,
+    /// `survive` or `detect`.
+    expectation: String,
     seeds: usize,
     survived: usize,
     cells: Vec<Cell>,
@@ -49,6 +72,30 @@ struct Matrix {
     events_per_plan: usize,
     rows: Vec<Row>,
     survival_pct: f64,
+}
+
+/// What a row's cells must demonstrate.
+#[derive(Clone, Copy, PartialEq)]
+enum Expectation {
+    Survive,
+    Detect,
+}
+
+impl Expectation {
+    fn name(self) -> &'static str {
+        match self {
+            Expectation::Survive => "survive",
+            Expectation::Detect => "detect",
+        }
+    }
+}
+
+/// One row of the matrix: which faults, which machine, which outcome.
+struct RowSpec {
+    name: String,
+    set: Vec<FaultClass>,
+    tso: bool,
+    expectation: Expectation,
 }
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -85,10 +132,29 @@ fn record(txn: Transaction, count: usize) -> (String, TraceProgram) {
     (format!("{txn:?}x{count}"), program)
 }
 
+/// A fault-free baseline pinning the horizon plans draw cycles from and
+/// the epoch count every chaos run must still commit.
+fn baseline_of(sim: &CmpSimulator, wname: &str, program: &TraceProgram) -> (u64, u64) {
+    let baseline = sim
+        .run_with(program, RunOptions { panic_on_audit_failure: false, ..RunOptions::default() });
+    if !baseline.audit_failures.is_empty() {
+        eprintln!("baseline run of {wname} fails its own audit:");
+        for f in &baseline.audit_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(2);
+    }
+    if baseline.serializability_breaches > 0 {
+        eprintln!("baseline run of {wname} breaches serializability without faults");
+        std::process::exit(2);
+    }
+    (baseline.total_cycles, baseline.committed_epochs)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = flag(&args, "--smoke");
-    let seeds = seeds_arg(&args, 8).max(1);
+    let seeds = seeds_arg(&args, 16).max(1);
     let events = if smoke { 3 } else { 5 };
     let json = json_dir(&args).or_else(|| Some(std::path::PathBuf::from("results")));
 
@@ -102,61 +168,129 @@ fn main() {
         ]
     };
 
-    // Every fault class alone, plus one mixed row drawing from all of them.
-    let mut classes: Vec<(String, Vec<FaultClass>)> =
-        ALL_FAULT_CLASSES.iter().map(|&c| (c.to_string(), vec![c])).collect();
-    classes.push(("mixed".into(), ALL_FAULT_CLASSES.to_vec()));
+    // Every fault class alone — protocol classes on the SC machine,
+    // store-buffer classes on TSO (dropped entries must be *detected*) —
+    // plus one mixed row drawing every survivable class on TSO.
+    let is_store_buffer = |c: FaultClass| STORE_BUFFER_FAULT_CLASSES.contains(&c);
+    let mut rows_spec: Vec<RowSpec> = ALL_FAULT_CLASSES
+        .iter()
+        .map(|&c| RowSpec {
+            name: c.to_string(),
+            set: vec![c],
+            tso: is_store_buffer(c),
+            expectation: if c == FaultClass::DroppedEntry {
+                Expectation::Detect
+            } else {
+                Expectation::Survive
+            },
+        })
+        .collect();
+    let survivable: Vec<FaultClass> =
+        ALL_FAULT_CLASSES.iter().copied().filter(|&c| c != FaultClass::DroppedEntry).collect();
+    rows_spec.push(RowSpec {
+        name: "mixed".into(),
+        set: survivable,
+        tso: true,
+        expectation: Expectation::Survive,
+    });
 
     let mut machine = paper_machine();
     // The paper's every-5000-instructions spacing never spawns a second
     // checkpoint on test-scale epochs; divide evenly instead so forced
     // merges (and start-table traffic) have real targets to hit.
     machine.subthreads.spacing = SpacingPolicy::EvenDivision;
-    let sim = CmpSimulator::new(machine);
+    let sim_sc = CmpSimulator::new(machine);
+    let mut tso_machine = machine;
+    tso_machine.memory_model = MemoryModel::Tso { buffer_entries: 4 };
+    let sim_tso = CmpSimulator::new(tso_machine);
+
     let mut rows = Vec::new();
     let (mut total, mut passed) = (0usize, 0usize);
 
     println!("Chaos survival matrix ({seeds} seeds, {events} faults/plan)");
     println!("{:=<72}", "");
     for (wi, (wname, program)) in workloads.iter().enumerate() {
-        // Fault-free baseline fixes the cycle horizon faults are drawn
-        // from and the epoch count every chaos run must still commit.
-        let baseline = sim.run_with(
-            program,
-            RunOptions { panic_on_audit_failure: false, ..RunOptions::default() },
+        let (sc_horizon, sc_expected) = baseline_of(&sim_sc, wname, program);
+        let (tso_horizon, tso_expected) = baseline_of(&sim_tso, wname, program);
+        println!(
+            "{wname}: {} epochs, {} cycles fault-free (sc), {} cycles (tso4)",
+            sc_expected, sc_horizon, tso_horizon
         );
-        if !baseline.audit_failures.is_empty() {
-            eprintln!("baseline run of {wname} fails its own audit:");
-            for f in &baseline.audit_failures {
-                eprintln!("  {f}");
-            }
-            std::process::exit(2);
-        }
-        let horizon = baseline.total_cycles;
-        let expected = baseline.committed_epochs;
-        println!("{wname}: {} epochs, {} cycles fault-free", expected, horizon);
 
-        for (ci, (cname, set)) in classes.iter().enumerate() {
+        for (ci, spec) in rows_spec.iter().enumerate() {
+            let (sim, horizon, expected) = if spec.tso {
+                (&sim_tso, tso_horizon, tso_expected)
+            } else {
+                (&sim_sc, sc_horizon, sc_expected)
+            };
             let mut cells = Vec::new();
-            let mut line = format!("  {cname:<20}");
+            let mut line = format!("  {:<20} {:<8}", spec.name, spec.expectation.name());
             for seed in 0..seeds as u64 {
-                let plan_seed = 0xC4A0_5EED ^ (seed << 24) ^ ((ci as u64) << 8) ^ wi as u64;
-                let plan = FaultPlan::generate(plan_seed, set, horizon, events);
-                // One panic-capture engine for the whole workspace: the
-                // hardened runner primitive, not a local catch_unwind.
-                let key = format!("{wname}/{cname}/seed{seed}");
-                let r = capture(&key, || sim.run_with(program, RunOptions::chaos(plan.clone())));
+                let base_seed = 0xC4A0_5EED ^ (seed << 24) ^ ((ci as u64) << 8) ^ wi as u64;
+                // Detect rows rejection-sample ineffective plans: a drop
+                // whose events all land after the workload's last
+                // buffered store never fires, and a fault that never
+                // fires tests nothing. Re-derive the plan seed (bounded,
+                // deterministic) until at least one fault applies; a
+                // cell that stays ineffective after every attempt still
+                // fails loudly below.
+                let attempts: u64 = if spec.expectation == Expectation::Detect { 8 } else { 1 };
+                let mut plan_seed = base_seed;
+                let mut r = None;
+                for attempt in 0..attempts {
+                    plan_seed = base_seed ^ (attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let plan = FaultPlan::generate(plan_seed, &spec.set, horizon, events);
+                    // One panic-capture engine for the whole workspace:
+                    // the hardened runner primitive, not a local
+                    // catch_unwind.
+                    let key = format!("{wname}/{}/seed{seed}/try{attempt}", spec.name);
+                    let run =
+                        capture(&key, || sim.run_with(program, RunOptions::chaos(plan.clone())));
+                    let effective = !matches!(&run, Ok(rep) if rep.faults.applied() == 0);
+                    r = Some(run);
+                    if effective {
+                        break;
+                    }
+                }
+                let r = r.expect("at least one attempt runs");
                 let (survived, detail, report) = match r {
                     Err(f) => (false, format!("panicked: {}", f.message), None),
                     Ok(rep) => {
-                        if !rep.audit_failures.is_empty() {
-                            (false, rep.audit_failures.join("; "), Some(rep))
+                        let verdict = if !rep.audit_failures.is_empty() {
+                            Some(rep.audit_failures.join("; "))
                         } else if rep.committed_epochs != expected {
-                            let d =
-                                format!("committed {}/{} epochs", rep.committed_epochs, expected);
-                            (false, d, Some(rep))
+                            Some(format!("committed {}/{} epochs", rep.committed_epochs, expected))
                         } else {
-                            (true, String::new(), Some(rep))
+                            match spec.expectation {
+                                Expectation::Survive if rep.serializability_breaches > 0 => {
+                                    Some(format!(
+                                        "{} serializability breach(es) on a survivable class",
+                                        rep.serializability_breaches
+                                    ))
+                                }
+                                Expectation::Detect if rep.faults.applied() == 0 => Some(format!(
+                                    "no fault applied in {attempts} plan(s): nothing to detect"
+                                )),
+                                Expectation::Detect if rep.serializability_breaches == 0 => {
+                                    Some(format!(
+                                        "{} dropped store(s) silently survived",
+                                        rep.faults.applied()
+                                    ))
+                                }
+                                Expectation::Detect
+                                    if !rep
+                                        .protocol_errors
+                                        .iter()
+                                        .any(|e| e.message.contains("store-flow")) =>
+                                {
+                                    Some("breach without a store-flow protocol error".to_string())
+                                }
+                                _ => None,
+                            }
+                        };
+                        match verdict {
+                            Some(d) => (false, d, Some(rep)),
+                            None => (true, String::new(), Some(rep)),
                         }
                     }
                 };
@@ -171,6 +305,7 @@ fn main() {
                     faults_applied: rep.map_or(0, |r| r.faults.applied()),
                     faults_skipped: rep.map_or(0, |r| r.faults.skipped),
                     protocol_errors: rep.map_or(0, |r| r.protocol_errors.len() as u64),
+                    serializability_breaches: rep.map_or(0, |r| r.serializability_breaches),
                     violations: rep.map_or(0, |r| r.violations.total()),
                     total_cycles: rep.map_or(0, |r| r.total_cycles),
                     detail,
@@ -181,7 +316,9 @@ fn main() {
             println!("{line}");
             rows.push(Row {
                 workload: wname.clone(),
-                class: cname.clone(),
+                class: spec.name.clone(),
+                memory_model: if spec.tso { "tso4".into() } else { "sc".into() },
+                expectation: spec.expectation.name().into(),
                 seeds,
                 survived: ok,
                 cells,
@@ -191,12 +328,12 @@ fn main() {
 
     let survival_pct = 100.0 * passed as f64 / total.max(1) as f64;
     println!("{:=<72}", "");
-    println!("survival: {passed}/{total} ({survival_pct:.1}%)");
+    println!("expectation met: {passed}/{total} ({survival_pct:.1}%)");
     for row in rows.iter().filter(|r| r.survived < r.seeds) {
         for c in row.cells.iter().filter(|c| !c.survived) {
             println!(
-                "FAIL {} / {} seed {} (plan_seed {:#x}): {}",
-                row.workload, row.class, c.seed, c.plan_seed, c.detail
+                "FAIL {} / {} [{}] seed {} (plan_seed {:#x}): {}",
+                row.workload, row.class, row.expectation, c.seed, c.plan_seed, c.detail
             );
         }
     }

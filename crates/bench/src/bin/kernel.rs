@@ -139,6 +139,32 @@ struct VpredictBench {
 }
 
 #[derive(Serialize)]
+struct MembufBench {
+    /// ns per buffered store (FIFO push into a non-full buffer).
+    ns_per_buffered_store: f64,
+    /// ns per same-address load probe against a warm buffer (youngest-
+    /// first scan ending in a forwarding hit).
+    ns_per_forwarded_load: f64,
+    /// ns per full drain of a 32-entry buffer (fill + pop to empty).
+    ns_per_full_drain: f64,
+    /// Simulated cycles of the RMW collider on the SC baseline.
+    sim_cycles_sc: u64,
+    /// Simulated cycles under `MemoryModel::Tso { buffer_entries: 8 }`.
+    sim_cycles_tso: u64,
+    mcycles_per_host_s_sc: f64,
+    mcycles_per_host_s_tso: f64,
+    /// Host wall-time ratio tso/sc for the same program (the price of
+    /// buffer probes + the drain engine inside the simulation loop).
+    host_overhead: f64,
+    /// Stores buffered in the measured TSO run (must be nonzero).
+    buffered_stores: u64,
+    /// Loads forwarded from the buffer in the measured TSO run.
+    forwarded_loads: u64,
+    /// Drain-stall cycles of the measured TSO run.
+    drain_stall_cycles: u64,
+}
+
+#[derive(Serialize)]
 struct KernelBench {
     ops: Vec<OpBench>,
     runs: Vec<RunBench>,
@@ -146,6 +172,7 @@ struct KernelBench {
     workload: WorkloadCompilerBench,
     trace_store: TraceStoreBench,
     vpredict: VpredictBench,
+    membuf: MembufBench,
 }
 
 fn machine() -> CmpConfig {
@@ -565,6 +592,110 @@ fn bench_vpredict() -> VpredictBench {
     }
 }
 
+/// Host cost of the TSO store-buffer paths: the buffer's push, forward
+/// and drain micro-ops, and the whole-machine SC-vs-TSO throughput
+/// delta on the RMW collider. SC mode is asserted byte-invisible — a
+/// config that carried a TSO geometry and was reset to SC must produce
+/// the identical report — and the TSO run is asserted to actually
+/// buffer and forward (a timing of an idle buffer would measure
+/// nothing).
+fn bench_membuf() -> MembufBench {
+    use tls_core::{BufferedStore, ForwardOutcome, MemoryModel, StoreBuffer};
+
+    let entry = |i: u64| BufferedStore {
+        cursor: i as usize,
+        addr: Addr(0x6000 + (i % 64) * 8),
+        size: 8,
+        pc: Pc::new(1, (i % 64) as u16),
+        sub: 0,
+        speculative: true,
+    };
+
+    // Push/pop steady state: the buffer cycles between 31 and 32 live
+    // entries, so every push pays the realistic non-empty-Vec cost.
+    const ROUNDS: u64 = 200_000;
+    let mut buf = StoreBuffer::new(32);
+    for i in 0..31 {
+        buf.push(entry(i));
+    }
+    let push_secs = time_s(5, || {
+        for i in 0..ROUNDS {
+            buf.push(entry(i));
+            buf.pop_oldest();
+        }
+    });
+
+    // Forwarding probe: youngest entry hits immediately (the common
+    // same-address store-then-load pattern).
+    let probe_addr = buf.iter().last().expect("non-empty").addr;
+    let forward_secs = time_s(5, || {
+        let mut hits = 0u64;
+        for _ in 0..ROUNDS {
+            hits += matches!(buf.forward(probe_addr, 8), ForwardOutcome::Hit) as u64;
+        }
+        hits
+    });
+
+    // Full drain: fill 32 entries, pop to empty.
+    const DRAIN_ROUNDS: u64 = 20_000;
+    let mut buf = StoreBuffer::new(32);
+    let drain_secs = time_s(5, || {
+        for _ in 0..DRAIN_ROUNDS {
+            for i in 0..32 {
+                buf.push(entry(i));
+            }
+            while buf.pop_oldest().is_some() {}
+        }
+    });
+
+    // Whole-machine delta on the same collider bench_vpredict uses.
+    let mut b = ProgramBuilder::new("kernel-membuf");
+    b.begin_parallel();
+    for e in 0..16u16 {
+        b.begin_epoch();
+        b.int_ops(Pc::new(e, 0), 2000);
+        b.load(Pc::new(99, 1), Addr(0xC000), 8);
+        b.store(Pc::new(99, 2), Addr(0xC000), 8);
+        b.int_ops(Pc::new(e, 3), 2000);
+        b.end_epoch();
+    }
+    b.end_parallel();
+    let program = b.finish();
+
+    let cfg_sc = machine();
+    let mut cfg_tso = cfg_sc;
+    cfg_tso.memory_model = MemoryModel::Tso { buffer_entries: 8 };
+    let opts = RunOptions { audit: false, oracle: false, ..RunOptions::default() };
+    let sc = CmpSimulator::new(cfg_sc).run_with(&program, opts.clone());
+    let tso = CmpSimulator::new(cfg_tso).run_with(&program, opts.clone());
+    assert!(tso.buffered_stores > 0, "collider must buffer stores under TSO");
+    // SC after a TSO geometry must be byte-identical to plain SC.
+    let mut cfg_reset = cfg_tso;
+    cfg_reset.memory_model = MemoryModel::Sc;
+    let reset = CmpSimulator::new(cfg_reset).run_with(&program, opts.clone());
+    assert_eq!(
+        serde_json::to_string(&sc).unwrap(),
+        serde_json::to_string(&reset).unwrap(),
+        "SC report changed after carrying a TSO geometry"
+    );
+    let s_sc = time_s(5, || CmpSimulator::new(cfg_sc).run_with(&program, opts.clone()));
+    let s_tso = time_s(5, || CmpSimulator::new(cfg_tso).run_with(&program, opts.clone()));
+
+    MembufBench {
+        ns_per_buffered_store: push_secs * 1e9 / ROUNDS as f64,
+        ns_per_forwarded_load: forward_secs * 1e9 / ROUNDS as f64,
+        ns_per_full_drain: drain_secs * 1e9 / DRAIN_ROUNDS as f64,
+        sim_cycles_sc: sc.total_cycles,
+        sim_cycles_tso: tso.total_cycles,
+        mcycles_per_host_s_sc: sc.total_cycles as f64 / 1e6 / s_sc,
+        mcycles_per_host_s_tso: tso.total_cycles as f64 / 1e6 / s_tso,
+        host_overhead: s_tso / s_sc,
+        buffered_stores: tso.buffered_stores,
+        forwarded_loads: tso.forwarded_loads,
+        drain_stall_cycles: tso.breakdown.drain_stall,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_kernel.json");
@@ -660,6 +791,21 @@ fn main() {
         vpredict.value_mispredicts
     );
 
+    let membuf = bench_membuf();
+    println!(
+        "{:<24} {:>6.1} ns/store  {:>6.1} ns/forward  {:>8.1} ns/drain32  \
+         {:>7.2} Mc/s sc  {:>7.2} Mc/s tso ({:.3}x host, {} buffered, {} forwarded)",
+        "membuf",
+        membuf.ns_per_buffered_store,
+        membuf.ns_per_forwarded_load,
+        membuf.ns_per_full_drain,
+        membuf.mcycles_per_host_s_sc,
+        membuf.mcycles_per_host_s_tso,
+        membuf.host_overhead,
+        membuf.buffered_stores,
+        membuf.forwarded_loads
+    );
+
     let mut json = serde_json::to_string_pretty(&KernelBench {
         ops,
         runs,
@@ -667,6 +813,7 @@ fn main() {
         workload,
         trace_store,
         vpredict,
+        membuf,
     })
     .expect("serialize kernel bench");
     json.push('\n');

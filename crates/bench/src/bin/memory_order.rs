@@ -1,0 +1,14 @@
+//! Extension study: TSO store buffers vs the SC baseline — buffer depth
+//! × mechanism (sub-threads, value + sub-threads) × checkpoint spacing,
+//! over NEW ORDER and a skewed scan-collision workload, with drain-stall
+//! cycles and serializability-breach counts beside the speedups.
+//!
+//! Thin wrapper over the `memory_order` plan in `tls-harness`; the
+//! `suite` binary runs the same plan alongside every other artifact.
+//!
+//! Usage: `cargo run --release -p tls-bench --bin memory_order [--scale paper|test] [--json DIR]`
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    tls_harness::suite::run_single_plan("memory_order", &args);
+}

@@ -24,18 +24,26 @@ pub enum CycleCategory {
     Latch,
     /// Finished executing, waiting for the homefree token to commit.
     Sync,
+    /// Stalled waiting for the TSO store buffer to drain (a full buffer
+    /// on store dispatch, a partially-covering forward on load, or a
+    /// flush at one of the protocol's ordering points). Always zero
+    /// under [`crate::MemoryModel::Sc`].
+    DrainStall,
     /// No speculative thread available to run.
     Idle,
     /// Work later undone by a violation (assigned retroactively).
     Failed,
 }
 
-/// All categories, in the order Figure 5's legend lists them.
-pub const ALL_CATEGORIES: [CycleCategory; 6] = [
+/// All categories, in the order Figure 5's legend lists them (the
+/// TSO-only [`CycleCategory::DrainStall`] slots in beside the other
+/// ordering stalls).
+pub const ALL_CATEGORIES: [CycleCategory; 7] = [
     CycleCategory::Idle,
     CycleCategory::Failed,
     CycleCategory::Latch,
     CycleCategory::Sync,
+    CycleCategory::DrainStall,
     CycleCategory::CacheMiss,
     CycleCategory::Busy,
 ];
@@ -47,6 +55,7 @@ impl fmt::Display for CycleCategory {
             CycleCategory::CacheMiss => "Cache Miss",
             CycleCategory::Latch => "Latch Stall",
             CycleCategory::Sync => "Sync",
+            CycleCategory::DrainStall => "Drain Stall",
             CycleCategory::Idle => "Idle",
             CycleCategory::Failed => "Failed",
         };
@@ -66,6 +75,8 @@ pub struct Breakdown {
     pub latch: u64,
     /// Cycles waiting to commit.
     pub sync: u64,
+    /// Cycles stalled on TSO store-buffer drains (zero under SC).
+    pub drain_stall: u64,
     /// Cycles with no thread to run.
     pub idle: u64,
     /// Cycles of work that was rewound.
@@ -85,6 +96,7 @@ impl Breakdown {
             CycleCategory::CacheMiss => self.cache_miss,
             CycleCategory::Latch => self.latch,
             CycleCategory::Sync => self.sync,
+            CycleCategory::DrainStall => self.drain_stall,
             CycleCategory::Idle => self.idle,
             CycleCategory::Failed => self.failed,
         }
@@ -96,6 +108,7 @@ impl Breakdown {
             CycleCategory::CacheMiss => &mut self.cache_miss,
             CycleCategory::Latch => &mut self.latch,
             CycleCategory::Sync => &mut self.sync,
+            CycleCategory::DrainStall => &mut self.drain_stall,
             CycleCategory::Idle => &mut self.idle,
             CycleCategory::Failed => &mut self.failed,
         }
@@ -103,7 +116,13 @@ impl Breakdown {
 
     /// Sum over all categories.
     pub fn total(&self) -> u64 {
-        self.busy + self.cache_miss + self.latch + self.sync + self.idle + self.failed
+        self.busy
+            + self.cache_miss
+            + self.latch
+            + self.sync
+            + self.drain_stall
+            + self.idle
+            + self.failed
     }
 
     /// Collapses every non-idle category into `failed` and returns the
@@ -120,6 +139,7 @@ impl AddAssign for Breakdown {
         self.cache_miss += rhs.cache_miss;
         self.latch += rhs.latch;
         self.sync += rhs.sync;
+        self.drain_stall += rhs.drain_stall;
         self.idle += rhs.idle;
         self.failed += rhs.failed;
     }
@@ -240,6 +260,12 @@ pub struct FaultStats {
     pub delayed_token: u64,
     /// Applied [`FaultClass::LatchHazard`] events.
     pub latch_hazard: u64,
+    /// Applied [`FaultClass::StuckDrain`] events.
+    pub stuck_drain: u64,
+    /// Applied [`FaultClass::ReorderedDrain`] events.
+    pub reordered_drain: u64,
+    /// Applied [`FaultClass::DroppedEntry`] events.
+    pub dropped_entry: u64,
     /// Events that fired with no eligible target (e.g. a merge when no
     /// epoch had two checkpoints) and were dropped.
     pub skipped: u64,
@@ -263,6 +289,9 @@ impl FaultStats {
             FaultClass::ForcedMerge => self.forced_merge,
             FaultClass::DelayedToken => self.delayed_token,
             FaultClass::LatchHazard => self.latch_hazard,
+            FaultClass::StuckDrain => self.stuck_drain,
+            FaultClass::ReorderedDrain => self.reordered_drain,
+            FaultClass::DroppedEntry => self.dropped_entry,
         }
     }
 
@@ -279,6 +308,9 @@ impl FaultStats {
             FaultClass::ForcedMerge => &mut self.forced_merge,
             FaultClass::DelayedToken => &mut self.delayed_token,
             FaultClass::LatchHazard => &mut self.latch_hazard,
+            FaultClass::StuckDrain => &mut self.stuck_drain,
+            FaultClass::ReorderedDrain => &mut self.reordered_drain,
+            FaultClass::DroppedEntry => &mut self.dropped_entry,
         }
     }
 }

@@ -42,18 +42,44 @@ pub enum FaultClass {
     /// owner's own release must then surface as a recoverable
     /// [`crate::report::ProtocolError`], not a crash.
     LatchHazard,
+    /// One CPU's TSO store buffer refuses to drain for the fault's
+    /// duration: drain points stall (as DrainStall cycles) until the
+    /// window closes. Requires [`crate::MemoryModel::Tso`] and a
+    /// non-empty buffer; must be *survived* — timing changes, the
+    /// committed state does not.
+    StuckDrain,
+    /// The two oldest entries of one CPU's store buffer are swapped, so
+    /// the next drains apply them out of program order. The versioned
+    /// L2 keys speculative state by epoch, not arrival time, so this
+    /// too must be *survived*.
+    ReorderedDrain,
+    /// The oldest entry of one CPU's store buffer is silently discarded
+    /// — the store never reaches the memory system. The
+    /// serializability auditor's store-flow invariant must *detect*
+    /// this as a structured protocol error at the next commit or
+    /// rewind; surviving it silently is the failure mode this class
+    /// exists to preclude.
+    DroppedEntry,
 }
 
 /// Every fault class, in a fixed order (stable across runs and useful
 /// for sweeps and report tables).
-pub const ALL_FAULT_CLASSES: [FaultClass; 6] = [
+pub const ALL_FAULT_CLASSES: [FaultClass; 9] = [
     FaultClass::SpuriousPrimary,
     FaultClass::SpuriousSecondary,
     FaultClass::VictimSqueeze,
     FaultClass::ForcedMerge,
     FaultClass::DelayedToken,
     FaultClass::LatchHazard,
+    FaultClass::StuckDrain,
+    FaultClass::ReorderedDrain,
+    FaultClass::DroppedEntry,
 ];
+
+/// The store-buffer fault classes (the PR 10 additions), in matrix
+/// order: the first two are survivable, the third must be detected.
+pub const STORE_BUFFER_FAULT_CLASSES: [FaultClass; 3] =
+    [FaultClass::StuckDrain, FaultClass::ReorderedDrain, FaultClass::DroppedEntry];
 
 impl fmt::Display for FaultClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -64,6 +90,9 @@ impl fmt::Display for FaultClass {
             FaultClass::ForcedMerge => "forced-merge",
             FaultClass::DelayedToken => "delayed-token",
             FaultClass::LatchHazard => "latch-hazard",
+            FaultClass::StuckDrain => "stuck-drain",
+            FaultClass::ReorderedDrain => "reordered-drain",
+            FaultClass::DroppedEntry => "dropped-entry",
         };
         f.write_str(name)
     }
@@ -112,7 +141,11 @@ fn splitmix64(state: &mut u64) -> u64 {
 impl FaultPlan {
     /// Generates a plan of `count` faults drawn from `classes`, spread
     /// over cycles `1..horizon`, with durations of roughly 100-500
-    /// cycles for the classes that have one.
+    /// cycles for the classes that have one. The target-seeking
+    /// store-buffer saboteurs ([`FaultClass::ReorderedDrain`] and
+    /// [`FaultClass::DroppedEntry`]) instead stay armed to the end of
+    /// the horizon: on store-sparse programs a narrow window would skip
+    /// most of the time, and a drop that never fires detects nothing.
     ///
     /// Panics if `classes` is empty.
     pub fn generate(seed: u64, classes: &[FaultClass], horizon: u64, count: usize) -> FaultPlan {
@@ -125,7 +158,13 @@ impl FaultPlan {
             .map(|_| {
                 let class = classes[(splitmix64(&mut state) % classes.len() as u64) as usize];
                 let at_cycle = 1 + splitmix64(&mut state) % (horizon - 1);
-                let duration = 100 + splitmix64(&mut state) % 400;
+                // Always draw, so the stream stays identical for plans
+                // that never pick a target-seeking class.
+                let drawn = 100 + splitmix64(&mut state) % 400;
+                let duration = match class {
+                    FaultClass::ReorderedDrain | FaultClass::DroppedEntry => horizon,
+                    _ => drawn,
+                };
                 FaultEvent { at_cycle, class, duration }
             })
             .collect();
@@ -400,7 +439,16 @@ mod tests {
         assert_eq!(p.len(), 32);
         assert!(p.events.windows(2).all(|w| w[0].at_cycle <= w[1].at_cycle));
         assert!(p.events.iter().all(|e| e.at_cycle >= 1 && e.at_cycle < 5_000));
-        assert!(p.events.iter().all(|e| (100..500).contains(&e.duration)));
+        let seeks_target =
+            |c: FaultClass| matches!(c, FaultClass::ReorderedDrain | FaultClass::DroppedEntry);
+        assert!(p
+            .events
+            .iter()
+            .filter(|e| !seeks_target(e.class))
+            .all(|e| (100..500).contains(&e.duration)));
+        // Target-seeking saboteurs stay armed to the horizon.
+        assert!(p.events.iter().filter(|e| seeks_target(e.class)).all(|e| e.duration == 5_000));
+        assert!(p.events.iter().any(|e| seeks_target(e.class)), "grid should draw a saboteur");
     }
 
     #[test]

@@ -11,6 +11,44 @@ pub const MAX_CPUS: usize = 8;
 /// Maximum sub-thread contexts per speculative thread.
 pub const MAX_SUBTHREADS: usize = 8;
 
+/// The memory-consistency model the simulated CPUs obey.
+///
+/// Everything before PR 10 assumed sequential consistency; TSO is the
+/// relaxed model real DBMS hardware (x86) actually runs, specified —
+/// following *Taming Weak Memory Models* — as bounded per-CPU FIFO
+/// store buffering with same-address store-to-load forwarding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryModel {
+    /// Sequential consistency: a store reaches the (speculative) memory
+    /// system the cycle it retires. The default; byte-identical to the
+    /// pre-TSO simulator.
+    Sc,
+    /// Total store order: retiring stores enter a bounded FIFO store
+    /// buffer and drain — oldest first, one per cycle — at the
+    /// protocol's ordering points (sync ops, latch acquisition, the
+    /// homefree-token handoff, epoch commit) or when the buffer fills.
+    /// Loads forward from the youngest covering buffered store.
+    Tso {
+        /// Store-buffer entries per CPU (Table 1-style geometry knob).
+        buffer_entries: usize,
+    },
+}
+
+impl MemoryModel {
+    /// True for [`MemoryModel::Tso`].
+    pub fn is_tso(&self) -> bool {
+        matches!(self, MemoryModel::Tso { .. })
+    }
+
+    /// Store-buffer entries per CPU; 0 under [`MemoryModel::Sc`].
+    pub fn buffer_entries(&self) -> usize {
+        match *self {
+            MemoryModel::Sc => 0,
+            MemoryModel::Tso { buffer_entries } => buffer_entries,
+        }
+    }
+}
+
 /// When to start a new sub-thread within a speculative thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SpacingPolicy {
@@ -142,6 +180,11 @@ pub struct CmpConfig {
     /// evaluated this and found it "not worthwhile" (§2.2); off by
     /// default, measured by the `ablations` harness.
     pub l1_subthread_aware: bool,
+    /// Memory-consistency model of the CPUs. [`MemoryModel::Sc`] (the
+    /// default) is the pre-PR-10 machine; [`MemoryModel::Tso`] adds
+    /// per-CPU store buffers with drain-stall accounting and arms the
+    /// commit-serializability auditor's store-flow invariant.
+    pub memory_model: MemoryModel,
     /// Safety valve: abort simulation after this many cycles (0 = no
     /// limit). A run that exceeds it panics — useful in tests.
     pub max_cycles: u64,
@@ -166,6 +209,7 @@ impl CmpConfig {
             predictor: PredictorConfig::disabled(),
             vpredict: VPredictConfig::disabled(),
             l1_subthread_aware: false,
+            memory_model: MemoryModel::Sc,
             max_cycles: 0,
         }
     }
@@ -191,6 +235,7 @@ impl CmpConfig {
             predictor: PredictorConfig::disabled(),
             vpredict: VPredictConfig::disabled(),
             l1_subthread_aware: false,
+            memory_model: MemoryModel::Sc,
             max_cycles: 50_000_000,
         }
     }
@@ -223,6 +268,12 @@ impl CmpConfig {
             "value-predictor table size"
         );
         assert_eq!(self.l1.line_bytes, self.l2.line_bytes, "L1/L2 line sizes must match");
+        if let MemoryModel::Tso { buffer_entries } = self.memory_model {
+            assert!(
+                (1..=256).contains(&buffer_entries),
+                "TSO store buffer must have 1..=256 entries, got {buffer_entries}"
+            );
+        }
     }
 
     /// Bits-per-line of L2 speculative storage this configuration costs
@@ -286,5 +337,39 @@ mod tests {
     #[test]
     fn disabled_subthreads_is_one_context() {
         assert_eq!(SubThreadConfig::disabled().contexts, 1);
+    }
+
+    #[test]
+    fn default_memory_model_is_sc() {
+        let c = CmpConfig::paper_default();
+        assert_eq!(c.memory_model, MemoryModel::Sc);
+        assert!(!c.memory_model.is_tso());
+        assert_eq!(c.memory_model.buffer_entries(), 0);
+    }
+
+    #[test]
+    fn tso_validates_with_sane_buffer_geometry() {
+        let mut c = CmpConfig::paper_default();
+        c.memory_model = MemoryModel::Tso { buffer_entries: 8 };
+        c.validate();
+        assert!(c.memory_model.is_tso());
+        assert_eq!(c.memory_model.buffer_entries(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "TSO store buffer")]
+    fn zero_entry_store_buffer_rejected() {
+        let mut c = CmpConfig::paper_default();
+        c.memory_model = MemoryModel::Tso { buffer_entries: 0 };
+        c.validate();
+    }
+
+    #[test]
+    fn memory_model_round_trips_through_json() {
+        for m in [MemoryModel::Sc, MemoryModel::Tso { buffer_entries: 16 }] {
+            let s = serde_json::to_string(&m).expect("serialize");
+            let q: MemoryModel = serde_json::from_str(&s).expect("deserialize");
+            assert_eq!(m, q);
+        }
     }
 }

@@ -74,6 +74,7 @@ pub mod experiment;
 mod l2spec;
 mod latch;
 mod linemap;
+mod membuf;
 mod predictor;
 mod profile;
 mod report;
@@ -84,15 +85,16 @@ mod vpredict;
 pub use accounting::{Breakdown, CycleCategory, FaultStats, SubThreadLedger};
 pub use chaos::{
     DiskFaultClass, DiskFaultEvent, DiskFaultPlan, FaultClass, FaultEvent, FaultInjector,
-    FaultPlan, RunOptions, ALL_DISK_FAULT_CLASSES, ALL_FAULT_CLASSES,
+    FaultPlan, RunOptions, ALL_DISK_FAULT_CLASSES, ALL_FAULT_CLASSES, STORE_BUFFER_FAULT_CLASSES,
 };
 pub use config::{
-    CmpConfig, ExhaustionPolicy, SecondaryPolicy, SpacingPolicy, SubThreadConfig, MAX_CPUS,
-    MAX_SUBTHREADS,
+    CmpConfig, ExhaustionPolicy, MemoryModel, SecondaryPolicy, SpacingPolicy, SubThreadConfig,
+    MAX_CPUS, MAX_SUBTHREADS,
 };
 pub use experiment::ExperimentKind;
 pub use l2spec::{AccessCtx, L2Outcome, PendingViolation, SpecL2, ViolationKind};
 pub use latch::{LatchError, LatchTable};
+pub use membuf::{BufferedStore, ForwardOutcome, HbAuditor, StoreBuffer};
 pub use predictor::{DependencePredictor, PredictorConfig};
 pub use profile::{DependenceProfiler, ProfileEntry};
 pub use report::{LivelockReport, ProtocolError, SimReport, ViolationCounts};

@@ -114,6 +114,19 @@ pub struct SimReport {
     /// Value predictions that validated *wrong* at commit time and
     /// rewound through the sub-thread path instead.
     pub value_mispredicts: u64,
+    /// Stores that entered a TSO store buffer (zero under SC).
+    pub buffered_stores: u64,
+    /// Loads satisfied by TSO store-to-load forwarding from the CPU's
+    /// own buffer (zero under SC).
+    pub forwarded_loads: u64,
+    /// Buffered stores drained into the memory system (zero under SC;
+    /// on a healthy run equals `buffered_stores` minus entries rewound
+    /// away before draining).
+    pub store_drains: u64,
+    /// Happens-before cycles and store-flow violations found by the
+    /// commit-serializability auditor. Always zero on a healthy run;
+    /// details land in [`SimReport::protocol_errors`].
+    pub serializability_breaches: u64,
     /// The dependence profile, most damaging first (§3.1).
     pub profile: Vec<ProfileEntry>,
     /// Chaos-fault counters (all zero unless a plan was injected).
@@ -148,6 +161,7 @@ impl SimReport {
                     crate::CycleCategory::CacheMiss => "Cache Miss",
                     crate::CycleCategory::Latch => "Latch Stall",
                     crate::CycleCategory::Sync => "Sync",
+                    crate::CycleCategory::DrainStall => "Drain Stall",
                     crate::CycleCategory::Idle => "Idle",
                     crate::CycleCategory::Failed => "Failed",
                 };
@@ -212,6 +226,10 @@ mod tests {
             predictor_synchronizations: 0,
             predicted_hits: 0,
             value_mispredicts: 0,
+            buffered_stores: 0,
+            forwarded_loads: 0,
+            store_drains: 0,
+            serializability_breaches: 0,
             profile: Vec::new(),
             faults: FaultStats::default(),
             protocol_errors: Vec::new(),

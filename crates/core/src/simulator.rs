@@ -19,9 +19,12 @@
 
 use crate::accounting::{Breakdown, CycleCategory, FaultStats, SubThreadLedger};
 use crate::chaos::{FaultClass, FaultEvent, FaultInjector, RunOptions};
-use crate::config::{CmpConfig, ExhaustionPolicy, SecondaryPolicy, MAX_CPUS, MAX_SUBTHREADS};
+use crate::config::{
+    CmpConfig, ExhaustionPolicy, MemoryModel, SecondaryPolicy, MAX_CPUS, MAX_SUBTHREADS,
+};
 use crate::l2spec::{AccessCtx, L2Outcome, PendingViolation, SpecL2, ViolationKind};
 use crate::latch::{LatchError, LatchTable};
+use crate::membuf::{BufferedStore, ForwardOutcome, HbAuditor, StoreBuffer};
 use crate::predictor::DependencePredictor;
 use crate::profile::{DependenceProfiler, ExposedLoadTable};
 use crate::report::{LivelockReport, ProtocolError, SimReport, ViolationCounts};
@@ -41,6 +44,10 @@ fn cycle_class(cat: CycleCategory) -> CycleClass {
         CycleCategory::CacheMiss => CycleClass::CacheMiss,
         CycleCategory::Latch => CycleClass::Latch,
         CycleCategory::Sync => CycleClass::Sync,
+        // The observer's sample schema predates the TSO model; a drain
+        // stall is a commit-ordering wait, so it reads as Sync there
+        // (the full-resolution category still lands in the breakdown).
+        CycleCategory::DrainStall => CycleClass::Sync,
         CycleCategory::Idle => CycleClass::Idle,
     }
 }
@@ -198,6 +205,13 @@ struct EpochRun<'p> {
     /// cursor and truncated on rewind exactly like `stores`. Empty
     /// unless [`crate::VPredictConfig`] is enabled.
     vloads: Vec<VLoad>,
+    /// TSO drain mirror of `stores`: `(op cursor, addr, size)` of every
+    /// buffered store already retired into the memory system. The
+    /// store-flow invariant — `stores` equals `drained` plus the live
+    /// buffer contents — is what catches a chaos-dropped buffer entry.
+    /// Populated under the same condition as `stores`; always empty
+    /// under SC. Not cursor-sorted (a reordered-drain fault permutes it).
+    drained: Vec<(usize, Addr, u8)>,
     /// Consecutive rewinds of this epoch with no intervening commit by
     /// *any* epoch (forward-progress watchdog input).
     rewind_streak: u64,
@@ -256,6 +270,7 @@ impl<'p> EpochRun<'p> {
             finished: false,
             stores: Vec::new(),
             vloads: Vec::new(),
+            drained: Vec::new(),
             rewind_streak: 0,
             storm_pcs: Vec::new(),
             last_raw_pcs: Event::pack_pcs(None, None),
@@ -357,6 +372,40 @@ impl MemSystem {
                     }
                 }
                 start + 1
+            }
+        }
+    }
+
+    /// Retires one TSO store-buffer entry into the memory hierarchy —
+    /// the store arm of [`MemSystem::access`], replayed at drain time
+    /// with the entry's captured context. Dependence readers are judged
+    /// against the *current* epoch orders: a violation targets whoever
+    /// is logically later at the moment the store becomes visible.
+    fn drain_store(&mut self, e: &BufferedStore, cpu: usize, orders: &[Option<u32>], now: u64) {
+        let ctx = AccessCtx { cpu, sub: e.sub, speculative: e.speculative };
+        self.l1s[cpu].write_sub(e.addr, ctx.speculative, ctx.sub);
+        let mut out = std::mem::take(&mut self.scratch);
+        self.l2.write_into(now + 1, e.addr, e.size, ctx, &mut out);
+        self.queue_overflow(&out.overflow_victims, e.addr, orders);
+        let my_order = orders[cpu].expect("draining CPU's epoch is running");
+        for &(rcpu, sub) in &out.readers {
+            if let Some(o) = orders[rcpu] {
+                if o > my_order {
+                    self.pending.push(PendingViolation {
+                        cpu: rcpu,
+                        sub,
+                        order: o,
+                        kind: ViolationKind::Raw,
+                        line: e.addr,
+                        store_pc: Some(e.pc),
+                    });
+                }
+            }
+        }
+        self.scratch = out;
+        for (i, l1) in self.l1s.iter_mut().enumerate() {
+            if i != cpu {
+                l1.invalidate_line(e.addr.align_down(l1.params().line_shift()));
             }
         }
     }
@@ -526,6 +575,25 @@ struct Machine<'p> {
     predicted_hits: u64,
     /// Predictions that validated wrong and rewound instead.
     value_mispredicts: u64,
+    // --- TSO memory model ---
+    /// Per-CPU store buffers; empty under [`MemoryModel::Sc`] (the
+    /// one-test `tso` flag every hook branches on).
+    membufs: Vec<StoreBuffer>,
+    /// Per-CPU cycle before which drains are frozen (stuck-drain fault).
+    drain_stuck_until: [u64; MAX_CPUS],
+    /// Per-CPU flag: inside a drain-stall episode (the event is emitted
+    /// once at episode start, not per stalled cycle).
+    drain_episode: [bool; MAX_CPUS],
+    /// Commit-serializability auditor (audit runs only).
+    hb: HbAuditor,
+    /// Stores that entered a store buffer.
+    buffered_stores: u64,
+    /// Loads satisfied by same-address store-to-load forwarding.
+    forwarded_loads: u64,
+    /// Buffered stores retired into the memory system.
+    store_drains: u64,
+    /// Happens-before cycles and store-flow violations detected.
+    serializability_breaches: u64,
     // --- chaos harness ---
     opts: RunOptions,
     injector: FaultInjector,
@@ -639,6 +707,19 @@ impl<'p> Machine<'p> {
             commit_counts: HashMap::new(),
             predicted_hits: 0,
             value_mispredicts: 0,
+            membufs: match cfg.memory_model {
+                MemoryModel::Sc => Vec::new(),
+                MemoryModel::Tso { buffer_entries } => {
+                    (0..n).map(|_| StoreBuffer::new(buffer_entries)).collect()
+                }
+            },
+            drain_stuck_until: [0; MAX_CPUS],
+            drain_episode: [false; MAX_CPUS],
+            hb: HbAuditor::new(),
+            buffered_stores: 0,
+            forwarded_loads: 0,
+            store_drains: 0,
+            serializability_breaches: 0,
             opts,
             injector,
             armed: Vec::new(),
@@ -831,7 +912,12 @@ impl<'p> Machine<'p> {
     fn fast_forward(&mut self) {
         // Armed faults probe for an eligible target every cycle — their
         // eligibility is state- not time-gated, so never skip past them.
-        if !self.armed.is_empty() || !self.mem.pending.is_empty() {
+        // A non-empty store buffer drains one entry per stalled cycle,
+        // so those cycles are not repeats either.
+        if !self.armed.is_empty()
+            || !self.mem.pending.is_empty()
+            || self.membufs.iter().any(|b| !b.is_empty())
+        {
             return;
         }
         let Some(target) = self.next_event_cycle() else { return };
@@ -938,6 +1024,25 @@ impl<'p> Machine<'p> {
                 }
                 None => false,
             },
+            // Store-buffer chaos: every class needs a TSO machine with
+            // at least one buffered store — on an SC machine (or with
+            // every buffer drained) the event stays armed until its
+            // window closes and is counted skipped.
+            FaultClass::StuckDrain => {
+                match (0..self.membufs.len()).find(|&c| !self.membufs[c].is_empty()) {
+                    Some(cpu) => {
+                        self.drain_stuck_until[cpu] =
+                            self.drain_stuck_until[cpu].max(self.cycle + ev.duration.max(1));
+                        true
+                    }
+                    None => false,
+                }
+            }
+            FaultClass::ReorderedDrain => self.membufs.iter_mut().any(|b| b.swap_oldest_pair()),
+            // Silently lose the oldest buffered store of the first CPU
+            // that has one: the machine must *not* survive this — the
+            // commit-time store-flow audit reports the hole.
+            FaultClass::DroppedEntry => self.membufs.iter_mut().any(|b| b.drop_oldest().is_some()),
         }
     }
 
@@ -983,6 +1088,7 @@ impl<'p> Machine<'p> {
                 Self::merge_one_context(
                     &mut self.mem,
                     &mut self.slots,
+                    &mut self.membufs,
                     &mut self.subthread_merges,
                     cpu,
                     &mut run,
@@ -1005,6 +1111,7 @@ impl<'p> Machine<'p> {
     fn merge_one_context(
         mem: &mut MemSystem,
         slots: &mut [Slot<'p>],
+        membufs: &mut [StoreBuffer],
         subthread_merges: &mut u64,
         cpu: usize,
         run: &mut EpochRun<'p>,
@@ -1029,6 +1136,11 @@ impl<'p> Machine<'p> {
                 v.sub = (v.sub - 1).max(m as u8 - 1);
             }
         }
+        // TSO: buffered (not yet drained) stores carry the context id
+        // they will replay under; remap them with everything else.
+        if let Some(buf) = membufs.get_mut(cpu) {
+            buf.remap_merged_sub(m as u8);
+        }
         *subthread_merges += 1;
     }
 
@@ -1039,6 +1151,54 @@ impl<'p> Machine<'p> {
         if self.opts.audit && !self.latch_hazard_active {
             self.audit_fail(format!("unexpected latch protocol error: {message}"));
         }
+        self.faults.protocol_errors += 1;
+        if self.protocol_errors.len() < 32 {
+            self.protocol_errors.push(ProtocolError { cycle: self.cycle, message });
+        }
+    }
+
+    /// TSO store-flow identity: every store the epoch logged must be
+    /// accounted for — drained into the memory system or still sitting
+    /// in the CPU's buffer. Compared as op-cursor multisets (a
+    /// reordered drain permutes the mirror, which is legal; a *missing*
+    /// cursor is a lost store). Returns the first imbalance found.
+    fn store_flow_breach(
+        stores: &[(usize, Addr, u8)],
+        drained: &[(usize, Addr, u8)],
+        buf: &StoreBuffer,
+    ) -> Option<String> {
+        let mut seen: Vec<usize> =
+            drained.iter().map(|&(c, _, _)| c).chain(buf.iter().map(|e| e.cursor)).collect();
+        seen.sort_unstable();
+        let logged: Vec<usize> = stores.iter().map(|&(c, _, _)| c).collect();
+        if logged == seen {
+            return None;
+        }
+        let missing = logged.iter().find(|c| !seen.contains(c));
+        Some(format!(
+            "store-flow violation: epoch logged {} stores but {} drained and {} are buffered{}",
+            logged.len(),
+            drained.len(),
+            buf.len(),
+            missing.map(|c| format!(" (first lost store: op cursor {c})")).unwrap_or_default()
+        ))
+    }
+
+    /// Records a serializability breach found by the commit-time
+    /// auditor: a structured, recoverable [`ProtocolError`] plus an
+    /// observer event — never a panic, even in audit runs, so the
+    /// chaos grid proves *detection* rather than a crash.
+    fn serializability_breach(&mut self, cpu: usize, epoch: u32, message: String) {
+        self.serializability_breaches += 1;
+        emit!(
+            self,
+            EventKind::SerializabilityBreach,
+            cpu,
+            epoch,
+            0,
+            0,
+            self.serializability_breaches
+        );
         self.faults.protocol_errors += 1;
         if self.protocol_errors.len() < 32 {
             self.protocol_errors.push(ProtocolError { cycle: self.cycle, message });
@@ -1223,6 +1383,14 @@ impl<'p> Machine<'p> {
         let mut latch_errors: Vec<LatchError> = Vec::new();
         run.waiting_latch = false;
         run.waiting_sync = false;
+        // TSO bookkeeping for this cycle. `drain_stall` carries the
+        // cause code when the CPU hit an explicit ordering point (1 =
+        // full buffer, 2 = forwarding conflict, 3 = ordering-point
+        // flush); the write log mirrors additionally feed the
+        // store-flow audit whenever auditing is armed.
+        let tso = !self.membufs.is_empty();
+        let log_stores = self.opts.oracle || self.cfg.vpredict.enabled || (self.opts.audit && tso);
+        let mut drain_stall: Option<u64> = None;
 
         // Retry a latch we blocked on last cycle.
         if let Some(latch) = self.latch_retry[cpu] {
@@ -1269,6 +1437,7 @@ impl<'p> Machine<'p> {
                 Self::merge_one_context(
                     &mut self.mem,
                     &mut self.slots,
+                    &mut self.membufs,
                     &mut self.subthread_merges,
                     cpu,
                     &mut run,
@@ -1306,6 +1475,13 @@ impl<'p> Machine<'p> {
             let op = &run.ops[run.cursor];
             match op.kind() {
                 OpKind::LatchAcquire(latch) => {
+                    // TSO ordering point: older stores must be visible
+                    // before the critical section opens, so the buffer
+                    // drains fully before the acquire is attempted.
+                    if tso && !self.membufs[cpu].is_empty() {
+                        drain_stall = Some(3);
+                        break;
+                    }
                     if self.latches.try_acquire(cpu, latch) {
                         run.held_latches.push((latch, run.cursor));
                         run.cursor += 1;
@@ -1336,7 +1512,49 @@ impl<'p> Machine<'p> {
                     if !core.can_dispatch() {
                         break;
                     }
-                    if matches!(kind, OpKind::Load { .. }) {
+                    // TSO: a store enters this CPU's bounded buffer
+                    // (reaching the caches only when it drains) and a
+                    // load probes the buffer youngest-first for
+                    // same-address forwarding. Either bypass completes
+                    // locally in one cycle — exactly a store's SC
+                    // latency — so TSO's timing delta comes entirely
+                    // from drain stalls, never from the bypass itself.
+                    let mut bypass = false;
+                    if tso {
+                        match kind {
+                            OpKind::Store { addr, size } => {
+                                if self.membufs[cpu].is_full() {
+                                    drain_stall = Some(1);
+                                    break;
+                                }
+                                self.membufs[cpu].push(BufferedStore {
+                                    cursor: run.cursor,
+                                    addr,
+                                    size,
+                                    pc: op.pc(),
+                                    sub: run.cur_sub(),
+                                    speculative,
+                                });
+                                self.buffered_stores += 1;
+                                bypass = true;
+                            }
+                            OpKind::Load { addr, size } => {
+                                match self.membufs[cpu].forward(addr, size) {
+                                    ForwardOutcome::Hit => {
+                                        self.forwarded_loads += 1;
+                                        bypass = true;
+                                    }
+                                    ForwardOutcome::Conflict => {
+                                        drain_stall = Some(2);
+                                        break;
+                                    }
+                                    ForwardOutcome::Miss => {}
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    if !bypass && matches!(kind, OpKind::Load { .. }) {
                         if !self.mem.mshrs[cpu].can_accept(self.cycle) {
                             break;
                         }
@@ -1358,29 +1576,35 @@ impl<'p> Machine<'p> {
                             break;
                         }
                     }
-                    if self.opts.oracle || self.cfg.vpredict.enabled {
+                    if log_stores {
                         if let OpKind::Store { addr, size } = kind {
                             run.stores.push((run.cursor, addr, size));
                         }
                     }
-                    let ctx = AccessCtx { cpu, sub: run.cur_sub(), speculative };
-                    let mem = &mut self.mem;
-                    core.dispatch(op, |start, _, mk| mem.access(op, ctx, orders, start, mk));
-                    // Value prediction covers exposed speculative loads:
-                    // the access callback (synchronous) just flagged
-                    // whether this load recorded an exposure. Tracking is
-                    // timing-passive — the probe neither stalls nor
-                    // accelerates the load.
-                    if self.cfg.vpredict.enabled && speculative && self.mem.last_exposed {
-                        if let OpKind::Load { addr, .. } = kind {
-                            run.vloads.push(VLoad {
-                                cursor: run.cursor,
-                                line: addr.align_down(self.cfg.l2.line_shift()),
-                                addr,
-                                pc: op.pc(),
-                                predicted: self.vpredict.probe(op.pc()),
-                                conflicted: false,
-                            });
+                    if bypass {
+                        core.dispatch(op, |start, _, _| start + 1);
+                    } else {
+                        let ctx = AccessCtx { cpu, sub: run.cur_sub(), speculative };
+                        let mem = &mut self.mem;
+                        core.dispatch(op, |start, _, mk| mem.access(op, ctx, orders, start, mk));
+                        // Value prediction covers exposed speculative loads:
+                        // the access callback (synchronous) just flagged
+                        // whether this load recorded an exposure. Tracking is
+                        // timing-passive — the probe neither stalls nor
+                        // accelerates the load. (A forwarded load consumes
+                        // this CPU's own buffered value: no exposure, no
+                        // prediction to track.)
+                        if self.cfg.vpredict.enabled && speculative && self.mem.last_exposed {
+                            if let OpKind::Load { addr, .. } = kind {
+                                run.vloads.push(VLoad {
+                                    cursor: run.cursor,
+                                    line: addr.align_down(self.cfg.l2.line_shift()),
+                                    addr,
+                                    pc: op.pc(),
+                                    predicted: self.vpredict.probe(op.pc()),
+                                    conflicted: false,
+                                });
+                            }
                         }
                     }
                     run.cursor += 1;
@@ -1393,8 +1617,35 @@ impl<'p> Machine<'p> {
             run.finished = true;
         }
 
+        // TSO drain engine: one entry per cycle leaves the buffer
+        // whenever the CPU is stalled — at an explicit ordering point
+        // (full buffer, forwarding conflict, latch acquire, the
+        // pre-commit flush of a finished epoch) or opportunistically
+        // while it waits on anything else. A stuck-drain fault freezes
+        // drains until its window closes; the buffer simply holds.
+        let mut drained_one = false;
+        if tso {
+            if run.finished && !self.membufs[cpu].is_empty() && drain_stall.is_none() {
+                drain_stall = Some(3);
+            }
+            let frozen = self.cycle < self.drain_stuck_until[cpu];
+            let stalled = drain_stall.is_some() || (dispatched == 0 && retired.retired == 0);
+            if !frozen && stalled {
+                if let Some(e) = self.membufs[cpu].pop_oldest() {
+                    self.mem.drain_store(&e, cpu, orders, self.cycle);
+                    self.store_drains += 1;
+                    if log_stores {
+                        run.drained.push((e.cursor, e.addr, e.size));
+                    }
+                    drained_one = true;
+                }
+            }
+        }
+
         let category = if retired.retired > 0 || dispatched > 0 {
             CycleCategory::Busy
+        } else if drain_stall.is_some() {
+            CycleCategory::DrainStall
         } else if run.waiting_latch {
             CycleCategory::Latch
         } else if run.waiting_sync || run.finished {
@@ -1406,11 +1657,23 @@ impl<'p> Machine<'p> {
         };
         run.ledger.record(category);
         self.last_category[cpu] = category;
+        if category == CycleCategory::DrainStall {
+            // One event per stall episode, at its start.
+            if !self.drain_episode[cpu] {
+                self.drain_episode[cpu] = true;
+                let buffered = self.membufs[cpu].len() as u64 + drained_one as u64;
+                let cause = drain_stall.unwrap_or(0);
+                emit!(self, EventKind::DrainStall, cpu, run.order, run.cur_sub(), buffered, cause);
+            }
+        } else {
+            self.drain_episode[cpu] = false;
+        }
         if let Some(o) = self.obs.as_deref_mut() {
             o.metrics.tick(cpu, cycle_class(category));
         }
         let progress = retired.retired > 0
             || dispatched > 0
+            || drained_one
             || run.cursor != cursor_in
             || run.checkpoints.len() != checkpoints_in
             || run.finished != finished_in
@@ -1582,6 +1845,7 @@ impl<'p> Machine<'p> {
     /// Failed.
     fn rewind(&mut self, cpu: usize, sub: u8) {
         let mut latch_errors: Vec<LatchError> = Vec::new();
+        let mut flow_breach: Option<(u32, String)> = None;
         {
             let run = match &mut self.slots[cpu] {
                 Slot::Running(r) => r,
@@ -1626,6 +1890,20 @@ impl<'p> Machine<'p> {
                 }
                 true
             });
+            // TSO: the store-flow identity — logged stores equal
+            // drained plus still-buffered — is audited on the
+            // pre-rewind state (truncation must not mask a
+            // chaos-dropped entry), then the buffer and the drain
+            // mirror forget the rewound suffix alongside the write log.
+            if !self.membufs.is_empty() {
+                if self.opts.audit {
+                    flow_breach =
+                        Self::store_flow_breach(&run.stores, &run.drained, &self.membufs[cpu])
+                            .map(|msg| (run.order, msg));
+                }
+                self.membufs[cpu].truncate_from(rewound_to);
+                run.drained.retain(|&(c, _, _)| c < rewound_to);
+            }
             // The oracle's write log forgets the stores the rewind undid;
             // re-execution re-records them, keeping commit exactly-once.
             let keep = run.stores.partition_point(|&(c, _, _)| c < rewound_to);
@@ -1669,6 +1947,9 @@ impl<'p> Machine<'p> {
                     }
                 }
             }
+        }
+        if let Some((epoch, msg)) = flow_breach {
+            self.serializability_breach(cpu, epoch, msg);
         }
         for e in latch_errors {
             self.latch_release_error(e);
@@ -1718,6 +1999,13 @@ impl<'p> Machine<'p> {
                 |s| matches!(s, Slot::Running(r) if r.finished && r.order == self.next_commit),
             );
             let Some(cpu) = ready else { break };
+            // TSO: the homefree handoff is an ordering point — the
+            // committing epoch's buffer must fully drain (one entry
+            // per stalled cycle in `execute_cpu`, accounted as
+            // DrainStall) before its state becomes architectural.
+            if !self.membufs.is_empty() && !self.membufs[cpu].is_empty() {
+                break;
+            }
             // Value-prediction settlement: the epoch is next-to-commit,
             // so every older store is architecturally visible and the
             // synthetic value model is exact. A prediction that carried
@@ -1737,6 +2025,31 @@ impl<'p> Machine<'p> {
                 Slot::Free => unreachable!(),
             };
             let order = run.order;
+            // Commit-time serializability audits (armed with the
+            // invariant auditor). Both failures surface as structured
+            // protocol errors — never panics — so a chaos run asserts
+            // on the evidence: (1) the TSO store-flow identity, where
+            // a dropped buffer entry leaves a hole between the write
+            // log and the drain mirror; (2) the happens-before order
+            // of the committed write-set (commit-order edges plus
+            // per-line write-write edges).
+            if self.opts.audit {
+                if !self.membufs.is_empty() {
+                    if let Some(msg) =
+                        Self::store_flow_breach(&run.stores, &run.drained, &self.membufs[cpu])
+                    {
+                        self.serializability_breach(cpu, order, msg);
+                    }
+                }
+                let shift = self.cfg.l2.line_shift();
+                let mut lines: Vec<u64> =
+                    run.stores.iter().map(|&(_, a, _)| a.align_down(shift).0).collect();
+                lines.sort_unstable();
+                lines.dedup();
+                if let Some(msg) = self.hb.commit_epoch(order, lines) {
+                    self.serializability_breach(cpu, order, msg);
+                }
+            }
             if self.cfg.vpredict.enabled {
                 // Every conflicted prediction validated correct: the
                 // would-be RAW violations are now silent hits. Train on
@@ -1776,6 +2089,7 @@ impl<'p> Machine<'p> {
             self.overflow_scratch = overflow;
             self.mem.l1s[cpu].clear_speculative_marks();
             self.mem.exposed[cpu].clear();
+            self.drain_episode[cpu] = false;
             self.latches.release_all(cpu);
             for s in &mut self.slots {
                 if let Slot::Running(r) = s {
@@ -1877,6 +2191,10 @@ impl<'p> Machine<'p> {
             predictor_synchronizations: self.predictor.synchronizations(),
             predicted_hits: self.predicted_hits,
             value_mispredicts: self.value_mispredicts,
+            buffered_stores: self.buffered_stores,
+            forwarded_loads: self.forwarded_loads,
+            store_drains: self.store_drains,
+            serializability_breaches: self.serializability_breaches,
             profile: self.profiler.report(),
             faults: self.faults,
             protocol_errors: self.protocol_errors,
@@ -2552,6 +2870,172 @@ mod tests {
         assert_eq!(a.total_cycles, b.total_cycles);
         assert_eq!(a.breakdown, b.breakdown);
         assert_eq!(a.faults, b.faults);
+    }
+
+    // --- TSO memory model ---
+
+    use crate::config::MemoryModel;
+
+    fn tso_cfg(buffer_entries: usize) -> CmpConfig {
+        let mut c = cfg();
+        c.memory_model = MemoryModel::Tso { buffer_entries };
+        c
+    }
+
+    /// Four independent epochs that keep their store buffers busy: a
+    /// store every few ops, all to per-epoch lines.
+    fn store_heavy_program() -> TraceProgram {
+        let mut b = ProgramBuilder::new("store-heavy");
+        b.begin_parallel();
+        for t in 0..4u16 {
+            b.begin_epoch();
+            for i in 0..64u64 {
+                b.int_ops(Pc::new(t, 0), 40);
+                b.store(Pc::new(t, 1), Addr(0xE000 + 0x1000 * t as u64 + 8 * i), 8);
+            }
+            b.end_epoch();
+        }
+        b.end_parallel();
+        b.finish()
+    }
+
+    #[test]
+    fn sc_reports_no_tso_activity() {
+        let r = run_with(cfg(), &store_heavy_program());
+        assert_eq!(r.buffered_stores, 0);
+        assert_eq!(r.forwarded_loads, 0);
+        assert_eq!(r.store_drains, 0);
+        assert_eq!(r.serializability_breaches, 0);
+        assert_eq!(r.breakdown.drain_stall, 0);
+    }
+
+    #[test]
+    fn tso_buffers_and_drains_every_store() {
+        // Debug `run()` arms the invariant auditor and the sequential
+        // oracle, so passing proves TSO commits the same logical state.
+        let r = run_with(tso_cfg(4), &store_heavy_program());
+        assert_eq!(r.committed_epochs, 4);
+        assert_eq!(r.buffered_stores, 4 * 64);
+        assert_eq!(r.store_drains, r.buffered_stores, "no rewinds: every store drains");
+        assert!(r.breakdown.drain_stall > 0, "a 4-entry buffer must backpressure 64 stores");
+        assert_eq!(r.serializability_breaches, 0);
+        assert!(r.protocol_errors.is_empty(), "{:?}", r.protocol_errors);
+    }
+
+    #[test]
+    fn tso_detects_raw_dependences_at_drain_time() {
+        // The same cross-epoch RAW as the SC test: the store becomes
+        // visible only when it drains, and the violation must still be
+        // detected, attributed, and recovered through sub-threads.
+        let p = raw_program(4000, 100);
+        let r = run_with(tso_cfg(4), &p);
+        assert!(r.violations.primary >= 1, "violations: {:?}", r.violations);
+        assert_eq!(r.committed_epochs, 2);
+        let top = &r.profile[0];
+        assert_eq!(top.store_pc, Some(Pc::new(1, 1)));
+        assert_eq!(top.load_pc, Some(Pc::new(2, 1)));
+    }
+
+    #[test]
+    fn tso_forwards_same_address_loads_from_the_buffer() {
+        let mut b = ProgramBuilder::new("forward");
+        b.begin_parallel();
+        b.begin_epoch();
+        b.int_ops(Pc::new(0, 0), 100);
+        b.store(Pc::new(0, 1), Addr(0xF000), 8);
+        b.load(Pc::new(0, 2), Addr(0xF000), 8);
+        b.int_ops(Pc::new(0, 3), 100);
+        b.end_epoch();
+        b.end_parallel();
+        let p = b.finish();
+        let r = run_with(tso_cfg(4), &p);
+        assert!(r.forwarded_loads >= 1, "the buffered store must forward");
+        assert_eq!(r.committed_epochs, 1);
+    }
+
+    #[test]
+    fn tso_drains_before_latch_acquisition() {
+        let mut b = ProgramBuilder::new("latch-order");
+        b.begin_parallel();
+        for t in 0..2u16 {
+            b.begin_epoch();
+            // The stores sit buffered through the int_ops (a busy CPU
+            // does not drain), so the acquire meets a 16-deep backlog
+            // that outlasts the pipeline: pure drain-stall cycles.
+            for i in 0..16u64 {
+                b.store(Pc::new(t, 0), Addr(0xE800 + 0x400 * t as u64 + 8 * i), 8);
+            }
+            b.int_ops(Pc::new(t, 1), 50);
+            b.latch_acquire(Pc::new(t, 2), LatchId(3));
+            b.int_ops(Pc::new(t, 3), 500);
+            b.latch_release(Pc::new(t, 4), LatchId(3));
+            b.end_epoch();
+        }
+        b.end_parallel();
+        let p = b.finish();
+        let r = run_with(tso_cfg(32), &p);
+        assert!(r.breakdown.drain_stall > 0, "the acquire must wait for the drain");
+        assert_eq!(r.committed_epochs, 2);
+        assert_eq!(r.latch_acquisitions, 2);
+    }
+
+    #[test]
+    fn tso_run_is_deterministic() {
+        let p = store_heavy_program();
+        let a = run_with(tso_cfg(4), &p);
+        let b = run_with(tso_cfg(4), &p);
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+
+    #[test]
+    fn stuck_drain_is_survived() {
+        let p = store_heavy_program();
+        let r = run_chaos(tso_cfg(4), &p, FaultPlan::single(FaultClass::StuckDrain, 300, 400));
+        assert_eq!(r.faults.stuck_drain, 1, "a busy buffer must be found at cycle 300");
+        assert_eq!(r.committed_epochs, 4);
+        assert_eq!(r.serializability_breaches, 0);
+        assert!(r.protocol_errors.is_empty(), "{:?}", r.protocol_errors);
+    }
+
+    #[test]
+    fn reordered_drain_is_survived() {
+        // Speculative L2 state is keyed by (epoch, sub-thread), not by
+        // drain arrival, so an out-of-order drain of two independent
+        // stores commits the same logical state — proven by the oracle.
+        let p = store_heavy_program();
+        let r = run_chaos(tso_cfg(4), &p, FaultPlan::single(FaultClass::ReorderedDrain, 300, 400));
+        assert_eq!(r.faults.reordered_drain, 1);
+        assert_eq!(r.committed_epochs, 4);
+        assert_eq!(r.serializability_breaches, 0);
+        assert!(r.protocol_errors.is_empty(), "{:?}", r.protocol_errors);
+    }
+
+    #[test]
+    fn dropped_entry_is_detected_not_survived() {
+        // The store is silently lost from the buffer; the commit-time
+        // store-flow audit must report it as a structured protocol
+        // error (never a panic) while the machine keeps running.
+        let p = store_heavy_program();
+        let r = run_chaos(tso_cfg(4), &p, FaultPlan::single(FaultClass::DroppedEntry, 300, 400));
+        assert_eq!(r.faults.dropped_entry, 1);
+        assert!(r.serializability_breaches >= 1, "the lost store must be detected");
+        assert!(
+            r.protocol_errors.iter().any(|e| e.message.contains("store-flow")),
+            "{:?}",
+            r.protocol_errors
+        );
+        assert_eq!(r.committed_epochs, 4, "detection is evidence, not a crash");
+    }
+
+    #[test]
+    fn store_buffer_faults_are_skipped_on_sc() {
+        let p = store_heavy_program();
+        for class in crate::chaos::STORE_BUFFER_FAULT_CLASSES {
+            let r = run_chaos(cfg(), &p, FaultPlan::single(class, 300, 400));
+            assert_eq!(r.faults.applied(), 0, "{class}: no SC machine has a store buffer");
+            assert_eq!(r.faults.skipped, 1);
+            assert_eq!(r.serializability_breaches, 0);
+        }
     }
 
     #[test]

@@ -88,7 +88,8 @@ pub fn breakdown_row(report: &SimReport, reference: u64) -> String {
 
 /// Renders a normalized breakdown as an ASCII stacked bar, 50 characters
 /// per 1.0 of normalized time: `I` idle, `F` failed, `L` latch, `S` sync,
-/// `M` cache miss, `B` busy — the Figure 5 bars in terminal form. An
+/// `M` cache miss, `D` drain stall, `B` busy — the Figure 5 bars in
+/// terminal form. An
 /// unknown category renders as `?` (with a warning on stderr) rather than
 /// aborting the whole harness run.
 pub fn render_stack(stack: &[(&'static str, f64)]) -> String {
@@ -102,6 +103,7 @@ pub fn render_stack(stack: &[(&'static str, f64)]) -> String {
             "Latch Stall" => 'L',
             "Sync" => 'S',
             "Cache Miss" => 'M',
+            "Drain Stall" => 'D',
             "Busy" => 'B',
             other => {
                 eprintln!("warning: unknown breakdown category '{other}', rendering as '?'");
@@ -126,6 +128,7 @@ pub fn initials(name: &str) -> &'static str {
         "Latch Stall" => "ltch",
         "Sync" => "sync",
         "Cache Miss" => "miss",
+        "Drain Stall" => "drai",
         "Busy" => "busy",
         other => {
             eprintln!("warning: unknown breakdown category '{other}', rendering as '????'");

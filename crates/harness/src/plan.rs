@@ -107,6 +107,7 @@ pub fn all_plans() -> Vec<Plan> {
         crate::plans::pool_pressure::plan(),
         crate::plans::scan_collision::plan(),
         crate::plans::prediction_frontier::plan(),
+        crate::plans::memory_order::plan(),
         crate::plans::workload::plan(),
     ]
 }

@@ -1,0 +1,200 @@
+//! The **memory_order** plan: what does TSO's store-buffer relaxation
+//! cost a sub-threaded TLS machine, and does buffer depth matter?
+//!
+//! The simulator's baseline memory model is sequentially consistent:
+//! a store becomes visible to violation detection the cycle it issues.
+//! Under [`MemoryModel::Tso`] each CPU instead retires stores into a
+//! bounded FIFO buffer that drains at ordering points (full buffer,
+//! same-address load-forwarding conflict, latch acquisition, the
+//! pre-commit flush) — so RAW dependences are *detected later* and the
+//! commit path pays explicit drain-stall cycles.
+//!
+//! The grid crosses buffer depth (SC, then 4/8/32-entry TSO) with
+//! checkpoint spacing and the two checkpointing tolerance mechanisms
+//! (sub-threads alone, value prediction + sub-threads) over a TPC-C
+//! NEW ORDER transaction and the zipf-0.8 scan-collision workload.
+//! Every point is normalized to its workload's SEQUENTIAL reference,
+//! and every TSO point commits — by construction, checked by the
+//! commit-serializability auditor and the differential oracle in
+//! debug builds — the same logical state as its SC twin.
+
+use crate::plan::{to_artifact_json, Job, Plan, PlanCtx, PlanOutput};
+use crate::plans::scan_collision::collision_spec;
+use crate::store::{StoredPrograms, TraceKey};
+use crate::workload::compile;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tls_core::experiment::{BenchmarkPrograms, ExperimentKind};
+use tls_core::{CmpConfig, MemoryModel, SimReport, SpacingPolicy, SubThreadConfig, VPredictConfig};
+use tls_minidb::Transaction;
+
+/// The TPC-C side of the grid.
+const TXN: Transaction = Transaction::NewOrder;
+
+/// Checkpoint spacings swept at every memory-model point.
+const SPACINGS: [u64; 3] = [500, 2000, 8000];
+
+/// The memory-model axis: the SC baseline, then TSO at three depths.
+fn memory_models() -> [(&'static str, MemoryModel); 4] {
+    [
+        ("sc", MemoryModel::Sc),
+        ("tso-4", MemoryModel::Tso { buffer_entries: 4 }),
+        ("tso-8", MemoryModel::Tso { buffer_entries: 8 }),
+        ("tso-32", MemoryModel::Tso { buffer_entries: 32 }),
+    ]
+}
+
+/// A tolerance mechanism riding on top of the memory model.
+struct Mechanism {
+    name: &'static str,
+    vpredict: VPredictConfig,
+}
+
+fn mechanisms() -> [Mechanism; 2] {
+    [
+        Mechanism { name: "sub-threads", vpredict: VPredictConfig::disabled() },
+        Mechanism { name: "value+sub-threads", vpredict: VPredictConfig::prophet() },
+    ]
+}
+
+fn configure(base: &CmpConfig, model: MemoryModel, m: &Mechanism, spacing: u64) -> CmpConfig {
+    let mut cfg = *base;
+    cfg.memory_model = model;
+    cfg.subthreads =
+        SubThreadConfig { spacing: SpacingPolicy::Every(spacing), ..SubThreadConfig::baseline() };
+    cfg.vpredict = m.vpredict;
+    cfg
+}
+
+#[derive(Serialize)]
+struct Point {
+    workload: &'static str,
+    memory_model: &'static str,
+    mechanism: &'static str,
+    spacing: u64,
+    cycles: u64,
+    speedup_vs_sequential: f64,
+    drain_stall_cycles: u64,
+    buffered_stores: u64,
+    forwarded_loads: u64,
+    store_drains: u64,
+    violations_primary: u64,
+    value_mispredicts: u64,
+    serializability_breaches: u64,
+}
+
+/// The memory_order plan.
+pub fn plan() -> Plan {
+    Plan {
+        name: "memory_order",
+        title: "Extension — TSO store buffers vs the SC baseline",
+        traces,
+        run,
+    }
+}
+
+fn traces(ctx: &PlanCtx) -> Vec<TraceKey> {
+    vec![ctx.trace_key(TXN)]
+}
+
+fn run(ctx: &PlanCtx) -> PlanOutput {
+    // The scan-collision workload at the moderate (TPC-C-ish) skew.
+    let compiled: Vec<Arc<StoredPrograms>> = ctx.pool.run(vec![Box::new(move || {
+        let spec = collision_spec("zipf_080", 0.8, ctx.scale);
+        let c = compile(&spec);
+        Arc::new(StoredPrograms::new(BenchmarkPrograms { plain: c.plain, tls: c.tls }))
+    }) as Job<Arc<StoredPrograms>>]);
+    let scan_progs = compiled.into_iter().next().expect("one compile job");
+
+    // Per workload: 1 SEQUENTIAL reference, then the full model grid.
+    let workloads: [(&'static str, Arc<StoredPrograms>); 2] =
+        [("neworder", ctx.programs(TXN)), ("scan_collision", scan_progs)];
+    let mut jobs: Vec<Job<Arc<SimReport>>> = Vec::new();
+    for (_, progs) in &workloads {
+        {
+            let progs = progs.clone();
+            jobs.push(Box::new(move || ctx.experiment(ExperimentKind::Sequential, &progs)));
+        }
+        for (_, model) in memory_models() {
+            for m in mechanisms() {
+                for spacing in SPACINGS {
+                    let progs = progs.clone();
+                    let cfg = configure(&ctx.machine, model, &m, spacing);
+                    jobs.push(Box::new(move || ctx.sim(&progs.tls, &cfg)));
+                }
+            }
+        }
+    }
+    let reports = ctx.pool.run(jobs);
+
+    let mut text = String::new();
+    writeln!(
+        text,
+        "{:<15} {:<8} {:<18} {:>8} {:>12} {:>9} {:>9} {:>9} {:>8} {:>7} {:>6} {:>6}",
+        "workload",
+        "model",
+        "mechanism",
+        "spacing",
+        "cycles",
+        "speedup",
+        "drain",
+        "buffered",
+        "forward",
+        "drains",
+        "raw",
+        "breach"
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    let mut sim_cycles = 0u64;
+    let mut cursor = 0usize;
+    for (workload, _) in &workloads {
+        let seq = reports[cursor].total_cycles;
+        sim_cycles += seq;
+        cursor += 1;
+        for (model_name, _) in memory_models() {
+            for m in mechanisms() {
+                for spacing in SPACINGS {
+                    let r = &reports[cursor];
+                    cursor += 1;
+                    sim_cycles += r.total_cycles;
+                    let point = Point {
+                        workload,
+                        memory_model: model_name,
+                        mechanism: m.name,
+                        spacing,
+                        cycles: r.total_cycles,
+                        speedup_vs_sequential: seq as f64 / r.total_cycles as f64,
+                        drain_stall_cycles: r.breakdown.drain_stall,
+                        buffered_stores: r.buffered_stores,
+                        forwarded_loads: r.forwarded_loads,
+                        store_drains: r.store_drains,
+                        violations_primary: r.violations.primary,
+                        value_mispredicts: r.value_mispredicts,
+                        serializability_breaches: r.serializability_breaches,
+                    };
+                    writeln!(
+                        text,
+                        "{:<15} {:<8} {:<18} {:>8} {:>12} {:>8.2}x {:>9} {:>9} {:>8} {:>7} {:>6} {:>6}",
+                        point.workload,
+                        point.memory_model,
+                        point.mechanism,
+                        point.spacing,
+                        point.cycles,
+                        point.speedup_vs_sequential,
+                        point.drain_stall_cycles,
+                        point.buffered_stores,
+                        point.forwarded_loads,
+                        point.store_drains,
+                        point.violations_primary,
+                        point.serializability_breaches
+                    )
+                    .unwrap();
+                    rows.push(point);
+                }
+            }
+        }
+    }
+    PlanOutput { json: to_artifact_json(&rows), text, sim_cycles }
+}

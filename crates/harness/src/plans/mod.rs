@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod figure2;
 pub mod figure5;
 pub mod figure6;
+pub mod memory_order;
 pub mod pool_pressure;
 pub mod prediction_frontier;
 pub mod scalability;

@@ -40,7 +40,8 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use tls_core::{
-    CmpConfig, CmpSimulator, RunOptions, SimReport, SpacingPolicy, VPredictConfig, MAX_SUBTHREADS,
+    CmpConfig, CmpSimulator, MemoryModel, RunOptions, SimReport, SpacingPolicy, VPredictConfig,
+    MAX_SUBTHREADS,
 };
 use tls_minidb::Transaction;
 
@@ -71,6 +72,27 @@ pub struct SweepSpec {
     /// row bytes are identical to a grid written before the axis
     /// existed.
     pub vpredict_entries: Vec<usize>,
+    /// Memory models (`sc` or `tso<N>` with N buffer entries). Empty
+    /// leaves the axis out, exactly like `vpredict_entries`.
+    pub memory_models: Vec<MemoryModel>,
+}
+
+/// Parses a memory-model axis value: `sc`, or `tso<N>` with N = buffer
+/// entries in 1..=256.
+pub fn parse_memory_model(s: &str) -> Option<MemoryModel> {
+    if s == "sc" {
+        return Some(MemoryModel::Sc);
+    }
+    let n: usize = s.strip_prefix("tso")?.parse().ok()?;
+    (1..=256).contains(&n).then_some(MemoryModel::Tso { buffer_entries: n })
+}
+
+/// The stable key-component name of a memory model (`sc` / `tso<N>`).
+pub fn memory_model_name(m: MemoryModel) -> String {
+    match m {
+        MemoryModel::Sc => "sc".to_string(),
+        MemoryModel::Tso { buffer_entries } => format!("tso{buffer_entries}"),
+    }
 }
 
 /// A typed sweep-spec failure: which field, what is wrong.
@@ -105,6 +127,10 @@ impl SweepSpec {
             ("contexts", "array of sub-thread context counts, 1..=8"),
             ("mem_latencies", "array of memory latencies in cycles, >= 1"),
             ("vpredict_entries", "array of value-predictor table sizes (2^k; 0 = off); optional"),
+            (
+                "memory_models",
+                "array of memory models: \"sc\" or \"tsoN\" (N buffer entries); optional",
+            ),
         ]
     }
 
@@ -142,6 +168,7 @@ impl SweepSpec {
             contexts: Vec::new(),
             mem_latencies: Vec::new(),
             vpredict_entries: Vec::new(),
+            memory_models: Vec::new(),
         };
         let mut saw_benchmark = false;
         for (key, v) in pairs {
@@ -193,6 +220,26 @@ impl SweepSpec {
                 "vpredict_entries" => {
                     spec.vpredict_entries =
                         u64s("vpredict_entries", v)?.into_iter().map(|n| n as usize).collect()
+                }
+                "memory_models" => {
+                    let Value::Array(items) = v else {
+                        return Err(err(
+                            "memory_models",
+                            "expected an array of strings".to_string(),
+                        ));
+                    };
+                    spec.memory_models = items
+                        .iter()
+                        .map(|i| match i {
+                            Value::Str(s) => parse_memory_model(s).ok_or_else(|| {
+                                err(
+                                    "memory_models",
+                                    format!("'{s}' is not 'sc' or 'tsoN' (N in 1..=256)"),
+                                )
+                            }),
+                            _ => Err(err("memory_models", "expected strings".to_string())),
+                        })
+                        .collect::<Result<_, _>>()?
                 }
                 other => {
                     return Err(SweepError {
@@ -254,6 +301,16 @@ impl SweepSpec {
         }
     }
 
+    /// The memory-model axis as grid values: `[None]` when absent, so
+    /// model-less grids keep their pre-axis keys and row bytes.
+    fn memory_model_axis(&self) -> Vec<Option<MemoryModel>> {
+        if self.memory_models.is_empty() {
+            vec![None]
+        } else {
+            self.memory_models.iter().map(|&m| Some(m)).collect()
+        }
+    }
+
     /// Points in the grid (before filtering).
     pub fn total_points(&self) -> usize {
         self.seeds.len()
@@ -261,6 +318,7 @@ impl SweepSpec {
             * self.contexts.len()
             * self.mem_latencies.len()
             * self.vpredict_axis().len()
+            * self.memory_model_axis().len()
     }
 }
 
@@ -278,12 +336,15 @@ pub struct SweepPoint {
     /// Value-predictor table size (`None` when the grid has no
     /// `vpredict_entries` axis; `Some(0)` = axis present, predictor off).
     pub vpredict_entries: Option<usize>,
+    /// Memory model (`None` when the grid has no `memory_models` axis).
+    pub memory_model: Option<MemoryModel>,
 }
 
 impl SweepPoint {
     /// The point's stable key — what `--filter` substring-matches and
     /// what each JSONL row carries. Grids without a `vpredict_entries`
-    /// axis keep the pre-axis key shape, byte for byte.
+    /// or `memory_models` axis keep the pre-axis key shape, byte for
+    /// byte.
     pub fn key(&self) -> String {
         let mut key = format!(
             "seed={}/spacing={}/ctx={}/mem={}",
@@ -291,6 +352,9 @@ impl SweepPoint {
         );
         if let Some(vp) = self.vpredict_entries {
             key.push_str(&format!("/vp={vp}"));
+        }
+        if let Some(m) = self.memory_model {
+            key.push_str(&format!("/mm={}", memory_model_name(m)));
         }
         key
     }
@@ -317,21 +381,28 @@ impl SweepPlan {
     pub fn new(spec: SweepSpec, scale: Scale) -> SweepPlan {
         let base = paper_machine();
         let vp_axis = spec.vpredict_axis();
+        let mm_axis = spec.memory_model_axis();
         let mut configs = Vec::new();
         for &spacing in &spec.spacings {
             for &contexts in &spec.contexts {
                 for &mem_latency in &spec.mem_latencies {
                     for &vp in &vp_axis {
-                        let mut cfg = base;
-                        cfg.subthreads.spacing = SpacingPolicy::Every(spacing);
-                        cfg.subthreads.contexts = contexts;
-                        cfg.mem.mem_min_latency = mem_latency;
-                        if let Some(entries) = vp.filter(|&n| n > 0) {
-                            cfg.vpredict = VPredictConfig { entries, ..VPredictConfig::prophet() };
+                        for &mm in &mm_axis {
+                            let mut cfg = base;
+                            cfg.subthreads.spacing = SpacingPolicy::Every(spacing);
+                            cfg.subthreads.contexts = contexts;
+                            cfg.mem.mem_min_latency = mem_latency;
+                            if let Some(entries) = vp.filter(|&n| n > 0) {
+                                cfg.vpredict =
+                                    VPredictConfig { entries, ..VPredictConfig::prophet() };
+                            }
+                            if let Some(model) = mm {
+                                cfg.memory_model = model;
+                            }
+                            let mut json = String::new();
+                            cfg.serialize(&mut json);
+                            configs.push((cfg, json));
                         }
-                        let mut json = String::new();
-                        cfg.serialize(&mut json);
-                        configs.push((cfg, json));
                     }
                 }
             }
@@ -343,17 +414,20 @@ impl SweepPlan {
                 for &contexts in &spec.contexts {
                     for &mem_latency in &spec.mem_latencies {
                         for &vp in &vp_axis {
-                            points.push((
-                                ci,
-                                SweepPoint {
-                                    seed,
-                                    spacing,
-                                    contexts,
-                                    mem_latency,
-                                    vpredict_entries: vp,
-                                },
-                            ));
-                            ci += 1;
+                            for &mm in &mm_axis {
+                                points.push((
+                                    ci,
+                                    SweepPoint {
+                                        seed,
+                                        spacing,
+                                        contexts,
+                                        mem_latency,
+                                        vpredict_entries: vp,
+                                        memory_model: mm,
+                                    },
+                                ));
+                                ci += 1;
+                            }
                         }
                     }
                 }
@@ -387,6 +461,57 @@ impl SweepPlan {
                     .collect()
             }
         }
+    }
+
+    /// Like [`SweepPlan::selected`], but a needle that matches no point
+    /// key is a typed error naming the needle and every matchable key
+    /// component of this grid — a silent empty selection would write an
+    /// empty row file that reads as "sweep done".
+    pub fn selected_checked(
+        &self,
+        filter: Option<&str>,
+    ) -> Result<Vec<(usize, SweepPoint)>, SweepError> {
+        if let Some(f) = filter {
+            for needle in f.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                if !self.points.iter().any(|(_, p)| p.key().contains(needle)) {
+                    return Err(SweepError {
+                        field: Some("--filter".to_string()),
+                        message: format!(
+                            "'{needle}' matches none of the {} point keys; matchable \
+                             components: {}",
+                            self.points.len(),
+                            self.matchable_components()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(self.selected(filter))
+    }
+
+    /// The key components `--filter` can substring-match in this grid,
+    /// with their actual axis values (`seed={1,2} spacing={1000} ...`).
+    fn matchable_components(&self) -> String {
+        let list = |name: &str, values: Vec<String>| format!("{name}={{{}}}", values.join(","));
+        let mut out = vec![
+            list("seed", self.spec.seeds.iter().map(|v| v.to_string()).collect()),
+            list("spacing", self.spec.spacings.iter().map(|v| v.to_string()).collect()),
+            list("ctx", self.spec.contexts.iter().map(|v| v.to_string()).collect()),
+            list("mem", self.spec.mem_latencies.iter().map(|v| v.to_string()).collect()),
+        ];
+        if !self.spec.vpredict_entries.is_empty() {
+            out.push(list(
+                "vp",
+                self.spec.vpredict_entries.iter().map(|v| v.to_string()).collect(),
+            ));
+        }
+        if !self.spec.memory_models.is_empty() {
+            out.push(list(
+                "mm",
+                self.spec.memory_models.iter().map(|&m| memory_model_name(m)).collect(),
+            ));
+        }
+        out.join(" ")
     }
 
     /// The snapshot key of one seed's recording.
@@ -884,7 +1009,15 @@ pub fn run_sweep_verb(args: &[String]) -> i32 {
         }
     };
     let plan = SweepPlan::new(spec, opts.scale);
-    let selected = plan.selected(opts.filter.as_deref());
+    // A filter matching nothing is a usage error (exit 2), not an empty
+    // row file masquerading as a finished sweep.
+    let selected = match plan.selected_checked(opts.filter.as_deref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("suite sweep: {e}");
+            return 2;
+        }
+    };
     let out = match run_sweep(&plan, &opts) {
         Ok(out) => out,
         Err(e) => {
@@ -1062,6 +1195,60 @@ mod tests {
             "\"mem_latencies\": [75],\n\"vpredict_entries\": [48]",
         );
         assert!(SweepSpec::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn memory_model_axis_is_opt_in() {
+        // Absent axis: keys and point count match the pre-axis layout.
+        let plan = SweepPlan::new(SweepSpec::parse(grid_src()).unwrap(), Scale::Test);
+        assert!(plan.selected(None).iter().all(|(_, p)| !p.key().contains("/mm=")));
+
+        // Present axis: the product grows and keys carry the suffix.
+        let src = grid_src().replace(
+            "\"mem_latencies\": [75]",
+            "\"mem_latencies\": [75],\n\"memory_models\": [\"sc\", \"tso8\"]",
+        );
+        let spec = SweepSpec::parse(&src).expect("parse with axis");
+        assert_eq!(spec.total_points(), 16);
+        let plan = SweepPlan::new(spec, Scale::Test);
+        let pts = plan.selected(None);
+        assert!(pts.iter().all(|(_, p)| p.key().contains("/mm=")));
+        let filtered = plan.selected(Some("/mm=tso8"));
+        assert_eq!(filtered.len(), 8);
+        // sc keeps the SC baseline; tso8 configures an 8-entry buffer.
+        let sc = pts.iter().find(|(_, p)| p.memory_model == Some(MemoryModel::Sc)).unwrap();
+        let tso = pts
+            .iter()
+            .find(|(_, p)| p.memory_model == Some(MemoryModel::Tso { buffer_entries: 8 }))
+            .unwrap();
+        assert_eq!(plan.config(sc.0).0.memory_model, MemoryModel::Sc);
+        assert_eq!(plan.config(tso.0).0.memory_model, MemoryModel::Tso { buffer_entries: 8 });
+
+        // Unknown model names are rejected.
+        let bad = grid_src().replace(
+            "\"mem_latencies\": [75]",
+            "\"mem_latencies\": [75],\n\"memory_models\": [\"psc\"]",
+        );
+        assert!(SweepSpec::parse(&bad).is_err());
+        assert!(parse_memory_model("tso0").is_none(), "zero-entry buffer");
+        assert!(parse_memory_model("tso257").is_none(), "over the cap");
+    }
+
+    #[test]
+    fn zero_match_filter_is_a_typed_error() {
+        let plan = SweepPlan::new(SweepSpec::parse(grid_src()).unwrap(), Scale::Test);
+        // A live needle passes through unchanged.
+        let ok = plan.selected_checked(Some("seed=2")).expect("matching filter");
+        assert_eq!(ok, plan.selected(Some("seed=2")));
+        // A dead needle errors even when another needle matches — a
+        // typo'd component must never silently shrink the grid.
+        let err = plan.selected_checked(Some("seed=2,spacing=9999")).unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("--filter"));
+        assert!(err.message.contains("spacing=9999"), "{err}");
+        assert!(err.message.contains("spacing={1000,5000}"), "lists matchable values: {err}");
+        assert!(!err.message.contains("vp={"), "no vp axis in this grid: {err}");
+        // No filter, no error.
+        assert_eq!(plan.selected_checked(None).expect("unfiltered").len(), 8);
     }
 
     #[test]

@@ -81,10 +81,20 @@ pub enum EventKind {
     /// rewinds instead of committing. `sub` = rewind target, `a` = the
     /// mispredicted line address, `b` = packed PCs (store [`NO_PC`]).
     ValueMispredict = 18,
+    /// A CPU spent this cycle stalled on a TSO store-buffer drain.
+    /// Emitted once at the *start* of each stall episode (not per
+    /// cycle). `a` = buffered entries at stall start, `b` = 1 when the
+    /// stall came from a full buffer, 2 from a load-forwarding
+    /// conflict, 3 from an ordering-point flush.
+    DrainStall = 19,
+    /// The commit-serializability auditor found a happens-before cycle
+    /// or a store-flow violation. `a` = the implicated line address (0
+    /// when not line-specific), `b` = total breaches so far.
+    SerializabilityBreach = 20,
 }
 
 /// Every event kind, in discriminant order (stable for count tables).
-pub const ALL_EVENT_KINDS: [EventKind; 19] = [
+pub const ALL_EVENT_KINDS: [EventKind; 21] = [
     EventKind::EpochStart,
     EventKind::SubThreadStart,
     EventKind::SubThreadMerge,
@@ -104,6 +114,8 @@ pub const ALL_EVENT_KINDS: [EventKind; 19] = [
     EventKind::RecoveryReplay,
     EventKind::ValuePredicted,
     EventKind::ValueMispredict,
+    EventKind::DrainStall,
+    EventKind::SerializabilityBreach,
 ];
 
 impl EventKind {
@@ -129,6 +141,8 @@ impl EventKind {
             EventKind::RecoveryReplay => "recovery_replay",
             EventKind::ValuePredicted => "value_predicted",
             EventKind::ValueMispredict => "value_mispredict",
+            EventKind::DrainStall => "drain_stall",
+            EventKind::SerializabilityBreach => "serializability_breach",
         }
     }
 

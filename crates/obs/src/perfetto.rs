@@ -493,6 +493,30 @@ pub fn export(meta: &TraceMeta, events: impl IntoIterator<Item = Event>) -> Stri
                     Some(&format!("{{\"region\":\"{:#x}\",\"to_lsn\":{}}}", ev.a, ev.b)),
                 );
             }
+            EventKind::DrainStall => {
+                let cause = match ev.b {
+                    1 => "full buffer",
+                    2 => "forward conflict",
+                    3 => "ordering point",
+                    _ => "unknown",
+                };
+                instant(
+                    &mut w,
+                    exec_tid(cpu),
+                    "drain stall",
+                    ev.cycle,
+                    Some(&format!("{{\"buffered\":{},\"cause\":\"{cause}\"}}", ev.a)),
+                );
+            }
+            EventKind::SerializabilityBreach => {
+                instant(
+                    &mut w,
+                    exec_tid(cpu),
+                    "SERIALIZABILITY BREACH",
+                    ev.cycle,
+                    Some(&format!("{{\"line\":\"{:#x}\",\"breaches\":{}}}", ev.a, ev.b)),
+                );
+            }
         }
     }
     for (cpu, e) in open.into_iter().enumerate() {

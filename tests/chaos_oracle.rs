@@ -9,7 +9,8 @@
 
 use proptest::prelude::*;
 use subthreads::core::{
-    CmpConfig, CmpSimulator, FaultClass, FaultPlan, RunOptions, ALL_FAULT_CLASSES,
+    CmpConfig, CmpSimulator, FaultClass, FaultPlan, MemoryModel, RunOptions, ALL_FAULT_CLASSES,
+    STORE_BUFFER_FAULT_CLASSES,
 };
 use subthreads::trace::{Addr, OpSink, Pc, ProgramBuilder, TraceProgram};
 
@@ -60,6 +61,12 @@ fn machine() -> CmpConfig {
     cfg
 }
 
+fn tso_machine() -> CmpConfig {
+    let mut cfg = machine();
+    cfg.memory_model = MemoryModel::Tso { buffer_entries: 4 };
+    cfg
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -85,6 +92,56 @@ proptest! {
             prop_assert_eq!(r.breakdown.total(), r.total_cycles * r.cpus as u64);
             // Every scheduled fault is accounted: applied or skipped.
             prop_assert_eq!(r.faults.applied() + r.faults.skipped, n);
+        }
+    }
+
+    #[test]
+    fn store_buffer_chaos_survives_or_detects_by_class(program in gen_program()) {
+        // The three store-buffer fault classes have *per-class*
+        // expectations on a TSO machine: a stuck or reordered drain is
+        // an ordering hazard the protocol must absorb; a dropped buffer
+        // entry is a lost store and must be *detected* by the
+        // serializability auditor — as a structured protocol error,
+        // never a panic — every single time one is applied.
+        let epochs = program.stats().epochs as u64;
+        let sim = CmpSimulator::new(tso_machine());
+        let baseline = sim.run_with(
+            &program,
+            RunOptions { panic_on_audit_failure: false, ..RunOptions::default() },
+        );
+        prop_assert!(baseline.audit_failures.is_empty(),
+            "fault-free TSO baseline failed audit: {:?}", baseline.audit_failures);
+        prop_assert_eq!(baseline.serializability_breaches, 0);
+        for seed in 0..16u64 {
+            for class in STORE_BUFFER_FAULT_CLASSES {
+                let plan = FaultPlan::generate(seed, &[class], baseline.total_cycles, 4);
+                let n = plan.len() as u64;
+                let r = sim.run_with(&program, RunOptions::chaos(plan));
+                prop_assert!(r.audit_failures.is_empty(),
+                    "seed {seed} {class}: invariant auditor tripped: {:?}", r.audit_failures);
+                prop_assert_eq!(r.committed_epochs, epochs,
+                    "seed {} {}: lost epochs", seed, class);
+                prop_assert_eq!(r.breakdown.total(), r.total_cycles * r.cpus as u64);
+                prop_assert_eq!(r.faults.applied() + r.faults.skipped, n);
+                if class == FaultClass::DroppedEntry {
+                    if r.faults.applied() > 0 {
+                        prop_assert!(r.serializability_breaches > 0,
+                            "seed {seed}: {} dropped store(s) went undetected",
+                            r.faults.applied());
+                        prop_assert!(
+                            r.protocol_errors.iter().any(|e| e.message.contains("store-flow")),
+                            "seed {seed}: breach without a store-flow protocol error: {:?}",
+                            r.protocol_errors);
+                    } else {
+                        prop_assert_eq!(r.serializability_breaches, 0);
+                    }
+                } else {
+                    prop_assert_eq!(r.serializability_breaches, 0,
+                        "seed {} {}: must be survived, not flagged", seed, class);
+                    prop_assert!(r.protocol_errors.is_empty(),
+                        "seed {seed} {class}: {:?}", r.protocol_errors);
+                }
+            }
         }
     }
 

@@ -1,0 +1,130 @@
+//! Correctness anchors for the relaxed memory-order model.
+//!
+//! Three properties, each over randomized programs with real cross-epoch
+//! dependences:
+//!
+//! 1. **SC is byte-invisible** — a config that visited any TSO buffer
+//!    geometry and was reset to `MemoryModel::Sc` produces a
+//!    byte-identical `SimReport` JSON, with every TSO counter zero: the
+//!    store-buffer machinery must leave no residue when disabled.
+//! 2. **TSO is oracle-identical** — under TSO at any buffer depth,
+//!    every epoch still commits, the commit-serializability auditor
+//!    stays silent, the sequential differential oracle matches the
+//!    committed memory image, and the cycle ledger (now including
+//!    drain-stall cycles) still balances.
+//! 3. **Store flow is conserved** — with no faults injected, every
+//!    buffered store eventually drains (`store_drains` only falls short
+//!    of `buffered_stores` by entries discarded in rewinds, never the
+//!    other way around).
+
+use proptest::prelude::*;
+use subthreads::core::{CmpConfig, CmpSimulator, MemoryModel, RunOptions};
+use subthreads::trace::{Addr, OpSink, Pc, ProgramBuilder, TraceProgram};
+
+#[derive(Debug, Clone)]
+enum GenOp {
+    Alu(u8),
+    Load(u8),
+    Store(u8),
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        4 => (1u8..=4).prop_map(GenOp::Alu),
+        2 => (0u8..16).prop_map(GenOp::Load),
+        1 => (0u8..16).prop_map(GenOp::Store),
+    ]
+}
+
+fn gen_program() -> impl Strategy<Value = TraceProgram> {
+    // 2..5 epochs over a 16-slot shared pool: stores buffer and forward,
+    // and cross-epoch RAW dependences are detected at drain time.
+    proptest::collection::vec(proptest::collection::vec(gen_op(), 10..120), 2..5).prop_map(
+        |epochs| {
+            let mut b = ProgramBuilder::new("memorder-random");
+            b.begin_parallel();
+            for (e, ops) in epochs.iter().enumerate() {
+                b.begin_epoch();
+                for (i, op) in ops.iter().enumerate() {
+                    let pc = Pc::new(e as u16, i as u16);
+                    match op {
+                        GenOp::Alu(n) => b.int_ops(pc, *n as usize),
+                        GenOp::Load(slot) => b.load(pc, Addr(0x7000 + 8 * *slot as u64), 8),
+                        GenOp::Store(slot) => b.store(pc, Addr(0x7000 + 8 * *slot as u64), 8),
+                    }
+                }
+                b.end_epoch();
+            }
+            b.end_parallel();
+            b.finish()
+        },
+    )
+}
+
+fn machine(model: MemoryModel) -> CmpConfig {
+    let mut cfg = CmpConfig::test_small();
+    cfg.memory_model = model;
+    cfg.max_cycles = 5_000_000;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sc_is_byte_invisible_at_any_buffer_geometry(
+        program in gen_program(),
+        geometry in 1usize..=64,
+    ) {
+        let base = CmpSimulator::new(machine(MemoryModel::Sc))
+            .run_with(&program, RunOptions::default());
+        prop_assert_eq!(base.buffered_stores, 0);
+        prop_assert_eq!(base.forwarded_loads, 0);
+        prop_assert_eq!(base.store_drains, 0);
+        prop_assert_eq!(base.serializability_breaches, 0);
+        prop_assert_eq!(base.breakdown.drain_stall, 0);
+        let base_json = serde_json::to_string(&base).expect("report serializes");
+        // A config that carried a TSO geometry and was reset to Sc must
+        // not leak the geometry into the run.
+        let mut cfg = machine(MemoryModel::Tso { buffer_entries: geometry });
+        cfg.memory_model = MemoryModel::Sc;
+        let r = CmpSimulator::new(cfg).run_with(&program, RunOptions::default());
+        let json = serde_json::to_string(&r).expect("report serializes");
+        prop_assert_eq!(&json, &base_json, "SC after geometry {} changed the report", geometry);
+    }
+
+    #[test]
+    fn tso_commits_oracle_identical_state_at_any_depth(program in gen_program()) {
+        // RunOptions::default() arms the invariant auditor and the
+        // sequential differential oracle and panics on any failure: a
+        // TSO run that commits a different logical state than program
+        // order fails this property loudly.
+        let epochs = program.stats().epochs as u64;
+        let sc = CmpSimulator::new(machine(MemoryModel::Sc))
+            .run_with(&program, RunOptions::default());
+        for depth in [1usize, 2, 4, 32] {
+            let cfg = machine(MemoryModel::Tso { buffer_entries: depth });
+            let r = CmpSimulator::new(cfg).run_with(&program, RunOptions::default());
+            prop_assert!(r.audit_failures.is_empty(), "depth {depth}: {:?}", r.audit_failures);
+            prop_assert_eq!(r.committed_epochs, epochs, "depth {} lost epochs", depth);
+            prop_assert_eq!(r.committed_epochs, sc.committed_epochs);
+            prop_assert_eq!(r.serializability_breaches, 0);
+            prop_assert!(r.protocol_errors.is_empty(), "depth {depth}: {:?}", r.protocol_errors);
+            prop_assert_eq!(r.breakdown.total(), r.total_cycles * r.cpus as u64);
+        }
+    }
+
+    #[test]
+    fn every_buffered_store_drains_or_rewinds(program in gen_program()) {
+        let cfg = machine(MemoryModel::Tso { buffer_entries: 4 });
+        let r = CmpSimulator::new(cfg).run_with(&program, RunOptions::default());
+        // Rewinds discard buffered entries, so drains can fall short of
+        // buffered stores — but a drain can never outnumber them, and
+        // with every epoch committed the buffers must end empty.
+        prop_assert!(r.store_drains <= r.buffered_stores,
+            "{} drains from {} buffered stores", r.store_drains, r.buffered_stores);
+        if r.violations.total() == 0 {
+            prop_assert_eq!(r.store_drains, r.buffered_stores);
+        }
+    }
+}
